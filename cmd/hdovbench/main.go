@@ -1,0 +1,91 @@
+// Command hdovbench regenerates the tables and figures of the paper's
+// evaluation section (§5). Each experiment is addressed by its paper
+// label; -list shows them all.
+//
+// Usage:
+//
+//	hdovbench -list
+//	hdovbench -exp table2
+//	hdovbench -exp fig7,fig8a,fig8b
+//	hdovbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "use the small smoke-test parameter set")
+		queries  = flag.Int("queries", 0, "override the visibility-query count")
+		frames   = flag.Int("frames", 0, "override the walkthrough frame count")
+		blocks   = flag.Int("blocks", 0, "override the city size (blocks per side)")
+		gridFlag = flag.Int("grid", 0, "override the viewing-cell grid (cells per side)")
+		seed     = flag.Int64("seed", 0, "override the random seed")
+		images   = flag.String("images", "", "directory for Figure 11 PGM renderings")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p := bench.Default()
+	if *quick {
+		p = bench.Quick()
+	}
+	if *queries > 0 {
+		p.Queries = *queries
+	}
+	if *frames > 0 {
+		p.Frames = *frames
+	}
+	if *blocks > 0 {
+		p.CityBlocks = *blocks
+	}
+	if *gridFlag > 0 {
+		p.GridCells = *gridFlag
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *images != "" {
+		p.ImageDir = *images
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hdovbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "hdovbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

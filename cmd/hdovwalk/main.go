@@ -1,0 +1,132 @@
+// Command hdovwalk plays a recorded walkthrough session against the
+// VISUAL (HDoV-tree) or REVIEW (spatial window query) system and prints
+// per-frame timings plus the summary metrics of Figures 10/12 and Table 3.
+//
+// Usage:
+//
+//	hdovwalk -session normal -eta 0.001
+//	hdovwalk -session turning -review -box 400
+//	hdovwalk -session backforward -frames 2000 -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/render"
+	"repro/internal/review"
+	"repro/internal/walkthrough"
+)
+
+func main() {
+	var (
+		session   = flag.String("session", "normal", "motion pattern: normal | turning | backforward")
+		frames    = flag.Int("frames", 1200, "session length in frames")
+		eta       = flag.Float64("eta", 0.001, "VISUAL DoV threshold")
+		useReview = flag.Bool("review", false, "play on the REVIEW baseline instead of VISUAL")
+		box       = flag.Float64("box", 400, "REVIEW query-box depth in meters")
+		noDelta   = flag.Bool("no-delta", false, "disable delta/complement search")
+		series    = flag.Bool("series", false, "print the full per-frame time series")
+		quick     = flag.Bool("quick", false, "use the small smoke-test database")
+		seed      = flag.Int64("seed", 1, "path seed")
+		record    = flag.String("record", "", "save the generated session as JSON to this path")
+		replay    = flag.String("replay", "", "play a session JSON saved with -record instead of generating one")
+	)
+	flag.Parse()
+
+	p := bench.Default()
+	if *quick {
+		p = bench.Quick()
+	}
+	env := bench.DefaultEnv(p)
+	env.Tree.SetVStore(env.IV)
+
+	var s walkthrough.Session
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdovwalk: %v\n", err)
+			os.Exit(1)
+		}
+		s, err = walkthrough.ReadSession(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdovwalk: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *session {
+		case "normal":
+			s = walkthrough.RecordNormal(env.Scene, *frames, *seed)
+		case "turning":
+			s = walkthrough.RecordTurning(env.Scene, *frames, *seed)
+		case "backforward":
+			s = walkthrough.RecordBackForward(env.Scene, *frames, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "hdovwalk: unknown session %q\n", *session)
+			os.Exit(2)
+		}
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdovwalk: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hdovwalk: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("recorded session to %s\n", *record)
+	}
+
+	var res *walkthrough.Result
+	var err error
+	if *useReview {
+		cfg := review.DefaultConfig()
+		cfg.QueryBoxDepth = *box
+		player := &walkthrough.ReviewPlayer{
+			Sys:        review.New(env.Tree, cfg),
+			Complement: !*noDelta,
+			Render:     render.DefaultConfig(),
+		}
+		res, err = player.Play(s)
+	} else {
+		player := &walkthrough.VisualPlayer{
+			Tree:   env.Tree,
+			Eta:    *eta,
+			Delta:  !*noDelta,
+			Render: render.DefaultConfig(),
+		}
+		res, err = player.Play(s)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdovwalk: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *series {
+		fmt.Println("frame  ms      queried  lightIO  heavyIO  polygons")
+		for i, f := range res.Frames {
+			q := " "
+			if f.Queried {
+				q = "*"
+			}
+			fmt.Printf("%-6d %-7.2f %-8s %-8d %-8d %-8.0f\n",
+				i, float64(f.Total.Microseconds())/1000, q, f.LightIO, f.HeavyIO, f.Polygons)
+		}
+	}
+	fmt.Printf("system:          %s\n", res.System)
+	fmt.Printf("session:         %s (%d frames)\n", res.Session, len(res.Frames))
+	fmt.Printf("queries:         %d\n", res.Queries)
+	fmt.Printf("avg frame time:  %.2f ms\n", res.AvgFrameTime())
+	fmt.Printf("frame variance:  %.2f ms^2\n", res.VarFrameTime())
+	fmt.Printf("avg query time:  %.2f ms\n", res.AvgQueryTime())
+	fmt.Printf("avg query I/O:   %.1f pages\n", res.AvgQueryIO())
+	fmt.Printf("p95 frame time:  %.2f ms\n", res.PercentileFrameTime(95))
+	fmt.Printf("worst frame:     %.2f ms\n", res.MaxFrameTime())
+	fmt.Printf("peak memory:     %.1f MB\n", float64(res.PeakBytes)/(1<<20))
+}

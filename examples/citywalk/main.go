@@ -1,0 +1,60 @@
+// Citywalk: play the three walkthrough sessions of the paper's §5.4 on
+// both VISUAL (the HDoV-tree system) and REVIEW (the R-tree window-query
+// baseline), reproducing the comparison behind Figures 10/12 and Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hdov "repro"
+)
+
+func main() {
+	cfg := hdov.DefaultConfig()
+	cfg.Scene.Blocks = 4
+	cfg.GridCells = 12
+	cfg.DoVRays = 2048
+	cfg.Scene.NominalBytes = 200 << 20
+
+	fmt.Println("building HDoV database...")
+	db, err := hdov.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d objects, %d nodes, %d cells\n\n", db.NumObjects(), db.NumNodes(), db.NumCells())
+
+	const frames = 900
+	sessions := []hdov.SessionKind{hdov.SessionNormal, hdov.SessionTurning, hdov.SessionBackForward}
+
+	fmt.Printf("%-14s %-22s %10s %10s %10s %10s %9s\n",
+		"session", "system", "frame ms", "variance", "query ms", "query IO", "peak MB")
+	for _, s := range sessions {
+		visual, err := db.Walkthrough(hdov.WalkOptions{
+			Session: s, Frames: frames, Eta: 0.001, Delta: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		review, err := db.Walkthrough(hdov.WalkOptions{
+			Session: s, Frames: frames, UseREVIEW: true, Delta: true, ReviewBoxDepth: 400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range []*hdov.WalkStats{visual, review} {
+			fmt.Printf("%-14s %-22s %10.2f %10.2f %10.2f %10.1f %9.1f\n",
+				s, r.System, r.AvgFrameMS, r.VarFrameMS, r.AvgQueryMS, r.AvgQueryIO,
+				float64(r.PeakMemoryBytes)/(1<<20))
+		}
+	}
+
+	// Show the Figure 10(a) effect on session 1: query frames spike, and
+	// REVIEW's spikes are taller.
+	fmt.Println("\nper-frame times, session 1, first 30 frames (v = VISUAL, r = REVIEW):")
+	v, _ := db.Walkthrough(hdov.WalkOptions{Session: hdov.SessionNormal, Frames: 200, Eta: 0.001, Delta: true})
+	r, _ := db.Walkthrough(hdov.WalkOptions{Session: hdov.SessionNormal, Frames: 200, UseREVIEW: true, Delta: true})
+	for i := 0; i < 30; i++ {
+		fmt.Printf("  frame %3d  v %8.2f ms   r %8.2f ms\n", i, v.FrameTimesMS[i], r.FrameTimesMS[i])
+	}
+}

@@ -1,0 +1,60 @@
+// Storage-tuning: compare the three V-page storage schemes of the paper's
+// §4 on the same database — disk footprint (Table 2) and query cost
+// (Figure 7) — to pick a layout for a deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hdov "repro"
+)
+
+func main() {
+	cfg := hdov.DefaultConfig()
+	cfg.Scene.Blocks = 4
+	cfg.GridCells = 16
+	cfg.DoVRays = 2048
+	cfg.Scene.NominalBytes = 200 << 20
+
+	fmt.Println("building HDoV database with all three storage schemes...")
+	db, err := hdov.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sz := db.StorageSizes()
+	fmt.Printf("\nstorage footprint (Table 2):\n")
+	fmt.Printf("  %-18s %8.2f MB\n", "horizontal", float64(sz.Horizontal)/(1<<20))
+	fmt.Printf("  %-18s %8.2f MB\n", "vertical", float64(sz.Vertical)/(1<<20))
+	fmt.Printf("  %-18s %8.2f MB\n", "indexed-vertical", float64(sz.IndexedVertical)/(1<<20))
+	fmt.Printf("  horizontal is %.1fx the indexed-vertical footprint\n",
+		float64(sz.Horizontal)/float64(sz.IndexedVertical))
+
+	// Query-cost comparison: sweep every cell once per scheme at a few
+	// thresholds and accumulate simulated search time.
+	fmt.Printf("\nquery cost per scheme (avg over %d cells):\n", db.NumCells())
+	fmt.Printf("  %-18s %12s %12s %12s\n", "scheme", "eta=0", "eta=0.001", "eta=0.008")
+	for _, scheme := range []hdov.Scheme{hdov.SchemeHorizontal, hdov.SchemeVertical, hdov.SchemeIndexedVertical} {
+		db.SetScheme(scheme)
+		fmt.Printf("  %-18s", scheme)
+		for _, eta := range []float64{0, 0.001, 0.008} {
+			var total time.Duration
+			for c := 0; c < db.NumCells(); c++ {
+				res, err := db.QueryCell(c, eta)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := db.Fetch(res); err != nil {
+					log.Fatal(err)
+				}
+				total += res.SimTime
+			}
+			fmt.Printf(" %9.2f ms", float64(total.Microseconds())/1000/float64(db.NumCells()))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ntakeaway: indexed-vertical matches vertical's speed at the")
+	fmt.Println("smallest footprint; horizontal pays a seek per V-page access.")
+}

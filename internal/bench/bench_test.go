@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun smoke-runs every experiment at Quick scale and
+// checks each produces non-empty, well-formed output.
+func TestAllExperimentsRun(t *testing.T) {
+	p := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+			if strings.Contains(buf.String(), "NaN") {
+				t.Fatalf("output contains NaN:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, e := range All() {
+		got, ok := Lookup(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("lookup %q failed", e.ID)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	p := Quick()
+	a := DefaultEnv(p)
+	b := DefaultEnv(p)
+	if a != b {
+		t.Fatal("environment not cached")
+	}
+	c := BuildEnv(p, p.CityBlocks+1, p.GridCells, p.NominalBytes)
+	if c == a {
+		t.Fatal("different configs share an environment")
+	}
+}
+
+// TestTable2Shapes verifies the Table 2 orderings at Quick scale.
+func TestTable2Shapes(t *testing.T) {
+	e := DefaultEnv(Quick())
+	h, v, iv := e.H.SizeBytes(), e.V.SizeBytes(), e.IV.SizeBytes()
+	if !(h > v && v > iv) {
+		t.Fatalf("ordering violated: h=%d v=%d iv=%d", h, v, iv)
+	}
+}
+
+// TestFig8Shapes verifies the paper's qualitative claims for Figure 8 at
+// Quick scale: light I/O falls with eta and naive sits below HDoV at
+// eta=0 in light I/O while HDoV's total I/O ends below or near naive's.
+func TestFig8Shapes(t *testing.T) {
+	p := Quick()
+	e := DefaultEnv(p)
+	workload := queryWorkload(e, p.Queries, p.Seed+100)
+	res, err := runHDoVSweep(e, e.IV, p.Etas, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := runNaiveSweep(e, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res[0], res[len(res)-1]
+	if last.avgLightIO >= first.avgLightIO {
+		t.Fatalf("light I/O did not fall: %v -> %v", first.avgLightIO, last.avgLightIO)
+	}
+	if first.avgLightIO <= n.avgLightIO {
+		t.Fatalf("eta=0 light I/O %v should exceed naive %v", first.avgLightIO, n.avgLightIO)
+	}
+	if last.avgTotalIO >= first.avgTotalIO {
+		t.Fatalf("total I/O did not fall: %v -> %v", first.avgTotalIO, last.avgTotalIO)
+	}
+}
+
+func TestMB(t *testing.T) {
+	if mb(1<<20) != "1.0 MB" {
+		t.Fatalf("mb: %q", mb(1<<20))
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

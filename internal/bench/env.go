@@ -1,0 +1,216 @@
+// Package bench is the experiment harness: it rebuilds every table and
+// figure of the paper's evaluation (§5) on the simulated substrate and
+// prints the same rows/series the paper reports. Each experiment is
+// addressable by its paper label (table2, fig7, ... table3) from both the
+// hdovbench command and the root-level Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/scene"
+	"repro/internal/storage"
+	"repro/internal/visibility"
+	"repro/internal/vstore"
+)
+
+// Params scales the experiments. Defaults reproduce the paper's shapes at
+// laptop cost; Quick shrinks everything for smoke tests.
+type Params struct {
+	// CityBlocks is the default dataset's city size (blocks per side).
+	CityBlocks int
+	// GridCells is the viewing-cell grid resolution per side.
+	GridCells int
+	// Dirs is the DoV ray count per sample viewpoint.
+	Dirs int
+	// Samples is the per-axis region-DoV sample density.
+	Samples int
+	// NominalBytes is the default dataset's raw size (Table 2, Figs 7-8).
+	NominalBytes int64
+	// Queries is the visibility-query count for Figures 7 and 8 (the
+	// paper uses 10 000).
+	Queries int
+	// ScalQueries is the query count for Figure 9 (the paper uses 1000).
+	ScalQueries int
+	// Frames is the walkthrough session length for Figures 10/12, Table 3.
+	Frames int
+	// Etas is the threshold sweep of Figures 7/8.
+	Etas []float64
+	Seed int64
+	// ImageDir, when non-empty, makes Figure 11 also write PGM renderings
+	// of the three systems' answer sets (the artifact form of the paper's
+	// screenshots).
+	ImageDir string
+}
+
+// Default returns the full-scale parameter set.
+func Default() Params {
+	return Params{
+		CityBlocks: 8,
+		GridCells:  24,
+		// 4096 rays resolve DoV down to 2.4e-4, enough to separate the
+		// paper's eta=0.0003 and eta=0.001 operating points (its GPU item
+		// buffers resolved ~1e-6; below 2e-4 our rows tie, like the
+		// paper's own near-identical rows at eta <= 1e-4).
+		Dirs:         4096,
+		Samples:      1,
+		NominalBytes: 400 << 20,
+		Queries:      10000,
+		ScalQueries:  1000,
+		Frames:       1200,
+		Etas:         []float64{0, 0.0005, 0.001, 0.002, 0.004, 0.008},
+		Seed:         1,
+	}
+}
+
+// Quick returns a smoke-test parameter set (seconds, not minutes).
+func Quick() Params {
+	return Params{
+		CityBlocks:   3,
+		GridCells:    8,
+		Dirs:         256,
+		Samples:      1,
+		NominalBytes: 64 << 20,
+		Queries:      500,
+		ScalQueries:  200,
+		Frames:       300,
+		Etas:         []float64{0, 0.001, 0.004, 0.008},
+		Seed:         1,
+	}
+}
+
+// Env is one fully built database under test.
+type Env struct {
+	Scene  *scene.Scene
+	Disk   *storage.Disk
+	Tree   *core.Tree
+	Vis    *core.VisData
+	H      *vstore.Horizontal
+	V      *vstore.Vertical
+	IV     *vstore.IndexedVertical
+	Naive  *naive.Store
+	Engine *visibility.Engine
+}
+
+type envKey struct {
+	blocks    int
+	cells     int
+	dirs      int
+	samples   int
+	nominal   int64
+	seed      int64
+	buildings int
+	blobs     int
+}
+
+var (
+	envMu    sync.Mutex
+	envCache = map[envKey]*Env{}
+)
+
+// BuildEnv constructs (or returns the cached) environment for the given
+// dataset scale. blocks/nominal vary for the Figure 9 dataset series;
+// everything else comes from p.
+func BuildEnv(p Params, blocks int, gridCells int, nominal int64) *Env {
+	key := envKey{
+		blocks: blocks, cells: gridCells, dirs: p.Dirs, samples: p.Samples,
+		nominal: nominal, seed: p.Seed, buildings: 8, blobs: 4,
+	}
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[key]; ok {
+		return e
+	}
+
+	cp := scene.DefaultCityParams()
+	cp.Seed = p.Seed
+	cp.BlocksX, cp.BlocksY = blocks, blocks
+	cp.BlobDetail = 10
+	cp.NominalBytes = nominal
+	sc := scene.Generate(cp)
+
+	d := storage.NewDisk(0, storage.DefaultCostModel())
+	bp := core.DefaultBuildParams()
+	bp.Grid = cells.NewGrid(sc.ViewRegion, gridCells, gridCells)
+	bp.DirsPerViewpoint = p.Dirs
+	bp.SamplesPerCell = p.Samples
+	tr, vis, err := core.Build(sc, d, bp)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	h, err := vstore.BuildHorizontal(d, vis, 0)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	v, err := vstore.BuildVertical(d, vis, 0)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	iv, err := vstore.BuildIndexedVertical(d, vis, 0)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	nv, err := naive.Build(tr, vis, 0)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	tr.SetVStore(iv)
+	e := &Env{
+		Scene: sc, Disk: d, Tree: tr, Vis: vis,
+		H: h, V: v, IV: iv, Naive: nv,
+		Engine: visibility.NewEngine(sc, p.Dirs),
+	}
+	envCache[key] = e
+	return e
+}
+
+// DefaultEnv builds the default dataset of p.
+func DefaultEnv(p Params) *Env {
+	return BuildEnv(p, p.CityBlocks, p.GridCells, p.NominalBytes)
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // paper label: "table2", "fig7", ...
+	Title string
+	Run   func(w io.Writer, p Params) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table2", Title: "Table 2: storage space required by the schemes", Run: RunTable2},
+		{ID: "fig7", Title: "Figure 7: search time with different eta values", Run: RunFig7},
+		{ID: "fig8a", Title: "Figure 8(a): total disk I/Os vs eta", Run: RunFig8a},
+		{ID: "fig8b", Title: "Figure 8(b): light-weight I/O cost vs eta", Run: RunFig8b},
+		{ID: "fig9", Title: "Figure 9: scalability over dataset sizes", Run: RunFig9},
+		{ID: "fig10a", Title: "Figure 10(a): frame time, VISUAL vs REVIEW", Run: RunFig10a},
+		{ID: "fig10b", Title: "Figure 10(b): frame time, eta=0.001 vs eta=0.0003", Run: RunFig10b},
+		{ID: "fig11", Title: "Figure 11: visual fidelity comparison", Run: RunFig11},
+		{ID: "fig12", Title: "Figure 12: search performance across sessions", Run: RunFig12},
+		{ID: "table3", Title: "Table 3: frame time and variance vs eta", Run: RunTable3},
+		{ID: "ablation", Title: "Ablations: D1-D8 design-choice studies", Run: RunAblations},
+		{ID: "museum", Title: "Extension: indoor extreme-occlusion regime (hidden-object waste)", Run: RunMuseum},
+		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// mb formats bytes as MB with the paper's precision.
+func mb(b int64) string {
+	return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+}

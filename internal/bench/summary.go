@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cells"
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/review"
+	"repro/internal/walkthrough"
+)
+
+// RunSummary is the conformance digest: it evaluates every headline shape
+// claim of the paper's evaluation on the current build and prints a
+// PASS/FAIL verdict per claim. It is what a reviewer would run first.
+func RunSummary(w io.Writer, p Params) error {
+	e := DefaultEnv(p)
+	e.Tree.SetVStore(e.IV)
+	type check struct {
+		id, claim string
+		pass      bool
+		detail    string
+	}
+	var checks []check
+	add := func(id, claim string, pass bool, detail string, args ...interface{}) {
+		checks = append(checks, check{id, claim, pass, fmt.Sprintf(detail, args...)})
+	}
+
+	// Table 2: storage ordering.
+	h, v, iv := e.H.SizeBytes(), e.V.SizeBytes(), e.IV.SizeBytes()
+	add("table2", "horizontal >> vertical > indexed-vertical",
+		h > 3*iv && v > iv,
+		"%.1f / %.2f / %.2f MB", float64(h)/(1<<20), float64(v)/(1<<20), float64(iv)/(1<<20))
+
+	// Figures 7/8: eta sweeps.
+	workload := queryWorkload(e, maxi(p.Queries/10, 200), p.Seed+100)
+	ivSweep, err := runHDoVSweep(e, e.IV, p.Etas, workload)
+	if err != nil {
+		return err
+	}
+	hSweep, err := runHDoVSweep(e, e.H, p.Etas, workload)
+	if err != nil {
+		return err
+	}
+	nres, err := runNaiveSweep(e, workload)
+	if err != nil {
+		return err
+	}
+	e.Tree.SetVStore(e.IV)
+	first, last := ivSweep[0], ivSweep[len(ivSweep)-1]
+	add("fig7", "search time falls with eta",
+		last.avgTimeMS < first.avgTimeMS,
+		"%.1f -> %.1f ms", first.avgTimeMS, last.avgTimeMS)
+	add("fig7", "horizontal scheme slowest",
+		hSweep[0].avgTimeMS > first.avgTimeMS,
+		"horizontal %.1f vs indexed %.1f ms", hSweep[0].avgTimeMS, first.avgTimeMS)
+	add("fig8a", "total I/O ends below naive",
+		last.avgTotalIO < nres.avgTotalIO,
+		"HDoV %.1f vs naive %.1f pages", last.avgTotalIO, nres.avgTotalIO)
+	add("fig8b", "light I/O above naive at eta=0, falls with eta",
+		first.avgLightIO > nres.avgLightIO && last.avgLightIO < first.avgLightIO,
+		"%.1f -> %.1f pages (naive %.1f)", first.avgLightIO, last.avgLightIO, nres.avgLightIO)
+
+	// Figure 9: sub-linear scalability (first vs last dataset).
+	ds := fig9Datasets(p)
+	small := BuildEnv(p, ds[0].blocks, ds[0].grid, ds[0].nominal)
+	big := BuildEnv(p, ds[len(ds)-1].blocks, ds[len(ds)-1].grid, ds[len(ds)-1].nominal)
+	smallCost, err := traversalCost(small, p)
+	if err != nil {
+		return err
+	}
+	bigCost, err := traversalCost(big, p)
+	if err != nil {
+		return err
+	}
+	sizeRatio := float64(len(big.Scene.Objects)) / float64(len(small.Scene.Objects))
+	costRatio := bigCost / smallCost
+	add("fig9", "traversal cost grows sub-linearly with dataset size",
+		costRatio < sizeRatio/2,
+		"%.1fx objects -> %.2fx cost", sizeRatio, costRatio)
+
+	// Figures 10/12, Table 3: walkthroughs.
+	s1 := walkthrough.RecordNormal(e.Scene, p.Frames, p.Seed)
+	vres, err := visualPlayer(e, 0.001).Play(s1)
+	if err != nil {
+		return err
+	}
+	rres, err := reviewPlayer(e, 400).Play(s1)
+	if err != nil {
+		return err
+	}
+	add("fig10a", "VISUAL faster than REVIEW",
+		vres.AvgFrameTime() < rres.AvgFrameTime(),
+		"%.2f vs %.2f ms/frame", vres.AvgFrameTime(), rres.AvgFrameTime())
+	add("fig10a", "VISUAL smoother than REVIEW",
+		vres.VarFrameTime() < rres.VarFrameTime(),
+		"variance %.0f vs %.0f", vres.VarFrameTime(), rres.VarFrameTime())
+	add("table3", "VISUAL uses less memory than REVIEW",
+		vres.PeakBytes < rres.PeakBytes,
+		"%s vs %s", mb(vres.PeakBytes), mb(rres.PeakBytes))
+	fine, err := visualPlayer(e, 0.0003).Play(s1)
+	if err != nil {
+		return err
+	}
+	add("fig10b", "eta=0.001 at least as fast as eta=0.0003",
+		vres.AvgFrameTime() <= fine.AvgFrameTime(),
+		"%.2f vs %.2f ms/frame", vres.AvgFrameTime(), fine.AvgFrameTime())
+	zres, err := visualPlayer(e, 0).Play(s1)
+	if err != nil {
+		return err
+	}
+	maxRes, err := visualPlayer(e, 0.004).Play(s1)
+	if err != nil {
+		return err
+	}
+	add("table3", "frame time falls across the eta ladder",
+		maxRes.AvgFrameTime() < zres.AvgFrameTime(),
+		"%.2f (eta=0) -> %.2f (eta=0.004) ms", zres.AvgFrameTime(), maxRes.AvgFrameTime())
+
+	// Figure 11: fidelity.
+	sys := review.New(e.Tree, func() review.Config {
+		cfg := review.DefaultConfig()
+		cfg.QueryBoxDepth = 200
+		return cfg
+	}())
+	cell := cells.CellID(e.Tree.Grid.NumCells() / 3)
+	eye := e.Tree.Grid.SamplePoints(cell, 1)[0]
+	truth := e.Engine.PointDoV(eye)
+	rq, err := sys.Query(eye, geom.V(1, 0, 0))
+	if err != nil {
+		return err
+	}
+	hq, err := e.Tree.Query(cell, 0.001)
+	if err != nil {
+		return err
+	}
+	rf := render.Evaluate(e.Tree, rq.Items, truth)
+	hf := render.Evaluate(e.Tree, hq.Items, truth)
+	add("fig11", "REVIEW misses visible objects; VISUAL misses none",
+		rf.MissedObjects > 0 && hf.MissedObjects == 0,
+		"REVIEW missed %d, VISUAL missed %d", rf.MissedObjects, hf.MissedObjects)
+
+	// Print.
+	pass := 0
+	fmt.Fprintf(w, "%-8s %-52s %-6s %s\n", "source", "claim", "shape", "measured")
+	for _, c := range checks {
+		verdict := "FAIL"
+		if c.pass {
+			verdict = "pass"
+			pass++
+		}
+		fmt.Fprintf(w, "%-8s %-52s %-6s %s\n", c.id, c.claim, verdict, c.detail)
+	}
+	fmt.Fprintf(w, "\n%d of %d shape claims reproduced\n", pass, len(checks))
+	return nil
+}
+
+// traversalCost measures mean traversal-only simulated time (ms/query).
+func traversalCost(e *Env, p Params) (float64, error) {
+	e.Tree.SetVStore(e.IV)
+	workload := queryWorkload(e, maxi(p.ScalQueries/2, 100), p.Seed+200)
+	before := e.Disk.Stats()
+	for _, cell := range workload {
+		if _, err := e.Tree.Query(cell, 0.001); err != nil {
+			return 0, err
+		}
+	}
+	d := e.Disk.Stats().Sub(before)
+	return d.SimTime.Seconds() * 1000 / float64(len(workload)), nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scene"
+	"repro/internal/storage"
+)
+
+func TestTreeManifestOpenRoundTrip(t *testing.T) {
+	tr, _ := fixture(t)
+	m := tr.Manifest()
+	got, err := OpenTree(tr.Scene, tr.Disk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != tr.NumNodes() {
+		t.Fatalf("nodes %d vs %d", got.NumNodes(), tr.NumNodes())
+	}
+	if got.SMeasured != tr.SMeasured || got.RhoMeasured != tr.RhoMeasured {
+		t.Fatal("constants changed")
+	}
+	if got.Grid.NumCells() != tr.Grid.NumCells() || got.Grid.Bounds != tr.Grid.Bounds {
+		t.Fatal("grid changed")
+	}
+	if err := got.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopened internal LoDs decode to the recorded polygon counts.
+	for i, n := range got.Nodes {
+		for li := range n.InternalPolys {
+			if n.InternalLoD.Levels[li].NumTriangles() != tr.Nodes[i].InternalPolys[li] {
+				t.Fatalf("node %d level %d polys changed", i, li)
+			}
+		}
+	}
+}
+
+func TestOpenTreeValidation(t *testing.T) {
+	tr, _ := fixture(t)
+	m := tr.Manifest()
+
+	if _, err := OpenTree(nil, tr.Disk, m); err == nil {
+		t.Fatal("nil scene accepted")
+	}
+	if _, err := OpenTree(tr.Scene, nil, m); err == nil {
+		t.Fatal("nil disk accepted")
+	}
+	bad := m
+	bad.NumNodes = 0
+	if _, err := OpenTree(tr.Scene, tr.Disk, bad); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad = m
+	bad.NodeStride = 0
+	if _, err := OpenTree(tr.Scene, tr.Disk, bad); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	bad = m
+	bad.ObjExtents = bad.ObjExtents[:1]
+	if _, err := OpenTree(tr.Scene, tr.Disk, bad); err == nil {
+		t.Fatal("object directory mismatch accepted")
+	}
+	// A wrong page base makes record decoding fail loudly.
+	bad = m
+	bad.NodePageBase += 3
+	if _, err := OpenTree(tr.Scene, tr.Disk, bad); err == nil {
+		t.Fatal("shifted page base accepted")
+	}
+	// Scene/manifest mismatch (different scene).
+	other := scene.Generate(func() scene.CityParams {
+		p := scene.DefaultCityParams()
+		p.BlocksX, p.BlocksY = 1, 1
+		p.BuildingsPerBlock = 2
+		p.BlobsPerBlock = 0
+		p.NominalBytes = 0
+		return p
+	}())
+	if _, err := OpenTree(other, tr.Disk, m); err == nil {
+		t.Fatal("wrong scene accepted")
+	}
+}
+
+func TestCheckStructureCatchesCorruption(t *testing.T) {
+	// Rebuild a private tree so mutations don't poison the shared fixture.
+	sc := scene.Generate(func() scene.CityParams {
+		p := scene.DefaultCityParams()
+		p.BlocksX, p.BlocksY = 1, 1
+		p.BuildingsPerBlock = 4
+		p.BlobsPerBlock = 2
+		p.BlobDetail = 6
+		p.NominalBytes = 0
+		return p
+	}())
+	d := storage.NewDisk(0, storage.DefaultCostModel())
+	bp := DefaultBuildParams()
+	bp.DirsPerViewpoint = 64
+	bp.SamplesPerCell = 1
+	tr, _, err := Build(sc, d, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	// Each corruption is detected.
+	save := tr.Nodes[0].LeafDescendants
+	tr.Nodes[0].LeafDescendants++
+	if tr.CheckStructure() == nil {
+		t.Fatal("descendant corruption not caught")
+	}
+	tr.Nodes[0].LeafDescendants = save
+
+	if !tr.Nodes[0].Leaf {
+		saveID := tr.Nodes[0].Entries[0].ChildID
+		tr.Nodes[0].Entries[0].ChildID = 0 // self-reference breaks preorder
+		if tr.CheckStructure() == nil {
+			t.Fatal("preorder corruption not caught")
+		}
+		tr.Nodes[0].Entries[0].ChildID = saveID
+	}
+
+	saveNode := tr.Nodes[len(tr.Nodes)-1]
+	tr.Nodes[len(tr.Nodes)-1] = nil
+	if tr.CheckStructure() == nil {
+		t.Fatal("nil node not caught")
+	}
+	tr.Nodes[len(tr.Nodes)-1] = saveNode
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/storage"
+)
+
+// ResultItem is one element of a visibility-query answer set: either an
+// object LoD (line 5 of Figure 3, equation 6) or an internal LoD of a node
+// whose branch the traversal terminated (line 8, equation 5).
+type ResultItem struct {
+	// ObjectID >= 0 for object items; -1 for internal-LoD items.
+	ObjectID int64
+	// NodeID >= 0 for internal-LoD items; NilNode for object items.
+	NodeID NodeID
+	// DoV is the entry's degree of visibility.
+	DoV float64
+	// Detail is the continuous detail coefficient k of equations 5/6.
+	Detail float64
+	// Level is the discrete LoD level selected for retrieval.
+	Level int
+	// Polygons is the interpolated polygon count (the render-cost model
+	// input).
+	Polygons float64
+	// Extent locates the payload of the selected level on disk.
+	Extent Extent
+}
+
+// IsInternal reports whether the item is an internal LoD.
+func (it ResultItem) IsInternal() bool { return it.NodeID != NilNode }
+
+// QueryStats summarizes the cost of one visibility query.
+type QueryStats struct {
+	NodesVisited  int // node records read (light)
+	BranchesCut   int // entries pruned with DoV == 0 (line 3)
+	EarlyStops    int // branches answered by an internal LoD (line 8)
+	LightIO       int64
+	HeavyIO       int64
+	SimTime       time.Duration
+	TotalPolygons float64
+	TotalBytes    int64 // nominal payload bytes of the answer set
+}
+
+// QueryResult is the answer set of a visibility query.
+type QueryResult struct {
+	Cell  cells.CellID
+	Eta   float64
+	Items []ResultItem
+	Stats QueryStats
+}
+
+// ErrNoVStore is returned by Query before SetVStore.
+var ErrNoVStore = errors.New("core: no storage scheme attached (call SetVStore)")
+
+// Query runs the threshold-based traversal of Figure 3 for the given cell
+// and DoV threshold η. It charges light I/O for node records and V-pages
+// (via the attached VStore); payload retrieval is separate (FetchPayloads)
+// so experiments can account light-weight and total I/O independently, as
+// Figures 8(a) and 8(b) do.
+func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
+	if t.vstore == nil {
+		return nil, ErrNoVStore
+	}
+	if eta < 0 {
+		eta = 0
+	}
+	before := t.Disk.Stats()
+	res := &QueryResult{Cell: cell, Eta: eta}
+	if err := t.vstore.SetCell(cell); err != nil {
+		return nil, fmt.Errorf("core: cell flip: %w", err)
+	}
+	if err := t.searchNode(0, eta, res); err != nil {
+		return nil, err
+	}
+	d := t.Disk.Stats().Sub(before)
+	res.Stats.LightIO = d.LightReads
+	res.Stats.HeavyIO = d.HeavyReads
+	res.Stats.SimTime = d.SimTime
+	for _, it := range res.Items {
+		res.Stats.TotalPolygons += it.Polygons
+		res.Stats.TotalBytes += it.Extent.NominalBytes
+	}
+	return res, nil
+}
+
+// searchNode is Algorithm Search(Node) of Figure 3.
+func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult) error {
+	node, err := t.ReadNodeRecord(id)
+	if err != nil {
+		return err
+	}
+	res.Stats.NodesVisited++
+	vd, ok, err := t.vstore.NodeVD(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // whole node invisible in this cell
+	}
+	if len(vd) < len(node.Entries) {
+		return fmt.Errorf("core: node %d has %d entries but V-page has %d", id, len(node.Entries), len(vd))
+	}
+	for ei, e := range node.Entries {
+		v := vd[ei]
+		// Line 3: completely hidden branch.
+		if v.DoV <= 0 {
+			res.Stats.BranchesCut++
+			continue
+		}
+		// Lines 4-5: visible object.
+		if node.Leaf {
+			k := LeafDetail(v.DoV)
+			lvl := chooseLevel(k, len(t.ObjExtents[e.ObjectID]))
+			obj := t.Scene.Object(e.ObjectID)
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: e.ObjectID,
+				NodeID:   NilNode,
+				DoV:      v.DoV,
+				Detail:   k,
+				Level:    lvl,
+				Polygons: obj.LoDs.PolygonsFor(k),
+				Extent:   t.ObjExtents[e.ObjectID][lvl],
+			})
+			continue
+		}
+		// Line 7: the equation-5 detail k is computed first because the
+		// guard compares costs at the internal-LoD level that would
+		// actually be retrieved (see TerminateHeuristic).
+		k := InternalDetail(v.DoV, eta)
+		internalPolys := interpolatePolys(e.LoDPolys, k)
+		avgObjPolys := 0.0
+		if e.DescCount > 0 {
+			avgObjPolys = float64(e.DescPolys) / float64(e.DescCount)
+		}
+		if len(e.LoDRefs) > 0 && v.DoV <= eta && (t.DisableTerminationHeuristic ||
+			TerminateHeuristic(internalPolys, avgObjPolys, t.RhoMeasured, v.NVO)) {
+			// Line 8: answer the branch with the child's internal LoD,
+			// whose references are co-located in the entry. (An entry
+			// without LoD references — possible only for hand-built
+			// trees — falls through to recursion.)
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: -1,
+				NodeID:   e.ChildID,
+				DoV:      v.DoV,
+				Detail:   k,
+				Level:    lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			})
+			res.Stats.EarlyStops++
+			continue
+		}
+		// Line 10: recurse.
+		if err := t.searchNode(e.ChildID, eta, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chooseLevel maps a continuous detail k in [0,1] (1 = finest) to a
+// discrete level index among n levels, mirroring mesh.LoDChain.LevelFor.
+func chooseLevel(k float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if k >= 1 {
+		return 0
+	}
+	if k <= 0 {
+		return n - 1
+	}
+	idx := int((1 - k) * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// interpolatePolys evaluates the equation-5 polygon interpolation between
+// the finest and coarsest internal LoD levels.
+func interpolatePolys(polys []int, k float64) float64 {
+	if len(polys) == 0 {
+		return 0
+	}
+	hi := float64(polys[0])
+	lo := float64(polys[len(polys)-1])
+	if k >= 1 {
+		return hi
+	}
+	if k <= 0 {
+		return lo
+	}
+	return k*hi + (1-k)*lo
+}
+
+// FetchPayloads charges the heavy-weight I/O of retrieving every item's
+// payload extent, skipping items for which skip returns true (the delta
+// search of §5.4 passes a cache-hit predicate). It returns the number of
+// items actually fetched.
+func (t *Tree) FetchPayloads(res *QueryResult, skip func(ResultItem) bool) (int, error) {
+	fetched := 0
+	for _, it := range res.Items {
+		if skip != nil && skip(it) {
+			continue
+		}
+		ext := it.Extent
+		if err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy); err != nil {
+			return fetched, err
+		}
+		fetched++
+	}
+	return fetched, nil
+}
+
+// LoadMesh decodes the actual mesh payload of a result item (the real
+// bytes prefix of its extent), charging heavy I/O for the full nominal
+// extent. Examples and the fidelity renderer use this.
+func (t *Tree) LoadMesh(it ResultItem) (*mesh.Mesh, error) {
+	buf, err := t.Disk.ReadBytes(it.Extent.Start, int(it.Extent.RealBytes), storage.ClassHeavy)
+	if err != nil {
+		return nil, err
+	}
+	return mesh.Decode(buf)
+}
+
+// QueryPrioritized is the DESIGN.md D5 extension (the paper's §6 future
+// work): identical answer set to Query, but branches intersecting the view
+// frustum are traversed first so the renderer receives in-view geometry
+// earliest. The result carries, per item, the prefix position at which it
+// became available; tests measure time-to-first-in-view-item.
+func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) (*QueryResult, error) {
+	if t.vstore == nil {
+		return nil, ErrNoVStore
+	}
+	if eta < 0 {
+		eta = 0
+	}
+	before := t.Disk.Stats()
+	res := &QueryResult{Cell: cell, Eta: eta}
+	if err := t.vstore.SetCell(cell); err != nil {
+		return nil, err
+	}
+	if err := t.searchNodePrioritized(0, eta, f, res); err != nil {
+		return nil, err
+	}
+	d := t.Disk.Stats().Sub(before)
+	res.Stats.LightIO = d.LightReads
+	res.Stats.HeavyIO = d.HeavyReads
+	res.Stats.SimTime = d.SimTime
+	for _, it := range res.Items {
+		res.Stats.TotalPolygons += it.Polygons
+		res.Stats.TotalBytes += it.Extent.NominalBytes
+	}
+	return res, nil
+}
+
+func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res *QueryResult) error {
+	node, err := t.ReadNodeRecord(id)
+	if err != nil {
+		return err
+	}
+	res.Stats.NodesVisited++
+	vd, ok, err := t.vstore.NodeVD(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	// Order entries: frustum-intersecting first, then those whose bulk
+	// lies ahead of the viewer (an intersecting box centered behind the
+	// eye mostly holds behind-geometry), then nearest first.
+	order := make([]int, len(node.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	inView := make([]bool, len(node.Entries))
+	ahead := make([]bool, len(node.Entries))
+	dist := make([]float64, len(node.Entries))
+	for i, e := range node.Entries {
+		inView[i] = f.IntersectsAABB(e.MBR)
+		ahead[i] = e.MBR.Center().Sub(f.Apex).Dot(f.Look) >= 0
+		dist[i] = e.MBR.Dist2ToPoint(f.Apex)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if inView[ia] != inView[ib] {
+			return inView[ia]
+		}
+		if ahead[ia] != ahead[ib] {
+			return ahead[ia]
+		}
+		return dist[ia] < dist[ib]
+	})
+	for _, ei := range order {
+		e := node.Entries[ei]
+		v := vd[ei]
+		if v.DoV <= 0 {
+			res.Stats.BranchesCut++
+			continue
+		}
+		if node.Leaf {
+			k := LeafDetail(v.DoV)
+			lvl := chooseLevel(k, len(t.ObjExtents[e.ObjectID]))
+			obj := t.Scene.Object(e.ObjectID)
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: e.ObjectID, NodeID: NilNode, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: obj.LoDs.PolygonsFor(k),
+				Extent:   t.ObjExtents[e.ObjectID][lvl],
+			})
+			continue
+		}
+		k := InternalDetail(v.DoV, eta)
+		internalPolys := interpolatePolys(e.LoDPolys, k)
+		avgObjPolys := 0.0
+		if e.DescCount > 0 {
+			avgObjPolys = float64(e.DescPolys) / float64(e.DescCount)
+		}
+		if len(e.LoDRefs) > 0 && v.DoV <= eta && (t.DisableTerminationHeuristic ||
+			TerminateHeuristic(internalPolys, avgObjPolys, t.RhoMeasured, v.NVO)) {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			})
+			res.Stats.EarlyStops++
+			continue
+		}
+		if err := t.searchNodePrioritized(e.ChildID, eta, f, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

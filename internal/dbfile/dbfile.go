@@ -1,0 +1,160 @@
+// Package dbfile persists a built HDoV database to a directory on the
+// real filesystem and reopens it: the paper's precomputation (R-tree
+// construction, internal-LoD generation, per-cell DoV evaluation, V-page
+// layout) takes orders of magnitude longer than a query session, so a
+// production deployment builds once and ships the files.
+//
+// A database directory holds two files:
+//
+//	manifest.json — dataset parameters and every layout pointer needed to
+//	                reattach the tree, the three storage schemes and the
+//	                naive baseline (JSON, human-inspectable)
+//	disk.img      — the simulated disk's pages (binary, checksummed)
+//
+// The scene's meshes are not stored twice: the city regenerates
+// deterministically from its CityParams, and payload meshes live in the
+// disk image.
+package dbfile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/scene"
+	"repro/internal/storage"
+	"repro/internal/vstore"
+)
+
+const (
+	// FormatVersion guards manifest compatibility.
+	FormatVersion = 1
+	manifestName  = "manifest.json"
+	imageName     = "disk.img"
+)
+
+// Manifest is the JSON document describing a saved database.
+type Manifest struct {
+	FormatVersion int
+	City          scene.CityParams
+	Tree          core.TreeManifest
+	Horizontal    vstore.HorizontalManifest
+	Vertical      vstore.VerticalManifest
+	Indexed       vstore.IndexedVerticalManifest
+	Naive         naive.Manifest
+}
+
+// Database is a reopened (or about-to-be-saved) HDoV database.
+type Database struct {
+	Scene      *scene.Scene
+	Disk       *storage.Disk
+	Tree       *core.Tree
+	Horizontal *vstore.Horizontal
+	Vertical   *vstore.Vertical
+	Indexed    *vstore.IndexedVertical
+	Naive      *naive.Store
+}
+
+// ErrBadDatabase is wrapped into open-time validation failures.
+var ErrBadDatabase = errors.New("dbfile: bad database")
+
+// Save writes the database to dir (created if absent).
+func Save(dir string, db *Database) error {
+	if db == nil || db.Tree == nil || db.Disk == nil {
+		return fmt.Errorf("dbfile: save: incomplete database")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dbfile: %w", err)
+	}
+	m := Manifest{
+		FormatVersion: FormatVersion,
+		City:          db.Scene.Params,
+		Tree:          db.Tree.Manifest(),
+		Horizontal:    db.Horizontal.Manifest(),
+		Vertical:      db.Vertical.Manifest(),
+		Indexed:       db.Indexed.Manifest(),
+		Naive:         db.Naive.Manifest(),
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dbfile: manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		return fmt.Errorf("dbfile: manifest: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, imageName))
+	if err != nil {
+		return fmt.Errorf("dbfile: image: %w", err)
+	}
+	defer f.Close()
+	if _, err := db.Disk.WriteTo(f); err != nil {
+		return fmt.Errorf("dbfile: image: %w", err)
+	}
+	return f.Close()
+}
+
+// Open reopens a database directory saved by Save. The city is
+// regenerated from its parameters; the disk image is verified against its
+// checksum; tree and scheme layouts are revalidated against the image.
+func Open(dir string) (*Database, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrBadDatabase, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d (want %d)", ErrBadDatabase, m.FormatVersion, FormatVersion)
+	}
+
+	f, err := os.Open(filepath.Join(dir, imageName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	defer f.Close()
+	disk, err := storage.ReadImage(f, storage.DefaultCostModel())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+
+	sc := scene.Generate(m.City)
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: regenerated scene: %v", ErrBadDatabase, err)
+	}
+	tree, err := core.OpenTree(sc, disk, m.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	h, err := vstore.OpenHorizontal(disk, tree.Grid, m.Horizontal)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	v, err := vstore.OpenVertical(disk, tree.Grid, m.Vertical)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	iv, err := vstore.OpenIndexedVertical(disk, tree.Grid, m.Indexed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	nv, err := naive.Open(tree, m.Naive)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	tree.SetVStore(iv)
+	return &Database{
+		Scene:      sc,
+		Disk:       disk,
+		Tree:       tree,
+		Horizontal: h,
+		Vertical:   v,
+		Indexed:    iv,
+		Naive:      nv,
+	}, nil
+}

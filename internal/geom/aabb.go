@@ -1,0 +1,222 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box, the MBR (minimum bounding rectangle)
+// type stored in every HDoV-tree entry. Min must be component-wise less than
+// or equal to Max for a non-empty box; EmptyAABB produces the identity
+// element for Union.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns the empty box: the identity for Union and a box for
+// which IsEmpty reports true.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// Box constructs an AABB from two opposite corners given in any order.
+func Box(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// BoxAt returns the axis-aligned cube of the given half-extent centered at c.
+func BoxAt(c Vec3, halfExtent float64) AABB {
+	h := Vec3{halfExtent, halfExtent, halfExtent}
+	return AABB{Min: c.Sub(h), Max: c.Add(h)}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Center returns the midpoint of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Mul(0.5) }
+
+// Size returns the extents of the box along each axis.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the volume of the box; empty boxes have zero volume.
+func (b AABB) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// SurfaceArea returns the total surface area of the box.
+func (b AABB) SurfaceArea() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return 2 * (s.X*s.Y + s.Y*s.Z + s.Z*s.X)
+}
+
+// Margin returns the sum of the edge lengths along the three axes. Used by
+// the Ang–Tan linear split to compare candidate distributions cheaply.
+func (b AABB) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X + s.Y + s.Z
+}
+
+// Union returns the smallest box enclosing both b and c.
+func (b AABB) Union(c AABB) AABB {
+	return AABB{Min: b.Min.Min(c.Min), Max: b.Max.Max(c.Max)}
+}
+
+// ExtendPoint returns the smallest box enclosing b and the point p.
+func (b AABB) ExtendPoint(p Vec3) AABB {
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Intersect returns the intersection of b and c, which may be empty.
+func (b AABB) Intersect(c AABB) AABB {
+	return AABB{Min: b.Min.Max(c.Min), Max: b.Max.Min(c.Max)}
+}
+
+// Intersects reports whether b and c share at least one point. Boxes that
+// merely touch on a face, edge or corner are considered intersecting,
+// matching R-tree overlap semantics.
+func (b AABB) Intersects(c AABB) bool {
+	return b.Min.X <= c.Max.X && c.Min.X <= b.Max.X &&
+		b.Min.Y <= c.Max.Y && c.Min.Y <= b.Max.Y &&
+		b.Min.Z <= c.Max.Z && c.Min.Z <= b.Max.Z
+}
+
+// Contains reports whether b fully encloses c.
+func (b AABB) Contains(c AABB) bool {
+	if c.IsEmpty() {
+		return true
+	}
+	return b.Min.X <= c.Min.X && b.Min.Y <= c.Min.Y && b.Min.Z <= c.Min.Z &&
+		b.Max.X >= c.Max.X && b.Max.Y >= c.Max.Y && b.Max.Z >= c.Max.Z
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of b.
+func (b AABB) ContainsPoint(p Vec3) bool {
+	return b.Min.X <= p.X && p.X <= b.Max.X &&
+		b.Min.Y <= p.Y && p.Y <= b.Max.Y &&
+		b.Min.Z <= p.Z && p.Z <= b.Max.Z
+}
+
+// Enlargement returns the increase in volume needed to enclose c, the
+// quantity Guttman's ChooseLeaf minimizes.
+func (b AABB) Enlargement(c AABB) float64 {
+	return b.Union(c).Volume() - b.Volume()
+}
+
+// Expand returns b grown by d on every side (shrunk if d is negative).
+func (b AABB) Expand(d float64) AABB {
+	e := Vec3{d, d, d}
+	return AABB{Min: b.Min.Sub(e), Max: b.Max.Add(e)}
+}
+
+// Translate returns b shifted by d.
+func (b AABB) Translate(d Vec3) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// DistToPoint returns the Euclidean distance from p to the closest point of
+// b, or 0 if p is inside. REVIEW's semantic cache-replacement policy ranks
+// cached nodes by this distance.
+func (b AABB) DistToPoint(p Vec3) float64 {
+	return math.Sqrt(b.Dist2ToPoint(p))
+}
+
+// Dist2ToPoint returns the squared distance from p to the closest point of b.
+func (b AABB) Dist2ToPoint(p Vec3) float64 {
+	d := 0.0
+	for i := 0; i < 3; i++ {
+		v := p.Axis(i)
+		if lo := b.Min.Axis(i); v < lo {
+			d += (lo - v) * (lo - v)
+		} else if hi := b.Max.Axis(i); v > hi {
+			d += (v - hi) * (v - hi)
+		}
+	}
+	return d
+}
+
+// ClosestPoint returns the point of b nearest to p (p itself if inside).
+func (b AABB) ClosestPoint(p Vec3) Vec3 {
+	return Vec3{
+		Clamp(p.X, b.Min.X, b.Max.X),
+		Clamp(p.Y, b.Min.Y, b.Max.Y),
+		Clamp(p.Z, b.Min.Z, b.Max.Z),
+	}
+}
+
+// Corner returns the i-th corner of the box, i in [0, 8). Bit k of i selects
+// Min (0) or Max (1) along axis k.
+func (b AABB) Corner(i int) Vec3 {
+	c := b.Min
+	if i&1 != 0 {
+		c.X = b.Max.X
+	}
+	if i&2 != 0 {
+		c.Y = b.Max.Y
+	}
+	if i&4 != 0 {
+		c.Z = b.Max.Z
+	}
+	return c
+}
+
+// LongestAxis returns the axis index (0,1,2) along which the box is widest.
+func (b AABB) LongestAxis() int {
+	s := b.Size()
+	if s.X >= s.Y && s.X >= s.Z {
+		return 0
+	}
+	if s.Y >= s.Z {
+		return 1
+	}
+	return 2
+}
+
+// BoundingRadius returns the radius of the smallest sphere centered at the
+// box center that encloses the box.
+func (b AABB) BoundingRadius() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return b.Size().Len() / 2
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string {
+	return fmt.Sprintf("[%v - %v]", b.Min, b.Max)
+}
+
+// SolidAngleBound returns an upper bound on the solid angle (in fractions of
+// the full sphere, i.e. the DoV unit of the paper) subtended by box b as
+// seen from viewpoint p. It uses the bounding sphere of the box: the
+// spherical cap subtended by a sphere of radius r at distance d has solid
+// angle 2π(1-√(1-(r/d)²)), i.e. a fraction (1-√(1-(r/d)²))/2 of 4π.
+//
+// If p is inside the bounding sphere the bound is 0.5 — the paper's MAXDOV:
+// "the spherical projection of an object will not exceed 0.5 if the
+// viewpoint is outside the bounding box of the object" (§3.3).
+func SolidAngleBound(p Vec3, b AABB) float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	r := b.BoundingRadius()
+	d := b.Center().Dist(p)
+	if d <= r {
+		return 0.5
+	}
+	q := r / d
+	return (1 - math.Sqrt(1-q*q)) / 2
+}

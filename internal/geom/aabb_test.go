@@ -1,0 +1,291 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func quickBox(r *rand.Rand) AABB {
+	return Box(quickVec(r), quickVec(r))
+}
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	if e.Volume() != 0 || e.SurfaceArea() != 0 || e.Margin() != 0 {
+		t.Fatal("empty box should have zero measures")
+	}
+	b := Box(V(0, 0, 0), V(1, 2, 3))
+	if got := e.Union(b); got != b {
+		t.Fatalf("union with empty = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Fatalf("union with empty = %v, want %v", got, b)
+	}
+}
+
+func TestBoxConstructionOrderIndependent(t *testing.T) {
+	a := Box(V(1, 5, 2), V(3, 1, 8))
+	if a.Min != V(1, 1, 2) || a.Max != V(3, 5, 8) {
+		t.Fatalf("box = %v", a)
+	}
+	if a.IsEmpty() {
+		t.Fatal("non-degenerate box reported empty")
+	}
+}
+
+func TestBoxAt(t *testing.T) {
+	b := BoxAt(V(1, 2, 3), 0.5)
+	if b.Min != V(0.5, 1.5, 2.5) || b.Max != V(1.5, 2.5, 3.5) {
+		t.Fatalf("BoxAt = %v", b)
+	}
+	if got := b.Center(); got != V(1, 2, 3) {
+		t.Fatalf("center = %v", got)
+	}
+}
+
+func TestBoxMeasures(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 3, 4))
+	if b.Volume() != 24 {
+		t.Fatalf("volume = %v", b.Volume())
+	}
+	if b.SurfaceArea() != 2*(6+12+8) {
+		t.Fatalf("area = %v", b.SurfaceArea())
+	}
+	if b.Margin() != 9 {
+		t.Fatalf("margin = %v", b.Margin())
+	}
+	if b.Size() != V(2, 3, 4) {
+		t.Fatalf("size = %v", b.Size())
+	}
+	if b.LongestAxis() != 2 {
+		t.Fatalf("longest axis = %d", b.LongestAxis())
+	}
+	if r := b.BoundingRadius(); math.Abs(r-math.Sqrt(4+9+16)/2) > 1e-12 {
+		t.Fatalf("radius = %v", r)
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	cases := []struct {
+		b    AABB
+		want bool
+	}{
+		{Box(V(0.5, 0.5, 0.5), V(2, 2, 2)), true},
+		{Box(V(1, 0, 0), V(2, 1, 1)), true}, // touching face counts
+		{Box(V(1.001, 0, 0), V(2, 1, 1)), false},
+		{Box(V(-1, -1, -1), V(2, 2, 2)), true}, // containment
+		{Box(V(0, 0, 2), V(1, 1, 3)), false},
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Fatalf("case %d: intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Fatalf("case %d: intersects not symmetric", i)
+		}
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	a := Box(V(0, 0, 0), V(10, 10, 10))
+	if !a.Contains(Box(V(1, 1, 1), V(9, 9, 9))) {
+		t.Fatal("inner box not contained")
+	}
+	if !a.Contains(a) {
+		t.Fatal("box should contain itself")
+	}
+	if a.Contains(Box(V(1, 1, 1), V(11, 9, 9))) {
+		t.Fatal("overflowing box reported contained")
+	}
+	if !a.Contains(EmptyAABB()) {
+		t.Fatal("empty box should be contained in anything")
+	}
+	if !a.ContainsPoint(V(0, 0, 0)) || !a.ContainsPoint(V(10, 10, 10)) {
+		t.Fatal("boundary points should be contained")
+	}
+	if a.ContainsPoint(V(10.001, 5, 5)) {
+		t.Fatal("outside point reported contained")
+	}
+}
+
+func TestBoxIntersection(t *testing.T) {
+	a := Box(V(0, 0, 0), V(4, 4, 4))
+	b := Box(V(2, 2, 2), V(6, 6, 6))
+	got := a.Intersect(b)
+	if got != Box(V(2, 2, 2), V(4, 4, 4)) {
+		t.Fatalf("intersect = %v", got)
+	}
+	c := Box(V(5, 5, 5), V(6, 6, 6))
+	if !a.Intersect(c).IsEmpty() {
+		t.Fatal("disjoint intersection should be empty")
+	}
+}
+
+func TestBoxEnlargement(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	if e := a.Enlargement(a); e != 0 {
+		t.Fatalf("self enlargement = %v", e)
+	}
+	b := Box(V(0, 0, 0), V(2, 1, 1))
+	if e := a.Enlargement(b); e != 1 {
+		t.Fatalf("enlargement = %v", e)
+	}
+}
+
+func TestBoxExpandTranslate(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	e := a.Expand(0.5)
+	if e.Min != V(-0.5, -0.5, -0.5) || e.Max != V(1.5, 1.5, 1.5) {
+		t.Fatalf("expand = %v", e)
+	}
+	tr := a.Translate(V(1, 2, 3))
+	if tr.Min != V(1, 2, 3) || tr.Max != V(2, 3, 4) {
+		t.Fatalf("translate = %v", tr)
+	}
+}
+
+func TestBoxDistToPoint(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	if d := a.DistToPoint(V(0.5, 0.5, 0.5)); d != 0 {
+		t.Fatalf("inside dist = %v", d)
+	}
+	if d := a.DistToPoint(V(2, 0.5, 0.5)); d != 1 {
+		t.Fatalf("axis dist = %v", d)
+	}
+	if d := a.DistToPoint(V(2, 2, 0.5)); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("corner dist = %v", d)
+	}
+	cp := a.ClosestPoint(V(2, -1, 0.5))
+	if cp != V(1, 0, 0.5) {
+		t.Fatalf("closest = %v", cp)
+	}
+}
+
+func TestBoxCorners(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 2, 3))
+	seen := make(map[Vec3]bool)
+	for i := 0; i < 8; i++ {
+		c := a.Corner(i)
+		if !a.ContainsPoint(c) {
+			t.Fatalf("corner %d = %v outside box", i, c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 distinct corners, got %d", len(seen))
+	}
+}
+
+func TestSolidAngleBound(t *testing.T) {
+	b := BoxAt(V(0, 0, 0), 1)
+	// Viewpoint inside the bounding sphere -> MAXDOV cap of 0.5.
+	if got := SolidAngleBound(V(0, 0, 0), b); got != 0.5 {
+		t.Fatalf("inside bound = %v", got)
+	}
+	// Far away: bound shrinks roughly like (r/2d)^2.
+	far := SolidAngleBound(V(100, 0, 0), b)
+	farther := SolidAngleBound(V(200, 0, 0), b)
+	if far <= 0 || farther <= 0 {
+		t.Fatal("bounds should be positive")
+	}
+	ratio := far / farther
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("inverse-square falloff violated: ratio %v", ratio)
+	}
+	if got := SolidAngleBound(V(5, 5, 5), EmptyAABB()); got != 0 {
+		t.Fatalf("empty box bound = %v", got)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickBox(r), quickBox(r)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionCommutativeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := quickBox(r), quickBox(r), quickBox(r)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		l := a.Union(b).Union(c)
+		rr := a.Union(b.Union(c))
+		return l.Min.ApproxEqual(rr.Min, 1e-12) && l.Max.ApproxEqual(rr.Max, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropIntersectionWithinBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickBox(r), quickBox(r)
+		x := a.Intersect(b)
+		if x.IsEmpty() {
+			return !a.Intersects(b) ||
+				// Touching boxes intersect but have an empty-volume box;
+				// allow degenerate (zero-size) intersection.
+				x.Min.ApproxEqual(x.Max, math.Inf(1))
+		}
+		return a.Contains(x) && b.Contains(x) && a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEnlargementNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickBox(r), quickBox(r)
+		return a.Enlargement(b) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDistToPointZeroIffInside(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := quickBox(r)
+		p := quickVec(r)
+		d := b.DistToPoint(p)
+		if b.ContainsPoint(p) {
+			return d == 0
+		}
+		cp := b.ClosestPoint(p)
+		return d > 0 && math.Abs(cp.Dist(p)-d) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSolidAngleBoundRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := quickBox(r)
+		p := quickVec(r)
+		s := SolidAngleBound(p, b)
+		return s >= 0 && s <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

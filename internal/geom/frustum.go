@@ -1,0 +1,157 @@
+package geom
+
+import "math"
+
+// Frustum is a symmetric perspective view frustum described by its six
+// inward-facing planes plus the viewing basis it was built from. REVIEW
+// converts it into query boxes for its window queries, and the prioritized-
+// traversal extension (DESIGN.md D5) orders HDoV-tree branches by whether
+// they intersect it.
+type Frustum struct {
+	Planes [6]Plane // left, right, bottom, top, near, far
+	Apex   Vec3     // the viewpoint
+	Look   Vec3     // unit viewing direction
+	Right  Vec3     // unit right direction
+	Up     Vec3     // unit up direction
+	WTan   float64  // tan of the horizontal half-angle
+	HTan   float64  // tan of the vertical half-angle
+	Near   float64
+	Far    float64
+}
+
+// NewFrustum builds a symmetric perspective frustum at viewpoint eye looking
+// along dir (need not be unit length), with up as the approximate up vector,
+// a full vertical field of view fovY (radians), the given width/height
+// aspect ratio, and near/far clip distances.
+func NewFrustum(eye, dir, up Vec3, fovY, aspect, near, far float64) Frustum {
+	d := dir.Normalize()
+	// Build an orthonormal basis; fall back if up is parallel to dir.
+	right := d.Cross(up)
+	if right.Len2() < 1e-12 {
+		right = d.Cross(Vec3{0, 0, 1})
+		if right.Len2() < 1e-12 {
+			right = d.Cross(Vec3{0, 1, 0})
+		}
+	}
+	right = right.Normalize()
+	u := right.Cross(d).Normalize()
+
+	ht := math.Tan(fovY / 2) // half-height at distance 1
+	wt := ht * aspect        // half-width at distance 1
+
+	f := Frustum{
+		Apex: eye, Look: d, Right: right, Up: u,
+		WTan: wt, HTan: ht, Near: near, Far: far,
+	}
+
+	// Each side plane contains the apex and one frustum edge direction;
+	// the normal is the cross product of the two directions spanning the
+	// plane, oriented to point into the frustum interior (checked: the
+	// signed distance of eye + d must be positive).
+	el := d.Sub(right.Mul(wt)) // left edge
+	er := d.Add(right.Mul(wt)) // right edge
+	eb := d.Sub(u.Mul(ht))     // bottom edge
+	et := d.Add(u.Mul(ht))     // top edge
+
+	mk := func(a, b Vec3) Plane {
+		n := a.Cross(b).Normalize()
+		if n.Dot(d) < 0 {
+			n = n.Neg()
+		}
+		return Plane{N: n, D: n.Dot(eye)}
+	}
+	f.Planes[0] = mk(el, u)                                              // left
+	f.Planes[1] = mk(u, er)                                              // right
+	f.Planes[2] = mk(right, eb)                                          // bottom
+	f.Planes[3] = mk(et, right)                                          // top
+	f.Planes[4] = Plane{N: d, D: d.Dot(eye.Add(d.Mul(near)))}            // near
+	f.Planes[5] = Plane{N: d.Neg(), D: d.Neg().Dot(eye.Add(d.Mul(far)))} // far
+	return f
+}
+
+// ContainsPoint reports whether p is inside the frustum.
+func (f Frustum) ContainsPoint(p Vec3) bool {
+	for _, pl := range f.Planes {
+		if pl.SignedDist(p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsAABB conservatively reports whether box b may intersect the
+// frustum (plane-by-plane rejection; may report rare false positives near
+// frustum edges, never false negatives).
+func (f Frustum) IntersectsAABB(b AABB) bool {
+	for _, pl := range f.Planes {
+		if !pl.AABBInFront(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the AABB of the frustum's eight corner points. REVIEW's
+// single-large-query-box strategy uses this directly; its refined strategy
+// splits it into distance bands (see QueryBoxes).
+func (f Frustum) Bounds() AABB {
+	b := EmptyAABB()
+	for _, c := range f.Corners() {
+		b = b.ExtendPoint(c)
+	}
+	return b
+}
+
+// Corners returns the eight corner points of the frustum: the four near-
+// plane corners followed by the four far-plane corners.
+func (f Frustum) Corners() [8]Vec3 {
+	var out [8]Vec3
+	i := 0
+	for _, t := range []float64{f.Near, f.Far} {
+		c := f.Apex.Add(f.Look.Mul(t))
+		w := f.WTan * t
+		h := f.HTan * t
+		out[i] = c.Sub(f.Right.Mul(w)).Sub(f.Up.Mul(h))
+		out[i+1] = c.Add(f.Right.Mul(w)).Sub(f.Up.Mul(h))
+		out[i+2] = c.Sub(f.Right.Mul(w)).Add(f.Up.Mul(h))
+		out[i+3] = c.Add(f.Right.Mul(w)).Add(f.Up.Mul(h))
+		i += 4
+	}
+	return out
+}
+
+// QueryBoxes splits the frustum into n distance bands and returns the AABB
+// of each band. This is the LoD-R-tree/REVIEW trick of converting the
+// viewing frustum "into a few rectangular query boxes (instead of one
+// single large query box that bounds the view frustum)" to reduce the
+// retrieved volume. maxDepth truncates the frustum (REVIEW's query-box size
+// parameter, e.g. 200 m or 400 m).
+func (f Frustum) QueryBoxes(n int, maxDepth float64) []AABB {
+	if n <= 0 {
+		n = 1
+	}
+	far := math.Min(f.Far, maxDepth)
+	if far <= f.Near {
+		far = f.Near + 1e-9
+	}
+	boxes := make([]AABB, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := f.Near + (far-f.Near)*float64(i)/float64(n)
+		t1 := f.Near + (far-f.Near)*float64(i+1)/float64(n)
+		sub := NewFrustumFromExisting(f, t0, t1)
+		boxes = append(boxes, sub.Bounds())
+	}
+	return boxes
+}
+
+// NewFrustumFromExisting returns a copy of f clipped to the [near, far]
+// depth range.
+func NewFrustumFromExisting(f Frustum, near, far float64) Frustum {
+	g := f
+	g.Near = near
+	g.Far = far
+	d := f.Look
+	g.Planes[4] = Plane{N: d, D: d.Dot(f.Apex.Add(d.Mul(near)))}
+	g.Planes[5] = Plane{N: d.Neg(), D: d.Neg().Dot(f.Apex.Add(d.Mul(far)))}
+	return g
+}

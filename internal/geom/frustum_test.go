@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testFrustum() Frustum {
+	return NewFrustum(
+		V(0, 0, 10), // eye
+		V(1, 0, 0),  // looking along +X
+		V(0, 0, 1),  // up
+		math.Pi/3,   // 60 degree vertical FoV
+		4.0/3.0,     // aspect
+		1, 500,      // near/far
+	)
+}
+
+func TestFrustumContainsPoint(t *testing.T) {
+	f := testFrustum()
+	if !f.ContainsPoint(V(100, 0, 10)) {
+		t.Fatal("point on axis should be inside")
+	}
+	if f.ContainsPoint(V(-10, 0, 10)) {
+		t.Fatal("point behind eye should be outside")
+	}
+	if f.ContainsPoint(V(0.5, 0, 10)) {
+		t.Fatal("point before near plane should be outside")
+	}
+	if f.ContainsPoint(V(600, 0, 10)) {
+		t.Fatal("point past far plane should be outside")
+	}
+	if f.ContainsPoint(V(10, 100, 10)) {
+		t.Fatal("point far off-axis should be outside")
+	}
+	// Point just inside the top plane at distance 10: half-height =
+	// 10*tan(30 deg) ~ 5.77.
+	if !f.ContainsPoint(V(10, 0, 10+5.5)) {
+		t.Fatal("point inside top boundary should be inside")
+	}
+	if f.ContainsPoint(V(10, 0, 10+6.0)) {
+		t.Fatal("point outside top boundary should be outside")
+	}
+}
+
+func TestFrustumIntersectsAABB(t *testing.T) {
+	f := testFrustum()
+	if !f.IntersectsAABB(BoxAt(V(100, 0, 10), 5)) {
+		t.Fatal("on-axis box should intersect")
+	}
+	if f.IntersectsAABB(BoxAt(V(-100, 0, 10), 5)) {
+		t.Fatal("behind box should not intersect")
+	}
+	if f.IntersectsAABB(BoxAt(V(100, 0, 10), 5).Translate(V(0, 1000, 0))) {
+		t.Fatal("far off-axis box should not intersect")
+	}
+	// Box straddling a side plane intersects.
+	if !f.IntersectsAABB(BoxAt(V(10, 7.6, 10), 2)) {
+		t.Fatal("straddling box should intersect")
+	}
+}
+
+func TestFrustumCorners(t *testing.T) {
+	f := testFrustum()
+	cs := f.Corners()
+	// Near corners at distance ~near along look; far corners at ~far.
+	for i := 0; i < 4; i++ {
+		d := cs[i].Sub(f.Apex).Dot(f.Look)
+		if math.Abs(d-f.Near) > 1e-9 {
+			t.Fatalf("near corner %d at depth %v", i, d)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		d := cs[i].Sub(f.Apex).Dot(f.Look)
+		if math.Abs(d-f.Far) > 1e-9 {
+			t.Fatalf("far corner %d at depth %v", i, d)
+		}
+	}
+	// All corners should satisfy the side planes (within tolerance).
+	for i, c := range cs {
+		for j := 0; j < 4; j++ {
+			if f.Planes[j].SignedDist(c) < -1e-6*f.Far {
+				t.Fatalf("corner %d violates plane %d by %v", i, j, f.Planes[j].SignedDist(c))
+			}
+		}
+	}
+}
+
+func TestFrustumBounds(t *testing.T) {
+	f := testFrustum()
+	b := f.Bounds()
+	for i, c := range f.Corners() {
+		if !b.Expand(1e-9).ContainsPoint(c) {
+			t.Fatalf("corner %d outside bounds", i)
+		}
+	}
+	if !b.ContainsPoint(V(250, 0, 10)) {
+		t.Fatal("axis midpoint should be inside bounds")
+	}
+}
+
+func TestFrustumQueryBoxes(t *testing.T) {
+	f := testFrustum()
+	boxes := f.QueryBoxes(4, 400)
+	if len(boxes) != 4 {
+		t.Fatalf("got %d boxes", len(boxes))
+	}
+	// Banded boxes should have much smaller total volume than the single
+	// bounding box of the truncated frustum (the LoD-R-tree motivation).
+	single := NewFrustumFromExisting(f, f.Near, 400).Bounds()
+	var total float64
+	for _, b := range boxes {
+		total += b.Volume()
+	}
+	if total >= single.Volume() {
+		t.Fatalf("banded volume %v should be < single-box volume %v", total, single.Volume())
+	}
+	// Every point sampled inside the truncated frustum must be covered by
+	// some band box.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		tDepth := 1 + rng.Float64()*398
+		p := f.Apex.Add(f.Look.Mul(tDepth))
+		covered := false
+		for _, b := range boxes {
+			if b.ContainsPoint(p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("axis point at depth %v not covered", tDepth)
+		}
+	}
+	// Degenerate arguments.
+	if got := f.QueryBoxes(0, 100); len(got) != 1 {
+		t.Fatalf("n=0 should clamp to 1 box, got %d", len(got))
+	}
+}
+
+func TestFrustumUpParallelToDir(t *testing.T) {
+	// dir parallel to up must not produce NaN planes.
+	f := NewFrustum(V(0, 0, 0), V(0, 0, 1), V(0, 0, 1), math.Pi/3, 1, 1, 100)
+	if !f.ContainsPoint(V(0, 0, 50)) {
+		t.Fatal("axis point should be inside")
+	}
+	for i, pl := range f.Planes {
+		if !pl.N.IsFinite() {
+			t.Fatalf("plane %d has non-finite normal %v", i, pl.N)
+		}
+	}
+}
+
+// Property: points inside the frustum are always inside its Bounds().
+func TestPropFrustumBoundsCoverContained(t *testing.T) {
+	f := testFrustum()
+	b := f.Bounds().Expand(1e-6)
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := V(r.Float64()*600-50, r.Float64()*600-300, r.Float64()*600-300)
+		if !f.ContainsPoint(p) {
+			return true
+		}
+		return b.ContainsPoint(p)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IntersectsAABB never reports false for a box containing an
+// in-frustum point (conservativeness).
+func TestPropFrustumCullConservative(t *testing.T) {
+	f := testFrustum()
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := V(r.Float64()*500, r.Float64()*400-200, r.Float64()*400-200)
+		if !f.ContainsPoint(p) {
+			return true
+		}
+		box := BoxAt(p, r.Float64()*20+0.1)
+		return f.IntersectsAABB(box)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package geom
+
+import "math"
+
+// Ray is a half-line starting at Origin and extending along Dir. Dir need
+// not be unit length for box tests, but hit distances returned by the
+// intersection routines are expressed in multiples of Dir, so DoV sampling
+// always uses unit directions.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+	// InvDir caches 1/Dir for the slab test; populated by NewRay.
+	InvDir Vec3
+}
+
+// NewRay constructs a ray and precomputes the inverse direction used by the
+// branchless slab test. Zero direction components produce ±Inf inverses,
+// which the slab test handles correctly per IEEE-754 semantics.
+func NewRay(origin, dir Vec3) Ray {
+	return Ray{
+		Origin: origin,
+		Dir:    dir,
+		InvDir: Vec3{1 / dir.X, 1 / dir.Y, 1 / dir.Z},
+	}
+}
+
+// At returns the point at parameter t along the ray.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Mul(t)) }
+
+// IntersectAABB performs the slab test against box b. It returns the entry
+// parameter tmin and whether the ray hits the box within (0, tmax]. A ray
+// originating inside the box reports a hit with tmin = 0.
+func (r Ray) IntersectAABB(b AABB, tmax float64) (float64, bool) {
+	t0 := 0.0
+	t1 := tmax
+
+	for i := 0; i < 3; i++ {
+		inv := r.InvDir.Axis(i)
+		near := (b.Min.Axis(i) - r.Origin.Axis(i)) * inv
+		far := (b.Max.Axis(i) - r.Origin.Axis(i)) * inv
+		if near > far {
+			near, far = far, near
+		}
+		// NaN from 0*Inf means the ray is parallel to the slab and the
+		// origin lies on a slab plane; treat the slab as non-restricting.
+		if !math.IsNaN(near) && near > t0 {
+			t0 = near
+		}
+		if !math.IsNaN(far) && far < t1 {
+			t1 = far
+		}
+		if t0 > t1 {
+			return 0, false
+		}
+	}
+	return t0, true
+}
+
+// IntersectTriangle implements the Möller–Trumbore ray/triangle test. It
+// returns the hit parameter t and whether the ray hits the triangle (a, b,
+// c) within (eps, tmax). Backfaces are reported as hits — the DoV occluders
+// are closed opaque solids, so one-sided culling would only let rays leak
+// through numerically degenerate seams.
+func (r Ray) IntersectTriangle(a, b, c Vec3, tmax float64) (float64, bool) {
+	const eps = 1e-12
+	e1 := b.Sub(a)
+	e2 := c.Sub(a)
+	p := r.Dir.Cross(e2)
+	det := e1.Dot(p)
+	if det > -eps && det < eps {
+		return 0, false // parallel or degenerate
+	}
+	invDet := 1 / det
+	tv := r.Origin.Sub(a)
+	u := tv.Dot(p) * invDet
+	if u < 0 || u > 1 {
+		return 0, false
+	}
+	q := tv.Cross(e1)
+	v := r.Dir.Dot(q) * invDet
+	if v < 0 || u+v > 1 {
+		return 0, false
+	}
+	t := e2.Dot(q) * invDet
+	if t <= eps || t >= tmax {
+		return 0, false
+	}
+	return t, true
+}
+
+// Plane is the oriented plane N·x = D. Points with N·x > D are on the
+// positive (inside, for frustum planes) side.
+type Plane struct {
+	N Vec3
+	D float64
+}
+
+// PlaneFromPoints constructs the plane through three non-collinear points
+// with normal (b-a)×(c-a), normalized.
+func PlaneFromPoints(a, b, c Vec3) Plane {
+	n := b.Sub(a).Cross(c.Sub(a)).Normalize()
+	return Plane{N: n, D: n.Dot(a)}
+}
+
+// SignedDist returns the signed distance from p to the plane (positive on
+// the side the normal points to). Requires a unit normal.
+func (pl Plane) SignedDist(p Vec3) float64 { return pl.N.Dot(p) - pl.D }
+
+// AABBInFront reports whether any part of box b lies on or beyond the
+// positive side of the plane. It tests the "positive vertex" of the box
+// with respect to the plane normal, the standard frustum-culling trick.
+func (pl Plane) AABBInFront(b AABB) bool {
+	p := b.Min
+	if pl.N.X >= 0 {
+		p.X = b.Max.X
+	}
+	if pl.N.Y >= 0 {
+		p.Y = b.Max.Y
+	}
+	if pl.N.Z >= 0 {
+		p.Z = b.Max.Z
+	}
+	return pl.SignedDist(p) >= 0
+}

@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRayAt(t *testing.T) {
+	r := NewRay(V(1, 0, 0), V(0, 2, 0))
+	if got := r.At(0.5); got != V(1, 1, 0) {
+		t.Fatalf("At = %v", got)
+	}
+}
+
+func TestRayAABBBasic(t *testing.T) {
+	b := Box(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(-5, 0, 0), V(1, 0, 0))
+	tmin, hit := r.IntersectAABB(b, math.Inf(1))
+	if !hit || math.Abs(tmin-4) > 1e-12 {
+		t.Fatalf("hit=%v tmin=%v", hit, tmin)
+	}
+	// Pointing away: miss.
+	r2 := NewRay(V(-5, 0, 0), V(-1, 0, 0))
+	if _, hit := r2.IntersectAABB(b, math.Inf(1)); hit {
+		t.Fatal("backward ray should miss")
+	}
+	// Offset miss.
+	r3 := NewRay(V(-5, 3, 0), V(1, 0, 0))
+	if _, hit := r3.IntersectAABB(b, math.Inf(1)); hit {
+		t.Fatal("offset ray should miss")
+	}
+	// Origin inside box.
+	r4 := NewRay(V(0, 0, 0), V(0.3, 0.5, -0.1))
+	tmin, hit = r4.IntersectAABB(b, math.Inf(1))
+	if !hit || tmin != 0 {
+		t.Fatalf("inside origin: hit=%v tmin=%v", hit, tmin)
+	}
+	// tmax cuts the hit off.
+	if _, hit := r.IntersectAABB(b, 3.9); hit {
+		t.Fatal("tmax should prevent hit")
+	}
+}
+
+func TestRayAABBAxisParallel(t *testing.T) {
+	// Ray parallel to a slab, origin on the slab boundary plane: the NaN
+	// guard must not produce false misses.
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	r := NewRay(V(0, 0.5, -5), V(0, 0, 1)) // x component zero, origin.x == b.Min.X
+	if _, hit := r.IntersectAABB(b, math.Inf(1)); !hit {
+		t.Fatal("boundary-parallel ray should hit")
+	}
+	r2 := NewRay(V(-0.001, 0.5, -5), V(0, 0, 1))
+	if _, hit := r2.IntersectAABB(b, math.Inf(1)); hit {
+		t.Fatal("just-outside parallel ray should miss")
+	}
+}
+
+func TestRayTriangle(t *testing.T) {
+	a, b, c := V(0, 0, 0), V(1, 0, 0), V(0, 1, 0)
+	r := NewRay(V(0.2, 0.2, -1), V(0, 0, 1))
+	tt, hit := r.IntersectTriangle(a, b, c, math.Inf(1))
+	if !hit || math.Abs(tt-1) > 1e-12 {
+		t.Fatalf("hit=%v t=%v", hit, tt)
+	}
+	// Outside barycentric range.
+	r2 := NewRay(V(0.9, 0.9, -1), V(0, 0, 1))
+	if _, hit := r2.IntersectTriangle(a, b, c, math.Inf(1)); hit {
+		t.Fatal("outside triangle should miss")
+	}
+	// Backface must also hit (two-sided).
+	r3 := NewRay(V(0.2, 0.2, 1), V(0, 0, -1))
+	if _, hit := r3.IntersectTriangle(a, b, c, math.Inf(1)); !hit {
+		t.Fatal("backface should hit (two-sided)")
+	}
+	// Parallel ray misses.
+	r4 := NewRay(V(0.2, 0.2, 1), V(1, 0, 0))
+	if _, hit := r4.IntersectTriangle(a, b, c, math.Inf(1)); hit {
+		t.Fatal("parallel ray should miss")
+	}
+	// Degenerate triangle misses.
+	if _, hit := r.IntersectTriangle(a, a, c, math.Inf(1)); hit {
+		t.Fatal("degenerate triangle should miss")
+	}
+	// tmax cutoff.
+	if _, hit := r.IntersectTriangle(a, b, c, 0.5); hit {
+		t.Fatal("tmax should prevent triangle hit")
+	}
+}
+
+func TestPlaneFromPoints(t *testing.T) {
+	pl := PlaneFromPoints(V(0, 0, 1), V(1, 0, 1), V(0, 1, 1))
+	if !pl.N.ApproxEqual(V(0, 0, 1), 1e-12) {
+		t.Fatalf("normal = %v", pl.N)
+	}
+	if math.Abs(pl.SignedDist(V(5, 5, 3))-2) > 1e-12 {
+		t.Fatalf("dist = %v", pl.SignedDist(V(5, 5, 3)))
+	}
+	if math.Abs(pl.SignedDist(V(5, 5, 0))+1) > 1e-12 {
+		t.Fatalf("dist = %v", pl.SignedDist(V(5, 5, 0)))
+	}
+}
+
+func TestPlaneAABBInFront(t *testing.T) {
+	pl := Plane{N: V(1, 0, 0), D: 0} // x >= 0 half-space
+	if !pl.AABBInFront(Box(V(1, 0, 0), V(2, 1, 1))) {
+		t.Fatal("box fully in front reported behind")
+	}
+	if !pl.AABBInFront(Box(V(-1, 0, 0), V(1, 1, 1))) {
+		t.Fatal("straddling box should count as in front")
+	}
+	if pl.AABBInFront(Box(V(-3, 0, 0), V(-1, 1, 1))) {
+		t.Fatal("box fully behind reported in front")
+	}
+}
+
+// Property: if the slab test reports a hit at tmin, the hit point lies on
+// the box boundary (or the origin is inside); if it reports a miss, dense
+// sampling along the ray finds no inside point.
+func TestPropRayAABBConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := quickBox(r)
+		origin := quickVec(r)
+		dir := quickVec(r).Normalize()
+		if dir.Len2() == 0 {
+			return true
+		}
+		ray := NewRay(origin, dir)
+		tmin, hit := ray.IntersectAABB(b, 1e6)
+		if hit {
+			p := ray.At(tmin + 1e-9)
+			return b.Expand(1e-6).ContainsPoint(p)
+		}
+		for i := 0; i < 64; i++ {
+			if b.ContainsPoint(ray.At(float64(i) * 5)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a ray aimed at a random interior point of a box always hits.
+func TestPropRayAABBAimedAlwaysHits(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := quickBox(r)
+		if b.Volume() < 1e-9 {
+			return true
+		}
+		target := Vec3{
+			b.Min.X + r.Float64()*b.Size().X,
+			b.Min.Y + r.Float64()*b.Size().Y,
+			b.Min.Z + r.Float64()*b.Size().Z,
+		}
+		origin := quickVec(r).Mul(3)
+		if b.ContainsPoint(origin) {
+			return true
+		}
+		dir := target.Sub(origin).Normalize()
+		_, hit := NewRay(origin, dir).IntersectAABB(b, math.Inf(1))
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle hit points lie in the triangle plane.
+func TestPropRayTrianglePlanar(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := quickVec(r), quickVec(r), quickVec(r)
+		origin := quickVec(r)
+		dir := quickVec(r).Normalize()
+		if dir.Len2() == 0 {
+			return true
+		}
+		ray := NewRay(origin, dir)
+		tt, hit := ray.IntersectTriangle(a, b, c, math.Inf(1))
+		if !hit {
+			return true
+		}
+		pl := PlaneFromPoints(a, b, c)
+		return math.Abs(pl.SignedDist(ray.At(tt))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

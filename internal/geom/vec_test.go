@@ -1,0 +1,226 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vecNear(t *testing.T, got, want Vec3, eps float64) {
+	t.Helper()
+	if !got.ApproxEqual(want, eps) {
+		t.Fatalf("got %v, want %v (eps %g)", got, want, eps)
+	}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	vecNear(t, a.Add(b), V(5, -3, 9), 0)
+	vecNear(t, a.Sub(b), V(-3, 7, -3), 0)
+	vecNear(t, a.Mul(2), V(2, 4, 6), 0)
+	vecNear(t, a.MulVec(b), V(4, -10, 18), 0)
+	vecNear(t, a.Div(2), V(0.5, 1, 1.5), 0)
+	vecNear(t, a.Neg(), V(-1, -2, -3), 0)
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Fatalf("dot = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x := V(1, 0, 0)
+	y := V(0, 1, 0)
+	z := V(0, 0, 1)
+	vecNear(t, x.Cross(y), z, 0)
+	vecNear(t, y.Cross(z), x, 0)
+	vecNear(t, z.Cross(x), y, 0)
+	vecNear(t, y.Cross(x), z.Neg(), 0)
+}
+
+func TestVecLenDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if v.Len() != 5 {
+		t.Fatalf("len = %v", v.Len())
+	}
+	if v.Len2() != 25 {
+		t.Fatalf("len2 = %v", v.Len2())
+	}
+	if d := V(1, 1, 1).Dist(V(1, 1, 6)); d != 5 {
+		t.Fatalf("dist = %v", d)
+	}
+	if d := V(1, 1, 1).Dist2(V(1, 1, 6)); d != 25 {
+		t.Fatalf("dist2 = %v", d)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	v := V(10, 0, 0).Normalize()
+	vecNear(t, v, V(1, 0, 0), 1e-15)
+	zero := V(0, 0, 0).Normalize()
+	vecNear(t, zero, V(0, 0, 0), 0)
+	u := V(1, 2, 3).Normalize()
+	if math.Abs(u.Len()-1) > 1e-12 {
+		t.Fatalf("normalized length %v", u.Len())
+	}
+}
+
+func TestVecMinMaxLerp(t *testing.T) {
+	a := V(1, 5, -2)
+	b := V(3, 2, 0)
+	vecNear(t, a.Min(b), V(1, 2, -2), 0)
+	vecNear(t, a.Max(b), V(3, 5, 0), 0)
+	vecNear(t, a.Lerp(b, 0), a, 0)
+	vecNear(t, a.Lerp(b, 1), b, 0)
+	vecNear(t, a.Lerp(b, 0.5), V(2, 3.5, -1), 0)
+}
+
+func TestVecAxisAccess(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Axis(i); got != want {
+			t.Fatalf("Axis(%d) = %v, want %v", i, got, want)
+		}
+	}
+	w := v.WithAxis(0, 1).WithAxis(1, 2).WithAxis(2, 3)
+	vecNear(t, w, V(1, 2, 3), 0)
+	// Original unchanged (value semantics).
+	vecNear(t, v, V(7, 8, 9), 0)
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	bad := []Vec3{
+		{math.NaN(), 0, 0},
+		{0, math.Inf(1), 0},
+		{0, 0, math.Inf(-1)},
+	}
+	for _, v := range bad {
+		if v.IsFinite() {
+			t.Fatalf("%v reported finite", v)
+		}
+	}
+}
+
+func TestSphericalDirection(t *testing.T) {
+	vecNear(t, SphericalDirection(0, 0), V(0, 0, 1), 1e-12)
+	vecNear(t, SphericalDirection(math.Pi/2, 0), V(1, 0, 0), 1e-12)
+	vecNear(t, SphericalDirection(math.Pi/2, math.Pi/2), V(0, 1, 0), 1e-12)
+	vecNear(t, SphericalDirection(math.Pi, 0), V(0, 0, -1), 1e-12)
+}
+
+func TestFibonacciSphereUnitLength(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 257, 1024} {
+		dirs := FibonacciSphere(n)
+		if len(dirs) != n {
+			t.Fatalf("n=%d: got %d dirs", n, len(dirs))
+		}
+		for i, d := range dirs {
+			if math.Abs(d.Len()-1) > 1e-9 {
+				t.Fatalf("n=%d dir %d not unit: %v (len %v)", n, i, d, d.Len())
+			}
+		}
+	}
+	if FibonacciSphere(0) != nil || FibonacciSphere(-3) != nil {
+		t.Fatal("non-positive n should return nil")
+	}
+}
+
+func TestFibonacciSphereUniformity(t *testing.T) {
+	// The mean direction of a uniform spherical sample tends to zero, and
+	// each octant should receive roughly n/8 samples.
+	const n = 4096
+	dirs := FibonacciSphere(n)
+	var sum Vec3
+	octants := make(map[int]int)
+	for _, d := range dirs {
+		sum = sum.Add(d)
+		k := 0
+		if d.X > 0 {
+			k |= 1
+		}
+		if d.Y > 0 {
+			k |= 2
+		}
+		if d.Z > 0 {
+			k |= 4
+		}
+		octants[k]++
+	}
+	if m := sum.Mul(1.0 / n).Len(); m > 0.01 {
+		t.Fatalf("mean direction magnitude %v too large", m)
+	}
+	for k, c := range octants {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.15 {
+			t.Fatalf("octant %d has fraction %v, want ~0.125", k, frac)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestVecStrings(t *testing.T) {
+	if s := V(1, 2, 3).String(); s == "" {
+		t.Fatal("empty string")
+	}
+	if s := Box(V(0, 0, 0), V(1, 1, 1)).String(); s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// quickVec produces a bounded random vector for property tests.
+func quickVec(r *rand.Rand) Vec3 {
+	return Vec3{
+		r.Float64()*200 - 100,
+		r.Float64()*200 - 100,
+		r.Float64()*200 - 100,
+	}
+}
+
+func TestPropDotSymmetryAndCrossOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickVec(r), quickVec(r)
+		if math.Abs(a.Dot(b)-b.Dot(a)) > 1e-9 {
+			return false
+		}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6*(1+a.Len2()) &&
+			math.Abs(c.Dot(b)) < 1e-6*(1+b.Len2())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickVec(r), quickVec(r)
+		return a.Add(b).Len() <= a.Len()+b.Len()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropLerpBounds(t *testing.T) {
+	f := func(seed int64, tRaw float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickVec(r), quickVec(r)
+		tt := math.Mod(math.Abs(tRaw), 1)
+		p := a.Lerp(b, tt)
+		box := Box(a, b)
+		return box.Expand(1e-9).ContainsPoint(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

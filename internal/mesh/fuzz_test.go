@@ -1,0 +1,26 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzDecode drives the mesh codec with arbitrary bytes: error or valid
+// mesh, never a panic.
+func FuzzDecode(f *testing.F) {
+	f.Add(NewBox(geom.BoxAt(geom.V(0, 0, 0), 1)).Encode())
+	f.Add(NewSphere(geom.V(0, 0, 0), 1, 4, 8).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil {
+			if m == nil {
+				t.Fatal("nil mesh with nil error")
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Decode returned invalid mesh: %v", err)
+			}
+		}
+	})
+}

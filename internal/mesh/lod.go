@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LoDChain is a multi-resolution representation of one object or one
+// internal-node aggregate: Levels[0] is the finest (highest-detail) mesh
+// and each subsequent level is coarser. The paper's traversal selects a
+// continuous detail value in [0, 1] (equations 5 and 6) which LevelFor maps
+// onto the discrete chain.
+type LoDChain struct {
+	Levels []*Mesh
+}
+
+// NumLevels returns the number of discrete levels in the chain.
+func (c *LoDChain) NumLevels() int { return len(c.Levels) }
+
+// Finest returns the highest-detail mesh.
+func (c *LoDChain) Finest() *Mesh { return c.Levels[0] }
+
+// Coarsest returns the lowest-detail mesh.
+func (c *LoDChain) Coarsest() *Mesh { return c.Levels[len(c.Levels)-1] }
+
+// LevelFor maps a continuous detail value k in [0, 1] — 1 meaning full
+// detail, 0 meaning coarsest — to a level index. The mapping is linear in
+// level index, matching the linear interpolation of equations 5 and 6:
+// k = 1 yields level 0, k = 0 yields the last level.
+func (c *LoDChain) LevelFor(k float64) int {
+	if len(c.Levels) == 0 {
+		return 0
+	}
+	if k >= 1 {
+		return 0
+	}
+	if k <= 0 {
+		return len(c.Levels) - 1
+	}
+	idx := int((1 - k) * float64(len(c.Levels)))
+	if idx >= len(c.Levels) {
+		idx = len(c.Levels) - 1
+	}
+	return idx
+}
+
+// PolygonsFor returns the interpolated polygon count for a continuous
+// detail value k in [0, 1]. The render cost model uses the continuous
+// value so that frame-time curves vary smoothly with the DoV threshold η,
+// as in the paper's Table 3.
+func (c *LoDChain) PolygonsFor(k float64) float64 {
+	if len(c.Levels) == 0 {
+		return 0
+	}
+	hi := float64(c.Finest().NumTriangles())
+	lo := float64(c.Coarsest().NumTriangles())
+	if k >= 1 {
+		return hi
+	}
+	if k <= 0 {
+		return lo
+	}
+	return k*hi + (1-k)*lo
+}
+
+// TotalEncodedSize returns the byte size of all levels, the on-disk payload
+// footprint of the chain.
+func (c *LoDChain) TotalEncodedSize() int {
+	var n int
+	for _, m := range c.Levels {
+		n += m.EncodedSize()
+	}
+	return n
+}
+
+// Validate checks that the chain is non-empty, every level is valid, and
+// detail is non-increasing with level index.
+func (c *LoDChain) Validate() error {
+	if len(c.Levels) == 0 {
+		return errors.New("lod: empty chain")
+	}
+	prev := -1
+	for i, m := range c.Levels {
+		if m == nil {
+			return fmt.Errorf("lod: level %d is nil", i)
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("lod: level %d: %w", i, err)
+		}
+		if prev >= 0 && m.NumTriangles() > prev {
+			return fmt.Errorf("lod: level %d has %d triangles, finer than level %d's %d",
+				i, m.NumTriangles(), i-1, prev)
+		}
+		prev = m.NumTriangles()
+	}
+	return nil
+}

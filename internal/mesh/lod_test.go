@@ -1,0 +1,115 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func chain3() *LoDChain {
+	// Hand-build a 3-level chain: 100, 24, 12 triangles.
+	hi := &Mesh{}
+	for i := 0; i < 100; i++ {
+		base := uint32(len(hi.Verts))
+		hi.Verts = append(hi.Verts, geom.V(float64(i), 0, 0), geom.V(float64(i), 1, 0), geom.V(float64(i), 0, 1))
+		hi.Tris = append(hi.Tris, base, base+1, base+2)
+	}
+	mid := Merge(NewBox(geom.BoxAt(geom.V(0, 0, 0), 1)), NewBox(geom.BoxAt(geom.V(3, 0, 0), 1)))
+	lo := NewBox(geom.BoxAt(geom.V(0, 0, 0), 2))
+	return &LoDChain{Levels: []*Mesh{hi, mid, lo}}
+}
+
+func TestLoDChainBasics(t *testing.T) {
+	c := chain3()
+	if c.NumLevels() != 3 {
+		t.Fatalf("levels = %d", c.NumLevels())
+	}
+	if c.Finest().NumTriangles() != 100 || c.Coarsest().NumTriangles() != 12 {
+		t.Fatal("finest/coarsest wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoDLevelFor(t *testing.T) {
+	c := chain3()
+	if c.LevelFor(1) != 0 || c.LevelFor(1.5) != 0 {
+		t.Fatal("k>=1 should give finest")
+	}
+	if c.LevelFor(0) != 2 || c.LevelFor(-1) != 2 {
+		t.Fatal("k<=0 should give coarsest")
+	}
+	if c.LevelFor(0.5) != 1 {
+		t.Fatalf("k=0.5 gives level %d", c.LevelFor(0.5))
+	}
+	// Monotone: higher k never gives a coarser level.
+	prev := c.NumLevels()
+	for k := 0.0; k <= 1.0; k += 0.01 {
+		l := c.LevelFor(k)
+		if l > prev {
+			t.Fatalf("LevelFor not monotone at k=%v", k)
+		}
+		prev = l
+	}
+}
+
+func TestLoDPolygonsFor(t *testing.T) {
+	c := chain3()
+	if got := c.PolygonsFor(1); got != 100 {
+		t.Fatalf("k=1 polys = %v", got)
+	}
+	if got := c.PolygonsFor(0); got != 12 {
+		t.Fatalf("k=0 polys = %v", got)
+	}
+	if got := c.PolygonsFor(0.5); math.Abs(got-56) > 1e-9 {
+		t.Fatalf("k=0.5 polys = %v", got)
+	}
+	if got := c.PolygonsFor(2); got != 100 {
+		t.Fatalf("clamped high polys = %v", got)
+	}
+}
+
+func TestLoDTotalEncodedSize(t *testing.T) {
+	c := chain3()
+	var want int
+	for _, l := range c.Levels {
+		want += l.EncodedSize()
+	}
+	if got := c.TotalEncodedSize(); got != want {
+		t.Fatalf("total size = %d, want %d", got, want)
+	}
+}
+
+func TestLoDValidateErrors(t *testing.T) {
+	if (&LoDChain{}).Validate() == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if (&LoDChain{Levels: []*Mesh{nil}}).Validate() == nil {
+		t.Fatal("nil level accepted")
+	}
+	// Increasing detail with level index is invalid.
+	lo := NewBox(geom.BoxAt(geom.V(0, 0, 0), 1))
+	hi := Merge(lo, lo)
+	bad := &LoDChain{Levels: []*Mesh{lo, hi}}
+	if bad.Validate() == nil {
+		t.Fatal("detail-increasing chain accepted")
+	}
+}
+
+func TestPropPolygonsForMonotone(t *testing.T) {
+	c := chain3()
+	f := func(k1, k2 float64) bool {
+		k1 = math.Mod(math.Abs(k1), 1)
+		k2 = math.Mod(math.Abs(k2), 1)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		return c.PolygonsFor(k1) <= c.PolygonsFor(k2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

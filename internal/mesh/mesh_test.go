@@ -1,0 +1,336 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestBoxMesh(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(2, 3, 4))
+	m := NewBox(b)
+	if m.NumTriangles() != 12 {
+		t.Fatalf("box has %d triangles", m.NumTriangles())
+	}
+	if m.NumVerts() != 8 {
+		t.Fatalf("box has %d verts", m.NumVerts())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bounds(); got != b {
+		t.Fatalf("bounds = %v, want %v", got, b)
+	}
+	want := b.SurfaceArea()
+	if got := m.SurfaceArea(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("area = %v, want %v", got, want)
+	}
+}
+
+func TestMeshTriangleAccess(t *testing.T) {
+	m := &Mesh{
+		Verts: []geom.Vec3{{X: 0}, {X: 1}, {Y: 1}},
+		Tris:  []uint32{0, 1, 2},
+	}
+	a, b, c := m.Triangle(0)
+	if a.X != 0 || b.X != 1 || c.Y != 1 {
+		t.Fatal("triangle access wrong")
+	}
+}
+
+func TestMeshCloneIndependence(t *testing.T) {
+	m := NewBox(geom.BoxAt(geom.V(0, 0, 0), 1))
+	c := m.Clone()
+	c.Verts[0] = geom.V(99, 99, 99)
+	c.Tris[0] = 7
+	if m.Verts[0] == c.Verts[0] || m.Tris[0] == c.Tris[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMeshTranslateScale(t *testing.T) {
+	m := NewBox(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	m.Translate(geom.V(10, 0, 0))
+	if got := m.Bounds(); got != geom.Box(geom.V(10, 0, 0), geom.V(11, 1, 1)) {
+		t.Fatalf("translated bounds = %v", got)
+	}
+	m2 := NewBox(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	m2.Scale(geom.V(2, 3, 4))
+	if got := m2.Bounds(); got != geom.Box(geom.V(0, 0, 0), geom.V(2, 3, 4)) {
+		t.Fatalf("scaled bounds = %v", got)
+	}
+}
+
+func TestMeshValidateErrors(t *testing.T) {
+	bad1 := &Mesh{Verts: []geom.Vec3{{}}, Tris: []uint32{0, 0}}
+	if bad1.Validate() == nil {
+		t.Fatal("arity error not caught")
+	}
+	bad2 := &Mesh{Verts: []geom.Vec3{{}}, Tris: []uint32{0, 0, 5}}
+	if bad2.Validate() == nil {
+		t.Fatal("range error not caught")
+	}
+	bad3 := &Mesh{Verts: []geom.Vec3{{X: math.NaN()}}, Tris: []uint32{0, 0, 0}}
+	if bad3.Validate() == nil {
+		t.Fatal("NaN vertex not caught")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewBox(geom.BoxAt(geom.V(0, 0, 0), 1))
+	b := NewBox(geom.BoxAt(geom.V(10, 0, 0), 1))
+	m := Merge(a, nil, b)
+	if m.NumTriangles() != 24 {
+		t.Fatalf("merged triangles = %d", m.NumTriangles())
+	}
+	if m.NumVerts() != 16 {
+		t.Fatalf("merged verts = %d", m.NumVerts())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := a.Bounds().Union(b.Bounds())
+	if got := m.Bounds(); got != want {
+		t.Fatalf("merged bounds = %v, want %v", got, want)
+	}
+	// Merging nothing yields an empty, valid-arity mesh.
+	if e := Merge(); e.NumTriangles() != 0 || e.NumVerts() != 0 {
+		t.Fatal("empty merge not empty")
+	}
+}
+
+func TestRemoveUnusedVerts(t *testing.T) {
+	m := &Mesh{
+		Verts: []geom.Vec3{{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 4}},
+		Tris:  []uint32{0, 2, 4},
+	}
+	m.RemoveUnusedVerts()
+	if m.NumVerts() != 3 {
+		t.Fatalf("verts = %d", m.NumVerts())
+	}
+	a, b, c := m.Triangle(0)
+	if a.X != 0 || b.X != 2 || c.X != 4 {
+		t.Fatalf("remap wrong: %v %v %v", a, b, c)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := NewBlob(geom.V(1, 2, 3), 2.5, 8, 42)
+	buf := m.Encode()
+	if len(buf) != m.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), m.EncodedSize())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVerts() != m.NumVerts() || got.NumTriangles() != m.NumTriangles() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	for i := range m.Verts {
+		if m.Verts[i] != got.Verts[i] {
+			t.Fatalf("vertex %d mismatch", i)
+		}
+	}
+	for i := range m.Tris {
+		if m.Tris[i] != got.Tris[i] {
+			t.Fatalf("index %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := NewBox(geom.BoxAt(geom.V(0, 0, 0), 1))
+	buf := m.Encode()
+
+	if _, err := Decode(buf[:4]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVer := append([]byte(nil), buf...)
+	badVer[4] = 0xee
+	if _, err := Decode(badVer); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Corrupt an index to go out of range.
+	badIdx := append([]byte(nil), buf...)
+	badIdx[len(badIdx)-1] = 0xff
+	if _, err := Decode(badIdx); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestSphere(t *testing.T) {
+	s := NewSphere(geom.V(0, 0, 0), 2, 8, 16)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All vertices on the sphere.
+	for i, v := range s.Verts {
+		if math.Abs(v.Len()-2) > 1e-9 {
+			t.Fatalf("vertex %d at radius %v", i, v.Len())
+		}
+	}
+	// Expected triangle count: 2*lon caps + 2*lon*(lat-2) bands.
+	want := 2*16 + 2*16*(8-2)
+	if got := s.NumTriangles(); got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+	// Area approaches 4*pi*r^2 from below.
+	area := s.SurfaceArea()
+	exact := 4 * math.Pi * 4
+	if area > exact || area < 0.9*exact {
+		t.Fatalf("area = %v, exact %v", area, exact)
+	}
+	// Degenerate params clamp.
+	if NewSphere(geom.V(0, 0, 0), 1, 0, 0).NumTriangles() == 0 {
+		t.Fatal("clamped sphere empty")
+	}
+}
+
+func TestBlobDeterministic(t *testing.T) {
+	a := NewBlob(geom.V(0, 0, 0), 1, 10, 7)
+	b := NewBlob(geom.V(0, 0, 0), 1, 10, 7)
+	if a.NumVerts() != b.NumVerts() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Verts {
+		if a.Verts[i] != b.Verts[i] {
+			t.Fatal("same seed produced different vertices")
+		}
+	}
+	c := NewBlob(geom.V(0, 0, 0), 1, 10, 8)
+	same := true
+	for i := range a.Verts {
+		if i < len(c.Verts) && a.Verts[i] != c.Verts[i] {
+			same = false
+			break
+		}
+	}
+	if same && a.NumVerts() == c.NumVerts() {
+		t.Fatal("different seeds produced identical blobs")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := geom.Box(geom.V(0, 0, 0), geom.V(20, 30, 0))
+	b := NewBuilding(base, 100, 3, 2, rng)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bb := b.Bounds()
+	if math.Abs(bb.Max.Z-100) > 1e-9 {
+		t.Fatalf("building height %v, want 100", bb.Max.Z)
+	}
+	if bb.Min.X < -1e-9 || bb.Max.X > 20+1e-9 {
+		t.Fatalf("building exceeds footprint: %v", bb)
+	}
+	// 3 tiers x 12 faces-triangles x facade² (2²=4) = 144.
+	if b.NumTriangles() != 144 {
+		t.Fatalf("3-tier facade-2 building has %d triangles, want 144", b.NumTriangles())
+	}
+	// Degenerate tiers clamp to 1.
+	one := NewBuilding(base, 50, 0, 1, rand.New(rand.NewSource(2)))
+	if one.NumTriangles() != 12 {
+		t.Fatalf("1-tier building has %d triangles", one.NumTriangles())
+	}
+}
+
+func TestTierBoxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 0))
+	tiers := TierBoxes(base, 60, 3, rng)
+	if len(tiers) != 3 {
+		t.Fatalf("got %d tiers", len(tiers))
+	}
+	// Stacked: each tier starts where the previous ends; footprints shrink.
+	for i := 1; i < len(tiers); i++ {
+		if math.Abs(tiers[i].Min.Z-tiers[i-1].Max.Z) > 1e-9 {
+			t.Fatalf("tier %d not stacked", i)
+		}
+		if tiers[i].Size().X >= tiers[i-1].Size().X {
+			t.Fatalf("tier %d footprint did not shrink", i)
+		}
+	}
+	if math.Abs(tiers[2].Max.Z-60) > 1e-9 {
+		t.Fatalf("top at %v, want 60", tiers[2].Max.Z)
+	}
+}
+
+func TestTessellatedBox(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(2, 3, 4))
+	m := NewTessellatedBox(b, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTriangles() != 12*9 {
+		t.Fatalf("triangles = %d, want %d", m.NumTriangles(), 12*9)
+	}
+	if got := m.Bounds(); got != b {
+		t.Fatalf("bounds = %v", got)
+	}
+	if math.Abs(m.SurfaceArea()-b.SurfaceArea()) > 1e-9 {
+		t.Fatalf("area = %v, want %v", m.SurfaceArea(), b.SurfaceArea())
+	}
+	// n clamps to 1.
+	if NewTessellatedBox(b, 0).NumTriangles() != 12 {
+		t.Fatal("n=0 should clamp to plain box")
+	}
+}
+
+func TestGroundPlane(t *testing.T) {
+	g := NewGroundPlane(geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 0)), 0)
+	if g.NumTriangles() != 2 {
+		t.Fatalf("ground = %d triangles", g.NumTriangles())
+	}
+	if math.Abs(g.SurfaceArea()-100) > 1e-9 {
+		t.Fatalf("ground area = %v", g.SurfaceArea())
+	}
+}
+
+func TestPropEncodeDecodeAnyBlob(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		m := NewBlob(geom.V(0, 0, 0), 1+float64(seed%5), 4+int(seed%6), seed)
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.NumVerts() == m.NumVerts() && got.NumTriangles() == m.NumTriangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeBoundsIsUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewBox(geom.BoxAt(geom.V(r.Float64()*100, r.Float64()*100, 0), 1+r.Float64()*5))
+		b := NewBox(geom.BoxAt(geom.V(r.Float64()*100, r.Float64()*100, 0), 1+r.Float64()*5))
+		m := Merge(a, b)
+		return m.Bounds() == a.Bounds().Union(b.Bounds())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// OBJGroup is one named mesh in a Wavefront OBJ export.
+type OBJGroup struct {
+	Name string
+	Mesh *Mesh
+}
+
+// ExportOBJ writes the groups as a Wavefront OBJ document — the
+// lowest-common-denominator interchange format, so generated cities and
+// query answer sets can be inspected in any 3D viewer. Vertex indices are
+// rebased per group (OBJ indices are global and 1-based).
+func ExportOBJ(w io.Writer, comment string, groups []OBJGroup) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", comment); err != nil {
+			return err
+		}
+	}
+	base := 1
+	for _, g := range groups {
+		m := g.Mesh
+		if m == nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("mesh: obj export %q: %w", g.Name, err)
+		}
+		if _, err := fmt.Fprintf(bw, "g %s\n", g.Name); err != nil {
+			return err
+		}
+		for _, v := range m.Verts {
+			if _, err := fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < m.NumTriangles(); i++ {
+			if _, err := fmt.Fprintf(bw, "f %d %d %d\n",
+				base+int(m.Tris[3*i]), base+int(m.Tris[3*i+1]), base+int(m.Tris[3*i+2])); err != nil {
+				return err
+			}
+		}
+		base += m.NumVerts()
+	}
+	return bw.Flush()
+}

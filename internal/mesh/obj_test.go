@@ -1,0 +1,89 @@
+package mesh
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestExportOBJ(t *testing.T) {
+	a := NewBox(geom.BoxAt(geom.V(0, 0, 0), 1))
+	b := NewSphere(geom.V(10, 0, 0), 2, 4, 8)
+	var buf bytes.Buffer
+	err := ExportOBJ(&buf, "test export", []OBJGroup{
+		{Name: "box", Mesh: a},
+		{Name: "skipped", Mesh: nil},
+		{Name: "sphere", Mesh: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# test export\n") {
+		t.Fatal("comment missing")
+	}
+	var vCount, fCount, gCount int
+	maxIdx := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "v "):
+			vCount++
+			if len(strings.Fields(line)) != 4 {
+				t.Fatalf("bad vertex line %q", line)
+			}
+		case strings.HasPrefix(line, "f "):
+			fCount++
+			for _, fld := range strings.Fields(line)[1:] {
+				idx, err := strconv.Atoi(fld)
+				if err != nil {
+					t.Fatalf("bad face index in %q", line)
+				}
+				if idx < 1 {
+					t.Fatalf("OBJ indices are 1-based, got %d", idx)
+				}
+				if idx > maxIdx {
+					maxIdx = idx
+				}
+			}
+		case strings.HasPrefix(line, "g "):
+			gCount++
+		}
+	}
+	if vCount != a.NumVerts()+b.NumVerts() {
+		t.Fatalf("v lines = %d, want %d", vCount, a.NumVerts()+b.NumVerts())
+	}
+	if fCount != a.NumTriangles()+b.NumTriangles() {
+		t.Fatalf("f lines = %d, want %d", fCount, a.NumTriangles()+b.NumTriangles())
+	}
+	if gCount != 2 {
+		t.Fatalf("g lines = %d (nil group must be skipped)", gCount)
+	}
+	// Face indices must reference existing vertices only.
+	if maxIdx > vCount {
+		t.Fatalf("face index %d exceeds %d vertices", maxIdx, vCount)
+	}
+}
+
+func TestExportOBJRejectsInvalid(t *testing.T) {
+	bad := &Mesh{Verts: []geom.Vec3{{}}, Tris: []uint32{0, 0, 7}}
+	var buf bytes.Buffer
+	if err := ExportOBJ(&buf, "", []OBJGroup{{Name: "bad", Mesh: bad}}); err == nil {
+		t.Fatal("invalid mesh exported")
+	}
+}
+
+func TestExportOBJNoComment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportOBJ(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty export wrote %q", buf.String())
+	}
+}

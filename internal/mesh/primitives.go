@@ -1,0 +1,205 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// NewBox returns the 12-triangle mesh of box b. Building hulls in the
+// synthetic city are boxes (possibly stacked; see NewBuilding), matching
+// the paper's "synthetic city model containing numerous buildings".
+func NewBox(b geom.AABB) *Mesh {
+	m := &Mesh{Verts: make([]geom.Vec3, 8)}
+	for i := 0; i < 8; i++ {
+		m.Verts[i] = b.Corner(i)
+	}
+	// Corner index bit k selects min/max along axis k (see AABB.Corner).
+	m.Tris = []uint32{
+		0, 2, 1, 1, 2, 3, // z = min face
+		4, 5, 6, 5, 7, 6, // z = max face
+		0, 1, 4, 1, 5, 4, // y = min face
+		2, 6, 3, 3, 6, 7, // y = max face
+		0, 4, 2, 2, 4, 6, // x = min face
+		1, 3, 5, 3, 7, 5, // x = max face
+	}
+	return m
+}
+
+// TierBoxes returns the stacked, footprint-shrinking boxes of a building:
+// nTiers boxes over the given base footprint reaching the given total
+// height. Deterministic for a given rng state. The boxes double as the
+// building's occlusion proxy.
+func TierBoxes(base geom.AABB, height float64, nTiers int, rng *rand.Rand) []geom.AABB {
+	if nTiers < 1 {
+		nTiers = 1
+	}
+	tiers := make([]geom.AABB, 0, nTiers)
+	cur := base
+	z0 := base.Min.Z
+	for t := 0; t < nTiers; t++ {
+		frac := float64(t+1) / float64(nTiers)
+		z1 := z0 + height*(1.0/float64(nTiers))*(0.8+0.4*rng.Float64())
+		if t == nTiers-1 {
+			z1 = base.Min.Z + height
+		}
+		tiers = append(tiers, geom.Box(
+			geom.V(cur.Min.X, cur.Min.Y, z0),
+			geom.V(cur.Max.X, cur.Max.Y, z1),
+		))
+		// Shrink the footprint for the next tier.
+		shrink := 0.05 + 0.15*rng.Float64()*frac
+		s := cur.Size().Mul(shrink / 2)
+		cur = geom.Box(
+			geom.V(cur.Min.X+s.X, cur.Min.Y+s.Y, 0),
+			geom.V(cur.Max.X-s.X, cur.Max.Y-s.Y, 0),
+		)
+		z0 = z1
+	}
+	return tiers
+}
+
+// NewTessellatedBox returns box b with each face subdivided into an n×n
+// quad grid (12·n² triangles). Faces are independent sheets (unwelded),
+// like the facade geometry of architectural models.
+func NewTessellatedBox(b geom.AABB, n int) *Mesh {
+	if n < 1 {
+		n = 1
+	}
+	var parts []*Mesh
+	size := b.Size()
+	for axis := 0; axis < 3; axis++ {
+		u := (axis + 1) % 3
+		v := (axis + 2) % 3
+		for _, side := range []float64{0, 1} {
+			face := &Mesh{}
+			fixed := b.Min.Axis(axis) + side*size.Axis(axis)
+			for i := 0; i <= n; i++ {
+				for j := 0; j <= n; j++ {
+					p := geom.Vec3{}
+					p = p.WithAxis(axis, fixed)
+					p = p.WithAxis(u, b.Min.Axis(u)+size.Axis(u)*float64(i)/float64(n))
+					p = p.WithAxis(v, b.Min.Axis(v)+size.Axis(v)*float64(j)/float64(n))
+					face.Verts = append(face.Verts, p)
+				}
+			}
+			at := func(i, j int) uint32 { return uint32(i*(n+1) + j) }
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a, bb, c, d := at(i, j), at(i+1, j), at(i, j+1), at(i+1, j+1)
+					face.Tris = append(face.Tris, a, bb, c, bb, d, c)
+				}
+			}
+			parts = append(parts, face)
+		}
+	}
+	return Merge(parts...)
+}
+
+// NewBuilding returns a building mesh composed of nTiers stacked boxes of
+// shrinking footprint, each with facades tessellated at the given level
+// (12·facade² triangles per tier). Deterministic for a given rng state.
+func NewBuilding(base geom.AABB, height float64, nTiers int, facade int, rng *rand.Rand) *Mesh {
+	tiers := TierBoxes(base, height, nTiers, rng)
+	parts := make([]*Mesh, len(tiers))
+	for i, tb := range tiers {
+		parts[i] = NewTessellatedBox(tb, facade)
+	}
+	return Merge(parts...)
+}
+
+// NewSphere returns a UV-sphere mesh with the given numbers of latitude
+// and longitude segments. Triangle count is 2*lat*lon - 2*lon.
+func NewSphere(center geom.Vec3, radius float64, lat, lon int) *Mesh {
+	if lat < 2 {
+		lat = 2
+	}
+	if lon < 3 {
+		lon = 3
+	}
+	m := &Mesh{}
+	// Vertices: poles plus (lat-1) rings of lon vertices.
+	m.Verts = append(m.Verts, center.Add(geom.V(0, 0, radius)))  // north pole: 0
+	m.Verts = append(m.Verts, center.Add(geom.V(0, 0, -radius))) // south pole: 1
+	ringStart := func(r int) uint32 { return uint32(2 + r*lon) }
+	for r := 1; r < lat; r++ {
+		theta := math.Pi * float64(r) / float64(lat)
+		for l := 0; l < lon; l++ {
+			phi := 2 * math.Pi * float64(l) / float64(lon)
+			m.Verts = append(m.Verts, center.Add(geom.SphericalDirection(theta, phi).Mul(radius)))
+		}
+	}
+	// North cap.
+	for l := 0; l < lon; l++ {
+		next := (l + 1) % lon
+		m.Tris = append(m.Tris, 0, ringStart(0)+uint32(l), ringStart(0)+uint32(next))
+	}
+	// Bands.
+	for r := 0; r < lat-2; r++ {
+		for l := 0; l < lon; l++ {
+			next := (l + 1) % lon
+			a := ringStart(r) + uint32(l)
+			b := ringStart(r) + uint32(next)
+			c := ringStart(r+1) + uint32(l)
+			d := ringStart(r+1) + uint32(next)
+			m.Tris = append(m.Tris, a, c, b, b, c, d)
+		}
+	}
+	// South cap.
+	last := lat - 2
+	for l := 0; l < lon; l++ {
+		next := (l + 1) % lon
+		m.Tris = append(m.Tris, 1, ringStart(last)+uint32(next), ringStart(last)+uint32(l))
+	}
+	return m
+}
+
+// NewBlob returns a bunny-stand-in: a sphere deformed by a few smooth
+// sinusoidal lobes, producing an organic high-polygon model. The paper's
+// city is decorated with Stanford-bunny models; we cannot ship that data,
+// so blobs supply equivalent high-detail clutter (see DESIGN.md §3.3).
+// Triangle count grows with detail (lat=detail, lon=2*detail).
+func NewBlob(center geom.Vec3, radius float64, detail int, seed int64) *Mesh {
+	rng := rand.New(rand.NewSource(seed))
+	// Random lobe directions and magnitudes.
+	type lobe struct {
+		dir geom.Vec3
+		amp float64
+		frq float64
+	}
+	lobes := make([]lobe, 4+rng.Intn(4))
+	for i := range lobes {
+		lobes[i] = lobe{
+			dir: geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize(),
+			amp: 0.1 + 0.25*rng.Float64(),
+			frq: 1 + 2*rng.Float64(),
+		}
+	}
+	m := NewSphere(geom.V(0, 0, 0), 1, detail, 2*detail)
+	for i, v := range m.Verts {
+		d := v.Normalize()
+		r := 1.0
+		for _, lb := range lobes {
+			r += lb.amp * math.Sin(lb.frq*math.Pi*d.Dot(lb.dir))
+		}
+		if r < 0.2 {
+			r = 0.2
+		}
+		m.Verts[i] = center.Add(d.Mul(radius * r))
+	}
+	return m
+}
+
+// NewGroundPlane returns a two-triangle quad covering rect at height z.
+func NewGroundPlane(rect geom.AABB, z float64) *Mesh {
+	return &Mesh{
+		Verts: []geom.Vec3{
+			{X: rect.Min.X, Y: rect.Min.Y, Z: z},
+			{X: rect.Max.X, Y: rect.Min.Y, Z: z},
+			{X: rect.Min.X, Y: rect.Max.Y, Z: z},
+			{X: rect.Max.X, Y: rect.Max.Y, Z: z},
+		},
+		Tris: []uint32{0, 1, 2, 1, 3, 2},
+	}
+}

@@ -1,0 +1,52 @@
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// SegmentManifest serializes one cell's V-page run.
+type SegmentManifest struct {
+	Start  storage.PageID
+	VPages int32
+}
+
+// Manifest reopens the naive store over its disk image.
+type Manifest struct {
+	VPageBytes int
+	Segments   []SegmentManifest
+	SizeBytes  int64
+}
+
+// Manifest captures the store's layout for saving.
+func (s *Store) Manifest() Manifest {
+	segs := make([]SegmentManifest, len(s.segs))
+	for i, sg := range s.segs {
+		segs[i] = SegmentManifest{Start: sg.start, VPages: sg.vpages}
+	}
+	return Manifest{VPageBytes: s.vpageBytes, Segments: segs, SizeBytes: s.size}
+}
+
+// Open reattaches a saved naive store to its tree and disk.
+func Open(t *core.Tree, m Manifest) (*Store, error) {
+	if m.VPageBytes < 2 {
+		return nil, fmt.Errorf("naive: bad manifest V-page size %d", m.VPageBytes)
+	}
+	if len(m.Segments) != t.Grid.NumCells() {
+		return nil, fmt.Errorf("naive: manifest has %d segments for %d cells", len(m.Segments), t.Grid.NumCells())
+	}
+	s := &Store{
+		tree:       t,
+		disk:       t.Disk,
+		segs:       make([]seg, len(m.Segments)),
+		vpageBytes: m.VPageBytes,
+		vpPages:    t.Disk.PagesFor(int64(m.VPageBytes)),
+		size:       m.SizeBytes,
+	}
+	for i, sg := range m.Segments {
+		s.segs[i] = seg{start: sg.Start, vpages: sg.VPages}
+	}
+	return s, nil
+}

@@ -1,0 +1,237 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// View is a software-rendered perspective image of a set of meshes: a
+// z-buffered ID/depth raster. It reproduces, in artifact form, the
+// screenshot comparisons of the paper's Figure 11 — the query answer set
+// (object LoDs + internal LoDs) is rendered exactly as retrieved.
+type View struct {
+	W, H  int
+	Depth []float64 // +Inf where empty
+	ID    []int32   // -1 where empty
+}
+
+// ViewConfig frames a rendering.
+type ViewConfig struct {
+	Eye, Look, Up geom.Vec3
+	FovY          float64 // vertical field of view, radians
+	W, H          int
+}
+
+// DefaultViewConfig returns a 4:3, 60° view at the given pose.
+func DefaultViewConfig(eye, look geom.Vec3) ViewConfig {
+	return ViewConfig{
+		Eye: eye, Look: look, Up: geom.V(0, 0, 1),
+		FovY: math.Pi / 3, W: 320, H: 240,
+	}
+}
+
+// RenderItem is one mesh to draw, tagged with an identifier (object ID,
+// node ID, anything the caller wants back per pixel).
+type RenderItem struct {
+	ID   int32
+	Mesh *mesh.Mesh
+}
+
+// RenderView rasterizes the items with a z-buffer and returns the view.
+func RenderView(cfg ViewConfig, items []RenderItem) *View {
+	if cfg.W <= 0 {
+		cfg.W = 320
+	}
+	if cfg.H <= 0 {
+		cfg.H = 240
+	}
+	if cfg.FovY <= 0 {
+		cfg.FovY = math.Pi / 3
+	}
+	v := &View{
+		W: cfg.W, H: cfg.H,
+		Depth: make([]float64, cfg.W*cfg.H),
+		ID:    make([]int32, cfg.W*cfg.H),
+	}
+	for i := range v.Depth {
+		v.Depth[i] = math.Inf(1)
+		v.ID[i] = -1
+	}
+
+	fwd := cfg.Look.Normalize()
+	right := fwd.Cross(cfg.Up)
+	if right.Len2() < 1e-12 {
+		right = fwd.Cross(geom.V(0, 1, 0))
+	}
+	right = right.Normalize()
+	up := right.Cross(fwd).Normalize()
+	tanY := math.Tan(cfg.FovY / 2)
+	tanX := tanY * float64(cfg.W) / float64(cfg.H)
+
+	const near = 1e-3
+	for _, it := range items {
+		m := it.Mesh
+		if m == nil {
+			continue
+		}
+		for ti := 0; ti < m.NumTriangles(); ti++ {
+			a, b, c := m.Triangle(ti)
+			v.rasterizeTriangle(it.ID,
+				camSpace(a, cfg.Eye, fwd, right, up),
+				camSpace(b, cfg.Eye, fwd, right, up),
+				camSpace(c, cfg.Eye, fwd, right, up),
+				tanX, tanY, near)
+		}
+	}
+	return v
+}
+
+type camPoint struct {
+	u, v, w float64
+}
+
+func camSpace(p, eye, fwd, right, up geom.Vec3) camPoint {
+	d := p.Sub(eye)
+	return camPoint{u: d.Dot(right), v: d.Dot(up), w: d.Dot(fwd)}
+}
+
+// rasterizeTriangle near-clips and scan-converts one camera-space
+// triangle, identical in approach to the visibility item buffer but for a
+// single arbitrary view.
+func (view *View) rasterizeTriangle(id int32, a, b, c camPoint, tanX, tanY, near float64) {
+	poly := make([]camPoint, 0, 4)
+	verts := [3]camPoint{a, b, c}
+	for i := 0; i < 3; i++ {
+		cur, nxt := verts[i], verts[(i+1)%3]
+		if cur.w >= near {
+			poly = append(poly, cur)
+		}
+		if (cur.w >= near) != (nxt.w >= near) {
+			t := (near - cur.w) / (nxt.w - cur.w)
+			poly = append(poly, camPoint{
+				u: cur.u + t*(nxt.u-cur.u),
+				v: cur.v + t*(nxt.v-cur.v),
+				w: near,
+			})
+		}
+	}
+	for i := 1; i+1 < len(poly); i++ {
+		view.rasterClipped(id, poly[0], poly[i], poly[i+1], tanX, tanY)
+	}
+}
+
+func (view *View) rasterClipped(id int32, a, b, c camPoint, tanX, tanY float64) {
+	type proj struct{ x, y, invW float64 }
+	pr := func(p camPoint) proj {
+		return proj{x: p.u / (p.w * tanX), y: p.v / (p.w * tanY), invW: 1 / p.w}
+	}
+	pa, pb, pc := pr(a), pr(b), pr(c)
+
+	toPixX := func(t float64) float64 { return (t + 1) / 2 * float64(view.W) }
+	toPixY := func(t float64) float64 { return (1 - t) / 2 * float64(view.H) } // +v is up
+	minX := int(math.Floor(toPixX(math.Min(pa.x, math.Min(pb.x, pc.x)))))
+	maxX := int(math.Ceil(toPixX(math.Max(pa.x, math.Max(pb.x, pc.x)))))
+	minY := int(math.Floor(toPixY(math.Max(pa.y, math.Max(pb.y, pc.y)))))
+	maxY := int(math.Ceil(toPixY(math.Min(pa.y, math.Min(pb.y, pc.y)))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX > view.W {
+		maxX = view.W
+	}
+	if maxY > view.H {
+		maxY = view.H
+	}
+	if minX >= maxX || minY >= maxY {
+		return
+	}
+	area := (pb.x-pa.x)*(pc.y-pa.y) - (pb.y-pa.y)*(pc.x-pa.x)
+	if math.Abs(area) < 1e-18 {
+		return
+	}
+	invArea := 1 / area
+	for py := minY; py < maxY; py++ {
+		// Pixel center back to NDC.
+		y := 1 - (float64(py)+0.5)/float64(view.H)*2
+		for px := minX; px < maxX; px++ {
+			x := (float64(px)+0.5)/float64(view.W)*2 - 1
+			w0 := ((pb.x-x)*(pc.y-y) - (pb.y-y)*(pc.x-x)) * invArea
+			w1 := ((pc.x-x)*(pa.y-y) - (pc.y-y)*(pa.x-x)) * invArea
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			invW := w0*pa.invW + w1*pb.invW + w2*pc.invW
+			if invW <= 0 {
+				continue
+			}
+			depth := 1 / invW
+			idx := py*view.W + px
+			if depth < view.Depth[idx] {
+				view.Depth[idx] = depth
+				view.ID[idx] = id
+			}
+		}
+	}
+}
+
+// CoveredFraction returns the fraction of pixels with any geometry.
+func (v *View) CoveredFraction() float64 {
+	n := 0
+	for _, id := range v.ID {
+		if id >= 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(v.ID))
+}
+
+// WritePGM writes the view as a binary PGM (P5) grayscale image: nearer
+// geometry is brighter, empty pixels are black. PGM is the simplest format
+// every image tool reads, and it keeps the repository dependency-free.
+func (v *View) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", v.W, v.H); err != nil {
+		return err
+	}
+	// Depth range for shading (5th-95th percentile-ish via min/max of
+	// finite values).
+	minD, maxD := math.Inf(1), 0.0
+	for _, d := range v.Depth {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD > maxD {
+		minD, maxD = 0, 1
+	}
+	span := maxD - minD
+	if span <= 0 {
+		span = 1
+	}
+	for i, d := range v.Depth {
+		var g byte
+		if v.ID[i] >= 0 {
+			t := (d - minD) / span
+			g = byte(230 - 180*geom.Clamp(t, 0, 1))
+		}
+		if err := bw.WriteByte(g); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

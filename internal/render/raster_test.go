@@ -1,0 +1,123 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func TestRenderViewBasic(t *testing.T) {
+	// One box straight ahead fills the image center.
+	box := mesh.NewBox(geom.Box(geom.V(10, -2, -2), geom.V(12, 2, 2)))
+	cfg := DefaultViewConfig(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	cfg.W, cfg.H = 64, 48
+	v := RenderView(cfg, []RenderItem{{ID: 7, Mesh: box}})
+	center := v.ID[(v.H/2)*v.W+v.W/2]
+	if center != 7 {
+		t.Fatalf("center pixel = %d, want 7", center)
+	}
+	d := v.Depth[(v.H/2)*v.W+v.W/2]
+	if math.Abs(d-10) > 0.1 {
+		t.Fatalf("center depth = %v, want ~10", d)
+	}
+	if cf := v.CoveredFraction(); cf <= 0 || cf >= 1 {
+		t.Fatalf("covered fraction = %v", cf)
+	}
+	// Corner pixel is empty (box doesn't fill the 60-degree view).
+	if v.ID[0] != -1 {
+		t.Fatal("corner should be empty")
+	}
+}
+
+func TestRenderViewZBuffer(t *testing.T) {
+	near := mesh.NewBox(geom.Box(geom.V(5, -1, -1), geom.V(6, 1, 1)))
+	far := mesh.NewBox(geom.Box(geom.V(20, -5, -5), geom.V(22, 5, 5)))
+	cfg := DefaultViewConfig(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	cfg.W, cfg.H = 64, 48
+	// Draw far first; near must still win the center pixels.
+	v := RenderView(cfg, []RenderItem{{ID: 2, Mesh: far}, {ID: 1, Mesh: near}})
+	center := v.ID[(v.H/2)*v.W+v.W/2]
+	if center != 1 {
+		t.Fatalf("center = %d, near box should occlude", center)
+	}
+	// Off-center pixels beyond the near box show the far box.
+	sawFar := false
+	for _, id := range v.ID {
+		if id == 2 {
+			sawFar = true
+			break
+		}
+	}
+	if !sawFar {
+		t.Fatal("far box completely hidden — too aggressive")
+	}
+}
+
+func TestRenderViewBehindCamera(t *testing.T) {
+	behind := mesh.NewBox(geom.Box(geom.V(-12, -2, -2), geom.V(-10, 2, 2)))
+	cfg := DefaultViewConfig(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	v := RenderView(cfg, []RenderItem{{ID: 1, Mesh: behind}})
+	if v.CoveredFraction() != 0 {
+		t.Fatal("geometry behind the camera rendered")
+	}
+	// A box straddling the camera plane must not panic and must render
+	// only its forward part.
+	straddle := mesh.NewBox(geom.Box(geom.V(-1, -1, -1), geom.V(5, 1, 1)))
+	v2 := RenderView(cfg, []RenderItem{{ID: 1, Mesh: straddle}})
+	if v2.CoveredFraction() == 0 {
+		t.Fatal("straddling box invisible")
+	}
+}
+
+func TestRenderViewNilAndDefaults(t *testing.T) {
+	v := RenderView(ViewConfig{Eye: geom.V(0, 0, 0), Look: geom.V(1, 0, 0), Up: geom.V(0, 0, 1)},
+		[]RenderItem{{ID: 1, Mesh: nil}})
+	if v.W != 320 || v.H != 240 {
+		t.Fatalf("defaults not applied: %dx%d", v.W, v.H)
+	}
+	if v.CoveredFraction() != 0 {
+		t.Fatal("nil mesh rendered")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	box := mesh.NewBox(geom.Box(geom.V(10, -2, -2), geom.V(12, 2, 2)))
+	cfg := DefaultViewConfig(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	cfg.W, cfg.H = 32, 24
+	v := RenderView(cfg, []RenderItem{{ID: 0, Mesh: box}})
+	var buf bytes.Buffer
+	if err := v.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P5\n32 24\n255\n") {
+		t.Fatalf("bad header: %q", out[:20])
+	}
+	header := len("P5\n32 24\n255\n")
+	if len(out) != header+32*24 {
+		t.Fatalf("payload %d bytes, want %d", len(out)-header, 32*24)
+	}
+	// Center bright, corner black.
+	px := out[header+12*32+16]
+	if px == 0 {
+		t.Fatal("center pixel black")
+	}
+	if out[header] != 0 {
+		t.Fatal("corner pixel not black")
+	}
+}
+
+func TestRenderViewMatchesFidelityCoverage(t *testing.T) {
+	// Rendering a big enclosing box from inside covers every pixel.
+	room := mesh.NewBox(geom.BoxAt(geom.V(0, 0, 0), 10))
+	cfg := DefaultViewConfig(geom.V(0, 0, 0), geom.V(1, 0.2, 0))
+	cfg.W, cfg.H = 48, 48
+	v := RenderView(cfg, []RenderItem{{ID: 3, Mesh: room}})
+	if cf := v.CoveredFraction(); cf < 0.999 {
+		t.Fatalf("room coverage %v, want ~1", cf)
+	}
+}

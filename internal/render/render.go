@@ -1,0 +1,145 @@
+// Package render models the rendering side of the walkthrough prototype:
+// a polygon-throughput frame-cost model standing in for the paper's
+// OpenGL/Pentium-4 renderer, and quantitative visual-fidelity metrics
+// replacing the screenshot comparison of Figure 11 (DESIGN.md §3.5).
+package render
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config is the frame-cost model. FrameTime = I/O time + polygons /
+// PolysPerSecond + FrameOverhead.
+type Config struct {
+	// PolysPerSecond is the sustained triangle throughput. 5M tri/s is
+	// representative of 2002-era consumer hardware and calibrates the
+	// model into the paper's 12-16 ms frame-time range for the city
+	// scenes.
+	PolysPerSecond float64
+	// FrameOverhead is the fixed per-frame cost (buffer swap, traversal
+	// CPU, driver).
+	FrameOverhead time.Duration
+}
+
+// DefaultConfig returns the 2003-calibrated cost model.
+func DefaultConfig() Config {
+	return Config{
+		PolysPerSecond: 5e6,
+		FrameOverhead:  4 * time.Millisecond,
+	}
+}
+
+// RenderTime returns the simulated GPU time for the given polygon count.
+func (c Config) RenderTime(polygons float64) time.Duration {
+	if c.PolysPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(polygons / c.PolysPerSecond * float64(time.Second))
+}
+
+// FrameTime combines I/O wait, rendering and fixed overhead.
+func (c Config) FrameTime(polygons float64, ioTime time.Duration) time.Duration {
+	return ioTime + c.RenderTime(polygons) + c.FrameOverhead
+}
+
+// Fidelity quantifies how faithfully an answer set reproduces the ground
+// truth visible scene at a viewpoint. All weights are DoV mass, so a
+// barely visible missed object hurts less than a dominant one.
+type Fidelity struct {
+	// VisibleObjects is the ground-truth count of objects with DoV > 0.
+	VisibleObjects int
+	// CoveredObjects is how many of them the answer set represents,
+	// directly or through an ancestor's internal LoD.
+	CoveredObjects int
+	// MissedObjects = VisibleObjects - CoveredObjects: the paper's "far
+	// objects are lost" failure of spatial methods (Figure 11b).
+	MissedObjects int
+	// Coverage is the DoV mass fraction covered, in [0, 1].
+	Coverage float64
+	// MissedDoV is the DoV mass of missed objects.
+	MissedDoV float64
+	// DetailFidelity weights covered DoV mass by the *effective* detail
+	// it is shown at — the ratio of rendered polygons to the full-detail
+	// polygon budget of what the item represents — in [0, 1]. Rendering
+	// everything at the finest LoD scores 1. (The raw equation-5/6
+	// coefficients are not comparable across item kinds: equation 5's
+	// DoV/η is relative to an already coarse internal chain.)
+	DetailFidelity float64
+}
+
+// Evaluate computes fidelity of a query answer against a ground-truth
+// per-object DoV field (from visibility.Engine.PointDoV at the viewpoint).
+// Items with ObjectID >= 0 cover that object; items with a NodeID cover
+// every descendant object of that node. Effective detail is the item's
+// polygon budget divided by the full-detail polygons of the geometry it
+// stands for.
+func Evaluate(t *core.Tree, items []core.ResultItem, truth []float64) Fidelity {
+	covered := make([]float64, len(truth)) // best effective detail per object
+	has := make([]bool, len(truth))
+	fullPolys := func(objID int64) float64 {
+		return float64(t.Scene.Object(objID).LoDs.Finest().NumTriangles())
+	}
+	for _, it := range items {
+		if it.ObjectID >= 0 {
+			if int(it.ObjectID) < len(truth) {
+				eff := 1.0
+				if fp := fullPolys(it.ObjectID); fp > 0 {
+					eff = it.Polygons / fp
+					if eff > 1 {
+						eff = 1
+					}
+				}
+				if eff > covered[it.ObjectID] {
+					covered[it.ObjectID] = eff
+				}
+				has[it.ObjectID] = true
+			}
+			continue
+		}
+		if it.NodeID >= 0 {
+			var descFull float64
+			t.DescendantObjects(it.NodeID, func(objID int64) {
+				descFull += fullPolys(objID)
+			})
+			eff := 1.0
+			if descFull > 0 {
+				eff = it.Polygons / descFull
+				if eff > 1 {
+					eff = 1
+				}
+			}
+			t.DescendantObjects(it.NodeID, func(objID int64) {
+				if int(objID) >= len(truth) {
+					return
+				}
+				if eff > covered[objID] {
+					covered[objID] = eff
+				}
+				has[objID] = true
+			})
+		}
+	}
+	var f Fidelity
+	var totalDoV, coveredDoV, detailDoV float64
+	for id, dov := range truth {
+		if dov <= 0 {
+			continue
+		}
+		f.VisibleObjects++
+		totalDoV += dov
+		if has[id] {
+			f.CoveredObjects++
+			coveredDoV += dov
+			detailDoV += dov * covered[id]
+		}
+	}
+	f.MissedObjects = f.VisibleObjects - f.CoveredObjects
+	if totalDoV > 0 {
+		f.Coverage = coveredDoV / totalDoV
+		f.MissedDoV = totalDoV - coveredDoV
+		f.DetailFidelity = detailDoV / totalDoV
+	}
+	return f
+}

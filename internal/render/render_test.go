@@ -1,0 +1,146 @@
+package render_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/testenv"
+)
+
+func TestFrameCostModel(t *testing.T) {
+	cfg := render.Config{PolysPerSecond: 1e6, FrameOverhead: 2 * time.Millisecond}
+	if got := cfg.RenderTime(1e6); got != time.Second {
+		t.Fatalf("render time = %v", got)
+	}
+	if got := cfg.RenderTime(0); got != 0 {
+		t.Fatalf("zero polys = %v", got)
+	}
+	ft := cfg.FrameTime(500000, 10*time.Millisecond)
+	want := 10*time.Millisecond + 500*time.Millisecond + 2*time.Millisecond
+	if ft != want {
+		t.Fatalf("frame time = %v, want %v", ft, want)
+	}
+	// Degenerate throughput.
+	z := render.Config{}
+	if z.RenderTime(100) != 0 {
+		t.Fatal("zero-rate render time not 0")
+	}
+	def := render.DefaultConfig()
+	if def.PolysPerSecond <= 0 || def.FrameOverhead <= 0 {
+		t.Fatal("default config degenerate")
+	}
+}
+
+func TestFidelityFullDetailCoversAll(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	// Evaluate truth at the cell's own DoV sample point: the stored
+	// region field is conservative with respect to the sampled
+	// viewpoints (equation 2), so from this exact point the answer set
+	// must cover every visible object.
+	cell := env.Tree.Grid.Locate(env.Scene.ViewRegion.Center())
+	eye := env.Tree.Grid.SamplePoints(cell, 1)[0]
+	truth := env.Engine.PointDoV(eye)
+	res, err := env.Tree.Query(cell, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := render.Evaluate(env.Tree, res.Items, truth)
+	if f.MissedObjects != 0 {
+		t.Fatalf("missed %d objects with region-based visibility", f.MissedObjects)
+	}
+	if math.Abs(f.Coverage-1) > 1e-9 {
+		t.Fatalf("coverage = %v", f.Coverage)
+	}
+	if f.DetailFidelity <= 0 || f.DetailFidelity > 1 {
+		t.Fatalf("detail fidelity = %v", f.DetailFidelity)
+	}
+}
+
+func TestFidelityInternalItemsCover(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	cell := env.Tree.Grid.Locate(env.Scene.ViewRegion.Center())
+	eye := env.Tree.Grid.SamplePoints(cell, 1)[0]
+	truth := env.Engine.PointDoV(eye)
+	res, err := env.Tree.Query(cell, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := render.Evaluate(env.Tree, res.Items, truth)
+	// Internal LoDs still cover their descendants: full coverage, lower
+	// detail fidelity than at full detail.
+	if f.MissedObjects != 0 {
+		t.Fatalf("missed %d with internal LoDs", f.MissedObjects)
+	}
+	res0, err := env.Tree.Query(cell, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := render.Evaluate(env.Tree, res0.Items, truth)
+	if f.DetailFidelity > f0.DetailFidelity+1e-9 {
+		t.Fatalf("coarser answer has higher fidelity: %v > %v", f.DetailFidelity, f0.DetailFidelity)
+	}
+}
+
+func TestFidelityDetectsMisses(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	eye := env.Scene.ViewRegion.Center()
+	truth := env.Engine.PointDoV(eye)
+	// An empty answer misses everything.
+	f := render.Evaluate(env.Tree, nil, truth)
+	if f.CoveredObjects != 0 || f.Coverage != 0 || f.DetailFidelity != 0 {
+		t.Fatalf("empty answer scored %+v", f)
+	}
+	if f.VisibleObjects == 0 {
+		t.Fatal("no visible objects at city center")
+	}
+	if f.MissedDoV <= 0 {
+		t.Fatal("missed DoV mass should be positive")
+	}
+	// A single-object answer covers exactly that object.
+	var anyVisible int64 = -1
+	for id, d := range truth {
+		if d > 0 {
+			anyVisible = int64(id)
+			break
+		}
+	}
+	one := []core.ResultItem{{ObjectID: anyVisible, NodeID: core.NilNode, Detail: 1}}
+	f1 := render.Evaluate(env.Tree, one, truth)
+	if f1.CoveredObjects != 1 {
+		t.Fatalf("covered %d, want 1", f1.CoveredObjects)
+	}
+	if f1.MissedObjects != f.VisibleObjects-1 {
+		t.Fatalf("missed %d, want %d", f1.MissedObjects, f.VisibleObjects-1)
+	}
+}
+
+func TestFidelityDetailWeighting(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	truth := make([]float64, len(env.Scene.Objects))
+	truth[0] = 0.3
+	truth[1] = 0.1
+	p0 := float64(env.Scene.Object(0).LoDs.Finest().NumTriangles())
+	p1 := float64(env.Scene.Object(1).LoDs.Finest().NumTriangles())
+	full := []core.ResultItem{
+		{ObjectID: 0, NodeID: core.NilNode, Polygons: p0},
+		{ObjectID: 1, NodeID: core.NilNode, Polygons: p1},
+	}
+	half := []core.ResultItem{
+		{ObjectID: 0, NodeID: core.NilNode, Polygons: p0 / 2},
+		{ObjectID: 1, NodeID: core.NilNode, Polygons: p1 / 2},
+	}
+	ff := render.Evaluate(env.Tree, full, truth)
+	fh := render.Evaluate(env.Tree, half, truth)
+	if math.Abs(ff.DetailFidelity-1) > 1e-12 {
+		t.Fatalf("full detail fidelity = %v", ff.DetailFidelity)
+	}
+	if math.Abs(fh.DetailFidelity-0.5) > 1e-12 {
+		t.Fatalf("half detail fidelity = %v", fh.DetailFidelity)
+	}
+	if ff.Coverage != 1 || fh.Coverage != 1 {
+		t.Fatal("coverage should be 1 in both")
+	}
+}

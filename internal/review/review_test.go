@@ -1,0 +1,233 @@
+package review_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/review"
+	"repro/internal/testenv"
+)
+
+func pose(env *testenv.Env) (geom.Vec3, geom.Vec3) {
+	eye := env.Scene.ViewRegion.Center()
+	return eye, geom.V(1, 0, 0)
+}
+
+func TestReviewQueryReturnsBoxedObjects(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sys := review.New(env.Tree, review.DefaultConfig())
+	eye, look := pose(env)
+	res, err := sys.Query(eye, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) == 0 {
+		t.Fatal("no objects retrieved")
+	}
+	f := sys.Frustum(eye, look)
+	boxes := f.QueryBoxes(sys.Cfg.Bands, sys.Cfg.QueryBoxDepth)
+	seen := make(map[int64]bool)
+	for _, it := range res.Items {
+		if it.IsInternal() {
+			t.Fatal("REVIEW returned an internal LoD")
+		}
+		if seen[it.ObjectID] {
+			t.Fatalf("object %d duplicated", it.ObjectID)
+		}
+		seen[it.ObjectID] = true
+		// Every returned object intersects at least one query box.
+		mbr := env.Scene.Object(it.ObjectID).MBR
+		hit := false
+		for _, b := range boxes {
+			if mbr.Intersects(b) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("object %d outside all query boxes", it.ObjectID)
+		}
+		if it.Detail < 0 || it.Detail > 1 {
+			t.Fatalf("detail %v out of range", it.Detail)
+		}
+	}
+	// Completeness: every object intersecting a box is returned.
+	for _, o := range env.Scene.Objects {
+		inBox := false
+		for _, b := range boxes {
+			if o.MBR.Intersects(b) {
+				inBox = true
+				break
+			}
+		}
+		if inBox && !seen[o.ID] {
+			t.Fatalf("object %d in box but not returned", o.ID)
+		}
+	}
+}
+
+func TestReviewDistanceLoD(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sys := review.New(env.Tree, review.DefaultConfig())
+	eye, look := pose(env)
+	res, err := sys.Query(eye, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detail decreases with distance: check the correlation sign.
+	var cov, n float64
+	var meanD, meanK float64
+	type dk struct{ d, k float64 }
+	var pts []dk
+	for _, it := range res.Items {
+		d := env.Scene.Object(it.ObjectID).MBR.DistToPoint(eye)
+		pts = append(pts, dk{d, it.Detail})
+		meanD += d
+		meanK += it.Detail
+		n++
+	}
+	if n < 3 {
+		t.Skip("too few items")
+	}
+	meanD /= n
+	meanK /= n
+	for _, p := range pts {
+		cov += (p.d - meanD) * (p.k - meanK)
+	}
+	if cov > 0 {
+		t.Fatalf("detail increases with distance (cov %v)", cov)
+	}
+}
+
+func TestReviewShortSightedness(t *testing.T) {
+	// The spatial method misses visible objects beyond its query boxes
+	// (Figure 11b). Compare against ground-truth point DoV.
+	env := testenv.Get(testenv.Small())
+	cfg := review.DefaultConfig()
+	cfg.QueryBoxDepth = 120 // short boxes: pronounced effect
+	sys := review.New(env.Tree, cfg)
+	eye, look := pose(env)
+	res, err := sys.Query(eye, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := env.Engine.PointDoV(eye)
+	retrieved := make(map[int64]bool)
+	for _, it := range res.Items {
+		retrieved[it.ObjectID] = true
+	}
+	missed := 0
+	for id, dov := range truth {
+		if dov > 0 && !retrieved[int64(id)] {
+			// Confirm it is genuinely beyond the boxes.
+			if env.Scene.Objects[id].MBR.DistToPoint(eye) > cfg.QueryBoxDepth {
+				missed++
+			}
+		}
+	}
+	if missed == 0 {
+		t.Skip("no visible object beyond the boxes in this layout")
+	}
+	// The HDoV query from the same cell must cover those objects.
+	cell := env.Tree.Grid.Locate(eye)
+	hres, err := env.Tree.Query(cell, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[int64]bool)
+	for _, it := range hres.Items {
+		if it.ObjectID >= 0 {
+			covered[it.ObjectID] = true
+		} else {
+			env.Tree.DescendantObjects(it.NodeID, func(id int64) { covered[id] = true })
+		}
+	}
+	stillMissed := 0
+	for id, dov := range truth {
+		if dov > 0 && !covered[int64(id)] {
+			stillMissed++
+		}
+	}
+	if stillMissed > 0 {
+		t.Fatalf("HDoV missed %d visible objects (region DoV should cover point DoV)", stillMissed)
+	}
+}
+
+func TestReviewRetrievesHiddenObjects(t *testing.T) {
+	// The second spatial-method problem: objects inside the boxes that
+	// are completely hidden are still retrieved, wasting I/O. Verify that
+	// REVIEW's answer contains at least one object with ground-truth
+	// region DoV of zero (invisible from the whole cell).
+	env := testenv.Get(testenv.Small())
+	sys := review.New(env.Tree, review.DefaultConfig())
+	eye, look := pose(env)
+	res, err := sys.Query(eye, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := env.Tree.Grid.Locate(eye)
+	visible := make(map[int64]bool)
+	perNode := env.Vis.PerCell[cell]
+	for id, vd := range perNode {
+		if vd == nil || !env.Tree.Nodes[id].Leaf {
+			continue
+		}
+		for ei, v := range vd {
+			if v.DoV > 0 {
+				visible[env.Tree.Nodes[id].Entries[ei].ObjectID] = true
+			}
+		}
+	}
+	wasted := 0
+	for _, it := range res.Items {
+		if !visible[it.ObjectID] {
+			wasted++
+		}
+	}
+	if wasted == 0 {
+		t.Skip("no hidden object inside boxes for this pose")
+	}
+	t.Logf("REVIEW retrieved %d hidden objects of %d", wasted, len(res.Items))
+}
+
+func TestReviewConfigDefaults(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sys := review.New(env.Tree, review.Config{})
+	if sys.Cfg.QueryBoxDepth != 400 || sys.Cfg.Bands != 1 {
+		t.Fatalf("defaults not applied: %+v", sys.Cfg)
+	}
+	if _, err := sys.Query(env.Scene.ViewRegion.Center(), geom.V(0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReviewFetchComplement(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sys := review.New(env.Tree, review.DefaultConfig())
+	eye, look := pose(env)
+	res, err := sys.Query(eye, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := sys.FetchPayloads(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != len(res.Items) {
+		t.Fatalf("fetched %d of %d", n1, len(res.Items))
+	}
+	// Complement search: everything cached means nothing fetched.
+	cached := make(map[int64]bool)
+	for _, it := range res.Items {
+		cached[it.ObjectID] = true
+	}
+	before := env.Disk.Stats()
+	n2, err := sys.FetchPayloads(res, func(it core.ResultItem) bool { return cached[it.ObjectID] })
+	if err != nil || n2 != 0 {
+		t.Fatalf("complement fetched %d", n2)
+	}
+	if env.Disk.Stats().Sub(before).HeavyReads != 0 {
+		t.Fatal("complement charged I/O")
+	}
+}

@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is one object for bulk loading: its bounding box and identifier.
+type Item struct {
+	MBR geom.AABB
+	ID  int64
+}
+
+// BulkLoad builds a packed R-tree with the Sort-Tile-Recursive algorithm
+// (Leutenegger, Lopez, Edgington: "STR: a simple and efficient algorithm
+// for R-tree packing", ICDE 1997), extended to three dimensions: items are
+// sorted into x-slabs, each slab into y-runs, each run packed into leaves
+// by z. Upper levels are packed recursively from the level below's MBRs.
+//
+// The result is a valid Tree (all invariants hold, Search/Delete/Insert
+// work); compared to one-by-one insertion with the Ang–Tan split it has
+// near-100% leaf fill and much lower sibling overlap — the HDoV build
+// pipeline exposes it as an alternative backbone (ablation D8).
+func BulkLoad(items []Item, minEntries, maxEntries int) *Tree {
+	t := New(minEntries, maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	// Leaf level.
+	leafEntries := make([]Entry, len(items))
+	for i, it := range items {
+		leafEntries[i] = Entry{MBR: it.MBR, ItemID: it.ID}
+	}
+	nodes := packLevel(leafEntries, true, t.minEntries, t.maxEntries)
+	t.size = len(items)
+	t.height = 1
+
+	// Pack upward until a single node remains.
+	for len(nodes) > 1 {
+		entries := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			entries[i] = Entry{MBR: nodeMBR(n), Child: n}
+		}
+		parents := packLevel(entries, false, t.minEntries, t.maxEntries)
+		for _, p := range parents {
+			for i := range p.Entries {
+				p.Entries[i].Child.parent = p
+			}
+		}
+		nodes = parents
+		t.height++
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// packLevel tiles entries into nodes of up to maxE entries using STR's
+// slab/run/pack recursion over the three axes of the entry centers.
+func packLevel(entries []Entry, leaf bool, minE, maxE int) []*Node {
+	nNodes := (len(entries) + maxE - 1) / maxE
+	if nNodes <= 1 {
+		n := &Node{Leaf: leaf, Entries: append([]Entry(nil), entries...)}
+		return []*Node{n}
+	}
+
+	center := func(e Entry, axis int) float64 { return e.MBR.Center().Axis(axis) }
+
+	// Slabs along x.
+	sx := int(math.Ceil(math.Cbrt(float64(nNodes))))
+	perSlab := sx * sx * maxE // capacity of one x-slab (sx·sx nodes)
+	sort.SliceStable(entries, func(i, j int) bool { return center(entries[i], 0) < center(entries[j], 0) })
+
+	var out []*Node
+	for xo := 0; xo < len(entries); {
+		xhi := min(xo+perSlab, len(entries))
+		// A tail slab shorter than the min fill merges into this one.
+		if len(entries)-xhi < minE {
+			xhi = len(entries)
+		}
+		slab := entries[xo:xhi]
+		xo = xhi
+		// Runs along y within the slab.
+		slabNodes := (len(slab) + maxE - 1) / maxE
+		sy := int(math.Ceil(math.Sqrt(float64(slabNodes))))
+		perRun := sy * maxE
+		sort.SliceStable(slab, func(i, j int) bool { return center(slab[i], 1) < center(slab[j], 1) })
+		for yo := 0; yo < len(slab); {
+			yhi := min(yo+perRun, len(slab))
+			if len(slab)-yhi < minE {
+				yhi = len(slab)
+			}
+			run := slab[yo:yhi]
+			yo = yhi
+			sort.SliceStable(run, func(i, j int) bool { return center(run[i], 2) < center(run[j], 2) })
+			out = append(out, packRun(run, leaf, minE, maxE)...)
+		}
+	}
+	return out
+}
+
+// packRun chunks one z-sorted run into nodes of maxE entries, splitting
+// the tail so no node falls below minE (the min-fill invariant): when the
+// remainder would be short, the last two chunks are evened out.
+func packRun(run []Entry, leaf bool, minE, maxE int) []*Node {
+	var out []*Node
+	n := len(run)
+	for off := 0; off < n; {
+		remain := n - off
+		take := maxE
+		if remain <= maxE {
+			take = remain
+		} else if remain < maxE+minE {
+			// The tail after a full chunk would be underfull: split the
+			// remainder evenly across two nodes.
+			take = remain - minE
+			if take > maxE {
+				take = maxE
+			}
+			if take < minE {
+				take = minE
+			}
+		}
+		chunk := run[off : off+take]
+		out = append(out, &Node{Leaf: leaf, Entries: append([]Entry(nil), chunk...)})
+		off += take
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OverlapRatio measures sibling MBR overlap at the root level: the summed
+// pairwise intersection volume divided by the summed child volume. Lower
+// is better; bulk loading should beat incremental insertion (ablation D8).
+func (t *Tree) OverlapRatio() float64 {
+	root := t.root
+	if root.Leaf || len(root.Entries) < 2 {
+		return 0
+	}
+	var overlap, total float64
+	for i := range root.Entries {
+		total += root.Entries[i].MBR.Volume()
+		for j := i + 1; j < len(root.Entries); j++ {
+			overlap += root.Entries[i].MBR.Intersect(root.Entries[j].MBR).Volume()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return overlap / total
+}
+
+// FillFactor returns the mean leaf occupancy as a fraction of maxEntries.
+func (t *Tree) FillFactor() float64 {
+	var entries, leaves int
+	t.WalkDepthFirst(func(n *Node, _ int) {
+		if n.Leaf {
+			entries += len(n.Entries)
+			leaves++
+		}
+	})
+	if leaves == 0 {
+		return 0
+	}
+	return float64(entries) / float64(leaves*t.maxEntries)
+}

@@ -1,0 +1,169 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{MBR: randBox(r, 1000, 20), ID: int64(i)}
+	}
+	return items
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 500, 2000} {
+		items := randItems(r, n)
+		tr := BulkLoad(items, 3, 8)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	items := randItems(r, 700)
+	tr := BulkLoad(items, 3, 8)
+	boxes := make([]geom.AABB, len(items))
+	for i, it := range items {
+		boxes[i] = it.MBR
+	}
+	for q := 0; q < 100; q++ {
+		query := randBox(r, 1000, 150)
+		got := tr.Search(query, nil)
+		want := bruteSearch(boxes, query)
+		if !sortedEqual(got, want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadPackedShape(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	items := randItems(r, 1000)
+	packed := BulkLoad(items, 3, 8)
+	// Near-full leaves.
+	if ff := packed.FillFactor(); ff < 0.85 {
+		t.Fatalf("fill factor %v, want >= 0.85", ff)
+	}
+	// Height close to the information-theoretic minimum.
+	minHeight := int(math.Ceil(math.Log(float64(len(items))) / math.Log(8)))
+	if packed.Height() > minHeight+1 {
+		t.Fatalf("height %d, packed minimum ~%d", packed.Height(), minHeight)
+	}
+	// Packed construction beats incremental insertion on node count.
+	incremental := New(3, 8)
+	for _, it := range items {
+		incremental.Insert(it.MBR, it.ID)
+	}
+	if packed.NumNodes() >= incremental.NumNodes() {
+		t.Fatalf("packed %d nodes, incremental %d", packed.NumNodes(), incremental.NumNodes())
+	}
+}
+
+func TestBulkLoadLowerOverlap(t *testing.T) {
+	// Averaged over several uniform datasets, STR's root-level sibling
+	// overlap should not exceed incremental insertion's.
+	var packedSum, incSum float64
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(40 + seed))
+		items := randItems(r, 800)
+		packed := BulkLoad(items, 3, 8)
+		incremental := New(3, 8)
+		for _, it := range items {
+			incremental.Insert(it.MBR, it.ID)
+		}
+		packedSum += packed.OverlapRatio()
+		incSum += incremental.OverlapRatio()
+	}
+	if packedSum > incSum {
+		t.Fatalf("bulk overlap %v > incremental %v", packedSum, incSum)
+	}
+}
+
+func TestBulkLoadedTreeIsDynamic(t *testing.T) {
+	// A bulk-loaded tree must accept subsequent inserts and deletes.
+	r := rand.New(rand.NewSource(35))
+	items := randItems(r, 300)
+	tr := BulkLoad(items, 3, 8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(randBox(r, 1000, 20), int64(1000+i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if !tr.Delete(items[i].MBR, items[i].ID) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300+100-150 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	tr := BulkLoad(nil, 3, 8)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("empty bulk load malformed")
+	}
+	tr.Insert(geom.BoxAt(geom.V(0, 0, 0), 1), 1)
+	if tr.Len() != 1 {
+		t.Fatal("empty bulk-loaded tree not usable")
+	}
+	one := BulkLoad([]Item{{MBR: geom.BoxAt(geom.V(1, 1, 1), 1), ID: 5}}, 3, 8)
+	if got := one.Search(geom.BoxAt(geom.V(1, 1, 1), 2), nil); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("single-item search = %v", got)
+	}
+}
+
+func TestPropBulkLoadAllFindable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(400))
+		items := randItems(r, n)
+		tr := BulkLoad(items, 2, 4+int(r.Int31n(12)))
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		for _, it := range items {
+			found := false
+			for _, id := range tr.Search(it.MBR, nil) {
+				if id == it.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	items := randItems(r, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(items, 3, 8)
+	}
+}

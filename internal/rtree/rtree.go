@@ -1,0 +1,505 @@
+// Package rtree implements a 3-dimensional R-tree (Guttman, SIGMOD'84) with
+// the Ang–Tan linear node-splitting algorithm (SSD'97), the combination the
+// paper uses as the HDoV-tree backbone: "an R-tree spatial index is created
+// to organize the object models. The insertion algorithm applies a linear
+// node splitting algorithm to minimize the overlap of the bounding boxes"
+// (§5.1).
+//
+// The tree is an in-memory structure; the HDoV-tree builder walks its nodes
+// in depth-first order to assign on-disk node IDs, and the REVIEW baseline
+// runs window queries against it directly.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Entry is one slot of a node: either a child pointer (internal nodes) or an
+// item reference (leaf nodes). Fields are exported so that the HDoV-tree
+// builder and the storage layer can mirror the structure; they must be
+// treated as read-only outside this package.
+type Entry struct {
+	MBR    geom.AABB
+	Child  *Node // non-nil in internal nodes
+	ItemID int64 // valid in leaf nodes
+}
+
+// Node is an R-tree node. Exported for read-only structural access.
+type Node struct {
+	Leaf    bool
+	Entries []Entry
+	parent  *Node
+}
+
+// Tree is a 3D R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root       *Node
+	minEntries int
+	maxEntries int
+	size       int
+	height     int
+}
+
+// DefaultMinEntries and DefaultMaxEntries are the fan-out bounds used when
+// New is given non-positive values. M=8 gives trees of height 4-6 for the
+// city datasets, matching the paper's reported tree shapes.
+const (
+	DefaultMinEntries = 3
+	DefaultMaxEntries = 8
+)
+
+// New creates an empty R-tree with the given fan-out bounds. min must be at
+// most max/2, per Guttman; out-of-range values fall back to defaults.
+func New(minEntries, maxEntries int) *Tree {
+	if maxEntries < 2 {
+		maxEntries = DefaultMaxEntries
+	}
+	if minEntries < 1 || minEntries > maxEntries/2 {
+		minEntries = maxEntries / 2
+		if minEntries < 1 {
+			minEntries = 1
+		}
+	}
+	return &Tree{
+		root:       &Node{Leaf: true},
+		minEntries: minEntries,
+		maxEntries: maxEntries,
+		height:     1,
+	}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a tree that is a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// MinEntries returns the minimum fan-out m (used by the paper's bound
+// N_vnode <= N_vobj * log_m N_obj, equation 7).
+func (t *Tree) MinEntries() int { return t.minEntries }
+
+// MaxEntries returns the maximum fan-out M (the M of equation 4).
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// Root returns the root node for read-only structural walks.
+func (t *Tree) Root() *Node { return t.root }
+
+// Bounds returns the MBR of everything in the tree.
+func (t *Tree) Bounds() geom.AABB {
+	return nodeMBR(t.root)
+}
+
+func nodeMBR(n *Node) geom.AABB {
+	b := geom.EmptyAABB()
+	for _, e := range n.Entries {
+		b = b.Union(e.MBR)
+	}
+	return b
+}
+
+// Insert adds an item with the given bounding box.
+func (t *Tree) Insert(mbr geom.AABB, id int64) {
+	leaf := t.chooseLeaf(t.root, mbr)
+	leaf.Entries = append(leaf.Entries, Entry{MBR: mbr, ItemID: id})
+	t.size++
+	t.adjustTree(leaf)
+}
+
+// chooseLeaf descends from n picking the child needing least enlargement
+// (ties: smaller volume), Guttman's ChooseLeaf.
+func (t *Tree) chooseLeaf(n *Node, mbr geom.AABB) *Node {
+	for !n.Leaf {
+		best := -1
+		bestEnl := math.Inf(1)
+		bestVol := math.Inf(1)
+		for i := range n.Entries {
+			enl := n.Entries[i].MBR.Enlargement(mbr)
+			vol := n.Entries[i].MBR.Volume()
+			if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+				best, bestEnl, bestVol = i, enl, vol
+			}
+		}
+		n = n.Entries[best].Child
+	}
+	return n
+}
+
+// adjustTree propagates MBR updates and splits from n to the root.
+func (t *Tree) adjustTree(n *Node) {
+	for {
+		var splitOff *Node
+		if len(n.Entries) > t.maxEntries {
+			splitOff = t.splitNode(n)
+		}
+		p := n.parent
+		if p == nil {
+			if splitOff != nil {
+				// Root split: grow the tree.
+				newRoot := &Node{Leaf: false}
+				newRoot.Entries = append(newRoot.Entries,
+					Entry{MBR: nodeMBR(n), Child: n},
+					Entry{MBR: nodeMBR(splitOff), Child: splitOff},
+				)
+				n.parent = newRoot
+				splitOff.parent = newRoot
+				t.root = newRoot
+				t.height++
+			}
+			return
+		}
+		// Refresh n's MBR in its parent.
+		for i := range p.Entries {
+			if p.Entries[i].Child == n {
+				p.Entries[i].MBR = nodeMBR(n)
+				break
+			}
+		}
+		if splitOff != nil {
+			splitOff.parent = p
+			p.Entries = append(p.Entries, Entry{MBR: nodeMBR(splitOff), Child: splitOff})
+		}
+		n = p
+	}
+}
+
+// splitNode splits an overflowing node in place using the Ang–Tan linear
+// algorithm and returns the new sibling holding the moved entries.
+//
+// Ang–Tan: for each axis, partition entries by whether they are closer to
+// the node MBR's lower or upper boundary along that axis; choose the axis
+// with the most balanced partition, breaking ties by the smallest overlap
+// between the two group MBRs, then by smallest total coverage.
+func (t *Tree) splitNode(n *Node) *Node {
+	box := nodeMBR(n)
+	type candidate struct {
+		inLower  []bool
+		nLower   int
+		balance  int     // |count difference|
+		overlap  float64 // volume of MBR intersection
+		coverage float64 // total volume
+	}
+	best := candidate{balance: math.MaxInt32}
+	for axis := 0; axis < 3; axis++ {
+		c := candidate{inLower: make([]bool, len(n.Entries))}
+		lo := box.Min.Axis(axis)
+		hi := box.Max.Axis(axis)
+		for i, e := range n.Entries {
+			distLo := e.MBR.Min.Axis(axis) - lo
+			distHi := hi - e.MBR.Max.Axis(axis)
+			if distLo < distHi {
+				c.inLower[i] = true
+				c.nLower++
+			}
+		}
+		c.balance = abs(2*c.nLower - len(n.Entries))
+		b1, b2 := geom.EmptyAABB(), geom.EmptyAABB()
+		for i, e := range n.Entries {
+			if c.inLower[i] {
+				b1 = b1.Union(e.MBR)
+			} else {
+				b2 = b2.Union(e.MBR)
+			}
+		}
+		c.overlap = b1.Intersect(b2).Volume()
+		c.coverage = b1.Volume() + b2.Volume()
+		if c.balance < best.balance ||
+			(c.balance == best.balance && c.overlap < best.overlap) ||
+			(c.balance == best.balance && c.overlap == best.overlap && c.coverage < best.coverage) {
+			best = c
+		}
+	}
+
+	// Degenerate distributions (all entries in one group) fall back to a
+	// balanced split along the longest axis by MBR center, which Ang–Tan
+	// prescribe when a group would violate the minimum fill.
+	group1 := make([]Entry, 0, len(n.Entries))
+	group2 := make([]Entry, 0, len(n.Entries))
+	if best.nLower < t.minEntries || len(n.Entries)-best.nLower < t.minEntries {
+		axis := box.LongestAxis()
+		order := make([]int, len(n.Entries))
+		for i := range order {
+			order[i] = i
+		}
+		// Insertion sort by center (nodes are small: <= maxEntries+1).
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0; j-- {
+				a := n.Entries[order[j]].MBR.Center().Axis(axis)
+				b := n.Entries[order[j-1]].MBR.Center().Axis(axis)
+				if a < b {
+					order[j], order[j-1] = order[j-1], order[j]
+				} else {
+					break
+				}
+			}
+		}
+		half := len(order) / 2
+		for i, idx := range order {
+			if i < half {
+				group1 = append(group1, n.Entries[idx])
+			} else {
+				group2 = append(group2, n.Entries[idx])
+			}
+		}
+	} else {
+		for i, e := range n.Entries {
+			if best.inLower[i] {
+				group1 = append(group1, e)
+			} else {
+				group2 = append(group2, e)
+			}
+		}
+	}
+
+	sibling := &Node{Leaf: n.Leaf, Entries: group2, parent: n.parent}
+	n.Entries = group1
+	if !n.Leaf {
+		for i := range n.Entries {
+			n.Entries[i].Child.parent = n
+		}
+		for i := range sibling.Entries {
+			sibling.Entries[i].Child.parent = sibling
+		}
+	}
+	return sibling
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Search appends to dst the IDs of all items whose MBR intersects query, and
+// returns the extended slice. The traversal order is deterministic
+// (depth-first, entry order).
+func (t *Tree) Search(query geom.AABB, dst []int64) []int64 {
+	return searchNode(t.root, query, dst)
+}
+
+func searchNode(n *Node, query geom.AABB, dst []int64) []int64 {
+	for _, e := range n.Entries {
+		if !e.MBR.Intersects(query) {
+			continue
+		}
+		if n.Leaf {
+			dst = append(dst, e.ItemID)
+		} else {
+			dst = searchNode(e.Child, query, dst)
+		}
+	}
+	return dst
+}
+
+// SearchFn visits every item whose MBR intersects query; returning false
+// from the visitor stops the search. visitedNodes counts the nodes touched,
+// the quantity REVIEW's I/O accounting charges.
+func (t *Tree) SearchFn(query geom.AABB, visit func(id int64, mbr geom.AABB) bool) (visitedNodes int) {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		visitedNodes++
+		for _, e := range n.Entries {
+			if !e.MBR.Intersects(query) {
+				continue
+			}
+			if n.Leaf {
+				if !visit(e.ItemID, e.MBR) {
+					return false
+				}
+			} else if !walk(e.Child) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	return visitedNodes
+}
+
+// Delete removes the item with the given id and MBR. It returns false if no
+// such item exists. Underfull nodes are condensed: their remaining entries
+// are reinserted, per Guttman's CondenseTree.
+func (t *Tree) Delete(mbr geom.AABB, id int64) bool {
+	leaf, idx := t.findLeaf(t.root, mbr, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.Entries = append(leaf.Entries[:idx], leaf.Entries[idx+1:]...)
+	t.size--
+	t.condenseTree(leaf)
+	// Shrink the root if it has a single child and is not a leaf.
+	for !t.root.Leaf && len(t.root.Entries) == 1 {
+		t.root = t.root.Entries[0].Child
+		t.root.parent = nil
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *Node, mbr geom.AABB, id int64) (*Node, int) {
+	if n.Leaf {
+		for i, e := range n.Entries {
+			if e.ItemID == id && e.MBR == mbr {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, e := range n.Entries {
+		if e.MBR.Contains(mbr) {
+			if leaf, i := t.findLeaf(e.Child, mbr, id); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+func (t *Tree) condenseTree(n *Node) {
+	type orphan struct {
+		node  *Node
+		depth int // leaf distance, to reinsert at the right level
+	}
+	var orphans []orphan
+	depth := 0
+	for n.parent != nil {
+		p := n.parent
+		if len(n.Entries) < t.minEntries {
+			// Remove n from its parent and remember it for reinsertion.
+			for i := range p.Entries {
+				if p.Entries[i].Child == n {
+					p.Entries = append(p.Entries[:i], p.Entries[i+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, orphan{node: n, depth: depth})
+		} else {
+			for i := range p.Entries {
+				if p.Entries[i].Child == n {
+					p.Entries[i].MBR = nodeMBR(n)
+					break
+				}
+			}
+		}
+		n = p
+		depth++
+	}
+	// Reinsert orphaned entries. Leaf orphans reinsert items; internal
+	// orphans reinsert their child subtrees at the proper level.
+	for _, o := range orphans {
+		if o.node.Leaf {
+			for _, e := range o.node.Entries {
+				t.size-- // Insert will re-increment
+				t.Insert(e.MBR, e.ItemID)
+			}
+		} else {
+			for _, e := range o.node.Entries {
+				t.insertSubtree(e, o.depth-1)
+			}
+		}
+	}
+}
+
+// insertSubtree reinserts a subtree whose leaves are `depth` levels below
+// it, choosing a host node at the same level.
+func (t *Tree) insertSubtree(e Entry, depth int) {
+	// Descend from the root to the level whose children are `depth+1` deep.
+	target := t.height - 2 - depth // number of descent steps from root
+	n := t.root
+	for steps := 0; steps < target && !n.Leaf; steps++ {
+		best := -1
+		bestEnl := math.Inf(1)
+		for i := range n.Entries {
+			enl := n.Entries[i].MBR.Enlargement(e.MBR)
+			if enl < bestEnl {
+				best, bestEnl = i, enl
+			}
+		}
+		n = n.Entries[best].Child
+	}
+	e.Child.parent = n
+	n.Entries = append(n.Entries, e)
+	t.adjustTree(n)
+}
+
+// CheckInvariants validates the structural invariants of the R-tree and
+// returns the first violation found, or nil. Used by tests and by the
+// database loader's self-check.
+func (t *Tree) CheckInvariants() error {
+	var count int
+	var walk func(n *Node, depth int) error
+	leafDepth := -1
+	walk = func(n *Node, depth int) error {
+		if n != t.root {
+			if len(n.Entries) < t.minEntries {
+				return fmt.Errorf("rtree: node at depth %d underfull: %d < %d", depth, len(n.Entries), t.minEntries)
+			}
+		}
+		if len(n.Entries) > t.maxEntries {
+			return fmt.Errorf("rtree: node at depth %d overfull: %d > %d", depth, len(n.Entries), t.maxEntries)
+		}
+		if n.Leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.Entries)
+			return nil
+		}
+		for i, e := range n.Entries {
+			if e.Child == nil {
+				return fmt.Errorf("rtree: internal entry %d has nil child", i)
+			}
+			if e.Child.parent != n {
+				return fmt.Errorf("rtree: child parent pointer broken at depth %d", depth)
+			}
+			childBox := nodeMBR(e.Child)
+			if !e.MBR.Expand(1e-9).Contains(childBox) {
+				return fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v", e.MBR, childBox)
+			}
+			if err := walk(e.Child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d items reachable", t.size, count)
+	}
+	if leafDepth >= 0 && leafDepth+1 != t.height {
+		return fmt.Errorf("rtree: height %d but leaves at depth %d", t.height, leafDepth)
+	}
+	return nil
+}
+
+// WalkDepthFirst visits every node in depth-first preorder, the order the
+// vertical storage scheme lays V-pages out in: "The V-pages of a cell are
+// sorted in the order of the tree nodes accessed in the depth-first
+// traversal" (§4.2). The visitor receives the node and its depth.
+func (t *Tree) WalkDepthFirst(visit func(n *Node, depth int)) {
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		visit(n, depth)
+		if n.Leaf {
+			return
+		}
+		for _, e := range n.Entries {
+			walk(e.Child, depth+1)
+		}
+	}
+	walk(t.root, 0)
+}
+
+// NumNodes returns the total number of nodes in the tree (N_node of §4).
+func (t *Tree) NumNodes() int {
+	n := 0
+	t.WalkDepthFirst(func(*Node, int) { n++ })
+	return n
+}

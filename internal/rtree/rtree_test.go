@@ -1,0 +1,361 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randBox(r *rand.Rand, world float64, maxSize float64) geom.AABB {
+	c := geom.V(r.Float64()*world, r.Float64()*world, r.Float64()*world)
+	return geom.BoxAt(c, 0.1+r.Float64()*maxSize/2)
+}
+
+func buildRandom(t *testing.T, n int, seed int64) (*Tree, []geom.AABB) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tr := New(0, 0)
+	boxes := make([]geom.AABB, n)
+	for i := 0; i < n; i++ {
+		boxes[i] = randBox(r, 1000, 20)
+		tr.Insert(boxes[i], int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after %d inserts: %v", n, err)
+	}
+	return tr, boxes
+}
+
+func bruteSearch(boxes []geom.AABB, q geom.AABB) []int64 {
+	var out []int64
+	for i, b := range boxes {
+		if b.Intersects(q) {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+func sortedEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int64(nil), a...)
+	bs := append([]int64(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewDefaults(t *testing.T) {
+	tr := New(0, 0)
+	if tr.MaxEntries() != DefaultMaxEntries {
+		t.Fatalf("max = %d", tr.MaxEntries())
+	}
+	if tr.MinEntries() < 1 || tr.MinEntries() > tr.MaxEntries()/2 {
+		t.Fatalf("min = %d", tr.MinEntries())
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("empty tree shape wrong")
+	}
+	// Invalid min falls back.
+	tr2 := New(100, 8)
+	if tr2.MinEntries() != 4 {
+		t.Fatalf("min = %d", tr2.MinEntries())
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New(2, 4)
+	boxes := []geom.AABB{
+		geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)),
+		geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6)),
+		geom.Box(geom.V(0.5, 0.5, 0.5), geom.V(2, 2, 2)),
+	}
+	for i, b := range boxes {
+		tr.Insert(b, int64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := tr.Search(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), nil)
+	if !sortedEqual(got, []int64{0, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	got = tr.Search(geom.Box(geom.V(10, 10, 10), geom.V(11, 11, 11)), nil)
+	if len(got) != 0 {
+		t.Fatalf("got %v for empty query", got)
+	}
+}
+
+func TestSplitGrowsTree(t *testing.T) {
+	tr := New(2, 4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(geom.BoxAt(geom.V(float64(i)*10, 0, 0), 1), int64(i))
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d after 20 inserts with fanout 4", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything findable.
+	got := tr.Search(tr.Bounds(), nil)
+	if len(got) != 20 {
+		t.Fatalf("found %d of 20", len(got))
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	tr, boxes := buildRandom(t, 500, 42)
+	r := rand.New(rand.NewSource(43))
+	for q := 0; q < 100; q++ {
+		query := randBox(r, 1000, 200)
+		got := tr.Search(query, nil)
+		want := bruteSearch(boxes, query)
+		if !sortedEqual(got, want) {
+			t.Fatalf("query %d: got %d items, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestSearchFnEarlyStop(t *testing.T) {
+	tr, _ := buildRandom(t, 200, 7)
+	count := 0
+	tr.SearchFn(tr.Bounds(), func(id int64, mbr geom.AABB) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d, want 5", count)
+	}
+	// Visited node count is positive and bounded by total nodes.
+	visited := tr.SearchFn(geom.BoxAt(geom.V(-1e6, 0, 0), 1), func(int64, geom.AABB) bool { return true })
+	if visited < 1 || visited > tr.NumNodes() {
+		t.Fatalf("visited %d nodes", visited)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, boxes := buildRandom(t, 300, 11)
+	// Delete half.
+	for i := 0; i < 150; i++ {
+		if !tr.Delete(boxes[i], int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Deleted items are gone; surviving items findable.
+	all := tr.Search(tr.Bounds().Expand(1), nil)
+	seen := make(map[int64]bool)
+	for _, id := range all {
+		seen[id] = true
+	}
+	for i := 0; i < 150; i++ {
+		if seen[int64(i)] {
+			t.Fatalf("deleted item %d still present", i)
+		}
+	}
+	for i := 150; i < 300; i++ {
+		if !seen[int64(i)] {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+	// Deleting a non-existent item returns false.
+	if tr.Delete(geom.BoxAt(geom.V(1e9, 0, 0), 1), 99999) {
+		t.Fatal("phantom delete succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr, boxes := buildRandom(t, 100, 13)
+	for i := range boxes {
+		if !tr.Delete(boxes[i], int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := tr.Search(geom.BoxAt(geom.V(500, 500, 500), 1e5), nil); len(got) != 0 {
+		t.Fatalf("emptied tree returned %v", got)
+	}
+	// Tree still usable after emptying.
+	tr.Insert(geom.BoxAt(geom.V(0, 0, 0), 1), 1)
+	if tr.Len() != 1 {
+		t.Fatal("reinsert after empty failed")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkDepthFirst(t *testing.T) {
+	tr, _ := buildRandom(t, 200, 17)
+	var depths []int
+	nodes := 0
+	tr.WalkDepthFirst(func(n *Node, depth int) {
+		nodes++
+		depths = append(depths, depth)
+		if depth == 0 && n != tr.Root() {
+			t.Fatal("first node at depth 0 is not root")
+		}
+	})
+	if nodes != tr.NumNodes() {
+		t.Fatalf("walk visited %d, NumNodes says %d", nodes, tr.NumNodes())
+	}
+	if depths[0] != 0 {
+		t.Fatal("walk did not start at root")
+	}
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth+1 != tr.Height() {
+		t.Fatalf("max depth %d vs height %d", maxDepth, tr.Height())
+	}
+}
+
+func TestClusteredInsertOverlapStaysReasonable(t *testing.T) {
+	// Ang-Tan split minimizes overlap; verify sibling overlap at the root
+	// stays small for a clustered workload.
+	r := rand.New(rand.NewSource(5))
+	tr := New(0, 0)
+	id := int64(0)
+	for c := 0; c < 10; c++ {
+		center := geom.V(r.Float64()*10000, r.Float64()*10000, 0)
+		for i := 0; i < 100; i++ {
+			off := geom.V(r.NormFloat64()*50, r.NormFloat64()*50, r.Float64()*30)
+			tr.Insert(geom.BoxAt(center.Add(off), 2), id)
+			id++
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if root.Leaf {
+		t.Fatal("tree unexpectedly shallow")
+	}
+	var overlap, total float64
+	for i := range root.Entries {
+		total += root.Entries[i].MBR.Volume()
+		for j := i + 1; j < len(root.Entries); j++ {
+			overlap += root.Entries[i].MBR.Intersect(root.Entries[j].MBR).Volume()
+		}
+	}
+	if total > 0 && overlap/total > 0.5 {
+		t.Fatalf("root overlap ratio %v too high", overlap/total)
+	}
+}
+
+func TestPropInsertSearchDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + int(r.Int31n(150))
+		tr := New(2, 4+int(r.Int31n(12)))
+		boxes := make([]geom.AABB, n)
+		for i := 0; i < n; i++ {
+			boxes[i] = randBox(r, 500, 30)
+			tr.Insert(boxes[i], int64(i))
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		// Every inserted item findable via its own box.
+		for i := 0; i < n; i++ {
+			found := false
+			for _, id := range tr.Search(boxes[i], nil) {
+				if id == int64(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Random deletions keep invariants.
+		for i := 0; i < n/3; i++ {
+			if !tr.Delete(boxes[i], int64(i)) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil && tr.Len() == n-n/3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEntryMBRContainment(t *testing.T) {
+	// Every node's entry MBR contains all descendant item boxes.
+	tr, boxes := buildRandom(t, 400, 23)
+	_ = boxes
+	var check func(n *Node) geom.AABB
+	ok := true
+	check = func(n *Node) geom.AABB {
+		b := geom.EmptyAABB()
+		for _, e := range n.Entries {
+			if n.Leaf {
+				b = b.Union(e.MBR)
+				continue
+			}
+			sub := check(e.Child)
+			if !e.MBR.Expand(1e-9).Contains(sub) {
+				ok = false
+			}
+			b = b.Union(e.MBR)
+		}
+		return b
+	}
+	check(tr.Root())
+	if !ok {
+		t.Fatal("MBR containment violated")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(0, 0)
+	boxes := make([]geom.AABB, b.N)
+	for i := range boxes {
+		boxes[i] = randBox(r, 10000, 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(boxes[i], int64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(0, 0)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randBox(r, 10000, 20), int64(i))
+	}
+	queries := make([]geom.AABB, 256)
+	for i := range queries {
+		queries[i] = randBox(r, 10000, 500)
+	}
+	var dst []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Search(queries[i%len(queries)], dst[:0])
+	}
+}

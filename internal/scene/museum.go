@@ -1,0 +1,220 @@
+package scene
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/simplify"
+)
+
+// MuseumParams shapes an indoor dataset: a grid of rooms connected by
+// doorways, with exhibits inside. Indoor scenes are the extreme-occlusion
+// regime the visibility literature the paper builds on ([5], [13]) was
+// born in: from any room only that room and thin slices of its neighbors
+// (through doorways) are visible, so DoV-driven pruning removes almost
+// the whole building while spatial query boxes drag in every hidden room
+// they overlap.
+type MuseumParams struct {
+	Seed            int64
+	RoomsX, RoomsY  int
+	RoomSize        float64 // interior room width/depth in meters
+	WallHeight      float64
+	WallThickness   float64
+	DoorWidth       float64
+	DoorHeight      float64
+	ExhibitsPerRoom int
+	LoDLevels       int
+	LoDRatio        float64
+	ExhibitDetail   int
+	// NominalBytes scales payloads as in CityParams.
+	NominalBytes int64
+}
+
+// DefaultMuseumParams returns a 4×4-room gallery.
+func DefaultMuseumParams() MuseumParams {
+	return MuseumParams{
+		Seed:            1,
+		RoomsX:          4,
+		RoomsY:          4,
+		RoomSize:        18,
+		WallHeight:      4,
+		WallThickness:   0.4,
+		DoorWidth:       2.2,
+		DoorHeight:      2.8,
+		ExhibitsPerRoom: 3,
+		LoDLevels:       4,
+		LoDRatio:        0.5,
+		ExhibitDetail:   12,
+		NominalBytes:    100 << 20,
+	}
+}
+
+// GenerateMuseum builds the indoor scene. Walls are opaque box objects
+// (with doorway openings realized as multiple boxes); exhibits are
+// high-polygon blobs on tessellated pedestals. Deterministic in p.
+func GenerateMuseum(p MuseumParams) *Scene {
+	if p.RoomsX < 1 {
+		p.RoomsX = 1
+	}
+	if p.RoomsY < 1 {
+		p.RoomsY = 1
+	}
+	if p.LoDLevels < 1 {
+		p.LoDLevels = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Scene{PayloadScale: 1}
+	// Record provenance in CityParams form so persistence round-trips:
+	// museum scenes are regenerated through their own params (see
+	// Scene.Params.Museum).
+	s.Params = CityParams{Seed: p.Seed, NominalBytes: p.NominalBytes, Museum: &p}
+
+	pitch := p.RoomSize + p.WallThickness
+	totalX := float64(p.RoomsX)*pitch + p.WallThickness
+	totalY := float64(p.RoomsY)*pitch + p.WallThickness
+	var id int64
+
+	addWall := func(boxes ...geom.AABB) {
+		parts := make([]*mesh.Mesh, len(boxes))
+		for i, b := range boxes {
+			parts[i] = mesh.NewTessellatedBox(b, 2)
+		}
+		m := mesh.Merge(parts...)
+		s.Objects = append(s.Objects, &Object{
+			ID:       id,
+			Kind:     KindBuilding,
+			MBR:      m.Bounds(),
+			LoDs:     simplify.BuildLoDChain(m, p.LoDLevels, p.LoDRatio),
+			Occluder: Occluder{Boxes: boxes},
+		})
+		id++
+	}
+
+	// wallWithDoor splits a wall slab (running along the given axis) into
+	// two jambs and a lintel around a centered doorway.
+	wallWithDoor := func(slab geom.AABB, axis int) []geom.AABB {
+		length := slab.Size().Axis(axis)
+		if length <= p.DoorWidth*1.5 || p.DoorHeight >= p.WallHeight {
+			return []geom.AABB{slab}
+		}
+		mid := (slab.Min.Axis(axis) + slab.Max.Axis(axis)) / 2
+		d0 := mid - p.DoorWidth/2
+		d1 := mid + p.DoorWidth/2
+		left := slab
+		left.Max = left.Max.WithAxis(axis, d0)
+		right := slab
+		right.Min = right.Min.WithAxis(axis, d1)
+		lintel := slab
+		lintel.Min = lintel.Min.WithAxis(axis, d0)
+		lintel.Max = lintel.Max.WithAxis(axis, d1)
+		lintel.Min.Z = p.DoorHeight
+		return []geom.AABB{left, right, lintel}
+	}
+
+	// Vertical (x = const) walls: columns 0..RoomsX, each spanning one
+	// room along y. Interior ones get doorways.
+	for cx := 0; cx <= p.RoomsX; cx++ {
+		x0 := float64(cx) * pitch
+		for ry := 0; ry < p.RoomsY; ry++ {
+			y0 := float64(ry) * pitch
+			slab := geom.Box(
+				geom.V(x0, y0, 0),
+				geom.V(x0+p.WallThickness, y0+pitch+p.WallThickness, p.WallHeight),
+			)
+			if cx == 0 || cx == p.RoomsX {
+				addWall(slab)
+			} else {
+				addWall(wallWithDoor(slab, 1)...)
+			}
+		}
+	}
+	// Horizontal (y = const) walls.
+	for cy := 0; cy <= p.RoomsY; cy++ {
+		y0 := float64(cy) * pitch
+		for rx := 0; rx < p.RoomsX; rx++ {
+			x0 := float64(rx) * pitch
+			slab := geom.Box(
+				geom.V(x0, y0, 0),
+				geom.V(x0+pitch+p.WallThickness, y0+p.WallThickness, p.WallHeight),
+			)
+			if cy == 0 || cy == p.RoomsY {
+				addWall(slab)
+			} else {
+				addWall(wallWithDoor(slab, 0)...)
+			}
+		}
+	}
+
+	// Exhibits: blobs on tessellated pedestals inside each room.
+	for ry := 0; ry < p.RoomsY; ry++ {
+		for rx := 0; rx < p.RoomsX; rx++ {
+			roomMinX := float64(rx)*pitch + p.WallThickness
+			roomMinY := float64(ry)*pitch + p.WallThickness
+			for e := 0; e < p.ExhibitsPerRoom; e++ {
+				// Keep clear of walls and door paths.
+				margin := p.RoomSize * 0.2
+				cx := roomMinX + margin + rng.Float64()*(p.RoomSize-2*margin)
+				cy := roomMinY + margin + rng.Float64()*(p.RoomSize-2*margin)
+				r := 0.4 + 0.5*rng.Float64()
+				pedestal := geom.Box(
+					geom.V(cx-r*0.8, cy-r*0.8, 0),
+					geom.V(cx+r*0.8, cy+r*0.8, 1),
+				)
+				blobCenter := geom.V(cx, cy, 1+r)
+				m := mesh.Merge(
+					mesh.NewTessellatedBox(pedestal, 2),
+					mesh.NewBlob(blobCenter, r, p.ExhibitDetail, rng.Int63()),
+				)
+				s.Objects = append(s.Objects, &Object{
+					ID:   id,
+					Kind: KindBlob,
+					MBR:  m.Bounds(),
+					LoDs: simplify.BuildLoDChain(m, p.LoDLevels, p.LoDRatio),
+					Occluder: Occluder{
+						Boxes:   []geom.AABB{pedestal},
+						Spheres: []Sphere{{Center: blobCenter, Radius: r * 0.9}},
+					},
+				})
+				id++
+			}
+		}
+	}
+
+	b := geom.EmptyAABB()
+	for _, o := range s.Objects {
+		b = b.Union(o.MBR)
+	}
+	s.Bounds = b
+	s.ViewRegion = geom.Box(
+		geom.V(0, 0, 1.5),
+		geom.V(totalX, totalY, 2.0),
+	)
+	applyNominalScaling(s, p.NominalBytes)
+	return s
+}
+
+// applyNominalScaling sets PayloadScale and per-object LoDBytes for a
+// target raw size, shared by the city and museum generators.
+func applyNominalScaling(s *Scene, nominal int64) {
+	if nominal > 0 {
+		var raw int64
+		for _, o := range s.Objects {
+			for _, lvl := range o.LoDs.Levels {
+				raw += int64(lvl.EncodedSize())
+			}
+		}
+		if raw > 0 {
+			s.PayloadScale = float64(nominal) / float64(raw)
+			if s.PayloadScale < 1 {
+				s.PayloadScale = 1
+			}
+		}
+	}
+	for _, o := range s.Objects {
+		o.LoDBytes = make([]int64, o.LoDs.NumLevels())
+		for i, lvl := range o.LoDs.Levels {
+			o.LoDBytes[i] = int64(float64(lvl.EncodedSize()) * s.PayloadScale)
+		}
+	}
+}

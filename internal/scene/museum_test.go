@@ -1,0 +1,153 @@
+package scene
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func smallMuseum() MuseumParams {
+	p := DefaultMuseumParams()
+	p.RoomsX, p.RoomsY = 2, 2
+	p.ExhibitsPerRoom = 2
+	p.ExhibitDetail = 8
+	p.NominalBytes = 16 << 20
+	return p
+}
+
+func TestGenerateMuseumShape(t *testing.T) {
+	p := smallMuseum()
+	s := GenerateMuseum(p)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Walls: (RX+1)*RY vertical + (RY+1)*RX horizontal = 3*2+3*2 = 12.
+	// Exhibits: 2*2*2 = 8.
+	walls, exhibits := 0, 0
+	for _, o := range s.Objects {
+		switch o.Kind {
+		case KindBuilding:
+			walls++
+		case KindBlob:
+			exhibits++
+		}
+	}
+	if walls != 12 {
+		t.Fatalf("walls = %d, want 12", walls)
+	}
+	if exhibits != 8 {
+		t.Fatalf("exhibits = %d, want 8", exhibits)
+	}
+	// Viewpoint slab inside the building.
+	if !s.Bounds.Contains(s.ViewRegion) {
+		t.Fatalf("view region %v escapes bounds %v", s.ViewRegion, s.Bounds)
+	}
+	// Deterministic.
+	s2 := GenerateMuseum(p)
+	if len(s2.Objects) != len(s.Objects) {
+		t.Fatal("museum not deterministic")
+	}
+	for i := range s.Objects {
+		if s.Objects[i].MBR != s2.Objects[i].MBR {
+			t.Fatalf("object %d MBR differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateDispatchesMuseum(t *testing.T) {
+	p := smallMuseum()
+	via := Generate(CityParams{Museum: &p})
+	direct := GenerateMuseum(p)
+	if len(via.Objects) != len(direct.Objects) {
+		t.Fatal("Generate(Museum) differs from GenerateMuseum")
+	}
+	if via.Params.Museum == nil {
+		t.Fatal("provenance lost")
+	}
+}
+
+func TestMuseumDoorwaysExist(t *testing.T) {
+	// An interior wall must have a gap: a segment through the door
+	// opening at standing height must not hit that wall's occluder.
+	p := smallMuseum()
+	s := GenerateMuseum(p)
+	pitch := p.RoomSize + p.WallThickness
+	// Interior vertical wall between room (0,0) and (1,0): x = pitch,
+	// spanning y in [0, pitch]; doorway centered at y = pitch/2 + t/2.
+	doorY := pitch/2 + p.WallThickness/2
+	rayOrigin := geom.V(pitch-1, doorY, 1.2)
+	ray := geom.NewRay(rayOrigin, geom.V(1, 0, 0))
+	blocked := false
+	for _, o := range s.Objects {
+		if o.Kind != KindBuilding {
+			continue
+		}
+		if t2, ok := o.Occluder.IntersectRay(ray, 2.0); ok && t2 > 0 {
+			blocked = true
+		}
+	}
+	if blocked {
+		t.Fatal("ray through a doorway is blocked — no opening generated")
+	}
+	// A ray at lintel height IS blocked.
+	high := geom.NewRay(geom.V(pitch-1, doorY, p.DoorHeight+0.5), geom.V(1, 0, 0))
+	blockedHigh := false
+	for _, o := range s.Objects {
+		if o.Kind != KindBuilding {
+			continue
+		}
+		if _, ok := o.Occluder.IntersectRay(high, 2.0); ok {
+			blockedHigh = true
+		}
+	}
+	if !blockedHigh {
+		t.Fatal("ray above the door should hit the lintel")
+	}
+	// A ray away from the door is blocked.
+	solid := geom.NewRay(geom.V(pitch-1, doorY+p.RoomSize/3, 1.2), geom.V(1, 0, 0))
+	blockedSolid := false
+	for _, o := range s.Objects {
+		if o.Kind != KindBuilding {
+			continue
+		}
+		if _, ok := o.Occluder.IntersectRay(solid, 2.0); ok {
+			blockedSolid = true
+		}
+	}
+	if !blockedSolid {
+		t.Fatal("ray through a solid wall section should be blocked")
+	}
+	// Exterior wall has no door: ray out of the building is blocked.
+	out := geom.NewRay(geom.V(1, doorY, 1.2), geom.V(-1, 0, 0))
+	blockedOut := false
+	for _, o := range s.Objects {
+		if o.Kind != KindBuilding {
+			continue
+		}
+		if _, ok := o.Occluder.IntersectRay(out, 2.0); ok {
+			blockedOut = true
+		}
+	}
+	if !blockedOut {
+		t.Fatal("exterior wall should be solid")
+	}
+}
+
+func TestMuseumDegenerateParams(t *testing.T) {
+	p := smallMuseum()
+	p.RoomsX, p.RoomsY = 0, 0
+	s := GenerateMuseum(p)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Objects) == 0 {
+		t.Fatal("single-room museum empty")
+	}
+	// Door wider than the wall: wall stays solid rather than degenerate.
+	p2 := smallMuseum()
+	p2.DoorWidth = p2.RoomSize * 2
+	s2 := GenerateMuseum(p2)
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

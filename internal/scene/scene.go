@@ -1,0 +1,378 @@
+// Package scene generates the synthetic city dataset of the paper's
+// evaluation: "a synthetic city model containing numerous buildings and
+// bunny models" with raw sizes from 400 MB to 1.6 GB (§5.1). The city is a
+// street grid of blocks; each block carries box-tier buildings and
+// high-polygon organic "blobs" standing in for the bunny models (see
+// DESIGN.md §3.3 for the substitution note).
+//
+// Each object has an LoD chain (built with the QEM simplifier), a compact
+// occluder proxy used by DoV ray casting, and a nominal on-disk payload
+// size. Nominal sizes are the real encoded mesh bytes multiplied by the
+// scene's PayloadScale, which lets a laptop-scale mesh set reproduce the
+// paper's gigabyte-scale I/O accounting without materializing gigabytes.
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/simplify"
+)
+
+// ObjectKind distinguishes the two model families of the synthetic city.
+type ObjectKind uint8
+
+const (
+	KindBuilding ObjectKind = iota
+	KindBlob
+)
+
+func (k ObjectKind) String() string {
+	switch k {
+	case KindBuilding:
+		return "building"
+	case KindBlob:
+		return "blob"
+	default:
+		return fmt.Sprintf("ObjectKind(%d)", uint8(k))
+	}
+}
+
+// Sphere is a bounding sphere used in occluder proxies.
+type Sphere struct {
+	Center geom.Vec3
+	Radius float64
+}
+
+// Occluder is the compact opaque proxy geometry of an object used by the
+// DoV ray caster. Buildings are unions of tier boxes; blobs are bounding
+// spheres slightly shrunk so they do not over-occlude. This matches the
+// paper's use of a conservative visibility algorithm over occluders rather
+// than exact per-polygon visibility.
+type Occluder struct {
+	Boxes   []geom.AABB
+	Spheres []Sphere
+}
+
+// IntersectRay returns the nearest hit parameter of ray r against the
+// occluder within (0, tmax), and whether there is a hit.
+func (o *Occluder) IntersectRay(r geom.Ray, tmax float64) (float64, bool) {
+	best := tmax
+	hit := false
+	for _, b := range o.Boxes {
+		if t, ok := r.IntersectAABB(b, best); ok {
+			// A ray starting inside a box reports t=0; count it as a hit
+			// at distance 0 only if the origin is truly inside.
+			best = t
+			hit = true
+			if best == 0 {
+				return 0, true
+			}
+		}
+	}
+	for _, s := range o.Spheres {
+		if t, ok := raySphere(r, s, best); ok {
+			best = t
+			hit = true
+		}
+	}
+	if !hit {
+		return 0, false
+	}
+	return best, true
+}
+
+func raySphere(r geom.Ray, s Sphere, tmax float64) (float64, bool) {
+	oc := r.Origin.Sub(s.Center)
+	a := r.Dir.Len2()
+	halfB := oc.Dot(r.Dir)
+	c := oc.Len2() - s.Radius*s.Radius
+	disc := halfB*halfB - a*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t := (-halfB - sq) / a
+	if t <= 0 {
+		t = (-halfB + sq) / a // origin inside the sphere
+		if t <= 0 {
+			return 0, false
+		}
+		return 0, true // origin inside: hit at distance 0
+	}
+	if t >= tmax {
+		return 0, false
+	}
+	return t, true
+}
+
+// Object is one model of the city: an LoD chain plus spatial and occlusion
+// metadata. IDs are dense in [0, len(Scene.Objects)).
+type Object struct {
+	ID       int64
+	Kind     ObjectKind
+	MBR      geom.AABB
+	LoDs     *mesh.LoDChain
+	Occluder Occluder
+	// LoDBytes[i] is the nominal on-disk byte size of LoD level i (encoded
+	// size × Scene.PayloadScale). The storage layer allocates this many
+	// bytes for the level's model record.
+	LoDBytes []int64
+}
+
+// Scene is the generated city.
+type Scene struct {
+	Objects []*Object
+	Bounds  geom.AABB
+	// ViewRegion is the slab of viewpoint space the walkthrough moves in
+	// (street level, eye height).
+	ViewRegion geom.AABB
+	// PayloadScale inflates encoded mesh bytes into nominal payload bytes.
+	PayloadScale float64
+	Params       CityParams
+}
+
+// CityParams controls city generation. All randomness derives from Seed, so
+// a parameter set is a complete, reproducible dataset description.
+type CityParams struct {
+	Seed              int64
+	BlocksX, BlocksY  int
+	BlockSize         float64 // street-to-street pitch in meters
+	StreetWidth       float64
+	BuildingsPerBlock int
+	BlobsPerBlock     int
+	MinHeight         float64
+	MaxHeight         float64
+	LoDLevels         int
+	LoDRatio          float64
+	BlobDetail        int // sphere tessellation parameter for blobs
+	// FacadeDetail is the per-face tessellation of building tiers
+	// (12·FacadeDetail² triangles per tier). Architectural models carry
+	// facade geometry, so buildings are hundreds of polygons like the
+	// paper's — and simplification has real detail to remove.
+	FacadeDetail int
+	// NominalBytes, when positive, sets PayloadScale so that the summed
+	// nominal LoD payload equals this raw dataset size — the paper's
+	// 400 MB … 1.6 GB axis (Figure 9).
+	NominalBytes int64
+	// Museum, when non-nil, makes Generate produce the indoor museum
+	// dataset instead of the city; the other fields are ignored. Living
+	// inside CityParams keeps one provenance record per scene, so the
+	// persistence layer can regenerate either kind from its manifest.
+	Museum *MuseumParams
+}
+
+// DefaultCityParams returns a laptop-scale city comparable in structure to
+// the paper's evaluation dataset (thousands of objects).
+func DefaultCityParams() CityParams {
+	return CityParams{
+		Seed:              1,
+		BlocksX:           8,
+		BlocksY:           8,
+		BlockSize:         100,
+		StreetWidth:       20,
+		BuildingsPerBlock: 8,
+		BlobsPerBlock:     4,
+		MinHeight:         10,
+		MaxHeight:         80,
+		LoDLevels:         4,
+		// Halving polygon count per level matches the qslim-generated
+		// chains of the paper's era; an over-aggressive ratio would make
+		// coarse object LoDs so tiny that internal LoDs could never be
+		// the cheaper alternative (§3.3's trade-off).
+		LoDRatio:     0.5,
+		BlobDetail:   12,
+		FacadeDetail: 4,
+		NominalBytes: 400 << 20, // 400 MB nominal raw size
+	}
+}
+
+// NumObjects returns how many objects the parameter set will generate.
+func (p CityParams) NumObjects() int {
+	return p.BlocksX * p.BlocksY * (p.BuildingsPerBlock + p.BlobsPerBlock)
+}
+
+// Generate builds the scene described by p: the procedural city, or the
+// museum when p.Museum is set. Deterministic in p.
+func Generate(p CityParams) *Scene {
+	if p.Museum != nil {
+		return GenerateMuseum(*p.Museum)
+	}
+	if p.BlocksX < 1 || p.BlocksY < 1 {
+		p.BlocksX, p.BlocksY = 1, 1
+	}
+	if p.LoDLevels < 1 {
+		p.LoDLevels = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Scene{Params: p, PayloadScale: 1}
+
+	pitch := p.BlockSize + p.StreetWidth
+	var id int64
+	for by := 0; by < p.BlocksY; by++ {
+		for bx := 0; bx < p.BlocksX; bx++ {
+			ox := float64(bx)*pitch + p.StreetWidth
+			oy := float64(by)*pitch + p.StreetWidth
+			block := geom.Box(
+				geom.V(ox, oy, 0),
+				geom.V(ox+p.BlockSize, oy+p.BlockSize, 0),
+			)
+			id = generateBlock(s, p, rng, block, id)
+		}
+	}
+
+	// City bounds and viewpoint slab (streets at eye height 1.5-2.0 m).
+	b := geom.EmptyAABB()
+	for _, o := range s.Objects {
+		b = b.Union(o.MBR)
+	}
+	total := geom.V(float64(p.BlocksX)*pitch+p.StreetWidth, float64(p.BlocksY)*pitch+p.StreetWidth, 0)
+	b = b.Union(geom.Box(geom.V(0, 0, 0), total))
+	s.Bounds = b
+	s.ViewRegion = geom.Box(
+		geom.V(0, 0, 1.5),
+		geom.V(total.X, total.Y, 2.0),
+	)
+
+	applyNominalScaling(s, p.NominalBytes)
+	return s
+}
+
+// generateBlock fills one city block with buildings around a subgrid and
+// blobs along the block edges, returning the next object ID.
+func generateBlock(s *Scene, p CityParams, rng *rand.Rand, block geom.AABB, id int64) int64 {
+	// Buildings: place on a jittered subgrid inside the block.
+	n := p.BuildingsPerBlock
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	cellW := block.Size().X / float64(cols)
+	cellH := block.Size().Y / float64(cols)
+	placed := 0
+	for gy := 0; gy < cols && placed < n; gy++ {
+		for gx := 0; gx < cols && placed < n; gx++ {
+			fw := cellW * (0.4 + 0.35*rng.Float64())
+			fh := cellH * (0.4 + 0.35*rng.Float64())
+			x0 := block.Min.X + float64(gx)*cellW + (cellW-fw)*rng.Float64()
+			y0 := block.Min.Y + float64(gy)*cellH + (cellH-fh)*rng.Float64()
+			base := geom.Box(geom.V(x0, y0, 0), geom.V(x0+fw, y0+fh, 0))
+			height := p.MinHeight + (p.MaxHeight-p.MinHeight)*rng.Float64()*rng.Float64()
+			tiers := mesh.TierBoxes(base, height, 1+rng.Intn(3), rng)
+			facade := p.FacadeDetail
+			if facade < 1 {
+				facade = 1
+			}
+			parts := make([]*mesh.Mesh, len(tiers))
+			for ti, tb := range tiers {
+				parts[ti] = mesh.NewTessellatedBox(tb, facade)
+			}
+			m := mesh.Merge(parts...)
+			obj := &Object{
+				ID:   id,
+				Kind: KindBuilding,
+				MBR:  m.Bounds(),
+				LoDs: simplify.BuildLoDChain(m, p.LoDLevels, p.LoDRatio),
+				// The opaque tier boxes double as the occlusion proxy —
+				// conservative-opaque, appropriate for city buildings.
+				Occluder: Occluder{Boxes: tiers},
+			}
+			s.Objects = append(s.Objects, obj)
+			id++
+			placed++
+		}
+	}
+
+	// Blobs: organic clutter near the block edges (sidewalks).
+	for i := 0; i < p.BlobsPerBlock; i++ {
+		r := 0.8 + 1.7*rng.Float64()
+		edge := rng.Intn(4)
+		var cx, cy float64
+		switch edge {
+		case 0:
+			cx, cy = block.Min.X+rng.Float64()*block.Size().X, block.Min.Y+r
+		case 1:
+			cx, cy = block.Min.X+rng.Float64()*block.Size().X, block.Max.Y-r
+		case 2:
+			cx, cy = block.Min.X+r, block.Min.Y+rng.Float64()*block.Size().Y
+		default:
+			cx, cy = block.Max.X-r, block.Min.Y+rng.Float64()*block.Size().Y
+		}
+		center := geom.V(cx, cy, r)
+		m := mesh.NewBlob(center, r, p.BlobDetail, rng.Int63())
+		obj := &Object{
+			ID:   id,
+			Kind: KindBlob,
+			MBR:  m.Bounds(),
+			LoDs: simplify.BuildLoDChain(m, p.LoDLevels, p.LoDRatio),
+		}
+		obj.Occluder = Occluder{Spheres: []Sphere{{Center: center, Radius: r * 0.9}}}
+		s.Objects = append(s.Objects, obj)
+		id++
+	}
+	return id
+}
+
+// Object returns the object with the given ID, or nil.
+func (s *Scene) Object(id int64) *Object {
+	if id < 0 || int(id) >= len(s.Objects) {
+		return nil
+	}
+	return s.Objects[id]
+}
+
+// NominalRawBytes returns the total nominal payload size of all LoDs — the
+// dataset-size axis of Figure 9.
+func (s *Scene) NominalRawBytes() int64 {
+	var total int64
+	for _, o := range s.Objects {
+		for _, b := range o.LoDBytes {
+			total += b
+		}
+	}
+	return total
+}
+
+// TotalTriangles returns the polygon count of the finest LoDs.
+func (s *Scene) TotalTriangles() int {
+	n := 0
+	for _, o := range s.Objects {
+		n += o.LoDs.Finest().NumTriangles()
+	}
+	return n
+}
+
+// Validate checks scene invariants: dense IDs, valid LoD chains, payload
+// sizes consistent with PayloadScale, occluders within the MBR.
+func (s *Scene) Validate() error {
+	for i, o := range s.Objects {
+		if o.ID != int64(i) {
+			return fmt.Errorf("scene: object %d has ID %d", i, o.ID)
+		}
+		if err := o.LoDs.Validate(); err != nil {
+			return fmt.Errorf("scene: object %d: %w", i, err)
+		}
+		if len(o.LoDBytes) != o.LoDs.NumLevels() {
+			return fmt.Errorf("scene: object %d has %d LoDBytes for %d levels",
+				i, len(o.LoDBytes), o.LoDs.NumLevels())
+		}
+		if o.MBR.IsEmpty() {
+			return fmt.Errorf("scene: object %d has empty MBR", i)
+		}
+		grown := o.MBR.Expand(1e-6)
+		for _, b := range o.Occluder.Boxes {
+			if !grown.Contains(b) {
+				return fmt.Errorf("scene: object %d occluder box %v outside MBR %v", i, b, o.MBR)
+			}
+		}
+		for _, sp := range o.Occluder.Spheres {
+			if !grown.Expand(sp.Radius).ContainsPoint(sp.Center) {
+				return fmt.Errorf("scene: object %d occluder sphere outside MBR", i)
+			}
+		}
+	}
+	return nil
+}

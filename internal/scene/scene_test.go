@@ -1,0 +1,189 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func smallParams() CityParams {
+	p := DefaultCityParams()
+	p.BlocksX, p.BlocksY = 2, 2
+	p.BuildingsPerBlock = 4
+	p.BlobsPerBlock = 2
+	p.BlobDetail = 8
+	p.NominalBytes = 10 << 20
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := smallParams()
+	a := Generate(p)
+	b := Generate(p)
+	if len(a.Objects) != len(b.Objects) {
+		t.Fatal("same params produced different object counts")
+	}
+	for i := range a.Objects {
+		if a.Objects[i].MBR != b.Objects[i].MBR {
+			t.Fatalf("object %d MBR differs", i)
+		}
+		if a.Objects[i].LoDs.Finest().NumTriangles() != b.Objects[i].LoDs.Finest().NumTriangles() {
+			t.Fatalf("object %d LoD differs", i)
+		}
+	}
+	// A different seed changes things.
+	p2 := p
+	p2.Seed = 99
+	c := Generate(p2)
+	same := true
+	for i := range a.Objects {
+		if a.Objects[i].MBR != c.Objects[i].MBR {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical cities")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := smallParams()
+	s := Generate(p)
+	if got, want := len(s.Objects), p.NumObjects(); got != want {
+		t.Fatalf("objects = %d, want %d", got, want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nb, nl := 0, 0
+	for _, o := range s.Objects {
+		switch o.Kind {
+		case KindBuilding:
+			nb++
+			if len(o.Occluder.Boxes) == 0 {
+				t.Fatal("building without box occluder")
+			}
+		case KindBlob:
+			nl++
+			if len(o.Occluder.Spheres) != 1 {
+				t.Fatal("blob without sphere occluder")
+			}
+		}
+		if o.LoDs.NumLevels() != p.LoDLevels {
+			t.Fatalf("object %d has %d LoD levels", o.ID, o.LoDs.NumLevels())
+		}
+	}
+	if nb != 4*p.BuildingsPerBlock || nl != 4*p.BlobsPerBlock {
+		t.Fatalf("buildings=%d blobs=%d", nb, nl)
+	}
+	// Objects inside city bounds; view region at eye height inside bounds.
+	for _, o := range s.Objects {
+		if !s.Bounds.Contains(o.MBR) {
+			t.Fatalf("object %d escapes city bounds", o.ID)
+		}
+	}
+	if s.ViewRegion.Min.Z < 1 || s.ViewRegion.Max.Z > 3 {
+		t.Fatalf("view region at odd height: %v", s.ViewRegion)
+	}
+}
+
+func TestNominalSizeScaling(t *testing.T) {
+	p := smallParams()
+	s := Generate(p)
+	got := s.NominalRawBytes()
+	want := p.NominalBytes
+	// Integer truncation per LoD loses at most one byte per level.
+	if math.Abs(float64(got-want))/float64(want) > 0.01 {
+		t.Fatalf("nominal bytes = %d, want ~%d", got, want)
+	}
+	if s.PayloadScale <= 1 {
+		t.Fatalf("payload scale = %v, expected inflation", s.PayloadScale)
+	}
+	// Doubling the target doubles the nominal size without changing the
+	// geometry (the Figure 9 dataset-size axis).
+	p2 := p
+	p2.NominalBytes = 2 * p.NominalBytes
+	s2 := Generate(p2)
+	if len(s2.Objects) != len(s.Objects) {
+		t.Fatal("nominal size changed object count")
+	}
+	r := float64(s2.NominalRawBytes()) / float64(s.NominalRawBytes())
+	if r < 1.98 || r > 2.02 {
+		t.Fatalf("size ratio = %v, want ~2", r)
+	}
+}
+
+func TestOccluderRayBuilding(t *testing.T) {
+	occ := Occluder{Boxes: []geom.AABB{geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 50))}}
+	r := geom.NewRay(geom.V(-5, 5, 25), geom.V(1, 0, 0))
+	tHit, ok := occ.IntersectRay(r, math.Inf(1))
+	if !ok || math.Abs(tHit-5) > 1e-9 {
+		t.Fatalf("hit=%v t=%v", ok, tHit)
+	}
+	// Miss above the building.
+	r2 := geom.NewRay(geom.V(-5, 5, 60), geom.V(1, 0, 0))
+	if _, ok := occ.IntersectRay(r2, math.Inf(1)); ok {
+		t.Fatal("ray above building should miss")
+	}
+	// tmax cutoff.
+	if _, ok := occ.IntersectRay(r, 4); ok {
+		t.Fatal("tmax should prevent hit")
+	}
+}
+
+func TestOccluderRaySphere(t *testing.T) {
+	occ := Occluder{Spheres: []Sphere{{Center: geom.V(10, 0, 0), Radius: 2}}}
+	r := geom.NewRay(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	tHit, ok := occ.IntersectRay(r, math.Inf(1))
+	if !ok || math.Abs(tHit-8) > 1e-9 {
+		t.Fatalf("hit=%v t=%v", ok, tHit)
+	}
+	// Tangent-ish miss.
+	r2 := geom.NewRay(geom.V(0, 3, 0), geom.V(1, 0, 0))
+	if _, ok := occ.IntersectRay(r2, math.Inf(1)); ok {
+		t.Fatal("offset ray should miss sphere")
+	}
+	// Origin inside the sphere hits at 0.
+	r3 := geom.NewRay(geom.V(10, 0, 0), geom.V(0, 1, 0))
+	tHit, ok = occ.IntersectRay(r3, math.Inf(1))
+	if !ok || tHit != 0 {
+		t.Fatalf("inside-origin: hit=%v t=%v", ok, tHit)
+	}
+}
+
+func TestObjectLookup(t *testing.T) {
+	s := Generate(smallParams())
+	if s.Object(0) == nil || s.Object(int64(len(s.Objects)-1)) == nil {
+		t.Fatal("valid lookup failed")
+	}
+	if s.Object(-1) != nil || s.Object(int64(len(s.Objects))) != nil {
+		t.Fatal("invalid lookup succeeded")
+	}
+}
+
+func TestTotalTriangles(t *testing.T) {
+	s := Generate(smallParams())
+	n := s.TotalTriangles()
+	var want int
+	for _, o := range s.Objects {
+		want += o.LoDs.Finest().NumTriangles()
+	}
+	if n != want || n == 0 {
+		t.Fatalf("triangles = %d, want %d", n, want)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := Generate(smallParams())
+	s.Objects[3].ID = 77
+	if s.Validate() == nil {
+		t.Fatal("ID corruption not caught")
+	}
+	s.Objects[3].ID = 3
+	s.Objects[2].LoDBytes = s.Objects[2].LoDBytes[:1]
+	if s.Validate() == nil {
+		t.Fatal("LoDBytes mismatch not caught")
+	}
+}

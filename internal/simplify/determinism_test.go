@@ -1,0 +1,31 @@
+package simplify
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// TestSimplifyDeterministic guards the persistence layer: regenerating a
+// scene must reproduce bit-identical LoD chains.
+func TestSimplifyDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := mesh.NewBlob(geom.V(0, 0, 0), 2, 14, seed)
+		a := Simplify(m, m.NumTriangles()/4)
+		b := Simplify(m, m.NumTriangles()/4)
+		if a.NumVerts() != b.NumVerts() || a.NumTriangles() != b.NumTriangles() {
+			t.Fatalf("seed %d: shapes differ", seed)
+		}
+		for i := range a.Verts {
+			if a.Verts[i] != b.Verts[i] {
+				t.Fatalf("seed %d: vertex %d differs", seed, i)
+			}
+		}
+		for i := range a.Tris {
+			if a.Tris[i] != b.Tris[i] {
+				t.Fatalf("seed %d: index %d differs", seed, i)
+			}
+		}
+	}
+}

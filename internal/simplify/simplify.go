@@ -1,0 +1,407 @@
+// Package simplify implements polygon simplification with quadric error
+// metrics (Garland & Heckbert, SIGGRAPH'97) — the algorithm behind qslim,
+// the tool the paper uses to generate internal LoDs (§5.1, reference [6]).
+//
+// The simplifier performs iterative edge collapse: each vertex accumulates
+// the quadric (squared point-plane distance form) of its incident triangle
+// planes; the edge whose contraction minimizes the summed quadric error is
+// collapsed first, using a heap keyed by error. Topology bookkeeping is
+// deliberately simple (no explicit half-edge structure): after each
+// collapse, degenerate triangles are dropped and affected edge costs are
+// recomputed lazily, which is the standard "lazy deletion" variant.
+package simplify
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// quadric is a symmetric 4x4 quadric form Q; the error of placing a vertex
+// at homogeneous position v is vᵀQv. Only the 10 unique coefficients are
+// stored.
+type quadric struct {
+	a2, ab, ac, ad float64
+	b2, bc, bd     float64
+	c2, cd         float64
+	d2             float64
+}
+
+func (q *quadric) add(o *quadric) {
+	q.a2 += o.a2
+	q.ab += o.ab
+	q.ac += o.ac
+	q.ad += o.ad
+	q.b2 += o.b2
+	q.bc += o.bc
+	q.bd += o.bd
+	q.c2 += o.c2
+	q.cd += o.cd
+	q.d2 += o.d2
+}
+
+// planeQuadric builds the fundamental quadric of plane ax+by+cz+d=0 with
+// unit normal (a,b,c), weighted by w (triangle area weighting makes the
+// metric scale-invariant).
+func planeQuadric(n geom.Vec3, d, w float64) quadric {
+	return quadric{
+		a2: w * n.X * n.X, ab: w * n.X * n.Y, ac: w * n.X * n.Z, ad: w * n.X * d,
+		b2: w * n.Y * n.Y, bc: w * n.Y * n.Z, bd: w * n.Y * d,
+		c2: w * n.Z * n.Z, cd: w * n.Z * d,
+		d2: w * d * d,
+	}
+}
+
+// eval returns vᵀQv for v = (p, 1).
+func (q *quadric) eval(p geom.Vec3) float64 {
+	return q.a2*p.X*p.X + 2*q.ab*p.X*p.Y + 2*q.ac*p.X*p.Z + 2*q.ad*p.X +
+		q.b2*p.Y*p.Y + 2*q.bc*p.Y*p.Z + 2*q.bd*p.Y +
+		q.c2*p.Z*p.Z + 2*q.cd*p.Z +
+		q.d2
+}
+
+// optimalPoint solves ∇(vᵀQv) = 0 for the contraction target. If the 3x3
+// system is singular (e.g. planar neighborhoods), ok is false and callers
+// fall back to candidate endpoints/midpoint.
+func (q *quadric) optimalPoint() (geom.Vec3, bool) {
+	// Solve [a2 ab ac; ab b2 bc; ac bc c2] x = -[ad; bd; cd].
+	m := [3][3]float64{
+		{q.a2, q.ab, q.ac},
+		{q.ab, q.b2, q.bc},
+		{q.ac, q.bc, q.c2},
+	}
+	rhs := [3]float64{-q.ad, -q.bd, -q.cd}
+	det := m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	if math.Abs(det) < 1e-12 {
+		return geom.Vec3{}, false
+	}
+	inv := 1 / det
+	x := (rhs[0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(rhs[1]*m[2][2]-m[1][2]*rhs[2]) +
+		m[0][2]*(rhs[1]*m[2][1]-m[1][1]*rhs[2])) * inv
+	y := (m[0][0]*(rhs[1]*m[2][2]-m[1][2]*rhs[2]) -
+		rhs[0]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*rhs[2]-rhs[1]*m[2][0])) * inv
+	z := (m[0][0]*(m[1][1]*rhs[2]-rhs[1]*m[2][1]) -
+		m[0][1]*(m[1][0]*rhs[2]-rhs[1]*m[2][0]) +
+		rhs[0]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])) * inv
+	p := geom.Vec3{X: x, Y: y, Z: z}
+	if !p.IsFinite() {
+		return geom.Vec3{}, false
+	}
+	return p, true
+}
+
+type edge struct {
+	v0, v1  uint32 // v0 < v1
+	cost    float64
+	target  geom.Vec3
+	version int // lazy-deletion stamp: stale entries are skipped on pop
+}
+
+type edgeHeap []*edge
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(*edge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type simplifier struct {
+	verts    []geom.Vec3
+	quadrics []quadric
+	parent   []uint32 // union-find over collapsed vertices
+	version  []int    // per-vertex collapse stamp for lazy heap deletion
+	tris     [][3]uint32
+	triLive  []bool
+	vtris    [][]int // vertex -> incident triangle ids (after find)
+	h        edgeHeap
+	liveTris int
+}
+
+func (s *simplifier) find(v uint32) uint32 {
+	for s.parent[v] != v {
+		s.parent[v] = s.parent[s.parent[v]]
+		v = s.parent[v]
+	}
+	return v
+}
+
+// Simplify returns a copy of m reduced to at most targetTris triangles (but
+// never below 1 for a non-empty input). The input mesh is not modified.
+// If m already has at most targetTris triangles, a clone is returned.
+func Simplify(m *mesh.Mesh, targetTris int) *mesh.Mesh {
+	if targetTris < 1 {
+		targetTris = 1
+	}
+	if m.NumTriangles() <= targetTris {
+		return m.Clone()
+	}
+
+	s := &simplifier{
+		verts:    append([]geom.Vec3(nil), m.Verts...),
+		quadrics: make([]quadric, len(m.Verts)),
+		parent:   make([]uint32, len(m.Verts)),
+		version:  make([]int, len(m.Verts)),
+		tris:     make([][3]uint32, m.NumTriangles()),
+		triLive:  make([]bool, m.NumTriangles()),
+		vtris:    make([][]int, len(m.Verts)),
+	}
+	for i := range s.parent {
+		s.parent[i] = uint32(i)
+	}
+	for i := 0; i < m.NumTriangles(); i++ {
+		t := [3]uint32{m.Tris[3*i], m.Tris[3*i+1], m.Tris[3*i+2]}
+		s.tris[i] = t
+		s.triLive[i] = true
+		for _, v := range t {
+			s.vtris[v] = append(s.vtris[v], i)
+		}
+	}
+	s.liveTris = m.NumTriangles()
+
+	// Accumulate fundamental quadrics.
+	for i, t := range s.tris {
+		a, b, c := s.verts[t[0]], s.verts[t[1]], s.verts[t[2]]
+		nvec := b.Sub(a).Cross(c.Sub(a))
+		area := nvec.Len() / 2
+		if area < 1e-15 {
+			s.triLive[i] = false
+			s.liveTris--
+			continue
+		}
+		n := nvec.Normalize()
+		d := -n.Dot(a)
+		q := planeQuadric(n, d, area)
+		for _, v := range t {
+			s.quadrics[v].add(&q)
+		}
+	}
+
+	// Count edge incidence so boundary edges (used by exactly one live
+	// triangle) can be constrained. qslim does the same: without boundary
+	// penalties, an open sheet has zero quadric error everywhere and
+	// collapses away entirely, destroying surface area.
+	edgeCount := make(map[uint64]int)
+	edgeTri := make(map[uint64]int)
+	key := func(v0, v1 uint32) uint64 {
+		if v0 > v1 {
+			v0, v1 = v1, v0
+		}
+		return uint64(v0)<<32 | uint64(v1)
+	}
+	for i, t := range s.tris {
+		if !s.triLive[i] {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			ek := key(t[k], t[(k+1)%3])
+			edgeCount[ek]++
+			edgeTri[ek] = i
+		}
+	}
+	// Deterministic edge order: map iteration order is randomized, and
+	// both the float additions below and equal-cost heap pops are order
+	// sensitive, so a sorted key list keeps simplification reproducible
+	// (the persistence layer regenerates scenes and must get identical
+	// meshes).
+	keys := make([]uint64, 0, len(edgeCount))
+	for ek := range edgeCount {
+		keys = append(keys, ek)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, ek := range keys {
+		if edgeCount[ek] != 1 {
+			continue
+		}
+		v0 := uint32(ek >> 32)
+		v1 := uint32(ek & 0xffffffff)
+		ti := edgeTri[ek]
+		t := s.tris[ti]
+		a, b, c := s.verts[t[0]], s.verts[t[1]], s.verts[t[2]]
+		faceN := b.Sub(a).Cross(c.Sub(a)).Normalize()
+		edgeDir := s.verts[v1].Sub(s.verts[v0])
+		// Constraint plane contains the edge and is perpendicular to the
+		// triangle, so motion off the boundary line is penalized.
+		n := edgeDir.Cross(faceN).Normalize()
+		if n.Len2() == 0 {
+			continue
+		}
+		d := -n.Dot(s.verts[v0])
+		w := edgeDir.Len2() * 100 // strong boundary weight, à la qslim
+		q := planeQuadric(n, d, w)
+		s.quadrics[v0].add(&q)
+		s.quadrics[v1].add(&q)
+	}
+
+	// Seed the heap with every mesh edge (same deterministic order).
+	for _, ek := range keys {
+		s.pushEdge(uint32(ek>>32), uint32(ek&0xffffffff))
+	}
+	heap.Init(&s.h)
+
+	for s.liveTris > targetTris && s.h.Len() > 0 {
+		e := heap.Pop(&s.h).(*edge)
+		v0, v1 := s.find(e.v0), s.find(e.v1)
+		if v0 == v1 {
+			continue // already merged
+		}
+		// Stale if either endpoint changed since the edge was scored.
+		if e.version != s.version[v0]+s.version[v1] {
+			continue
+		}
+		s.collapse(v0, v1, e.target)
+	}
+
+	return s.extract()
+}
+
+func (s *simplifier) pushEdge(v0, v1 uint32) {
+	q := s.quadrics[v0]
+	q.add(&s.quadrics[v1])
+	target, ok := q.optimalPoint()
+	cost := math.Inf(1)
+	if ok {
+		cost = q.eval(target)
+	}
+	// Fall back to the best of the endpoints and midpoint.
+	for _, cand := range []geom.Vec3{s.verts[v0], s.verts[v1], s.verts[v0].Lerp(s.verts[v1], 0.5)} {
+		if c := q.eval(cand); c < cost {
+			cost, target = c, cand
+		}
+	}
+	if cost < 0 {
+		cost = 0 // numerical noise
+	}
+	s.h = append(s.h, &edge{v0: v0, v1: v1, cost: cost, target: target,
+		version: s.version[v0] + s.version[v1]})
+}
+
+// collapse merges v1 into v0, placing v0 at target.
+func (s *simplifier) collapse(v0, v1 uint32, target geom.Vec3) {
+	s.verts[v0] = target
+	s.quadrics[v0].add(&s.quadrics[v1])
+	s.parent[v1] = v0
+	s.version[v0]++
+
+	// Move v1's triangles to v0, dropping those that become degenerate.
+	for _, ti := range s.vtris[v1] {
+		if !s.triLive[ti] {
+			continue
+		}
+		t := &s.tris[ti]
+		// A triangle that spanned the collapsed edge now has two corners
+		// with the same root and is degenerate.
+		r0, r1, r2 := s.find(t[0]), s.find(t[1]), s.find(t[2])
+		if r0 == r1 || r1 == r2 || r0 == r2 {
+			s.triLive[ti] = false
+			s.liveTris--
+		} else {
+			s.vtris[v0] = append(s.vtris[v0], ti)
+		}
+	}
+	s.vtris[v1] = nil
+
+	// Re-score edges incident to v0.
+	neighbors := make(map[uint32]bool)
+	live := s.vtris[v0][:0]
+	for _, ti := range s.vtris[v0] {
+		if !s.triLive[ti] {
+			continue
+		}
+		live = append(live, ti)
+		t := s.tris[ti]
+		for k := 0; k < 3; k++ {
+			r := s.find(t[k])
+			if r != v0 {
+				neighbors[r] = true
+			}
+		}
+	}
+	s.vtris[v0] = live
+	// Sorted neighbor order keeps equal-cost heap contents deterministic.
+	ns := make([]uint32, 0, len(neighbors))
+	for n := range neighbors {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	for _, n := range ns {
+		a, b := v0, n
+		if a > b {
+			a, b = b, a
+		}
+		s.pushEdge(a, b)
+		heap.Fix(&s.h, s.h.Len()-1)
+	}
+}
+
+// extract builds the output mesh from live triangles.
+func (s *simplifier) extract() *mesh.Mesh {
+	out := &mesh.Mesh{}
+	remap := make(map[uint32]uint32)
+	for i, t := range s.tris {
+		if !s.triLive[i] {
+			continue
+		}
+		var idx [3]uint32
+		for k := 0; k < 3; k++ {
+			r := s.find(t[k])
+			id, ok := remap[r]
+			if !ok {
+				id = uint32(len(out.Verts))
+				out.Verts = append(out.Verts, s.verts[r])
+				remap[r] = id
+			}
+			idx[k] = id
+		}
+		if idx[0] == idx[1] || idx[1] == idx[2] || idx[0] == idx[2] {
+			continue
+		}
+		out.Tris = append(out.Tris, idx[0], idx[1], idx[2])
+	}
+	return out
+}
+
+// BuildLoDChain produces an n-level LoD chain for m. Level 0 is m itself;
+// each subsequent level has its triangle budget multiplied by ratio
+// (0 < ratio < 1). This mirrors the paper's per-object LoD preprocessing
+// with qslim: fixed reduction ratios per level.
+func BuildLoDChain(m *mesh.Mesh, levels int, ratio float64) *mesh.LoDChain {
+	if levels < 1 {
+		levels = 1
+	}
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.25
+	}
+	chain := &mesh.LoDChain{Levels: make([]*mesh.Mesh, 0, levels)}
+	chain.Levels = append(chain.Levels, m)
+	budget := float64(m.NumTriangles())
+	prev := m
+	for i := 1; i < levels; i++ {
+		budget *= ratio
+		target := int(budget)
+		if target < 4 {
+			target = 4
+		}
+		next := Simplify(prev, target)
+		if next.NumTriangles() > prev.NumTriangles() {
+			next = prev.Clone()
+		}
+		chain.Levels = append(chain.Levels, next)
+		prev = next
+	}
+	return chain
+}

@@ -1,0 +1,125 @@
+package storage
+
+// Buffer pool: an optional LRU cache over light-class (index) pages. The
+// paper's prototype deliberately runs without node caching ("None of the
+// two systems caches the tree nodes in the queries", §5.4), so the pool is
+// disabled by default; the ablation suite (DESIGN.md D6) measures what a
+// buffer manager would add. Heavy-class payload pages are intentionally
+// not cached here — model data residency is governed by the walkthrough's
+// semantic cache, matching the paper's architecture.
+
+// bufferPool is a doubly-linked LRU of page copies.
+type bufferPool struct {
+	capacity int
+	pages    map[PageID]*bufNode
+	head     *bufNode // most recently used
+	tail     *bufNode // least recently used
+	hits     int64
+	misses   int64
+}
+
+type bufNode struct {
+	id         PageID
+	data       []byte
+	prev, next *bufNode
+}
+
+func newBufferPool(capacity int) *bufferPool {
+	return &bufferPool{
+		capacity: capacity,
+		pages:    make(map[PageID]*bufNode, capacity),
+	}
+}
+
+// get returns the cached copy of id, promoting it to MRU.
+func (b *bufferPool) get(id PageID) ([]byte, bool) {
+	n, ok := b.pages[id]
+	if !ok {
+		b.misses++
+		return nil, false
+	}
+	b.hits++
+	b.moveToFront(n)
+	return n.data, true
+}
+
+// put inserts (or refreshes) a page copy, evicting the LRU entry if full.
+func (b *bufferPool) put(id PageID, data []byte) {
+	if b.capacity <= 0 {
+		return
+	}
+	if n, ok := b.pages[id]; ok {
+		n.data = data
+		b.moveToFront(n)
+		return
+	}
+	n := &bufNode{id: id, data: data}
+	b.pages[id] = n
+	b.pushFront(n)
+	if len(b.pages) > b.capacity {
+		lru := b.tail
+		b.unlink(lru)
+		delete(b.pages, lru.id)
+	}
+}
+
+// invalidate drops a page (called on writes so readers never see stale
+// data).
+func (b *bufferPool) invalidate(id PageID) {
+	if n, ok := b.pages[id]; ok {
+		b.unlink(n)
+		delete(b.pages, id)
+	}
+}
+
+func (b *bufferPool) pushFront(n *bufNode) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *bufferPool) unlink(n *bufNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (b *bufferPool) moveToFront(n *bufNode) {
+	if b.head == n {
+		return
+	}
+	b.unlink(n)
+	b.pushFront(n)
+}
+
+// SetCacheSize installs (or removes, with n <= 0) an LRU buffer pool of n
+// light-class pages. Cached reads cost no simulated I/O.
+func (d *Disk) SetCacheSize(n int) {
+	if n <= 0 {
+		d.pool = nil
+		return
+	}
+	d.pool = newBufferPool(n)
+}
+
+// CacheStats reports buffer-pool hit/miss counts (zeros when disabled).
+func (d *Disk) CacheStats() (hits, misses int64) {
+	if d.pool == nil {
+		return 0, 0
+	}
+	return d.pool.hits, d.pool.misses
+}

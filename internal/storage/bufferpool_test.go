@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBufferPoolHitsSkipIO(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(4)
+	_ = d.WriteBytes(p, []byte("abcd"))
+	d.SetCacheSize(16)
+
+	if _, err := d.ReadPage(p, ClassLight); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	got, err := d.ReadPage(p, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:4], []byte("abcd")) {
+		t.Fatal("cached content wrong")
+	}
+	if delta := d.Stats().Sub(before); delta.Reads != 0 || delta.SimTime != 0 {
+		t.Fatalf("cached read charged I/O: %+v", delta)
+	}
+	hits, misses := d.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestBufferPoolHeavyNotCached(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(2)
+	d.SetCacheSize(16)
+	_, _ = d.ReadPage(p, ClassHeavy)
+	before := d.Stats()
+	_, _ = d.ReadPage(p, ClassHeavy)
+	if d.Stats().Sub(before).Reads != 1 {
+		t.Fatal("heavy read was cached")
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(5)
+	d.SetCacheSize(2)
+	_, _ = d.ReadPage(p, ClassLight)   // cache: [0]
+	_, _ = d.ReadPage(p+1, ClassLight) // cache: [1 0]
+	_, _ = d.ReadPage(p, ClassLight)   // hit: [0 1]
+	_, _ = d.ReadPage(p+2, ClassLight) // evicts 1: [2 0]
+	before := d.Stats()
+	_, _ = d.ReadPage(p, ClassLight) // still cached
+	if d.Stats().Sub(before).Reads != 0 {
+		t.Fatal("page 0 evicted prematurely")
+	}
+	before = d.Stats()
+	_, _ = d.ReadPage(p+1, ClassLight) // was evicted
+	if d.Stats().Sub(before).Reads != 1 {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+func TestBufferPoolWriteInvalidates(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(1)
+	_ = d.WritePage(p, []byte("old"))
+	d.SetCacheSize(4)
+	_, _ = d.ReadPage(p, ClassLight) // cache "old"
+	if err := d.WritePage(p, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPage(p, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3], []byte("new")) {
+		t.Fatalf("stale cache: %q", got[:3])
+	}
+}
+
+func TestBufferPoolReadBytesPath(t *testing.T) {
+	d := newTestDisk()
+	data := make([]byte, 700)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := d.AllocPages(d.PagesFor(int64(len(data))))
+	_ = d.WriteBytes(start, data)
+	d.SetCacheSize(8)
+	got, err := d.ReadBytes(start, len(data), ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("first multi-page read wrong")
+	}
+	before := d.Stats()
+	got, err = d.ReadBytes(start, len(data), ClassLight)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("cached multi-page read wrong")
+	}
+	if d.Stats().Sub(before).Reads != 0 {
+		t.Fatal("cached multi-page read charged I/O")
+	}
+}
+
+func TestBufferPoolDisable(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(1)
+	d.SetCacheSize(4)
+	_, _ = d.ReadPage(p, ClassLight)
+	d.SetCacheSize(0)
+	if h, m := d.CacheStats(); h != 0 || m != 0 {
+		t.Fatal("disabled pool reports stats")
+	}
+	before := d.Stats()
+	_, _ = d.ReadPage(p, ClassLight)
+	if d.Stats().Sub(before).Reads != 1 {
+		t.Fatal("disabled pool still caching")
+	}
+}
+
+func TestBufferPoolCorruptPropagates(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(1)
+	d.SetCacheSize(4)
+	d.CorruptPage(p)
+	if _, err := d.ReadPage(p, ClassLight); err == nil {
+		t.Fatal("corrupt page cached/read")
+	}
+	d.HealPage(p)
+	if _, err := d.ReadPage(p, ClassLight); err != nil {
+		t.Fatal("healed read failed")
+	}
+}

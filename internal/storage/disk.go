@@ -1,0 +1,354 @@
+// Package storage provides the paged-disk substrate under the HDoV-tree's
+// storage schemes. It simulates a 2003-era disk with an explicit cost
+// model (seek + per-page transfer), counts every page access, and
+// classifies I/O as light-weight (tree nodes, V-pages, V-page-index — the
+// traffic of Figure 8(b)) or heavy-weight (model payload — included in
+// Figure 8(a)).
+//
+// Pages with written content hold real bytes; extents that were allocated
+// but never written read back as zero-filled pages. This keeps the
+// simulated database sparse in memory while preserving exact page-level
+// layout, so the gigabyte-scale nominal datasets of the paper's Figure 9
+// produce the same page counts they would on a real disk (DESIGN.md §3.4).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PageID addresses a page on the simulated disk. The zero page is valid;
+// NilPage is the sentinel "no page" value (the nil V-page pointer of §4.2).
+type PageID int64
+
+// NilPage is the null page pointer.
+const NilPage PageID = -1
+
+// Class labels an I/O for the paper's light/heavy accounting split.
+type Class uint8
+
+const (
+	// ClassLight covers index traffic: tree nodes, V-pages, V-page-index
+	// segments. Figure 8(b) reports exactly this.
+	ClassLight Class = iota
+	// ClassHeavy covers model payload (LoD mesh records). Figure 8(a)
+	// reports light + heavy.
+	ClassHeavy
+)
+
+// DefaultPageSize is the disk page size in bytes. 4 KiB matches the
+// filesystem pages of the paper's era and is the V-page granularity.
+const DefaultPageSize = 4096
+
+// CostModel is the simulated time cost of disk operations. Defaults are
+// typical of a 7200 rpm disk circa 2003: ~9 ms average seek+rotation, and
+// ~40 MB/s sustained transfer (≈0.1 ms per 4 KiB page).
+type CostModel struct {
+	Seek         time.Duration // cost of a non-sequential access
+	TransferPage time.Duration // cost per page transferred
+}
+
+// DefaultCostModel returns the 2003-era disk parameters used by all
+// experiments unless overridden.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Seek:         9 * time.Millisecond,
+		TransferPage: 100 * time.Microsecond,
+	}
+}
+
+// Stats is the I/O accounting snapshot of a Disk.
+type Stats struct {
+	Reads      int64 // total pages read
+	Writes     int64 // total pages written
+	Seeks      int64 // non-sequential repositionings
+	LightReads int64 // pages read with ClassLight
+	HeavyReads int64 // pages read with ClassHeavy
+	SimTime    time.Duration
+}
+
+// Sub returns s - o, for measuring a window of activity.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:      s.Reads - o.Reads,
+		Writes:     s.Writes - o.Writes,
+		Seeks:      s.Seeks - o.Seeks,
+		LightReads: s.LightReads - o.LightReads,
+		HeavyReads: s.HeavyReads - o.HeavyReads,
+		SimTime:    s.SimTime - o.SimTime,
+	}
+}
+
+// numStreams is how many concurrent sequential read streams the disk
+// model recognizes. A real OS issues readahead per open file, so a query
+// that interleaves node-record reads with V-page reads still enjoys
+// sequential transfer within each file; modeling a handful of stream heads
+// reproduces that without a full file abstraction.
+const numStreams = 8
+
+// Disk is a simulated paged disk. It is not safe for concurrent use; the
+// walkthrough engine owns one disk per session.
+type Disk struct {
+	pageSize  int
+	allocated PageID // next free page
+	data      map[PageID][]byte
+	corrupt   map[PageID]bool
+	cost      CostModel
+	stats     Stats
+	// streams holds the positions of recent sequential runs (see
+	// numStreams); streamAge implements LRU replacement.
+	streams   [numStreams]PageID
+	streamAge [numStreams]int64
+	clock     int64
+	// pool is the optional light-page buffer pool (see SetCacheSize).
+	pool *bufferPool
+}
+
+// NewDisk creates an empty disk with the given page size (DefaultPageSize
+// if non-positive) and cost model.
+func NewDisk(pageSize int, cost CostModel) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	d := &Disk{
+		pageSize: pageSize,
+		data:     make(map[PageID][]byte),
+		corrupt:  make(map[PageID]bool),
+		cost:     cost,
+	}
+	// All stream heads start parked: the first access is always a seek.
+	for i := range d.streams {
+		d.streams[i] = -2
+	}
+	return d
+}
+
+// PageSize returns the page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int64 { return int64(d.allocated) }
+
+// SizeBytes returns the allocated size of the disk in bytes — the quantity
+// Table 2 reports per storage scheme.
+func (d *Disk) SizeBytes() int64 { return int64(d.allocated) * int64(d.pageSize) }
+
+// ResidentBytes returns the bytes actually materialized in memory
+// (written, non-sparse pages); always ≤ SizeBytes.
+func (d *Disk) ResidentBytes() int64 { return int64(len(d.data)) * int64(d.pageSize) }
+
+// Stats returns the accounting snapshot.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (the head position is kept).
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// AllocPages reserves n contiguous pages and returns the first PageID.
+func (d *Disk) AllocPages(n int) PageID {
+	if n < 1 {
+		n = 1
+	}
+	start := d.allocated
+	d.allocated += PageID(n)
+	return start
+}
+
+// PagesFor returns how many pages are needed for n bytes.
+func (d *Disk) PagesFor(n int64) int {
+	if n <= 0 {
+		return 1
+	}
+	return int((n + int64(d.pageSize) - 1) / int64(d.pageSize))
+}
+
+// errOutOfRange is wrapped into range errors for errors.Is checks.
+var errOutOfRange = errors.New("page out of range")
+
+// ErrCorrupt is returned when a read hits a page marked corrupt by the
+// failure-injection hook.
+var ErrCorrupt = errors.New("storage: corrupt page")
+
+// WritePage stores data (at most one page) at id. Write cost is charged as
+// one page transfer; experiments only measure reads, matching the paper's
+// read-only query workload.
+func (d *Disk) WritePage(id PageID, data []byte) error {
+	if id < 0 || id >= d.allocated {
+		return fmt.Errorf("storage: write page %d: %w", id, errOutOfRange)
+	}
+	if len(data) > d.pageSize {
+		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
+	}
+	page := make([]byte, d.pageSize)
+	copy(page, data)
+	d.data[id] = page
+	d.stats.Writes++
+	if d.pool != nil {
+		d.pool.invalidate(id)
+	}
+	return nil
+}
+
+// ReadPage returns the content of page id, charging one page I/O of the
+// given class. Never-written pages read back zero-filled. Light-class
+// reads served by the buffer pool (SetCacheSize) cost nothing.
+func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
+	if id < 0 || id >= d.allocated {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, errOutOfRange)
+	}
+	if d.pool != nil && class == ClassLight {
+		if p, ok := d.pool.get(id); ok {
+			return p, nil
+		}
+	}
+	d.account(id, 1, class)
+	if d.corrupt[id] {
+		return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+	}
+	var page []byte
+	if p, ok := d.data[id]; ok {
+		page = p
+	} else {
+		page = make([]byte, d.pageSize)
+	}
+	if d.pool != nil && class == ClassLight {
+		d.pool.put(id, page)
+	}
+	return page, nil
+}
+
+// PeekPage returns page content without charging any I/O. Build-time
+// read-modify-write paths use it so that construction does not pollute the
+// experiment counters; queries must use ReadPage.
+func (d *Disk) PeekPage(id PageID) ([]byte, error) {
+	if id < 0 || id >= d.allocated {
+		return nil, fmt.Errorf("storage: peek page %d: %w", id, errOutOfRange)
+	}
+	if d.corrupt[id] {
+		return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+	}
+	if p, ok := d.data[id]; ok {
+		return p, nil
+	}
+	return make([]byte, d.pageSize), nil
+}
+
+// account charges n sequential page reads starting at id. The access is
+// sequential if it continues one of the recent stream heads; otherwise it
+// seeks and claims the least-recently-used stream slot.
+func (d *Disk) account(id PageID, n int64, class Class) {
+	d.clock++
+	slot := -1
+	for i := range d.streams {
+		// Continuing a stream, or re-reading its current page (served by
+		// the drive's track buffer), costs no seek.
+		if d.streams[i]+1 == id || d.streams[i] == id {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		d.stats.Seeks++
+		d.stats.SimTime += d.cost.Seek
+		slot = 0
+		for i := 1; i < numStreams; i++ {
+			if d.streamAge[i] < d.streamAge[slot] {
+				slot = i
+			}
+		}
+	}
+	d.streams[slot] = id + PageID(n) - 1
+	d.streamAge[slot] = d.clock
+	d.stats.Reads += n
+	d.stats.SimTime += time.Duration(n) * d.cost.TransferPage
+	switch class {
+	case ClassHeavy:
+		d.stats.HeavyReads += n
+	default:
+		d.stats.LightReads += n
+	}
+}
+
+// WriteBytes stores data starting at page start, spanning as many pages as
+// needed.
+func (d *Disk) WriteBytes(start PageID, data []byte) error {
+	for off := 0; off < len(data); off += d.pageSize {
+		end := off + d.pageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := d.WritePage(start+PageID(off/d.pageSize), data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes reads length bytes starting at page start. All pages of the
+// extent are charged as one sequential run.
+func (d *Disk) ReadBytes(start PageID, length int, class Class) ([]byte, error) {
+	if length < 0 {
+		return nil, errors.New("storage: negative read length")
+	}
+	n := d.PagesFor(int64(length))
+	if start < 0 || start+PageID(n) > d.allocated {
+		return nil, fmt.Errorf("storage: read extent [%d,%d): %w", start, int64(start)+int64(n), errOutOfRange)
+	}
+	if d.pool != nil && class == ClassLight {
+		// Page-at-a-time through the buffer pool; consecutive misses
+		// still count as one sequential run via the stream heads.
+		out := make([]byte, 0, n*d.pageSize)
+		for i := 0; i < n; i++ {
+			p, err := d.ReadPage(start+PageID(i), class)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p...)
+		}
+		return out[:length], nil
+	}
+	d.account(start, int64(n), class)
+	out := make([]byte, 0, n*d.pageSize)
+	for i := 0; i < n; i++ {
+		id := start + PageID(i)
+		if d.corrupt[id] {
+			return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+		}
+		if p, ok := d.data[id]; ok {
+			out = append(out, p...)
+		} else {
+			out = append(out, make([]byte, d.pageSize)...)
+		}
+	}
+	return out[:length], nil
+}
+
+// ReadExtent charges n sequential page reads starting at start without
+// materializing data. Heavy model payloads whose bytes the caller does not
+// need (nominal-size padding) use this, keeping I/O counts exact while the
+// process stays small.
+func (d *Disk) ReadExtent(start PageID, n int, class Class) error {
+	if n < 1 {
+		n = 1
+	}
+	if start < 0 || start+PageID(n) > d.allocated {
+		return fmt.Errorf("storage: extent [%d,%d): %w", start, int64(start)+int64(n), errOutOfRange)
+	}
+	d.account(start, int64(n), class)
+	for i := 0; i < n; i++ {
+		if d.corrupt[start+PageID(i)] {
+			return fmt.Errorf("%w: page %d", ErrCorrupt, start+PageID(i))
+		}
+	}
+	return nil
+}
+
+// CorruptPage marks a page as unreadable — the failure-injection hook used
+// by recovery tests.
+func (d *Disk) CorruptPage(id PageID) { d.corrupt[id] = true }
+
+// HealPage clears a corruption mark.
+func (d *Disk) HealPage(id PageID) { delete(d.corrupt, id) }
+
+// IsOutOfRange reports whether err came from an out-of-range page access.
+func IsOutOfRange(err error) bool { return errors.Is(err, errOutOfRange) }

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func imageFixture(t *testing.T) *Disk {
+	t.Helper()
+	d := newTestDisk()
+	r := rand.New(rand.NewSource(9))
+	// A mix of written and sparse extents.
+	a := d.AllocPages(10)
+	buf := make([]byte, 5*256)
+	r.Read(buf)
+	if err := d.WriteBytes(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.AllocPages(1000) // sparse
+	b := d.AllocPages(3)
+	if err := d.WritePage(b+2, []byte("tail page")); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	d := imageFixture(t)
+	var img bytes.Buffer
+	n, err := d.WriteTo(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(img.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, img.Len())
+	}
+	got, err := ReadImage(bytes.NewReader(img.Bytes()), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PageSize() != d.PageSize() || got.NumPages() != d.NumPages() {
+		t.Fatalf("geometry changed: %d/%d vs %d/%d",
+			got.PageSize(), got.NumPages(), d.PageSize(), d.NumPages())
+	}
+	if got.ResidentBytes() != d.ResidentBytes() {
+		t.Fatalf("resident bytes %d vs %d", got.ResidentBytes(), d.ResidentBytes())
+	}
+	// Every page readable and byte-identical.
+	for id := PageID(0); int64(id) < d.NumPages(); id++ {
+		a, err := d.PeekPage(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.PeekPage(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d differs after round trip", id)
+		}
+	}
+	// Fresh statistics.
+	if got.Stats() != (Stats{}) {
+		t.Fatal("stats not zeroed")
+	}
+}
+
+func TestImageDetectsCorruption(t *testing.T) {
+	d := imageFixture(t)
+	var img bytes.Buffer
+	if _, err := d.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+
+	flip := func(i int) []byte {
+		c := append([]byte(nil), raw...)
+		c[i] ^= 0x5a
+		return c
+	}
+	cases := map[string][]byte{
+		"header magic":  flip(0),
+		"page data":     flip(len(raw) / 2),
+		"checksum":      flip(len(raw) - 1),
+		"truncated":     raw[:len(raw)-10],
+		"short":         raw[:8],
+		"extra garbage": append(append([]byte(nil), raw...), 0xff),
+	}
+	for name, img := range cases {
+		if _, err := ReadImage(bytes.NewReader(img), DefaultCostModel()); !errors.Is(err, ErrBadImage) {
+			t.Fatalf("%s: err = %v, want ErrBadImage", name, err)
+		}
+	}
+}
+
+func TestImageEmptyDisk(t *testing.T) {
+	d := NewDisk(512, DefaultCostModel())
+	var img bytes.Buffer
+	if _, err := d.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(bytes.NewReader(img.Bytes()), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPages() != 0 || got.PageSize() != 512 {
+		t.Fatal("empty disk round trip wrong")
+	}
+}
+
+func TestImageReopenedDiskUsable(t *testing.T) {
+	d := imageFixture(t)
+	var img bytes.Buffer
+	if _, err := d.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(bytes.NewReader(img.Bytes()), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads charge normally; allocation continues past the image.
+	if _, err := got.ReadPage(0, ClassLight); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats().Reads != 1 {
+		t.Fatal("reopened disk not accounting")
+	}
+	p := got.AllocPages(2)
+	if p != PageID(d.NumPages()) {
+		t.Fatalf("allocation resumed at %d, want %d", p, d.NumPages())
+	}
+	if err := got.WritePage(p, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+}

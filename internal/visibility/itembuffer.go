@@ -1,0 +1,285 @@
+package visibility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/scene"
+)
+
+// ItemBuffer is a software re-creation of the paper's hardware DoV pass:
+// "a hardware-accelerated DoV algorithm is then applied on the visible set
+// to evaluate the DoV values" (§5.1, detailed in reference [11]). The
+// scene's occluder proxies are rasterized with a z-buffer into the six
+// 90°-FoV faces of a cube item buffer centered at the viewpoint; each
+// pixel records the nearest object's ID, and DoV(p, X) is the solid angle
+// of X's pixels as a fraction of the full sphere.
+//
+// It computes the same quantity as Engine's ray casting by a completely
+// different algorithm (perspective projection + edge-function rasterization
+// vs nearest-hit ray traversal), which makes the two implementations
+// mutual cross-checks: property tests assert they agree to within their
+// discretization error.
+type ItemBuffer struct {
+	scene *scene.Scene
+	res   int
+	// Per-object triangle proxies (world space), built once.
+	proxies [][]triangle
+	// Per-pixel solid angle of one face row-major grid, in fractions of
+	// 4π; identical for all six faces by symmetry.
+	pixelOmega []float64
+	// Reused per-face buffers.
+	depth []float64
+	owner []int32
+}
+
+type triangle struct {
+	a, b, c geom.Vec3
+}
+
+// DefaultItemBufferRes is the per-face resolution. 64×64×6 ≈ 24.6k pixels
+// resolves DoV to ~4×10⁻⁵, comparable to 4096-ray sampling.
+const DefaultItemBufferRes = 64
+
+// NewItemBuffer builds the rasterizing DoV engine over s with the given
+// per-face resolution (DefaultItemBufferRes if res <= 0).
+func NewItemBuffer(s *scene.Scene, res int) *ItemBuffer {
+	if res <= 0 {
+		res = DefaultItemBufferRes
+	}
+	ib := &ItemBuffer{
+		scene:   s,
+		res:     res,
+		proxies: make([][]triangle, len(s.Objects)),
+		depth:   make([]float64, res*res),
+		owner:   make([]int32, res*res),
+	}
+	for i, o := range s.Objects {
+		ib.proxies[i] = occluderTriangles(o.Occluder)
+	}
+	// Cube-map pixel solid angle: for a pixel centered at (u, v) on a
+	// face at distance 1, dω = du·dv / (1 + u² + v²)^(3/2).
+	ib.pixelOmega = make([]float64, res*res)
+	du := 2.0 / float64(res)
+	for y := 0; y < res; y++ {
+		v := -1 + (float64(y)+0.5)*du
+		for x := 0; x < res; x++ {
+			u := -1 + (float64(x)+0.5)*du
+			r2 := 1 + u*u + v*v
+			ib.pixelOmega[y*res+x] = du * du / (r2 * math.Sqrt(r2)) / (4 * math.Pi)
+		}
+	}
+	return ib
+}
+
+// occluderTriangles converts an occluder proxy to world-space triangles:
+// boxes become their 12 faces, spheres a coarse UV tessellation (slightly
+// inflated so the tessellated hull stays conservative against the exact
+// sphere the ray caster intersects).
+func occluderTriangles(o scene.Occluder) []triangle {
+	var out []triangle
+	addMesh := func(m *mesh.Mesh) {
+		for i := 0; i < m.NumTriangles(); i++ {
+			a, b, c := m.Triangle(i)
+			out = append(out, triangle{a, b, c})
+		}
+	}
+	for _, b := range o.Boxes {
+		addMesh(mesh.NewBox(b))
+	}
+	for _, s := range o.Spheres {
+		// Inflate so the inscribed tessellation circumscribes the sphere:
+		// a UV sphere's chord sagitta at this resolution is ~2.5%.
+		addMesh(mesh.NewSphere(s.Center, s.Radius*1.026, 10, 20))
+	}
+	return out
+}
+
+// Clone returns an ItemBuffer sharing the immutable proxies and solid-
+// angle table but with its own raster buffers, for use from another
+// goroutine (PointDoV mutates the per-face buffers, so a single instance
+// is not safe for concurrent use — unlike Engine).
+func (ib *ItemBuffer) Clone() *ItemBuffer {
+	c := *ib
+	c.depth = make([]float64, ib.res*ib.res)
+	c.owner = make([]int32, ib.res*ib.res)
+	return &c
+}
+
+// Res returns the per-face resolution.
+func (ib *ItemBuffer) Res() int { return ib.res }
+
+// Resolution returns the smallest DoV the buffer resolves (≈ one pixel).
+func (ib *ItemBuffer) Resolution() float64 {
+	return 1 / float64(6*ib.res*ib.res)
+}
+
+// cube-face bases: forward, right, up for +X,-X,+Y,-Y,+Z,-Z.
+var cubeFaces = [6][3]geom.Vec3{
+	{{X: 1}, {Y: 1}, {Z: 1}},
+	{{X: -1}, {Y: -1}, {Z: 1}},
+	{{Y: 1}, {X: -1}, {Z: 1}},
+	{{Y: -1}, {X: 1}, {Z: 1}},
+	{{Z: 1}, {Y: 1}, {X: -1}},
+	{{Z: -1}, {Y: 1}, {X: 1}},
+}
+
+// PointDoV rasterizes the scene around p and returns per-object DoV; the
+// slice is indexed by object ID and sums to at most 1.
+func (ib *ItemBuffer) PointDoV(p geom.Vec3) []float64 {
+	dov := make([]float64, len(ib.scene.Objects))
+	for face := 0; face < 6; face++ {
+		ib.rasterizeFace(p, face)
+		for i, id := range ib.owner {
+			if id >= 0 {
+				dov[id] += ib.pixelOmega[i]
+			}
+		}
+	}
+	return dov
+}
+
+// RegionDoV is the equation-2 conservative maximum over sample viewpoints.
+func (ib *ItemBuffer) RegionDoV(samples []geom.Vec3) []float64 {
+	out := make([]float64, len(ib.scene.Objects))
+	for _, p := range samples {
+		pd := ib.PointDoV(p)
+		for i, v := range pd {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// rasterizeFace renders every object proxy into one cube face's item
+// buffer with a floating-point z-buffer (depth = distance along the face
+// axis, i.e. standard perspective depth).
+func (ib *ItemBuffer) rasterizeFace(eye geom.Vec3, face int) {
+	res := ib.res
+	for i := range ib.depth {
+		ib.depth[i] = math.Inf(1)
+		ib.owner[i] = -1
+	}
+	fwd, right, up := cubeFaces[face][0], cubeFaces[face][1], cubeFaces[face][2]
+	const near = 1e-3
+
+	for objID, tris := range ib.proxies {
+		for _, t := range tris {
+			// Camera space: (u, v, w) with w the forward depth.
+			ca := camVert(t.a, eye, fwd, right, up)
+			cb := camVert(t.b, eye, fwd, right, up)
+			cc := camVert(t.c, eye, fwd, right, up)
+			ib.rasterTriangle(int32(objID), ca, cb, cc, near)
+		}
+	}
+	_ = res
+}
+
+type camV struct {
+	u, v, w float64
+}
+
+func camVert(p, eye, fwd, right, up geom.Vec3) camV {
+	d := p.Sub(eye)
+	return camV{u: d.Dot(right), v: d.Dot(up), w: d.Dot(fwd)}
+}
+
+// rasterTriangle clips the camera-space triangle against the near plane
+// and scan-converts the resulting fan with perspective-correct depth.
+func (ib *ItemBuffer) rasterTriangle(id int32, a, b, c camV, near float64) {
+	// Near-plane clipping (w >= near) via Sutherland–Hodgman on the
+	// single plane; yields 0, 3 or 4 vertices.
+	in := make([]camV, 0, 4)
+	verts := [3]camV{a, b, c}
+	for i := 0; i < 3; i++ {
+		cur, nxt := verts[i], verts[(i+1)%3]
+		if cur.w >= near {
+			in = append(in, cur)
+		}
+		if (cur.w >= near) != (nxt.w >= near) {
+			t := (near - cur.w) / (nxt.w - cur.w)
+			in = append(in, camV{
+				u: cur.u + t*(nxt.u-cur.u),
+				v: cur.v + t*(nxt.v-cur.v),
+				w: near,
+			})
+		}
+	}
+	if len(in) < 3 {
+		return
+	}
+	for i := 1; i+1 < len(in); i++ {
+		ib.rasterClipped(id, in[0], in[i], in[i+1])
+	}
+}
+
+// rasterClipped scan-converts one clipped camera-space triangle.
+func (ib *ItemBuffer) rasterClipped(id int32, a, b, c camV) {
+	res := ib.res
+	// Project to face coordinates in [-1, 1]; keep 1/w for perspective-
+	// correct depth interpolation.
+	type proj struct {
+		x, y, invW float64
+	}
+	pr := func(v camV) proj {
+		return proj{x: v.u / v.w, y: v.v / v.w, invW: 1 / v.w}
+	}
+	pa, pb, pc := pr(a), pr(b), pr(c)
+
+	// Pixel-space bounding box.
+	toPix := func(t float64) float64 { return (t + 1) / 2 * float64(res) }
+	minX := int(math.Floor(toPix(math.Min(pa.x, math.Min(pb.x, pc.x)))))
+	maxX := int(math.Ceil(toPix(math.Max(pa.x, math.Max(pb.x, pc.x)))))
+	minY := int(math.Floor(toPix(math.Min(pa.y, math.Min(pb.y, pc.y)))))
+	maxY := int(math.Ceil(toPix(math.Max(pa.y, math.Max(pb.y, pc.y)))))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX > res {
+		maxX = res
+	}
+	if maxY > res {
+		maxY = res
+	}
+	if minX >= maxX || minY >= maxY {
+		return
+	}
+
+	// Edge functions in face coordinates (two-sided: accept either
+	// orientation, occluders are closed surfaces).
+	area := (pb.x-pa.x)*(pc.y-pa.y) - (pb.y-pa.y)*(pc.x-pa.x)
+	if math.Abs(area) < 1e-18 {
+		return
+	}
+	invArea := 1 / area
+	du := 2.0 / float64(res)
+	for py := minY; py < maxY; py++ {
+		y := -1 + (float64(py)+0.5)*du
+		for px := minX; px < maxX; px++ {
+			x := -1 + (float64(px)+0.5)*du
+			w0 := ((pb.x-x)*(pc.y-y) - (pb.y-y)*(pc.x-x)) * invArea
+			w1 := ((pc.x-x)*(pa.y-y) - (pc.y-y)*(pa.x-x)) * invArea
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			// Perspective-correct depth: interpolate 1/w linearly.
+			invW := w0*pa.invW + w1*pb.invW + w2*pc.invW
+			if invW <= 0 {
+				continue
+			}
+			depth := 1 / invW
+			idx := py*res + px
+			if depth < ib.depth[idx] {
+				ib.depth[idx] = depth
+				ib.owner[idx] = id
+			}
+		}
+	}
+}

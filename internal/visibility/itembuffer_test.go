@@ -1,0 +1,158 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+)
+
+func TestItemBufferPixelOmegaSumsToSphere(t *testing.T) {
+	// The per-pixel solid angles of the six faces must tile the sphere.
+	s := makeScene()
+	ib := NewItemBuffer(s, 32)
+	var sum float64
+	for _, w := range ib.pixelOmega {
+		sum += w
+	}
+	sum *= 6
+	if math.Abs(sum-1) > 0.001 {
+		t.Fatalf("pixel solid angles sum to %v of the sphere", sum)
+	}
+}
+
+func TestItemBufferOcclusion(t *testing.T) {
+	s := makeScene() // wall(0), hidden box(1), side box(2)
+	ib := NewItemBuffer(s, 128)
+	dov := ib.PointDoV(geom.V(0, 0, 0))
+	if dov[0] == 0 {
+		t.Fatal("wall invisible in item buffer")
+	}
+	if dov[1] != 0 {
+		t.Fatalf("hidden box rasterized with DoV %v", dov[1])
+	}
+	if dov[2] == 0 {
+		t.Fatal("side box invisible in item buffer")
+	}
+	if dov[0] <= dov[2] {
+		t.Fatalf("wall %v should dominate side box %v", dov[0], dov[2])
+	}
+	if total := TotalDoV(dov); total > 1+1e-9 {
+		t.Fatalf("DoV sums to %v > 1", total)
+	}
+}
+
+func TestItemBufferMatchesAnalyticCap(t *testing.T) {
+	// Same analytic check as the ray engine: a sphere of radius r at
+	// distance d subtends (1-sqrt(1-(r/d)^2))/2 of the sphere.
+	sp := scene.Sphere{Center: geom.V(20, 0, 0), Radius: 5}
+	obj := &scene.Object{
+		ID:       0,
+		MBR:      geom.BoxAt(sp.Center, sp.Radius),
+		Occluder: scene.Occluder{Spheres: []scene.Sphere{sp}},
+	}
+	s := &scene.Scene{
+		Objects:    []*scene.Object{obj},
+		Bounds:     geom.BoxAt(geom.V(0, 0, 0), 60),
+		ViewRegion: geom.BoxAt(geom.V(0, 0, 0), 1),
+	}
+	ib := NewItemBuffer(s, 128)
+	dov := ib.PointDoV(geom.V(0, 0, 0))
+	q := 5.0 / 20.0
+	want := (1 - math.Sqrt(1-q*q)) / 2
+	if math.Abs(dov[0]-want) > 0.1*want {
+		t.Fatalf("item-buffer sphere DoV %v, analytic %v", dov[0], want)
+	}
+}
+
+// TestItemBufferAgreesWithRayCasting is the cross-validation between the
+// two DoV algorithms: a rasterizer with z-buffering and a nearest-hit ray
+// caster must measure the same solid angles up to discretization error.
+func TestItemBufferAgreesWithRayCasting(t *testing.T) {
+	p := scene.DefaultCityParams()
+	p.BlocksX, p.BlocksY = 2, 2
+	p.BuildingsPerBlock = 4
+	p.BlobsPerBlock = 2
+	p.BlobDetail = 8
+	p.NominalBytes = 0
+	sc := scene.Generate(p)
+
+	rays := NewEngine(sc, 8192)
+	ib := NewItemBuffer(sc, 128)
+
+	for _, eye := range []geom.Vec3{
+		sc.ViewRegion.Center(),
+		geom.V(10, 10, 1.7),
+		geom.V(60, 130, 1.7),
+	} {
+		a := rays.PointDoV(eye)
+		b := ib.PointDoV(eye)
+		for id := range a {
+			// Tolerance: ray sampling noise (3σ) plus rasterization
+			// aliasing (a couple of pixel rows around the silhouette).
+			tol := 3*rays.SamplingError(math.Max(a[id], b[id])) + 12*ib.Resolution() + 0.002
+			if math.Abs(a[id]-b[id]) > tol {
+				t.Fatalf("eye %v object %d: rays %v vs item buffer %v (tol %v)",
+					eye, id, a[id], b[id], tol)
+			}
+		}
+	}
+}
+
+func TestItemBufferRegionDoVIsMax(t *testing.T) {
+	s := makeScene()
+	ib := NewItemBuffer(s, 64)
+	p1, p2 := geom.V(0, 0, 0), geom.V(0, 25, 0)
+	d1, d2 := ib.PointDoV(p1), ib.PointDoV(p2)
+	reg := ib.RegionDoV([]geom.Vec3{p1, p2})
+	for i := range reg {
+		if want := math.Max(d1[i], d2[i]); reg[i] != want {
+			t.Fatalf("object %d: region %v, want %v", i, reg[i], want)
+		}
+	}
+}
+
+func TestItemBufferEyeInsideOccluder(t *testing.T) {
+	// A viewpoint inside a box sees that box in every direction.
+	obj := &scene.Object{
+		ID:       0,
+		MBR:      geom.BoxAt(geom.V(0, 0, 0), 5),
+		Occluder: scene.Occluder{Boxes: []geom.AABB{geom.BoxAt(geom.V(0, 0, 0), 5)}},
+	}
+	s := &scene.Scene{
+		Objects:    []*scene.Object{obj},
+		Bounds:     geom.BoxAt(geom.V(0, 0, 0), 10),
+		ViewRegion: geom.BoxAt(geom.V(0, 0, 0), 1),
+	}
+	ib := NewItemBuffer(s, 32)
+	dov := ib.PointDoV(geom.V(0, 0, 0))
+	if dov[0] < 0.99 {
+		t.Fatalf("inside-box DoV %v, want ~1", dov[0])
+	}
+}
+
+func TestItemBufferDefaults(t *testing.T) {
+	s := makeScene()
+	ib := NewItemBuffer(s, 0)
+	if ib.Res() != DefaultItemBufferRes {
+		t.Fatalf("res = %d", ib.Res())
+	}
+	if r := ib.Resolution(); r <= 0 || r > 1e-3 {
+		t.Fatalf("resolution = %v", r)
+	}
+}
+
+func BenchmarkItemBufferPointDoV(b *testing.B) {
+	p := scene.DefaultCityParams()
+	p.BlocksX, p.BlocksY = 4, 4
+	p.BlobDetail = 8
+	p.NominalBytes = 0
+	sc := scene.Generate(p)
+	ib := NewItemBuffer(sc, 64)
+	eye := sc.ViewRegion.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ib.PointDoV(eye)
+	}
+}

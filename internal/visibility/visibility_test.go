@@ -1,0 +1,186 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/scene"
+	"repro/internal/simplify"
+)
+
+// makeScene builds a hand-crafted scene: object 0 is a big wall, object 1 a
+// box hidden behind it (from the test viewpoint), object 2 a box off to the
+// side, fully visible.
+func makeScene() *scene.Scene {
+	mk := func(id int64, b geom.AABB) *scene.Object {
+		m := mesh.NewBox(b)
+		return &scene.Object{
+			ID:       id,
+			Kind:     scene.KindBuilding,
+			MBR:      b,
+			LoDs:     simplify.BuildLoDChain(m, 2, 0.5),
+			Occluder: scene.Occluder{Boxes: []geom.AABB{b}},
+			LoDBytes: []int64{int64(m.EncodedSize()), int64(m.EncodedSize() / 2)},
+		}
+	}
+	s := &scene.Scene{PayloadScale: 1}
+	// Viewpoint will be at origin. Wall at x=10, tall and wide.
+	s.Objects = append(s.Objects,
+		mk(0, geom.Box(geom.V(10, -20, -20), geom.V(12, 20, 20))),
+		mk(1, geom.Box(geom.V(30, -5, -5), geom.V(34, 5, 5))),    // hidden behind wall
+		mk(2, geom.Box(geom.V(-20, 30, -3), geom.V(-14, 36, 3))), // visible, off-axis
+	)
+	b := geom.EmptyAABB()
+	for _, o := range s.Objects {
+		b = b.Union(o.MBR)
+	}
+	s.Bounds = b.Union(geom.BoxAt(geom.V(0, 0, 0), 1))
+	s.ViewRegion = geom.BoxAt(geom.V(0, 0, 0), 2)
+	return s
+}
+
+func TestPointDoVOcclusion(t *testing.T) {
+	s := makeScene()
+	e := NewEngine(s, 8192)
+	dov := e.PointDoV(geom.V(0, 0, 0))
+	if len(dov) != 3 {
+		t.Fatalf("dov has %d entries", len(dov))
+	}
+	if dov[0] == 0 {
+		t.Fatal("wall should be visible")
+	}
+	if dov[1] != 0 {
+		t.Fatalf("hidden box has DoV %v, want 0", dov[1])
+	}
+	if dov[2] == 0 {
+		t.Fatal("side box should be visible")
+	}
+	// The wall subtends much more solid angle than the small side box.
+	if dov[0] <= dov[2] {
+		t.Fatalf("wall DoV %v should exceed side box DoV %v", dov[0], dov[2])
+	}
+}
+
+func TestPointDoVSumBound(t *testing.T) {
+	s := makeScene()
+	e := NewEngine(s, 2048)
+	dov := e.PointDoV(geom.V(0, 0, 0))
+	if total := TotalDoV(dov); total > 1+1e-9 {
+		t.Fatalf("point DoV sums to %v > 1", total)
+	}
+}
+
+func TestPointDoVMatchesAnalyticCap(t *testing.T) {
+	// A single sphere occluder of radius r at distance d subtends a cap of
+	// solid-angle fraction (1-sqrt(1-(r/d)^2))/2.
+	sp := scene.Sphere{Center: geom.V(20, 0, 0), Radius: 5}
+	obj := &scene.Object{
+		ID:       0,
+		Kind:     scene.KindBlob,
+		MBR:      geom.BoxAt(sp.Center, sp.Radius),
+		LoDs:     simplify.BuildLoDChain(mesh.NewSphere(sp.Center, sp.Radius, 8, 16), 2, 0.5),
+		Occluder: scene.Occluder{Spheres: []scene.Sphere{sp}},
+		LoDBytes: []int64{1, 1},
+	}
+	s := &scene.Scene{
+		Objects:      []*scene.Object{obj},
+		Bounds:       geom.BoxAt(geom.V(0, 0, 0), 60),
+		ViewRegion:   geom.BoxAt(geom.V(0, 0, 0), 1),
+		PayloadScale: 1,
+	}
+	e := NewEngine(s, 16384)
+	dov := e.PointDoV(geom.V(0, 0, 0))
+	q := 5.0 / 20.0
+	want := (1 - math.Sqrt(1-q*q)) / 2
+	if math.Abs(dov[0]-want) > 0.1*want {
+		t.Fatalf("sphere DoV = %v, analytic %v", dov[0], want)
+	}
+}
+
+func TestRegionDoVIsPointwiseMax(t *testing.T) {
+	s := makeScene()
+	e := NewEngine(s, 1024)
+	p1 := geom.V(0, 0, 0)
+	p2 := geom.V(0, 25, 0) // from here the "hidden" box may peek around the wall
+	d1 := e.PointDoV(p1)
+	d2 := e.PointDoV(p2)
+	reg := e.RegionDoV([]geom.Vec3{p1, p2})
+	for i := range reg {
+		want := math.Max(d1[i], d2[i])
+		if math.Abs(reg[i]-want) > 1e-12 {
+			t.Fatalf("object %d region DoV %v, want max(%v, %v)", i, reg[i], d1[i], d2[i])
+		}
+	}
+}
+
+func TestDoVNonNegativeAndBounded(t *testing.T) {
+	s := scene.Generate(func() scene.CityParams {
+		p := scene.DefaultCityParams()
+		p.BlocksX, p.BlocksY = 2, 2
+		p.BuildingsPerBlock = 3
+		p.BlobsPerBlock = 2
+		p.BlobDetail = 6
+		p.NominalBytes = 0
+		return p
+	}())
+	e := NewEngine(s, 2048)
+	eye := s.ViewRegion.Center()
+	dov := e.PointDoV(eye)
+	bounds := e.SolidAngleUpperBounds(eye)
+	slack := 3 * e.SamplingError(0.5) // generous sampling tolerance
+	for i, v := range dov {
+		if v < 0 || v > 1 {
+			t.Fatalf("object %d DoV %v out of range", i, v)
+		}
+		if v > bounds[i]+slack {
+			t.Fatalf("object %d DoV %v exceeds geometric bound %v", i, v, bounds[i])
+		}
+	}
+}
+
+func TestOcclusionTest(t *testing.T) {
+	s := makeScene()
+	e := NewEngine(s, 64)
+	// Wall blocks the segment from origin to the hidden box.
+	if !e.OcclusionTest(geom.V(0, 0, 0), geom.V(32, 0, 0), 1) {
+		t.Fatal("wall should block")
+	}
+	// Nothing blocks the path to the side box.
+	if e.OcclusionTest(geom.V(0, 0, 0), geom.V(-17, 33, 0), 2) {
+		t.Fatal("side box path should be clear")
+	}
+	// Zero-length segment.
+	if e.OcclusionTest(geom.V(0, 0, 0), geom.V(0, 0, 0), -1) {
+		t.Fatal("zero segment blocked")
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	s := makeScene()
+	e := NewEngine(s, 0)
+	if e.NumDirections() != DefaultDirections {
+		t.Fatalf("dirs = %d", e.NumDirections())
+	}
+	if se := e.SamplingError(0.5); se <= 0 || se > 0.01 {
+		t.Fatalf("sampling error = %v", se)
+	}
+	if VisibleCount([]float64{0, 0.1, 0, 0.2}) != 2 {
+		t.Fatal("VisibleCount wrong")
+	}
+}
+
+func BenchmarkPointDoV(b *testing.B) {
+	p := scene.DefaultCityParams()
+	p.BlocksX, p.BlocksY = 4, 4
+	p.BlobDetail = 8
+	p.NominalBytes = 0
+	s := scene.Generate(p)
+	e := NewEngine(s, 1024)
+	eye := s.ViewRegion.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PointDoV(eye)
+	}
+}

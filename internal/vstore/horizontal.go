@@ -1,0 +1,101 @@
+package vstore
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Horizontal is the §4.1 scheme: node-major V-page arrays indexed by cell.
+// Storage cost: size_vpage · c · N_node. Query cost: one V-page access per
+// node, but the V-pages of one cell are far apart on disk (stride c), so
+// walking a cell's visible nodes seeks for every access — the reason the
+// horizontal scheme "performs the worst" in Figure 7.
+type Horizontal struct {
+	disk       *storage.Disk
+	grid       *cells.Grid
+	numNodes   int
+	slots      slotTable
+	vpageBytes int
+	cur        cells.CellID
+	hasCell    bool
+	sizeBytes  int64
+}
+
+// BuildHorizontal lays out and writes the horizontal scheme for vis.
+func BuildHorizontal(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Horizontal, error) {
+	vpb := resolveVPageBytes(d, vpageBytes)
+	c := vis.Grid.NumCells()
+	h := &Horizontal{
+		disk:       d,
+		grid:       vis.Grid,
+		numNodes:   vis.NumNodes,
+		vpageBytes: vpb,
+		slots:      newSlotTable(d, vpb, vis.NumNodes*c),
+		// Table 2 reports the logical footprint: size_vpage · c · N_node.
+		sizeBytes: int64(vpb) * int64(c) * int64(vis.NumNodes),
+	}
+	for cell, perNode := range vis.PerCell {
+		for id, vd := range perNode {
+			if vd == nil {
+				continue // invisible: the reserved V-page stays zero-filled
+			}
+			buf, err := encodeVPage(vd, vpb)
+			if err != nil {
+				return nil, err
+			}
+			if err := h.slots.write(d, h.slotOf(core.NodeID(id), cell), buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// slotOf returns the V-page slot for (node, cell): node-major layout, one
+// slot per cell.
+func (h *Horizontal) slotOf(id core.NodeID, cell cells.CellID) int64 {
+	return int64(id)*int64(h.grid.NumCells()) + int64(cell)
+}
+
+// Name implements core.VStore.
+func (h *Horizontal) Name() string { return "horizontal" }
+
+// SizeBytes implements core.VStore — the Table 2 storage cost.
+func (h *Horizontal) SizeBytes() int64 { return h.sizeBytes }
+
+// SetCell implements core.VStore. The horizontal scheme has no per-cell
+// segment; switching cells is free.
+func (h *Horizontal) SetCell(cell cells.CellID) error {
+	if int(cell) < 0 || int(cell) >= h.grid.NumCells() {
+		return fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	h.cur = cell
+	h.hasCell = true
+	return nil
+}
+
+// NodeVD implements core.VStore: one V-page read per call (§4.1: "A
+// visibility query to a node costs one V-page access only").
+func (h *Horizontal) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
+	if !h.hasCell {
+		return nil, false, fmt.Errorf("vstore: no current cell")
+	}
+	if int(id) < 0 || int(id) >= h.numNodes {
+		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
+	}
+	buf, err := h.slots.read(h.disk, h.slotOf(id, h.cur), storage.ClassLight)
+	if err != nil {
+		return nil, false, err
+	}
+	vd, err := decodeVPage(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if vd == nil {
+		return nil, false, nil
+	}
+	return vd, true, nil
+}

@@ -1,0 +1,166 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// IndexedVertical is the §4.3 scheme: segments of the V-page-index store
+// only the (offset, V-page pointer) pairs of *visible* nodes, so both the
+// index size and the flip cost drop from O(N_node) to O(N_vnode). Segments
+// are variable-length; a one-to-one directory (cell → segment extent),
+// itself tiny, locates them.
+//
+// Storage cost: (size_pointer + size_integer) · N_vnode · c +
+// size_vpage · N_vnode · c, plus the directory.
+type IndexedVertical struct {
+	disk       *storage.Disk
+	grid       *cells.Grid
+	numNodes   int
+	slots      slotTable
+	vpageBytes int
+
+	// dir[cell] locates the cell's segment. Loaded at open time and kept
+	// resident, like a file's inode table; its disk footprint counts
+	// toward SizeBytes.
+	dir []segDesc
+
+	cur     cells.CellID
+	hasCell bool
+	curMap  map[core.NodeID]int64
+	flips   int64
+	size    int64
+}
+
+type segDesc struct {
+	start storage.PageID
+	count int32 // visible nodes in the segment
+}
+
+// segEntryBytes: u32 node offset + i64 V-page pointer — the paper's
+// (size_integer + size_pointer).
+const segEntryBytes = 4 + 8
+
+// BuildIndexedVertical lays out and writes the indexed-vertical scheme.
+func BuildIndexedVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*IndexedVertical, error) {
+	vpb := resolveVPageBytes(d, vpageBytes)
+	c := vis.Grid.NumCells()
+	totalVisible := 0
+	for cell := 0; cell < c; cell++ {
+		totalVisible += vis.VisibleNodes(cells.CellID(cell))
+	}
+	iv := &IndexedVertical{
+		disk:       d,
+		grid:       vis.Grid,
+		numNodes:   vis.NumNodes,
+		vpageBytes: vpb,
+		slots:      newSlotTable(d, vpb, totalVisible),
+		dir:        make([]segDesc, c),
+	}
+
+	next := int64(0)
+	for cell := 0; cell < c; cell++ {
+		perNode := vis.PerCell[cells.CellID(cell)]
+		visible := visibleIDs(perNode)
+		if len(visible) == 0 {
+			iv.dir[cell] = segDesc{start: storage.NilPage}
+			continue
+		}
+		seg := make([]byte, segEntryBytes*len(visible))
+		for i, id := range visible {
+			buf, err := encodeVPage(perNode[id], vpb)
+			if err != nil {
+				return nil, err
+			}
+			if err := iv.slots.write(d, next, buf); err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint32(seg[i*segEntryBytes:], uint32(id))
+			binary.LittleEndian.PutUint64(seg[i*segEntryBytes+4:], uint64(next))
+			next++
+		}
+		segPages := d.PagesFor(int64(len(seg)))
+		segStart := d.AllocPages(segPages)
+		if err := d.WriteBytes(segStart, seg); err != nil {
+			return nil, err
+		}
+		iv.dir[cell] = segDesc{start: segStart, count: int32(len(visible))}
+		// Logical footprint per §4.3: (size_pointer + size_integer) ·
+		// N_vnode per cell.
+		iv.size += int64(len(seg))
+	}
+	iv.size += int64(vpb) * int64(totalVisible)
+	// The directory itself: 12 bytes per cell, stored once.
+	dirPages := d.PagesFor(int64(12 * c))
+	d.AllocPages(dirPages)
+	iv.size += int64(12 * c)
+	return iv, nil
+}
+
+// Name implements core.VStore.
+func (iv *IndexedVertical) Name() string { return "indexed-vertical" }
+
+// SizeBytes implements core.VStore.
+func (iv *IndexedVertical) SizeBytes() int64 { return iv.size }
+
+// Flips returns the number of segment flips performed (test hook).
+func (iv *IndexedVertical) Flips() int64 { return iv.flips }
+
+// SetCell implements core.VStore: flipping reads only the visible nodes'
+// (offset, pointer) pairs — O(N_vnode) I/O (§4.3).
+func (iv *IndexedVertical) SetCell(cell cells.CellID) error {
+	if int(cell) < 0 || int(cell) >= iv.grid.NumCells() {
+		return fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	if iv.hasCell && iv.cur == cell {
+		return nil
+	}
+	desc := iv.dir[cell]
+	m := make(map[core.NodeID]int64, desc.count)
+	if desc.start != storage.NilPage && desc.count > 0 {
+		buf, err := iv.disk.ReadBytes(desc.start, segEntryBytes*int(desc.count), storage.ClassLight)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(desc.count); i++ {
+			id := core.NodeID(binary.LittleEndian.Uint32(buf[i*segEntryBytes:]))
+			slot := int64(binary.LittleEndian.Uint64(buf[i*segEntryBytes+4:]))
+			m[id] = slot
+		}
+	}
+	iv.curMap = m
+	iv.cur = cell
+	iv.hasCell = true
+	iv.flips++
+	return nil
+}
+
+// NodeVD implements core.VStore.
+func (iv *IndexedVertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
+	if !iv.hasCell {
+		return nil, false, fmt.Errorf("vstore: no current cell")
+	}
+	if int(id) < 0 || int(id) >= iv.numNodes {
+		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
+	}
+	slot, ok := iv.curMap[id]
+	if !ok {
+		return nil, false, nil
+	}
+	buf, err := iv.slots.read(iv.disk, slot, storage.ClassLight)
+	if err != nil {
+		return nil, false, err
+	}
+	vd, err := decodeVPage(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if vd == nil {
+		return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
+	}
+	return vd, true, nil
+}

@@ -1,0 +1,164 @@
+package vstore
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/storage"
+)
+
+// SlotTableManifest serializes a V-page slot table's layout.
+type SlotTableManifest struct {
+	Base      storage.PageID
+	SlotBytes int
+	PerPage   int
+	Count     int
+}
+
+func (t slotTable) manifest() SlotTableManifest {
+	return SlotTableManifest{Base: t.base, SlotBytes: t.slotBytes, PerPage: t.perPage, Count: t.count}
+}
+
+func (m SlotTableManifest) table() (slotTable, error) {
+	if m.SlotBytes < 1 || m.PerPage < 1 || m.Count < 0 || m.Base < 0 {
+		return slotTable{}, fmt.Errorf("vstore: bad slot-table manifest %+v", m)
+	}
+	return slotTable{base: m.Base, slotBytes: m.SlotBytes, perPage: m.PerPage, count: m.Count}, nil
+}
+
+// HorizontalManifest reopens a horizontal scheme over its disk image.
+type HorizontalManifest struct {
+	NumNodes   int
+	VPageBytes int
+	Slots      SlotTableManifest
+	SizeBytes  int64
+}
+
+// Manifest captures the scheme's layout for saving.
+func (h *Horizontal) Manifest() HorizontalManifest {
+	return HorizontalManifest{
+		NumNodes:   h.numNodes,
+		VPageBytes: h.vpageBytes,
+		Slots:      h.slots.manifest(),
+		SizeBytes:  h.sizeBytes,
+	}
+}
+
+// OpenHorizontal reattaches a saved horizontal scheme.
+func OpenHorizontal(d *storage.Disk, grid *cells.Grid, m HorizontalManifest) (*Horizontal, error) {
+	slots, err := m.Slots.table()
+	if err != nil {
+		return nil, err
+	}
+	if m.NumNodes < 1 || m.VPageBytes < 2 {
+		return nil, fmt.Errorf("vstore: bad horizontal manifest %+v", m)
+	}
+	return &Horizontal{
+		disk:       d,
+		grid:       grid,
+		numNodes:   m.NumNodes,
+		slots:      slots,
+		vpageBytes: m.VPageBytes,
+		sizeBytes:  m.SizeBytes,
+	}, nil
+}
+
+// VerticalManifest reopens a vertical scheme over its disk image.
+type VerticalManifest struct {
+	NumNodes   int
+	VPageBytes int
+	SegBase    storage.PageID
+	SegPages   int
+	Slots      SlotTableManifest
+	SizeBytes  int64
+}
+
+// Manifest captures the scheme's layout for saving.
+func (v *Vertical) Manifest() VerticalManifest {
+	return VerticalManifest{
+		NumNodes:   v.numNodes,
+		VPageBytes: v.vpageBytes,
+		SegBase:    v.segBase,
+		SegPages:   v.segPages,
+		Slots:      v.slots.manifest(),
+		SizeBytes:  v.size,
+	}
+}
+
+// OpenVertical reattaches a saved vertical scheme.
+func OpenVertical(d *storage.Disk, grid *cells.Grid, m VerticalManifest) (*Vertical, error) {
+	slots, err := m.Slots.table()
+	if err != nil {
+		return nil, err
+	}
+	if m.NumNodes < 1 || m.VPageBytes < 2 || m.SegPages < 1 {
+		return nil, fmt.Errorf("vstore: bad vertical manifest %+v", m)
+	}
+	return &Vertical{
+		disk:       d,
+		grid:       grid,
+		numNodes:   m.NumNodes,
+		segBase:    m.SegBase,
+		segPages:   m.SegPages,
+		slots:      slots,
+		vpageBytes: m.VPageBytes,
+		size:       m.SizeBytes,
+	}, nil
+}
+
+// SegmentManifest serializes one indexed-vertical directory entry.
+type SegmentManifest struct {
+	Start storage.PageID
+	Count int32
+}
+
+// IndexedVerticalManifest reopens an indexed-vertical scheme.
+type IndexedVerticalManifest struct {
+	NumNodes   int
+	VPageBytes int
+	Slots      SlotTableManifest
+	Dir        []SegmentManifest
+	SizeBytes  int64
+}
+
+// Manifest captures the scheme's layout for saving.
+func (iv *IndexedVertical) Manifest() IndexedVerticalManifest {
+	dir := make([]SegmentManifest, len(iv.dir))
+	for i, s := range iv.dir {
+		dir[i] = SegmentManifest{Start: s.start, Count: s.count}
+	}
+	return IndexedVerticalManifest{
+		NumNodes:   iv.numNodes,
+		VPageBytes: iv.vpageBytes,
+		Slots:      iv.slots.manifest(),
+		Dir:        dir,
+		SizeBytes:  iv.size,
+	}
+}
+
+// OpenIndexedVertical reattaches a saved indexed-vertical scheme.
+func OpenIndexedVertical(d *storage.Disk, grid *cells.Grid, m IndexedVerticalManifest) (*IndexedVertical, error) {
+	slots, err := m.Slots.table()
+	if err != nil {
+		return nil, err
+	}
+	if m.NumNodes < 1 || m.VPageBytes < 2 {
+		return nil, fmt.Errorf("vstore: bad indexed-vertical manifest %+v", m)
+	}
+	if len(m.Dir) != grid.NumCells() {
+		return nil, fmt.Errorf("vstore: directory has %d segments for %d cells", len(m.Dir), grid.NumCells())
+	}
+	dir := make([]segDesc, len(m.Dir))
+	for i, s := range m.Dir {
+		dir[i] = segDesc{start: s.Start, count: s.Count}
+	}
+	return &IndexedVertical{
+		disk:       d,
+		grid:       grid,
+		numNodes:   m.NumNodes,
+		slots:      slots,
+		vpageBytes: m.VPageBytes,
+		dir:        dir,
+		size:       m.SizeBytes,
+	}, nil
+}

@@ -1,0 +1,122 @@
+package vstore
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+func manifestFixture(t *testing.T) (*storage.Disk, *cells.Grid, *Horizontal, *Vertical, *IndexedVertical) {
+	t.Helper()
+	vis := sparseVisData(t, 50, 4, 4, 0.3, 5)
+	d := storage.NewDisk(0, storage.DefaultCostModel())
+	h, err := BuildHorizontal(d, vis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := BuildVertical(d, vis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := BuildIndexedVertical(d, vis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, vis.Grid, h, v, iv
+}
+
+func TestManifestRoundTripsServeIdenticalVD(t *testing.T) {
+	d, grid, h, v, iv := manifestFixture(t)
+	h2, err := OpenHorizontal(d, grid, h.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := OpenVertical(d, grid, v.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv2, err := OpenIndexedVertical(d, grid, iv.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []struct{ a, b core.VStore }{{h, h2}, {v, v2}, {iv, iv2}}
+	for _, pair := range pairs {
+		for c := 0; c < grid.NumCells(); c++ {
+			if err := pair.a.SetCell(cells.CellID(c)); err != nil {
+				t.Fatal(err)
+			}
+			if err := pair.b.SetCell(cells.CellID(c)); err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < 50; id++ {
+				va, oka, ea := pair.a.NodeVD(core.NodeID(id))
+				vb, okb, eb := pair.b.NodeVD(core.NodeID(id))
+				if (ea == nil) != (eb == nil) || oka != okb || len(va) != len(vb) {
+					t.Fatalf("%s: reopened scheme diverges at cell %d node %d", pair.a.Name(), c, id)
+				}
+				for i := range va {
+					if va[i] != vb[i] {
+						t.Fatalf("%s: VD differs at cell %d node %d", pair.a.Name(), c, id)
+					}
+				}
+			}
+		}
+		if pair.a.SizeBytes() != pair.b.SizeBytes() {
+			t.Fatalf("%s: size changed across manifest round trip", pair.a.Name())
+		}
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	d, grid, h, v, iv := manifestFixture(t)
+
+	badSlots := h.Manifest()
+	badSlots.Slots.SlotBytes = 0
+	if _, err := OpenHorizontal(d, grid, badSlots); err == nil {
+		t.Fatal("bad slot table accepted")
+	}
+	badH := h.Manifest()
+	badH.NumNodes = 0
+	if _, err := OpenHorizontal(d, grid, badH); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	badV := v.Manifest()
+	badV.SegPages = 0
+	if _, err := OpenVertical(d, grid, badV); err == nil {
+		t.Fatal("zero segment pages accepted")
+	}
+	badV2 := v.Manifest()
+	badV2.VPageBytes = 1
+	if _, err := OpenVertical(d, grid, badV2); err == nil {
+		t.Fatal("tiny V-page accepted")
+	}
+	badIV := iv.Manifest()
+	badIV.Dir = badIV.Dir[:1]
+	if _, err := OpenIndexedVertical(d, grid, badIV); err == nil {
+		t.Fatal("directory/cell mismatch accepted")
+	}
+	badIV2 := iv.Manifest()
+	badIV2.Slots.PerPage = -1
+	if _, err := OpenIndexedVertical(d, grid, badIV2); err == nil {
+		t.Fatal("negative per-page accepted")
+	}
+	// Names and flip counters exist for the reopened schemes too.
+	iv2, err := OpenIndexedVertical(d, grid, iv.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv2.Name() != "indexed-vertical" || iv2.Flips() != 0 {
+		t.Fatal("reopened scheme metadata wrong")
+	}
+	v2, err := OpenVertical(d, grid, v.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Name() != "vertical" || v2.Flips() != 0 {
+		t.Fatal("reopened vertical metadata wrong")
+	}
+	_ = geom.V(0, 0, 0) // keep geom imported for fixture growth
+}

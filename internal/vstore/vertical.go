@@ -1,0 +1,166 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Vertical is the §4.2 scheme. A V-page-index file holds one segment per
+// cell, each with N_node V-page pointers (nilSlot for invisible nodes).
+// The current cell's segment lives in memory; changing cells "flips" the
+// segment at size_pointer · N_node / size_page page reads. A cell's
+// V-pages are laid out consecutively in depth-first node order, so the
+// query's V-page accesses scan nearly sequentially.
+//
+// Storage cost: size_pointer · N_node · c + size_vpage · N_vnode · c.
+type Vertical struct {
+	disk       *storage.Disk
+	grid       *cells.Grid
+	numNodes   int
+	segBase    storage.PageID
+	segPages   int // pages per segment
+	slots      slotTable
+	vpageBytes int
+
+	cur     cells.CellID
+	hasCell bool
+	curSeg  []int64 // V-page slot per node, nilSlot if invisible
+	flips   int64
+	size    int64
+}
+
+const pointerBytes = 8
+
+// BuildVertical lays out and writes the vertical scheme for vis.
+func BuildVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Vertical, error) {
+	vpb := resolveVPageBytes(d, vpageBytes)
+	c := vis.Grid.NumCells()
+	totalVisible := 0
+	for cell := 0; cell < c; cell++ {
+		totalVisible += vis.VisibleNodes(cells.CellID(cell))
+	}
+	v := &Vertical{
+		disk:       d,
+		grid:       vis.Grid,
+		numNodes:   vis.NumNodes,
+		vpageBytes: vpb,
+		slots:      newSlotTable(d, vpb, totalVisible),
+	}
+	segBytes := pointerBytes * vis.NumNodes
+	v.segPages = d.PagesFor(int64(segBytes))
+	v.segBase = d.AllocPages(v.segPages * c)
+	// Logical footprint per §4.2.
+	v.size = int64(segBytes)*int64(c) + int64(vpb)*int64(totalVisible)
+
+	// Per cell: V-pages of visible nodes in node-ID (depth-first
+	// preorder) order, at consecutive slots.
+	next := int64(0)
+	for cell := 0; cell < c; cell++ {
+		perNode := vis.PerCell[cells.CellID(cell)]
+		visible := visibleIDs(perNode)
+		pointers := make([]int64, vis.NumNodes)
+		for i := range pointers {
+			pointers[i] = nilSlot
+		}
+		for _, id := range visible {
+			buf, err := encodeVPage(perNode[id], vpb)
+			if err != nil {
+				return nil, err
+			}
+			if err := v.slots.write(d, next, buf); err != nil {
+				return nil, err
+			}
+			pointers[id] = next
+			next++
+		}
+		seg := make([]byte, segBytes)
+		for i, p := range pointers {
+			binary.LittleEndian.PutUint64(seg[i*pointerBytes:], uint64(p))
+		}
+		if err := d.WriteBytes(v.segPage(cells.CellID(cell)), seg); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// visibleIDs returns the IDs with non-nil VD in ascending (DFS) order.
+func visibleIDs(perNode [][]core.VD) []int {
+	var ids []int
+	for id, vd := range perNode {
+		if vd != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (v *Vertical) segPage(cell cells.CellID) storage.PageID {
+	return v.segBase + storage.PageID(int(cell)*v.segPages)
+}
+
+// Name implements core.VStore.
+func (v *Vertical) Name() string { return "vertical" }
+
+// SizeBytes implements core.VStore.
+func (v *Vertical) SizeBytes() int64 { return v.size }
+
+// Flips returns how many segment flips have occurred (test hook).
+func (v *Vertical) Flips() int64 { return v.flips }
+
+// SetCell implements core.VStore: flipping reads the new cell's segment,
+// O(N_node) pages, charged light.
+func (v *Vertical) SetCell(cell cells.CellID) error {
+	if int(cell) < 0 || int(cell) >= v.grid.NumCells() {
+		return fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	if v.hasCell && v.cur == cell {
+		return nil
+	}
+	buf, err := v.disk.ReadBytes(v.segPage(cell), pointerBytes*v.numNodes, storage.ClassLight)
+	if err != nil {
+		return err
+	}
+	seg := make([]int64, v.numNodes)
+	for i := range seg {
+		seg[i] = int64(binary.LittleEndian.Uint64(buf[i*pointerBytes:]))
+	}
+	v.curSeg = seg
+	v.cur = cell
+	v.hasCell = true
+	v.flips++
+	return nil
+}
+
+// NodeVD implements core.VStore. Invisible nodes are answered from the
+// in-memory segment with no I/O; visible nodes cost one V-page read.
+func (v *Vertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
+	if !v.hasCell {
+		return nil, false, fmt.Errorf("vstore: no current cell")
+	}
+	if int(id) < 0 || int(id) >= v.numNodes {
+		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
+	}
+	slot := v.curSeg[id]
+	if slot == nilSlot {
+		return nil, false, nil
+	}
+	buf, err := v.slots.read(v.disk, slot, storage.ClassLight)
+	if err != nil {
+		return nil, false, err
+	}
+	vd, err := decodeVPage(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if vd == nil {
+		return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
+	}
+	return vd, true, nil
+}

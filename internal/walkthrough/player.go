@@ -1,0 +1,367 @@
+package walkthrough
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/review"
+)
+
+// FrameStat records one frame of a playback.
+type FrameStat struct {
+	QueryTime  time.Duration // simulated I/O time of this frame's queries
+	RenderTime time.Duration
+	Total      time.Duration
+	LightIO    int64
+	HeavyIO    int64
+	Polygons   float64
+	Fetched    int   // payloads actually retrieved (after delta search)
+	CacheBytes int64 // residency after the frame
+	Queried    bool  // whether a database query ran this frame
+	// PrefetchIO is speculative I/O issued for a predicted next cell. It
+	// overlaps rendering in a real system, so it is excluded from the
+	// frame time but counted here so total-I/O accounting stays honest.
+	PrefetchIO int64
+}
+
+// Result is a full playback trace.
+type Result struct {
+	System    string
+	Session   string
+	Frames    []FrameStat
+	PeakBytes int64
+	// Queries is how many database queries ran (cell changes for VISUAL,
+	// movement-triggered window queries for REVIEW).
+	Queries int
+}
+
+// AvgFrameTime returns the mean frame time in milliseconds.
+func (r *Result) AvgFrameTime() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Frames {
+		sum += float64(f.Total) / float64(time.Millisecond)
+	}
+	return sum / float64(len(r.Frames))
+}
+
+// VarFrameTime returns the population variance of frame times in ms² —
+// the smoothness metric of Table 3.
+func (r *Result) VarFrameTime() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	mean := r.AvgFrameTime()
+	var sum float64
+	for _, f := range r.Frames {
+		d := float64(f.Total)/float64(time.Millisecond) - mean
+		sum += d * d
+	}
+	return sum / float64(len(r.Frames))
+}
+
+// PercentileFrameTime returns the p-th percentile frame time in
+// milliseconds (p in [0, 100]; nearest-rank). The paper discusses
+// "choppiness" via spikes; p95/p99 make it a number.
+func (r *Result) PercentileFrameTime(p float64) float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	times := make([]float64, len(r.Frames))
+	for i, f := range r.Frames {
+		times[i] = float64(f.Total) / float64(time.Millisecond)
+	}
+	sort.Float64s(times)
+	if p <= 0 {
+		return times[0]
+	}
+	if p >= 100 {
+		return times[len(times)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(times)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return times[rank]
+}
+
+// MaxFrameTime returns the worst frame in milliseconds (the spike height
+// of Figure 10).
+func (r *Result) MaxFrameTime() float64 {
+	return r.PercentileFrameTime(100)
+}
+
+// AvgQueryTime returns the mean simulated search time per query in ms
+// (Figure 12a).
+func (r *Result) AvgQueryTime() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Frames {
+		if f.Queried {
+			sum += float64(f.QueryTime) / float64(time.Millisecond)
+		}
+	}
+	return sum / float64(r.Queries)
+}
+
+// AvgQueryIO returns the mean I/O operations per query (Figure 12b).
+func (r *Result) AvgQueryIO() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Frames {
+		if f.Queried {
+			sum += float64(f.LightIO + f.HeavyIO)
+		}
+	}
+	return sum / float64(r.Queries)
+}
+
+// VisualPlayer plays sessions on the VISUAL system: HDoV-tree visibility
+// queries, issued when the viewpoint enters a new cell, with delta search
+// against the payload cache.
+type VisualPlayer struct {
+	Tree *core.Tree
+	Eta  float64
+	// Delta enables the delta search (§5.4); disabling it is ablation D4.
+	Delta bool
+	// Prefetch speculatively queries the cell the viewer is moving toward
+	// and warms the payload cache with its answer set, flattening the
+	// cell-entry spikes of Figure 10 at the cost of extra (overlapped)
+	// I/O — the optimization family the paper credits to REVIEW
+	// ("prefetching and in-memory optimization", §2).
+	Prefetch bool
+	// CacheBudget bounds the payload cache (0 = unlimited).
+	CacheBudget int64
+	Render      render.Config
+}
+
+// Play runs the session and returns the trace.
+func (p *VisualPlayer) Play(s Session) (*Result, error) {
+	cache := NewCache(p.CacheBudget)
+	out := &Result{System: fmt.Sprintf("VISUAL(eta=%g)", p.Eta), Session: s.Name}
+	cur := cells.NoCell
+	prefetched := cells.NoCell
+	var resident *core.QueryResult
+	var prevEye geom.Vec3
+	haveVel := false
+	for _, pose := range s.Frames {
+		var fs FrameStat
+		cell := p.Tree.Grid.Locate(pose.Eye)
+		if cell != cells.NoCell && cell != cur {
+			before := p.Tree.Disk.Stats()
+			res, err := p.Tree.Query(cell, p.Eta)
+			if err != nil {
+				return nil, err
+			}
+			var skip func(core.ResultItem) bool
+			if p.Delta {
+				skip = func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+			}
+			fetched, err := p.Tree.FetchPayloads(res, skip)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range res.Items {
+				cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
+			}
+			d := p.Tree.Disk.Stats().Sub(before)
+			fs.QueryTime = d.SimTime
+			fs.LightIO = d.LightReads
+			fs.HeavyIO = d.HeavyReads
+			fs.Fetched = fetched
+			fs.Queried = true
+			out.Queries++
+			resident = res
+			cur = cell
+		}
+		// Speculative prefetch of the cell ahead, overlapped with
+		// rendering (not added to frame time).
+		if p.Prefetch && haveVel && cur != cells.NoCell {
+			vel := pose.Eye.Sub(prevEye)
+			if vel.Len2() > 1e-12 {
+				lookahead := p.Tree.Grid.CellSize().Len() // roughly one cell
+				ahead := pose.Eye.Add(vel.Normalize().Mul(lookahead))
+				next := p.Tree.Grid.Locate(ahead)
+				if next != cells.NoCell && next != cur && next != prefetched {
+					before := p.Tree.Disk.Stats()
+					res, err := p.Tree.Query(next, p.Eta)
+					if err != nil {
+						return nil, err
+					}
+					skip := func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+					if _, err := p.Tree.FetchPayloads(res, skip); err != nil {
+						return nil, err
+					}
+					for _, it := range res.Items {
+						cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
+					}
+					// Restore the scheme's current-cell segment; the
+					// flip-back page is charged to prefetch too.
+					if err := p.Tree.VStoreScheme().SetCell(cur); err != nil {
+						return nil, err
+					}
+					fs.PrefetchIO = p.Tree.Disk.Stats().Sub(before).Reads
+					prefetched = next
+				}
+			}
+		}
+		prevEye = pose.Eye
+		haveVel = true
+		if resident != nil {
+			fs.Polygons = resident.Stats.TotalPolygons
+		}
+		fs.RenderTime = p.Render.RenderTime(fs.Polygons)
+		fs.Total = p.Render.FrameTime(fs.Polygons, fs.QueryTime)
+		fs.CacheBytes = cache.Bytes()
+		out.Frames = append(out.Frames, fs)
+	}
+	out.PeakBytes = cache.PeakBytes()
+	return out, nil
+}
+
+// itemCenter locates an item for the distance-based cache policy.
+func itemCenter(t *core.Tree, it core.ResultItem) geom.Vec3 {
+	if it.ObjectID >= 0 {
+		if obj := t.Scene.Object(it.ObjectID); obj != nil {
+			return obj.MBR.Center()
+		}
+	}
+	if it.NodeID >= 0 && int(it.NodeID) < len(t.Nodes) {
+		b := geom.EmptyAABB()
+		for _, e := range t.Nodes[it.NodeID].Entries {
+			b = b.Union(e.MBR)
+		}
+		return b.Center()
+	}
+	return geom.Vec3{}
+}
+
+// ReviewPlayer plays sessions on the REVIEW baseline: window queries are
+// reissued when the viewpoint moves or turns beyond thresholds, with the
+// complement search skipping already-retrieved objects.
+type ReviewPlayer struct {
+	Sys *review.System
+	// Complement enables REVIEW's complement ("delta") search.
+	Complement bool
+	// Prefetch speculatively runs the window query for the pose the
+	// viewer is moving toward and warms the cache — one of REVIEW's own
+	// optimizations per §2 ("prefetching and in-memory optimization").
+	// Like VISUAL's prefetch it overlaps rendering and is excluded from
+	// frame time but counted in FrameStat.PrefetchIO.
+	Prefetch bool
+	// RequeryDist retriggers a window query after this much movement.
+	RequeryDist float64
+	// RequeryAngle retriggers after this gaze change (radians).
+	RequeryAngle float64
+	CacheBudget  int64
+	Render       render.Config
+}
+
+// Play runs the session and returns the trace.
+func (p *ReviewPlayer) Play(s Session) (*Result, error) {
+	if p.RequeryDist <= 0 {
+		p.RequeryDist = 10
+	}
+	if p.RequeryAngle <= 0 {
+		p.RequeryAngle = 20 * math.Pi / 180
+	}
+	cache := NewCache(p.CacheBudget)
+	out := &Result{System: fmt.Sprintf("REVIEW(box=%gm)", p.Sys.Cfg.QueryBoxDepth), Session: s.Name}
+	var lastEye geom.Vec3
+	var lastLook geom.Vec3
+	var prevEye geom.Vec3
+	lastPrefetch := geom.V(1e30, 1e30, 1e30) // nowhere yet
+	haveVel := false
+	var resident *core.QueryResult
+	first := true
+	for _, pose := range s.Frames {
+		var fs FrameStat
+		moved := first ||
+			pose.Eye.Dist(lastEye) > p.RequeryDist ||
+			angleBetween(pose.Look, lastLook) > p.RequeryAngle
+		if moved {
+			before := p.Sys.T.Disk.Stats()
+			res, err := p.Sys.Query(pose.Eye, pose.Look)
+			if err != nil {
+				return nil, err
+			}
+			var skip func(core.ResultItem) bool
+			if p.Complement {
+				skip = func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+			}
+			fetched, err := p.Sys.FetchPayloads(res, skip)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range res.Items {
+				cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Sys.T, it), pose.Eye)
+			}
+			d := p.Sys.T.Disk.Stats().Sub(before)
+			fs.QueryTime = d.SimTime
+			fs.LightIO = d.LightReads
+			fs.HeavyIO = d.HeavyReads
+			fs.Fetched = fetched
+			fs.Queried = true
+			out.Queries++
+			resident = res
+			lastEye = pose.Eye
+			lastLook = pose.Look
+			first = false
+		} else if p.Prefetch && haveVel {
+			// Speculative window query half a re-query distance ahead of
+			// the current motion, warming the cache before the next real
+			// query fires. Throttled: at most one prefetch per half
+			// re-query distance traveled.
+			vel := pose.Eye.Sub(prevEye)
+			if vel.Len2() > 1e-12 &&
+				pose.Eye.Dist(lastEye) > p.RequeryDist/2 &&
+				pose.Eye.Dist(lastPrefetch) > p.RequeryDist/2 {
+				lastPrefetch = pose.Eye
+				ahead := pose.Eye.Add(vel.Normalize().Mul(p.RequeryDist))
+				before := p.Sys.T.Disk.Stats()
+				res, err := p.Sys.Query(ahead, pose.Look)
+				if err != nil {
+					return nil, err
+				}
+				skip := func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+				if _, err := p.Sys.FetchPayloads(res, skip); err != nil {
+					return nil, err
+				}
+				for _, it := range res.Items {
+					cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Sys.T, it), pose.Eye)
+				}
+				fs.PrefetchIO = p.Sys.T.Disk.Stats().Sub(before).Reads
+			}
+		}
+		prevEye = pose.Eye
+		haveVel = true
+		if resident != nil {
+			fs.Polygons = resident.Stats.TotalPolygons
+		}
+		fs.RenderTime = p.Render.RenderTime(fs.Polygons)
+		fs.Total = p.Render.FrameTime(fs.Polygons, fs.QueryTime)
+		fs.CacheBytes = cache.Bytes()
+		out.Frames = append(out.Frames, fs)
+	}
+	out.PeakBytes = cache.PeakBytes()
+	return out, nil
+}
+
+// angleBetween returns the angle between two directions in radians.
+func angleBetween(a, b geom.Vec3) float64 {
+	an, bn := a.Normalize(), b.Normalize()
+	d := geom.Clamp(an.Dot(bn), -1, 1)
+	return math.Acos(d)
+}

@@ -1,0 +1,182 @@
+// Package walkthrough drives the interactive-walkthrough experiments of
+// §5.4: recorded motion sessions are played back against the VISUAL system
+// (HDoV-tree queries with delta search) and the REVIEW system (R-tree
+// window queries with complement search), producing per-frame timing,
+// I/O and memory traces — the raw material of Figures 10 and 12 and
+// Table 3.
+package walkthrough
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+)
+
+// Pose is one frame's viewpoint.
+type Pose struct {
+	Eye  geom.Vec3
+	Look geom.Vec3
+}
+
+// Session is a recorded walkthrough: a named sequence of poses sampled at
+// a fixed frame rate.
+type Session struct {
+	Name   string
+	Frames []Pose
+}
+
+// eyeHeight keeps recorded paths inside the scene's viewpoint slab.
+func eyeHeight(sc *scene.Scene) float64 {
+	return sc.ViewRegion.Center().Z
+}
+
+// streetPitch estimates the walkable-corridor pitch from the generation
+// parameters: street centerlines in the city, doorway-aligned room rows
+// in the museum.
+func streetPitch(sc *scene.Scene) (pitch, offset float64) {
+	p := sc.Params
+	if m := p.Museum; m != nil {
+		// Doorways are centered per room wall, so the line
+		// y = (pitch + t)/2 + k*pitch threads every door of row k.
+		mp := m.RoomSize + m.WallThickness
+		return mp, (mp+m.WallThickness)/2 - mp
+	}
+	if p.BlockSize > 0 {
+		return p.BlockSize + p.StreetWidth, p.StreetWidth / 2
+	}
+	return 100, 10
+}
+
+// clampY keeps a recorded path inside the walkable slab.
+func clampY(sc *scene.Scene, y float64) float64 {
+	return geom.Clamp(y, sc.ViewRegion.Min.Y+0.5, sc.ViewRegion.Max.Y-0.5)
+}
+
+// RecordNormal records session 1 of §5.4: "a normal walkthrough" — a
+// steady forward walk along a street with gentle gaze drift.
+func RecordNormal(sc *scene.Scene, frames int, seed int64) Session {
+	rng := rand.New(rand.NewSource(seed))
+	pitch, off := streetPitch(sc)
+	z := eyeHeight(sc)
+	// Walk along a horizontal street: y fixed at a street centerline.
+	y := clampY(sc, off+pitch*float64(1+rng.Intn(2)))
+	x0 := sc.ViewRegion.Min.X + 1
+	x1 := sc.ViewRegion.Max.X - 1
+	s := Session{Name: "session1-normal", Frames: make([]Pose, frames)}
+	speedPerFrame := (x1 - x0) / float64(frames)
+	for i := 0; i < frames; i++ {
+		x := x0 + speedPerFrame*float64(i)
+		drift := 0.15 * math.Sin(float64(i)/40)
+		s.Frames[i] = Pose{
+			Eye:  geom.V(x, y, z),
+			Look: geom.V(1, drift, 0).Normalize(),
+		}
+	}
+	return s
+}
+
+// RecordTurning records session 2: the viewer walks slowly while swinging
+// the gaze left and right, the view-direction-change workload that
+// degrades frustum-box methods.
+func RecordTurning(sc *scene.Scene, frames int, seed int64) Session {
+	rng := rand.New(rand.NewSource(seed))
+	pitch, off := streetPitch(sc)
+	z := eyeHeight(sc)
+	y := clampY(sc, off+pitch*float64(1+rng.Intn(2)))
+	x0 := sc.ViewRegion.Min.X + 1
+	x1 := sc.ViewRegion.Max.X - 1
+	s := Session{Name: "session2-turning", Frames: make([]Pose, frames)}
+	speedPerFrame := (x1 - x0) / float64(frames) / 2 // slower walk
+	for i := 0; i < frames; i++ {
+		x := x0 + speedPerFrame*float64(i)
+		// Sweep the gaze ±100 degrees around forward.
+		angle := 1.75 * math.Sin(float64(i)/15)
+		s.Frames[i] = Pose{
+			Eye:  geom.V(x, y, z),
+			Look: geom.V(math.Cos(angle), math.Sin(angle), 0),
+		}
+	}
+	return s
+}
+
+// RecordBackForward records session 3: the viewer oscillates back and
+// forth along a street, repeatedly re-entering recently left cells — the
+// workload that stresses cell flipping and caching.
+func RecordBackForward(sc *scene.Scene, frames int, seed int64) Session {
+	rng := rand.New(rand.NewSource(seed))
+	pitch, off := streetPitch(sc)
+	z := eyeHeight(sc)
+	y := clampY(sc, off+pitch*float64(1+rng.Intn(2)))
+	mid := (sc.ViewRegion.Min.X + sc.ViewRegion.Max.X) / 2
+	span := (sc.ViewRegion.Max.X - sc.ViewRegion.Min.X) / 3
+	s := Session{Name: "session3-backforward", Frames: make([]Pose, frames)}
+	for i := 0; i < frames; i++ {
+		phase := float64(i) / 30
+		x := mid + span*math.Sin(phase)
+		dir := math.Cos(phase) // sign of motion
+		lx := 1.0
+		if dir < 0 {
+			lx = -1
+		}
+		s.Frames[i] = Pose{
+			Eye:  geom.V(x, y, z),
+			Look: geom.V(lx, 0, 0),
+		}
+	}
+	return s
+}
+
+// Sessions returns the three standard sessions of §5.4.
+func Sessions(sc *scene.Scene, frames int, seed int64) []Session {
+	return []Session{
+		RecordNormal(sc, frames, seed),
+		RecordTurning(sc, frames, seed+1),
+		RecordBackForward(sc, frames, seed+2),
+	}
+}
+
+// Encode serializes the session as JSON — "we recorded a few walkthrough
+// sessions and played them back" (§5.4) needs sessions to be artifacts,
+// not code.
+func (s Session) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSession deserializes a session saved by Encode and validates it.
+func ReadSession(r io.Reader) (Session, error) {
+	var s Session
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Session{}, fmt.Errorf("walkthrough: session: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Session{}, err
+	}
+	return s, nil
+}
+
+// Validate checks that the session is playable: non-empty, finite poses,
+// non-degenerate look directions.
+func (s Session) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("walkthrough: session has no name")
+	}
+	if len(s.Frames) == 0 {
+		return fmt.Errorf("walkthrough: session %q has no frames", s.Name)
+	}
+	for i, p := range s.Frames {
+		if !p.Eye.IsFinite() || !p.Look.IsFinite() {
+			return fmt.Errorf("walkthrough: session %q frame %d not finite", s.Name, i)
+		}
+		if p.Look.Len2() < 1e-12 {
+			return fmt.Errorf("walkthrough: session %q frame %d has zero look direction", s.Name, i)
+		}
+	}
+	return nil
+}

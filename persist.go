@@ -1,0 +1,58 @@
+package hdov
+
+import (
+	"repro/internal/dbfile"
+	"repro/internal/visibility"
+)
+
+// Save persists the database to a directory (manifest.json + disk.img).
+// The expensive precomputation — R-tree construction, internal-LoD
+// generation, per-cell DoV evaluation, V-page layout — is all captured, so
+// Open is fast.
+func (db *DB) Save(dir string) error {
+	return dbfile.Save(dir, &dbfile.Database{
+		Scene:      db.scene,
+		Disk:       db.disk,
+		Tree:       db.tree,
+		Horizontal: db.h,
+		Vertical:   db.v,
+		Indexed:    db.iv,
+		Naive:      db.naive,
+	})
+}
+
+// Open reopens a database saved with Save. The disk image is checksum-
+// verified and the tree structure revalidated; queries on the reopened
+// database return byte-identical answers.
+func Open(dir string) (*DB, error) {
+	d, err := dbfile.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Scene: SceneConfig{
+			Blocks:            d.Scene.Params.BlocksX,
+			BuildingsPerBlock: d.Scene.Params.BuildingsPerBlock,
+			BlobsPerBlock:     d.Scene.Params.BlobsPerBlock,
+			NominalBytes:      d.Scene.Params.NominalBytes,
+			Seed:              d.Scene.Params.Seed,
+		},
+		GridCells:      d.Tree.Grid.NX,
+		DoVRays:        d.Tree.Params.DirsPerViewpoint,
+		SamplesPerCell: d.Tree.Params.SamplesPerCell,
+		Scheme:         SchemeIndexedVertical,
+	}
+	db := &DB{
+		cfg:    cfg,
+		scene:  d.Scene,
+		disk:   d.Disk,
+		tree:   d.Tree,
+		h:      d.Horizontal,
+		v:      d.Vertical,
+		iv:     d.Indexed,
+		naive:  d.Naive,
+		engine: visibility.NewEngine(d.Scene, d.Tree.Params.DirsPerViewpoint),
+	}
+	db.SetScheme(SchemeIndexedVertical)
+	return db, nil
+}

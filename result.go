@@ -1,0 +1,231 @@
+package hdov
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+// Item is one element of a visibility-query answer: either an object at a
+// chosen LoD level, or an internal LoD standing in for a whole subtree.
+type Item struct {
+	// ObjectID is the object (>= 0), or -1 for internal-LoD items.
+	ObjectID int64
+	// NodeID identifies the subtree of an internal-LoD item (-1 for
+	// object items).
+	NodeID int32
+	// DoV is the degree of visibility that selected this item.
+	DoV float64
+	// Detail is the continuous detail coefficient of equations 5/6.
+	Detail float64
+	// Level is the discrete LoD level retrieved (0 = finest).
+	Level int
+	// Polygons is the interpolated polygon count.
+	Polygons float64
+	// Bytes is the payload's nominal on-disk size.
+	Bytes int64
+}
+
+// Internal reports whether the item is an internal (aggregate) LoD.
+func (it Item) Internal() bool { return it.NodeID >= 0 }
+
+// Result is a visibility-query answer with its cost accounting.
+type Result struct {
+	// Cell is the viewing cell the query ran in.
+	Cell int
+	// Eta is the DoV threshold used.
+	Eta float64
+	// Items is the answer set.
+	Items []Item
+	// LightIO and HeavyIO are the page reads charged to index traffic
+	// (nodes, V-pages) and to model payloads, respectively.
+	LightIO, HeavyIO int64
+	// SimTime is the simulated disk time of the query (and of Fetch, if
+	// it has run on this result).
+	SimTime time.Duration
+	// Polygons and Bytes total the answer set.
+	Polygons float64
+	Bytes    int64
+	// NodesVisited and EarlyStops describe the traversal.
+	NodesVisited, EarlyStops int
+
+	inner *core.QueryResult
+}
+
+func wrapResult(r *core.QueryResult) *Result {
+	out := &Result{
+		Cell:         int(r.Cell),
+		Eta:          r.Eta,
+		LightIO:      r.Stats.LightIO,
+		HeavyIO:      r.Stats.HeavyIO,
+		SimTime:      r.Stats.SimTime,
+		Polygons:     r.Stats.TotalPolygons,
+		Bytes:        r.Stats.TotalBytes,
+		NodesVisited: r.Stats.NodesVisited,
+		EarlyStops:   r.Stats.EarlyStops,
+		inner:        r,
+	}
+	out.Items = make([]Item, len(r.Items))
+	for i, it := range r.Items {
+		out.Items[i] = Item{
+			ObjectID: it.ObjectID,
+			NodeID:   int32(it.NodeID),
+			DoV:      it.DoV,
+			Detail:   it.Detail,
+			Level:    it.Level,
+			Polygons: it.Polygons,
+			Bytes:    it.Extent.NominalBytes,
+		}
+	}
+	return out
+}
+
+// Query answers the visibility query at viewpoint p with the given DoV
+// threshold eta (Figure 3 of the paper): every visible object either
+// appears directly at its equation-6 LoD or is covered by an ancestor's
+// internal LoD. Light I/O (node records, V-pages, cell flip) is charged;
+// call Fetch to charge payload retrieval.
+func (db *DB) Query(p Point, eta float64) (*Result, error) {
+	cell := db.tree.Grid.Locate(p.vec())
+	if cell == cells.NoCell {
+		return nil, ErrOutsideCells
+	}
+	return db.QueryCell(int(cell), eta)
+}
+
+// QueryCell is Query for an explicit cell index.
+func (db *DB) QueryCell(cell int, eta float64) (*Result, error) {
+	if cell < 0 || cell >= db.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, db.NumCells())
+	}
+	r, err := db.tree.Query(cells.CellID(cell), eta)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// QueryNaive answers with the (cell, list-of-objects) baseline of §5.3.
+func (db *DB) QueryNaive(p Point) (*Result, error) {
+	cell := db.tree.Grid.Locate(p.vec())
+	if cell == cells.NoCell {
+		return nil, ErrOutsideCells
+	}
+	r, err := db.naive.Query(cell)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// Fetch charges the heavy-weight I/O of retrieving every item's payload
+// and updates the result's I/O and time accounting.
+func (db *DB) Fetch(r *Result) error {
+	before := db.disk.Stats()
+	if _, err := db.tree.FetchPayloads(r.inner, nil); err != nil {
+		return err
+	}
+	d := db.disk.Stats().Sub(before)
+	r.HeavyIO += d.HeavyReads
+	r.SimTime += d.SimTime
+	return nil
+}
+
+// Mesh is decoded triangle geometry.
+type Mesh struct {
+	Vertices  []Point
+	Triangles [][3]int
+}
+
+// LoadMesh decodes the actual geometry of a result item (charging heavy
+// I/O), for rendering or export.
+func (db *DB) LoadMesh(it Item) (*Mesh, error) {
+	var inner core.ResultItem
+	found := false
+	// Relocate the payload extent from the item identity.
+	if it.ObjectID >= 0 {
+		exts := db.tree.ObjExtents[it.ObjectID]
+		if it.Level < 0 || it.Level >= len(exts) {
+			return nil, fmt.Errorf("hdov: level %d out of range", it.Level)
+		}
+		inner = core.ResultItem{ObjectID: it.ObjectID, NodeID: core.NilNode, Level: it.Level, Extent: exts[it.Level]}
+		found = true
+	} else if int(it.NodeID) >= 0 && int(it.NodeID) < db.tree.NumNodes() {
+		n := db.tree.Nodes[it.NodeID]
+		if it.Level < 0 || it.Level >= len(n.InternalExtents) {
+			return nil, fmt.Errorf("hdov: level %d out of range", it.Level)
+		}
+		inner = core.ResultItem{ObjectID: -1, NodeID: core.NodeID(it.NodeID), Level: it.Level, Extent: n.InternalExtents[it.Level]}
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("hdov: item identifies neither object nor node")
+	}
+	m, err := db.tree.LoadMesh(inner)
+	if err != nil {
+		return nil, err
+	}
+	out := &Mesh{
+		Vertices:  make([]Point, m.NumVerts()),
+		Triangles: make([][3]int, m.NumTriangles()),
+	}
+	for i, v := range m.Verts {
+		out.Vertices[i] = fromVec(v)
+	}
+	for i := 0; i < m.NumTriangles(); i++ {
+		out.Triangles[i] = [3]int{int(m.Tris[3*i]), int(m.Tris[3*i+1]), int(m.Tris[3*i+2])}
+	}
+	return out, nil
+}
+
+// Fidelity scores an answer set against ground-truth visibility at a
+// viewpoint (the quantitative form of the paper's Figure 11).
+type Fidelity struct {
+	// VisibleObjects is the ground-truth count of visible objects.
+	VisibleObjects int
+	// CoveredObjects is how many the answer represents (directly or via
+	// internal LoDs); MissedObjects is the remainder.
+	CoveredObjects, MissedObjects int
+	// Coverage is covered DoV mass / total DoV mass, in [0, 1].
+	Coverage float64
+	// DetailFidelity weights covered DoV mass by effective rendered
+	// detail (polygon budget relative to full detail), in [0, 1].
+	DetailFidelity float64
+}
+
+// Fidelity evaluates how faithfully r reproduces the truly visible scene
+// at viewpoint p. Computing ground truth casts DoVRays rays, so this is an
+// analysis call, not a per-frame one.
+func (db *DB) Fidelity(p Point, r *Result) Fidelity {
+	truth := db.fidelityTruth(p)
+	f := render.Evaluate(db.tree, r.inner.Items, truth)
+	return Fidelity{
+		VisibleObjects: f.VisibleObjects,
+		CoveredObjects: f.CoveredObjects,
+		MissedObjects:  f.MissedObjects,
+		Coverage:       f.Coverage,
+		DetailFidelity: f.DetailFidelity,
+	}
+}
+
+// DiskStats is the I/O accounting snapshot of the database's disk.
+type DiskStats struct {
+	Reads, Seeks, LightReads, HeavyReads int64
+	SimTime                              time.Duration
+}
+
+// DiskStats returns the cumulative disk accounting.
+func (db *DB) DiskStats() DiskStats {
+	s := db.disk.Stats()
+	return DiskStats{
+		Reads: s.Reads, Seeks: s.Seeks,
+		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
+		SimTime: s.SimTime,
+	}
+}
+
+// ResetDiskStats zeroes the cumulative counters.
+func (db *DB) ResetDiskStats() { db.disk.ResetStats() }

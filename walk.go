@@ -1,0 +1,141 @@
+package hdov
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/render"
+	"repro/internal/review"
+	"repro/internal/walkthrough"
+)
+
+// SessionKind selects one of the paper's §5.4 motion patterns.
+type SessionKind int
+
+const (
+	// SessionNormal is session 1: a steady forward walk.
+	SessionNormal SessionKind = iota
+	// SessionTurning is session 2: walking while sweeping the gaze.
+	SessionTurning
+	// SessionBackForward is session 3: oscillating back and forth.
+	SessionBackForward
+)
+
+func (s SessionKind) String() string {
+	switch s {
+	case SessionNormal:
+		return "normal"
+	case SessionTurning:
+		return "turning"
+	case SessionBackForward:
+		return "back-forward"
+	default:
+		return fmt.Sprintf("SessionKind(%d)", int(s))
+	}
+}
+
+// WalkOptions configures a walkthrough playback.
+type WalkOptions struct {
+	Session SessionKind
+	// Frames is the session length (default 600).
+	Frames int
+	// Eta is the VISUAL DoV threshold (ignored with UseREVIEW).
+	Eta float64
+	// Delta enables the delta/complement search (default recommended).
+	Delta bool
+	// Prefetch speculatively warms the cache with the cell ahead
+	// (VISUAL only).
+	Prefetch bool
+	// UseREVIEW plays the session on the REVIEW spatial baseline instead
+	// of the HDoV-tree.
+	UseREVIEW bool
+	// ReviewBoxDepth is REVIEW's query-box truncation in meters
+	// (default 400, the paper's comparable-fidelity setting).
+	ReviewBoxDepth float64
+	// CacheBudget bounds the payload cache in bytes (0 = unlimited).
+	CacheBudget int64
+	// Seed controls the recorded path.
+	Seed int64
+}
+
+// WalkStats summarizes a playback — the Figure 10/12 and Table 3 metrics.
+type WalkStats struct {
+	System  string
+	Session string
+	Frames  int
+	Queries int
+	// AvgFrameMS and VarFrameMS are Table 3's columns.
+	AvgFrameMS, VarFrameMS float64
+	// AvgQueryMS and AvgQueryIO are Figure 12's metrics.
+	AvgQueryMS, AvgQueryIO float64
+	// PeakMemoryBytes is the payload cache's high-water mark.
+	PeakMemoryBytes int64
+	// FrameTimesMS is the full per-frame series (Figure 10's curves).
+	FrameTimesMS []float64
+	// TotalHeavyIO is the summed payload page reads.
+	TotalHeavyIO int64
+}
+
+// Walkthrough records a session with the requested motion pattern and
+// plays it back, returning the performance trace.
+func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
+	if opts.Frames <= 0 {
+		opts.Frames = 600
+	}
+	if opts.ReviewBoxDepth <= 0 {
+		opts.ReviewBoxDepth = 400
+	}
+	var s walkthrough.Session
+	switch opts.Session {
+	case SessionTurning:
+		s = walkthrough.RecordTurning(db.scene, opts.Frames, opts.Seed+1)
+	case SessionBackForward:
+		s = walkthrough.RecordBackForward(db.scene, opts.Frames, opts.Seed+2)
+	default:
+		s = walkthrough.RecordNormal(db.scene, opts.Frames, opts.Seed)
+	}
+
+	var res *walkthrough.Result
+	var err error
+	if opts.UseREVIEW {
+		cfg := review.DefaultConfig()
+		cfg.QueryBoxDepth = opts.ReviewBoxDepth
+		p := &walkthrough.ReviewPlayer{
+			Sys:         review.New(db.tree, cfg),
+			Complement:  opts.Delta,
+			CacheBudget: opts.CacheBudget,
+			Render:      render.DefaultConfig(),
+		}
+		res, err = p.Play(s)
+	} else {
+		p := &walkthrough.VisualPlayer{
+			Tree:        db.tree,
+			Eta:         opts.Eta,
+			Delta:       opts.Delta,
+			Prefetch:    opts.Prefetch,
+			CacheBudget: opts.CacheBudget,
+			Render:      render.DefaultConfig(),
+		}
+		res, err = p.Play(s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &WalkStats{
+		System:          res.System,
+		Session:         res.Session,
+		Frames:          len(res.Frames),
+		Queries:         res.Queries,
+		AvgFrameMS:      res.AvgFrameTime(),
+		VarFrameMS:      res.VarFrameTime(),
+		AvgQueryMS:      res.AvgQueryTime(),
+		AvgQueryIO:      res.AvgQueryIO(),
+		PeakMemoryBytes: res.PeakBytes,
+	}
+	out.FrameTimesMS = make([]float64, len(res.Frames))
+	for i, f := range res.Frames {
+		out.FrameTimesMS[i] = float64(f.Total) / float64(time.Millisecond)
+		out.TotalHeavyIO += f.HeavyIO
+	}
+	return out, nil
+}
