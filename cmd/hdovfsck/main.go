@@ -1,0 +1,85 @@
+// Command hdovfsck checks saved HDoV database directories: it verifies the
+// manifest's self-checksum, the disk image's committed size and CRC, and
+// every layout pointer, and reports intact vs damaged. With -repair,
+// damaged artifacts and stray temporaries from interrupted saves are moved
+// into a quarantine/ subdirectory so the next save starts clean without
+// destroying evidence.
+//
+// Usage:
+//
+//	hdovfsck DIR...
+//	hdovfsck -repair DIR
+//	hdovfsck -deep DIR
+//
+// Exit status: 0 if every directory is intact, 1 if any is damaged, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbfile"
+)
+
+func main() {
+	var (
+		repair = flag.Bool("repair", false, "move damaged files and stray temporaries into quarantine/")
+		deep   = flag.Bool("deep", false, "additionally reopen intact databases end to end (slower)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hdovfsck [-repair] [-deep] DIR...")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, dir := range flag.Args() {
+		rep, err := dbfile.Fsck(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdovfsck: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		status := "intact"
+		if !rep.Intact() {
+			status = "DAMAGED"
+			if exit == 0 {
+				exit = 1
+			}
+		}
+		fmt.Printf("%s: %s (manifest=%v image=%v layout=%v)\n",
+			dir, status, rep.ManifestOK, rep.ImageOK, rep.LayoutOK)
+		for _, p := range rep.Problems {
+			fmt.Printf("  problem: %s\n", p)
+		}
+		for _, s := range rep.Stray {
+			fmt.Printf("  stray: %s\n", s)
+		}
+
+		if *deep && rep.Intact() {
+			if _, err := dbfile.Open(dir); err != nil {
+				fmt.Printf("  deep: open failed: %v\n", err)
+				if exit == 0 {
+					exit = 1
+				}
+			} else {
+				fmt.Printf("  deep: open ok\n")
+			}
+		}
+
+		if *repair && (!rep.Intact() || len(rep.Stray) > 0) {
+			moved, err := dbfile.Repair(dir, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hdovfsck: %s: %v\n", dir, err)
+				exit = 2
+				continue
+			}
+			for _, name := range moved {
+				fmt.Printf("  quarantined: %s\n", name)
+			}
+		}
+	}
+	os.Exit(exit)
+}

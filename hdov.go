@@ -324,6 +324,50 @@ func (db *DB) CellViewpoint(cell int) Point {
 // ErrOutsideCells is returned by Query for viewpoints outside the grid.
 var ErrOutsideCells = errors.New("hdov: viewpoint outside the viewing-cell grid")
 
+// FaultPlan configures seeded, deterministic fault injection on the
+// simulated disk — the harness for exercising degraded-mode traversal.
+type FaultPlan struct {
+	// Seed drives the probabilistic draws; the same seed over the same
+	// read sequence injects the same faults.
+	Seed int64
+	// PageProb is the per-page-read probability that a fault fires.
+	PageProb float64
+	// TransientFrac is the fraction of faults that are transient (cleared
+	// by the disk's bounded retry); the rest are permanent and sticky.
+	TransientFrac float64
+	// MaxRetries bounds the retry loop per logical read (0 = default 3).
+	MaxRetries int
+}
+
+// SetFaultTolerant switches degraded-mode traversal on or off. When on, a
+// query that hits an unreadable node page, V-page or payload extent does
+// not abort: the lost branch is answered by the deepest readable
+// ancestor's internal LoD and the substitution is recorded on the result
+// as a Degradation. When off (the default), media faults abort the query
+// with an error.
+func (db *DB) SetFaultTolerant(on bool) { db.tree.FaultTolerant = on }
+
+// FaultTolerant reports whether degraded-mode traversal is enabled.
+func (db *DB) FaultTolerant() bool { return db.tree.FaultTolerant }
+
+// InjectFaults installs the fault plan on the database's disk. Passing a
+// zero-probability plan installs an injector that never fires.
+func (db *DB) InjectFaults(p FaultPlan) {
+	db.disk.InjectFaults(storage.FaultConfig{
+		Seed:          p.Seed,
+		PageProb:      p.PageProb,
+		TransientFrac: p.TransientFrac,
+		MaxRetries:    p.MaxRetries,
+	})
+}
+
+// ClearFaults removes the fault injector and forgets the quarantined
+// pages degraded-mode traversal has learned to avoid.
+func (db *DB) ClearFaults() {
+	db.disk.ClearFaults()
+	db.disk.ClearQuarantine()
+}
+
 // fidelityTruth computes the ground-truth point DoV field at p.
 func (db *DB) fidelityTruth(p Point) []float64 {
 	return db.engine.PointDoV(p.vec())

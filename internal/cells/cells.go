@@ -28,7 +28,8 @@ type CellID int32
 const NoCell CellID = -1
 
 // NewGrid covers the XY footprint of bounds with nx × ny cells spanning the
-// full Z range of bounds.
+// full Z range of bounds. Non-positive cell counts are clamped to 1; use
+// NewGridChecked when degenerate inputs should be an error instead.
 func NewGrid(bounds geom.AABB, nx, ny int) *Grid {
 	if nx < 1 {
 		nx = 1
@@ -37,6 +38,17 @@ func NewGrid(bounds geom.AABB, nx, ny int) *Grid {
 		ny = 1
 	}
 	return &Grid{Bounds: bounds, NX: nx, NY: ny}
+}
+
+// NewGridChecked is NewGrid for untrusted inputs (manifests, flags): zero
+// or negative cell counts and empty bounds are rejected rather than
+// silently clamped.
+func NewGridChecked(bounds geom.AABB, nx, ny int) (*Grid, error) {
+	g := &Grid{Bounds: bounds, NX: nx, NY: ny}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // NumCells returns the total number of cells (the c of §4's cost formulas).

@@ -39,6 +39,33 @@ func TestGridClampsDegenerate(t *testing.T) {
 	}
 }
 
+func TestNewGridChecked(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g, err := NewGridChecked(b, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != 4 || g.NY != 3 {
+		t.Fatalf("grid %dx%d", g.NX, g.NY)
+	}
+	bad := []struct {
+		name   string
+		bounds geom.AABB
+		nx, ny int
+	}{
+		{"zero nx", b, 0, 3},
+		{"zero ny", b, 4, 0},
+		{"negative nx", b, -2, 3},
+		{"negative ny", b, 4, -7},
+		{"empty bounds", geom.EmptyAABB(), 4, 3},
+	}
+	for _, tc := range bad {
+		if g, err := NewGridChecked(tc.bounds, tc.nx, tc.ny); err == nil {
+			t.Fatalf("%s: accepted as %dx%d", tc.name, g.NX, g.NY)
+		}
+	}
+}
+
 func TestLocate(t *testing.T) {
 	g := testGrid()
 	if id := g.Locate(geom.V(5, 5, 1.7)); id != 0 {

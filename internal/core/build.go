@@ -98,6 +98,12 @@ type Tree struct {
 	// internal LoDs carrying more polygons than their visible children.
 	DisableTerminationHeuristic bool
 
+	// FaultTolerant enables degraded-mode traversal (degrade.go): media
+	// faults during a query substitute ancestor internal LoDs and record
+	// Degradation events instead of aborting. Off by default; with no
+	// faults firing, results are identical either way.
+	FaultTolerant bool
+
 	vstore       VStore
 	nodePageBase storage.PageID
 	nodeStride   int // pages per node record
@@ -378,7 +384,14 @@ func (t *Tree) ReadNodeRecord(id NodeID) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return DecodeNodeRecord(buf)
+	n, err := DecodeNodeRecord(buf)
+	if err != nil {
+		// The pages read back but the record does not parse: silent
+		// corruption, distinguishable (ErrBadRecord) so fault-tolerant
+		// traversal can degrade on it.
+		return nil, fmt.Errorf("%w: node %d: %v", ErrBadRecord, id, err)
+	}
+	return n, nil
 }
 
 // precomputeVisibility evaluates per-cell, per-object region DoV and

@@ -52,10 +52,12 @@ func gridManifest(g *cells.Grid) GridManifest {
 	}
 }
 
-// Grid reconstructs the viewing-cell grid.
-func (m GridManifest) Grid() *cells.Grid {
+// Grid reconstructs the viewing-cell grid. Manifests are untrusted input,
+// so degenerate cell counts or empty bounds are an error rather than
+// silently clamped.
+func (m GridManifest) Grid() (*cells.Grid, error) {
 	b := geom.Box(geom.V(m.MinX, m.MinY, m.MinZ), geom.V(m.MaxX, m.MaxY, m.MaxZ))
-	return cells.NewGrid(b, m.NX, m.NY)
+	return cells.NewGridChecked(b, m.NX, m.NY)
 }
 
 // Manifest captures everything needed to reopen this tree.
@@ -99,9 +101,13 @@ func OpenTree(sc *scene.Scene, d *storage.Disk, m TreeManifest) (*Tree, error) {
 		return nil, fmt.Errorf("core: open: manifest has %d object directories, scene has %d objects",
 			len(m.ObjExtents), len(sc.Objects))
 	}
+	grid, err := m.Grid.Grid()
+	if err != nil {
+		return nil, fmt.Errorf("core: open: %w", err)
+	}
 	t := &Tree{
 		Scene: sc,
-		Grid:  m.Grid.Grid(),
+		Grid:  grid,
 		Disk:  d,
 		Params: BuildParams{
 			FanoutMin:         m.Params.FanoutMin,

@@ -43,6 +43,7 @@ type QueryStats struct {
 	EarlyStops    int // branches answered by an internal LoD (line 8)
 	LightIO       int64
 	HeavyIO       int64
+	Retries       int64 // transient read faults absorbed by the disk
 	SimTime       time.Duration
 	TotalPolygons float64
 	TotalBytes    int64 // nominal payload bytes of the answer set
@@ -54,6 +55,13 @@ type QueryResult struct {
 	Eta   float64
 	Items []ResultItem
 	Stats QueryStats
+	// Degradations lists the media faults absorbed while answering (empty
+	// unless Tree.FaultTolerant and faults fired; see degrade.go).
+	Degradations []Degradation
+
+	// substituted dedups internal-LoD stand-ins: when several siblings
+	// fail, their shared ancestor's LoD appears in Items once.
+	substituted map[NodeID]bool
 }
 
 // ErrNoVStore is returned by Query before SetVStore.
@@ -74,14 +82,20 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 	before := t.Disk.Stats()
 	res := &QueryResult{Cell: cell, Eta: eta}
 	if err := t.vstore.SetCell(cell); err != nil {
-		return nil, fmt.Errorf("core: cell flip: %w", err)
-	}
-	if err := t.searchNode(0, eta, res); err != nil {
-		return nil, err
+		if !t.rootFallback(res, err, CauseCellFlip) {
+			return nil, fmt.Errorf("core: cell flip: %w", err)
+		}
+	} else if err := t.searchNode(0, eta, res, nil); err != nil {
+		// Only the root's own record/V-page failures reach here; deeper
+		// faults are absorbed at their recursion sites.
+		if !t.rootFallback(res, err, CauseNodeRecord) {
+			return nil, err
+		}
 	}
 	d := t.Disk.Stats().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
+	res.Stats.Retries = d.Retries
 	res.Stats.SimTime = d.SimTime
 	for _, it := range res.Items {
 		res.Stats.TotalPolygons += it.Polygons
@@ -90,13 +104,18 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 	return res, nil
 }
 
-// searchNode is Algorithm Search(Node) of Figure 3.
-func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult) error {
+// searchNode is Algorithm Search(Node) of Figure 3. anc is the ancestor
+// ladder of internal-LoD sources used by fault-tolerant substitution (nil
+// at the root; see degrade.go).
+func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSource) error {
 	node, err := t.ReadNodeRecord(id)
 	if err != nil {
 		return err
 	}
 	res.Stats.NodesVisited++
+	if len(anc) == 0 {
+		anc = []lodSource{{node: id, refs: node.InternalExtents, polys: node.InternalPolys}}
+	}
 	vd, ok, err := t.vstore.NodeVD(id)
 	if err != nil {
 		return err
@@ -158,9 +177,15 @@ func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult) error {
 			res.Stats.EarlyStops++
 			continue
 		}
-		// Line 10: recurse.
-		if err := t.searchNode(e.ChildID, eta, res); err != nil {
-			return err
+		// Line 10: recurse. The child's internal-LoD references (already
+		// in hand from this entry) extend the substitution ladder.
+		childAnc := append(anc, lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
+		if err := t.searchNode(e.ChildID, eta, res, childAnc); err != nil {
+			cause, page, ok := t.absorbFault(err, e.ChildID)
+			if !ok {
+				return err
+			}
+			t.substitute(res, childAnc, e.ChildID, v.DoV, k, cause, page)
 		}
 	}
 	return nil
@@ -208,17 +233,78 @@ func interpolatePolys(polys []int, k float64) float64 {
 // items actually fetched.
 func (t *Tree) FetchPayloads(res *QueryResult, skip func(ResultItem) bool) (int, error) {
 	fetched := 0
-	for _, it := range res.Items {
+	for i := range res.Items {
+		it := res.Items[i]
 		if skip != nil && skip(it) {
 			continue
 		}
 		ext := it.Extent
-		if err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy); err != nil {
+		err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy)
+		if err == nil {
+			fetched++
+			continue
+		}
+		if !t.FaultTolerant || !degradable(err) {
 			return fetched, err
 		}
-		fetched++
+		if n, ok := t.degradePayload(res, i); ok {
+			fetched += n
+		}
 	}
 	return fetched, nil
+}
+
+// degradePayload handles a media fault on res.Items[i]'s extent: the
+// failing pages are quarantined, a sibling LoD level of the same object or
+// node stands in (coarser preferred), the item is rewritten to the level
+// actually fetched, and a CausePayload Degradation is recorded. Returns
+// the number of extents fetched (0 when no level was readable — the item's
+// geometry is simply absent from the frame).
+func (t *Tree) degradePayload(res *QueryResult, i int) (int, bool) {
+	it := res.Items[i]
+	deg := Degradation{
+		Cell: res.Cell, Node: it.NodeID, Object: it.ObjectID,
+		Cause: CausePayload, Page: storage.NilPage,
+		SubstituteNode: NilNode, SubstituteLevel: -1,
+	}
+	// Quarantine the failing pages so later frames skip the seek.
+	for p, n := 0, it.Extent.Pages(t.Disk); p < n; p++ {
+		t.Disk.Quarantine(it.Extent.Start + storage.PageID(p))
+	}
+	deg.Page = it.Extent.Start
+	var refs []Extent
+	var polys []int
+	if it.ObjectID >= 0 && int(it.ObjectID) < len(t.ObjExtents) {
+		refs = t.ObjExtents[it.ObjectID]
+	} else if it.NodeID != NilNode && int(it.NodeID) < len(t.Nodes) {
+		refs = t.Nodes[it.NodeID].InternalExtents
+		polys = t.Nodes[it.NodeID].InternalPolys
+	}
+	// Prefer the coarser neighbors of the lost level, then finer ones.
+	lvl, ok := t.pickReadableLevel(refs, it.Level+1)
+	if ok {
+		ext := refs[lvl]
+		if err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy); err == nil {
+			res.Items[i].Level = lvl
+			res.Items[i].Extent = ext
+			if lvl < len(polys) {
+				res.Items[i].Polygons = float64(polys[lvl])
+			}
+			if it.NodeID != NilNode {
+				deg.SubstituteNode = it.NodeID
+			}
+			deg.SubstituteLevel = lvl
+			res.Degradations = append(res.Degradations, deg)
+			return 1, true
+		}
+		// The fallback level failed too (fresh fault): quarantine it and
+		// give up on this item rather than looping.
+		for p, n := 0, ext.Pages(t.Disk); p < n; p++ {
+			t.Disk.Quarantine(ext.Start + storage.PageID(p))
+		}
+	}
+	res.Degradations = append(res.Degradations, deg)
+	return 0, true
 }
 
 // LoadMesh decodes the actual mesh payload of a result item (the real
@@ -247,14 +333,18 @@ func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) 
 	before := t.Disk.Stats()
 	res := &QueryResult{Cell: cell, Eta: eta}
 	if err := t.vstore.SetCell(cell); err != nil {
-		return nil, err
-	}
-	if err := t.searchNodePrioritized(0, eta, f, res); err != nil {
-		return nil, err
+		if !t.rootFallback(res, err, CauseCellFlip) {
+			return nil, err
+		}
+	} else if err := t.searchNodePrioritized(0, eta, f, res, nil); err != nil {
+		if !t.rootFallback(res, err, CauseNodeRecord) {
+			return nil, err
+		}
 	}
 	d := t.Disk.Stats().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
+	res.Stats.Retries = d.Retries
 	res.Stats.SimTime = d.SimTime
 	for _, it := range res.Items {
 		res.Stats.TotalPolygons += it.Polygons
@@ -263,12 +353,15 @@ func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) 
 	return res, nil
 }
 
-func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res *QueryResult) error {
+func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res *QueryResult, anc []lodSource) error {
 	node, err := t.ReadNodeRecord(id)
 	if err != nil {
 		return err
 	}
 	res.Stats.NodesVisited++
+	if len(anc) == 0 {
+		anc = []lodSource{{node: id, refs: node.InternalExtents, polys: node.InternalPolys}}
+	}
 	vd, ok, err := t.vstore.NodeVD(id)
 	if err != nil {
 		return err
@@ -338,8 +431,13 @@ func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res
 			res.Stats.EarlyStops++
 			continue
 		}
-		if err := t.searchNodePrioritized(e.ChildID, eta, f, res); err != nil {
-			return err
+		childAnc := append(anc, lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
+		if err := t.searchNodePrioritized(e.ChildID, eta, f, res, childAnc); err != nil {
+			cause, page, ok := t.absorbFault(err, e.ChildID)
+			if !ok {
+				return err
+			}
+			t.substitute(res, childAnc, e.ChildID, v.DoV, k, cause, page)
 		}
 	}
 	return nil

@@ -8,18 +8,31 @@
 //
 //	manifest.json — dataset parameters and every layout pointer needed to
 //	                reattach the tree, the three storage schemes and the
-//	                naive baseline (JSON, human-inspectable)
+//	                naive baseline (JSON, human-inspectable, checksummed)
 //	disk.img      — the simulated disk's pages (binary, checksummed)
 //
 // The scene's meshes are not stored twice: the city regenerates
 // deterministically from its CityParams, and payload meshes live in the
 // disk image.
+//
+// # Crash safety
+//
+// Save is atomic at the manifest rename: the image is written to a
+// temporary file, fsynced and renamed into place first; the manifest —
+// which embeds the image's byte size and CRC and carries its own
+// checksum — is written, fsynced and renamed last. A crash at any write
+// boundary leaves either the old database intact or a directory with no
+// (or a stale) manifest; Open cross-checks manifest checksum, image size,
+// and image CRC, so every torn state is rejected with ErrBadDatabase.
 package dbfile
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -31,8 +44,10 @@ import (
 )
 
 const (
-	// FormatVersion guards manifest compatibility.
-	FormatVersion = 1
+	// FormatVersion guards manifest compatibility. Version 2 added the
+	// manifest checksum and the image size/CRC cross-check (version-1
+	// directories predate crash-safe saves and are rejected).
+	FormatVersion = 2
 	manifestName  = "manifest.json"
 	imageName     = "disk.img"
 )
@@ -46,6 +61,37 @@ type Manifest struct {
 	Vertical      vstore.VerticalManifest
 	Indexed       vstore.IndexedVerticalManifest
 	Naive         naive.Manifest
+
+	// ImageBytes and ImageCRC32 pin the disk.img this manifest commits:
+	// a manifest renamed into place next to a stale or torn image fails
+	// the cross-check.
+	ImageBytes int64
+	ImageCRC32 uint32
+	// Checksum is the IEEE CRC32 of this document serialized with
+	// Checksum itself zero (see Seal).
+	Checksum uint32
+}
+
+// Seal recomputes the manifest's checksum. Tests that deliberately tamper
+// with a manifest use it to keep the checksum valid so deeper validation
+// is exercised.
+func (m *Manifest) Seal() error {
+	sum, err := m.computeChecksum()
+	if err != nil {
+		return err
+	}
+	m.Checksum = sum
+	return nil
+}
+
+func (m *Manifest) computeChecksum() (uint32, error) {
+	mm := *m
+	mm.Checksum = 0
+	raw, err := json.Marshal(&mm)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(raw), nil
 }
 
 // Database is a reopened (or about-to-be-saved) HDoV database.
@@ -62,7 +108,24 @@ type Database struct {
 // ErrBadDatabase is wrapped into open-time validation failures.
 var ErrBadDatabase = errors.New("dbfile: bad database")
 
-// Save writes the database to dir (created if absent).
+// crashPoint aborts Save at a named write boundary (crash-injection
+// tests). Empty in production.
+var crashPoint string
+
+// errCrash marks an injected crash.
+var errCrash = errors.New("dbfile: injected crash")
+
+func crashAt(stage string) error {
+	if crashPoint == stage {
+		return fmt.Errorf("%w at %s", errCrash, stage)
+	}
+	return nil
+}
+
+// Save writes the database to dir (created if absent). The write order —
+// image first, checksummed manifest renamed into place last — makes the
+// manifest rename the commit point; a crash anywhere before it leaves the
+// previous database state (or a rejectable partial directory) behind.
 func Save(dir string, db *Database) error {
 	if db == nil || db.Tree == nil || db.Disk == nil {
 		return fmt.Errorf("dbfile: save: incomplete database")
@@ -70,6 +133,12 @@ func Save(dir string, db *Database) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dbfile: %w", err)
 	}
+
+	imgBytes, imgCRC, err := writeImage(dir, db.Disk)
+	if err != nil {
+		return err
+	}
+
 	m := Manifest{
 		FormatVersion: FormatVersion,
 		City:          db.Scene.Params,
@@ -78,49 +147,128 @@ func Save(dir string, db *Database) error {
 		Vertical:      db.Vertical.Manifest(),
 		Indexed:       db.Indexed.Manifest(),
 		Naive:         db.Naive.Manifest(),
+		ImageBytes:    imgBytes,
+		ImageCRC32:    imgCRC,
 	}
-	raw, err := json.MarshalIndent(m, "", "  ")
+	if err := m.Seal(); err != nil {
+		return fmt.Errorf("dbfile: manifest: %w", err)
+	}
+	raw, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dbfile: manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
-		return fmt.Errorf("dbfile: manifest: %w", err)
+	if err := writeFileAtomic(dir, manifestName, raw, "manifest-tmp"); err != nil {
+		return err
 	}
-	f, err := os.Create(filepath.Join(dir, imageName))
-	if err != nil {
-		return fmt.Errorf("dbfile: image: %w", err)
-	}
-	defer f.Close()
-	if _, err := db.Disk.WriteTo(f); err != nil {
-		return fmt.Errorf("dbfile: image: %w", err)
-	}
-	return f.Close()
+	return syncDir(dir)
 }
 
-// Open reopens a database directory saved by Save. The city is
-// regenerated from its parameters; the disk image is verified against its
-// checksum; tree and scheme layouts are revalidated against the image.
-func Open(dir string) (*Database, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+// writeImage writes disk.img via a temporary file and atomic rename,
+// returning the byte count and CRC of what landed on disk.
+func writeImage(dir string, d *storage.Disk) (int64, uint32, error) {
+	tmp := filepath.Join(dir, imageName+".tmp")
+	f, err := os.Create(tmp)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return 0, 0, fmt.Errorf("dbfile: image: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrBadDatabase, err)
+	h := crc32.NewIEEE()
+	n, err := d.WriteTo(io.MultiWriter(f, h))
+	if err != nil {
+		f.Close()
+		return 0, 0, fmt.Errorf("dbfile: image: %w", err)
 	}
-	if m.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("%w: format version %d (want %d)", ErrBadDatabase, m.FormatVersion, FormatVersion)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, fmt.Errorf("dbfile: image: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, fmt.Errorf("dbfile: image: %w", err)
+	}
+	if err := crashAt("image-tmp"); err != nil {
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, imageName)); err != nil {
+		return 0, 0, fmt.Errorf("dbfile: image: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, 0, err
+	}
+	if err := crashAt("image-rename"); err != nil {
+		return 0, 0, err
+	}
+	return n, h.Sum32(), nil
+}
+
+// writeFileAtomic writes name under dir via tmp-file + fsync + rename.
+func writeFileAtomic(dir, name string, raw []byte, stage string) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dbfile: %s: %w", name, err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("dbfile: %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dbfile: %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dbfile: %s: %w", name, err)
+	}
+	if err := crashAt(stage); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("dbfile: %s: %w", name, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Filesystems
+// that refuse directory fsync (some CI mounts) are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dbfile: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("dbfile: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Open reopens a database directory saved by Save. The manifest's own
+// checksum, the image's size and CRC, and every layout pointer are
+// verified before anything is trusted; the city is regenerated from its
+// parameters and tree and scheme layouts are revalidated against the
+// image.
+func Open(dir string) (*Database, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
 	}
 
-	f, err := os.Open(filepath.Join(dir, imageName))
+	raw, err := os.ReadFile(filepath.Join(dir, imageName))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
 	}
-	defer f.Close()
-	disk, err := storage.ReadImage(f, storage.DefaultCostModel())
+	if int64(len(raw)) != m.ImageBytes {
+		return nil, fmt.Errorf("%w: image is %d bytes, manifest committed %d (torn save?)",
+			ErrBadDatabase, len(raw), m.ImageBytes)
+	}
+	if sum := crc32.ChecksumIEEE(raw); sum != m.ImageCRC32 {
+		return nil, fmt.Errorf("%w: image CRC %08x, manifest committed %08x (stale or torn image)",
+			ErrBadDatabase, sum, m.ImageCRC32)
+	}
+	disk, err := storage.ReadImage(bytes.NewReader(raw), storage.DefaultCostModel())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	if err := validateLayout(m, disk); err != nil {
+		return nil, err
 	}
 
 	sc := scene.Generate(m.City)
@@ -157,4 +305,88 @@ func Open(dir string) (*Database, error) {
 		Indexed:    iv,
 		Naive:      nv,
 	}, nil
+}
+
+// readManifest loads and structurally verifies manifest.json (parse,
+// version, self-checksum) without touching the image.
+func readManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrBadDatabase, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d (want %d)", ErrBadDatabase, m.FormatVersion, FormatVersion)
+	}
+	sum, err := m.computeChecksum()
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrBadDatabase, err)
+	}
+	if sum != m.Checksum {
+		return nil, fmt.Errorf("%w: manifest checksum %08x, stored %08x", ErrBadDatabase, sum, m.Checksum)
+	}
+	return &m, nil
+}
+
+// validateLayout cross-checks every layout pointer in the manifest
+// against the image's allocated page count before any of them is
+// dereferenced.
+func validateLayout(m *Manifest, disk *storage.Disk) error {
+	num := disk.NumPages()
+	check := func(what string, start storage.PageID, pages int) error {
+		if start == storage.NilPage && pages == 0 {
+			return nil
+		}
+		if start < 0 || pages < 0 || int64(start)+int64(pages) > num {
+			return fmt.Errorf("%w: %s pages [%d, %d) exceed image (%d pages)",
+				ErrBadDatabase, what, start, int64(start)+int64(pages), num)
+		}
+		return nil
+	}
+	pagesFor := func(bytes int64) int { return disk.PagesFor(bytes) }
+
+	if m.Tree.NumNodes < 1 || m.Tree.NodeStride < 1 {
+		return fmt.Errorf("%w: tree has %d nodes, stride %d", ErrBadDatabase, m.Tree.NumNodes, m.Tree.NodeStride)
+	}
+	if err := check("node records", m.Tree.NodePageBase, m.Tree.NumNodes*m.Tree.NodeStride); err != nil {
+		return err
+	}
+	for obj, chain := range m.Tree.ObjExtents {
+		for lvl, ext := range chain {
+			if err := check(fmt.Sprintf("object %d LoD %d", obj, lvl), ext.Start, pagesFor(ext.NominalBytes)); err != nil {
+				return err
+			}
+		}
+	}
+	slotPages := func(s vstore.SlotTableManifest) int {
+		if s.PerPage <= 0 {
+			return 0
+		}
+		return (s.Count + s.PerPage - 1) / s.PerPage
+	}
+	if err := check("horizontal V-pages", m.Horizontal.Slots.Base, slotPages(m.Horizontal.Slots)); err != nil {
+		return err
+	}
+	if err := check("vertical V-pages", m.Vertical.Slots.Base, slotPages(m.Vertical.Slots)); err != nil {
+		return err
+	}
+	numCells := m.Tree.Grid.NX * m.Tree.Grid.NY
+	if err := check("vertical segments", m.Vertical.SegBase, m.Vertical.SegPages*numCells); err != nil {
+		return err
+	}
+	if err := check("indexed V-pages", m.Indexed.Slots.Base, slotPages(m.Indexed.Slots)); err != nil {
+		return err
+	}
+	for cell, seg := range m.Indexed.Dir {
+		if seg.Start == storage.NilPage {
+			continue
+		}
+		if err := check(fmt.Sprintf("indexed segment for cell %d", cell), seg.Start, 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,138 @@
+package dbfile
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// FsckReport is the outcome of checking one database directory.
+type FsckReport struct {
+	Dir string
+	// ManifestOK: manifest.json exists, parses, has the right format
+	// version and a valid self-checksum.
+	ManifestOK bool
+	// ImageOK: disk.img exists, matches the manifest's committed size and
+	// CRC, and parses as a disk image (internal checksum included).
+	ImageOK bool
+	// LayoutOK: every layout pointer in the manifest stays inside the
+	// image.
+	LayoutOK bool
+	// Problems describes each failed check, in check order.
+	Problems []string
+	// Stray lists leftover temporary files from interrupted saves.
+	Stray []string
+}
+
+// Intact reports whether the database passed every check (stray temp
+// files alone do not make a database damaged — a crash before the commit
+// point leaves them next to a perfectly good previous version).
+func (r *FsckReport) Intact() bool {
+	return r.ManifestOK && r.ImageOK && r.LayoutOK
+}
+
+func (r *FsckReport) problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Fsck checks a database directory without fully opening it: manifest
+// parse + checksum, image size/CRC (file-level and internal), and layout
+// pointer validation. It is read-only. The returned error covers only
+// inability to inspect the directory itself, never a damaged database —
+// damage is reported in the FsckReport.
+func Fsck(dir string) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dbfile: fsck: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			rep.Stray = append(rep.Stray, e.Name())
+		}
+	}
+
+	m, err := readManifest(dir)
+	if err != nil {
+		rep.problemf("manifest: %v", err)
+		return rep, nil
+	}
+	rep.ManifestOK = true
+
+	raw, err := os.ReadFile(filepath.Join(dir, imageName))
+	if err != nil {
+		rep.problemf("image: %v", err)
+		return rep, nil
+	}
+	if int64(len(raw)) != m.ImageBytes {
+		rep.problemf("image: %d bytes, manifest committed %d (torn save?)", len(raw), m.ImageBytes)
+		return rep, nil
+	}
+	if sum := crc32.ChecksumIEEE(raw); sum != m.ImageCRC32 {
+		rep.problemf("image: CRC %08x, manifest committed %08x (stale or torn image)", sum, m.ImageCRC32)
+		return rep, nil
+	}
+	disk, err := storage.ReadImage(bytes.NewReader(raw), storage.DefaultCostModel())
+	if err != nil {
+		rep.problemf("image: %v", err)
+		return rep, nil
+	}
+	rep.ImageOK = true
+
+	if err := validateLayout(m, disk); err != nil {
+		rep.problemf("layout: %v", err)
+		return rep, nil
+	}
+	rep.LayoutOK = true
+	return rep, nil
+}
+
+// QuarantineDirName is where Repair moves damaged artifacts, inside the
+// database directory.
+const QuarantineDirName = "quarantine"
+
+// Repair moves the damaged artifacts named by rep — plus any stray temp
+// files — into dir/quarantine/, so a subsequent Save starts from a clean
+// directory while nothing is destroyed. It returns the names of the files
+// moved. Repair on an intact report only sweeps strays.
+func Repair(dir string, rep *FsckReport) ([]string, error) {
+	var doomed []string
+	switch {
+	case !rep.ManifestOK:
+		doomed = append(doomed, manifestName)
+	case !rep.ImageOK:
+		doomed = append(doomed, imageName)
+	case !rep.LayoutOK:
+		// Manifest and image each check out alone but disagree on layout:
+		// both are suspect.
+		doomed = append(doomed, manifestName, imageName)
+	}
+	doomed = append(doomed, rep.Stray...)
+
+	var moved []string
+	for _, name := range doomed {
+		src := filepath.Join(dir, name)
+		if _, err := os.Stat(src); err != nil {
+			continue // already absent — nothing to quarantine
+		}
+		qdir := filepath.Join(dir, QuarantineDirName)
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			return moved, fmt.Errorf("dbfile: repair: %w", err)
+		}
+		if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
+			return moved, fmt.Errorf("dbfile: repair: %w", err)
+		}
+		moved = append(moved, name)
+	}
+	if len(moved) > 0 {
+		if err := syncDir(dir); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}

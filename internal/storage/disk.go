@@ -65,7 +65,12 @@ type Stats struct {
 	Seeks      int64 // non-sequential repositionings
 	LightReads int64 // pages read with ClassLight
 	HeavyReads int64 // pages read with ClassHeavy
-	SimTime    time.Duration
+	// Retries counts re-read attempts issued for faulted pages while a
+	// fault-injection policy is installed (see InjectFaults). Retries are
+	// not added to Reads so the paper's I/O figures stay comparable; their
+	// time cost is charged to SimTime.
+	Retries int64
+	SimTime time.Duration
 }
 
 // Sub returns s - o, for measuring a window of activity.
@@ -76,6 +81,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Seeks:      s.Seeks - o.Seeks,
 		LightReads: s.LightReads - o.LightReads,
 		HeavyReads: s.HeavyReads - o.HeavyReads,
+		Retries:    s.Retries - o.Retries,
 		SimTime:    s.SimTime - o.SimTime,
 	}
 }
@@ -94,8 +100,14 @@ type Disk struct {
 	allocated PageID // next free page
 	data      map[PageID][]byte
 	corrupt   map[PageID]bool
-	cost      CostModel
-	stats     Stats
+	// quarantined pages fail immediately with no seek or retry cost —
+	// callers that detected damage park the page here so repeated frames
+	// stop re-seeking it (see Quarantine).
+	quarantined map[PageID]bool
+	// faults is the optional deterministic fault injector (InjectFaults).
+	faults *faultInjector
+	cost   CostModel
+	stats  Stats
 	// streams holds the positions of recent sequential runs (see
 	// numStreams); streamAge implements LRU replacement.
 	streams   [numStreams]PageID
@@ -112,10 +124,11 @@ func NewDisk(pageSize int, cost CostModel) *Disk {
 		pageSize = DefaultPageSize
 	}
 	d := &Disk{
-		pageSize: pageSize,
-		data:     make(map[PageID][]byte),
-		corrupt:  make(map[PageID]bool),
-		cost:     cost,
+		pageSize:    pageSize,
+		data:        make(map[PageID][]byte),
+		corrupt:     make(map[PageID]bool),
+		quarantined: make(map[PageID]bool),
+		cost:        cost,
 	}
 	// All stream heads start parked: the first access is always a seek.
 	for i := range d.streams {
@@ -169,9 +182,67 @@ var errOutOfRange = errors.New("page out of range")
 // failure-injection hook.
 var ErrCorrupt = errors.New("storage: corrupt page")
 
+// CorruptError is the concrete error for an unreadable page. It wraps
+// ErrCorrupt (errors.Is keeps working) and carries the failing PageID so
+// recovery code can quarantine exactly the damaged page.
+type CorruptError struct {
+	Page PageID
+	// Quarantined is true when the read failed fast on a quarantined page
+	// rather than on fresh media damage.
+	Quarantined bool
+}
+
+func (e *CorruptError) Error() string {
+	if e.Quarantined {
+		return fmt.Sprintf("storage: corrupt page: page %d (quarantined)", e.Page)
+	}
+	return fmt.Sprintf("storage: corrupt page: page %d", e.Page)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) see through the structured error.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Quarantine parks a page: subsequent reads fail immediately with a
+// CorruptError, charging no seek, transfer, or retry cost. Recovery code
+// quarantines pages it has seen fail so repeated frames stop re-seeking
+// damaged media. A successful WritePage lifts the quarantine (the sector
+// was remapped by the rewrite).
+func (d *Disk) Quarantine(id PageID) {
+	if id >= 0 && id < d.allocated {
+		d.quarantined[id] = true
+	}
+}
+
+// IsQuarantined reports whether a page is parked.
+func (d *Disk) IsQuarantined(id PageID) bool { return d.quarantined[id] }
+
+// NumQuarantined returns how many pages are parked.
+func (d *Disk) NumQuarantined() int { return len(d.quarantined) }
+
+// ClearQuarantine lifts every quarantine mark (tests and repair tools).
+func (d *Disk) ClearQuarantine() { d.quarantined = make(map[PageID]bool) }
+
+// mediaErr simulates the outcome of physically reading page id: nil on
+// success, a CorruptError on an unreadable sector. With a fault injector
+// installed it also draws injected faults and performs bounded
+// retry-with-backoff (transient faults are absorbed, with retries counted
+// in Stats); without one it only honors explicit CorruptPage marks,
+// exactly the pre-injection behavior.
+func (d *Disk) mediaErr(id PageID) error {
+	if d.faults != nil {
+		return d.faults.check(d, id)
+	}
+	if d.corrupt[id] {
+		return &CorruptError{Page: id}
+	}
+	return nil
+}
+
 // WritePage stores data (at most one page) at id. Write cost is charged as
 // one page transfer; experiments only measure reads, matching the paper's
-// read-only query workload.
+// read-only query workload. A successful write clears any corruption or
+// quarantine mark on the page — rewriting a bad sector remaps it, which is
+// what repair paths rely on.
 func (d *Disk) WritePage(id PageID, data []byte) error {
 	if id < 0 || id >= d.allocated {
 		return fmt.Errorf("storage: write page %d: %w", id, errOutOfRange)
@@ -183,6 +254,11 @@ func (d *Disk) WritePage(id PageID, data []byte) error {
 	copy(page, data)
 	d.data[id] = page
 	d.stats.Writes++
+	delete(d.corrupt, id)
+	delete(d.quarantined, id)
+	if d.faults != nil {
+		d.faults.heal(id)
+	}
 	if d.pool != nil {
 		d.pool.invalidate(id)
 	}
@@ -201,9 +277,12 @@ func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
 			return p, nil
 		}
 	}
+	if d.quarantined[id] {
+		return nil, &CorruptError{Page: id, Quarantined: true}
+	}
 	d.account(id, 1, class)
-	if d.corrupt[id] {
-		return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+	if err := d.mediaErr(id); err != nil {
+		return nil, err
 	}
 	var page []byte
 	if p, ok := d.data[id]; ok {
@@ -219,13 +298,18 @@ func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
 
 // PeekPage returns page content without charging any I/O. Build-time
 // read-modify-write paths use it so that construction does not pollute the
-// experiment counters; queries must use ReadPage.
+// experiment counters; queries must use ReadPage. Peeks honor corruption
+// and quarantine marks but do not draw injected faults — they model setup
+// access, not the measured query workload.
 func (d *Disk) PeekPage(id PageID) ([]byte, error) {
 	if id < 0 || id >= d.allocated {
 		return nil, fmt.Errorf("storage: peek page %d: %w", id, errOutOfRange)
 	}
+	if d.quarantined[id] {
+		return nil, &CorruptError{Page: id, Quarantined: true}
+	}
 	if d.corrupt[id] {
-		return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+		return nil, &CorruptError{Page: id}
 	}
 	if p, ok := d.data[id]; ok {
 		return p, nil
@@ -307,12 +391,17 @@ func (d *Disk) ReadBytes(start PageID, length int, class Class) ([]byte, error) 
 		}
 		return out[:length], nil
 	}
+	for i := 0; i < n; i++ {
+		if id := start + PageID(i); d.quarantined[id] {
+			return nil, &CorruptError{Page: id, Quarantined: true}
+		}
+	}
 	d.account(start, int64(n), class)
 	out := make([]byte, 0, n*d.pageSize)
 	for i := 0; i < n; i++ {
 		id := start + PageID(i)
-		if d.corrupt[id] {
-			return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+		if err := d.mediaErr(id); err != nil {
+			return nil, err
 		}
 		if p, ok := d.data[id]; ok {
 			out = append(out, p...)
@@ -334,10 +423,15 @@ func (d *Disk) ReadExtent(start PageID, n int, class Class) error {
 	if start < 0 || start+PageID(n) > d.allocated {
 		return fmt.Errorf("storage: extent [%d,%d): %w", start, int64(start)+int64(n), errOutOfRange)
 	}
+	for i := 0; i < n; i++ {
+		if id := start + PageID(i); d.quarantined[id] {
+			return &CorruptError{Page: id, Quarantined: true}
+		}
+	}
 	d.account(start, int64(n), class)
 	for i := 0; i < n; i++ {
-		if d.corrupt[start+PageID(i)] {
-			return fmt.Errorf("%w: page %d", ErrCorrupt, start+PageID(i))
+		if err := d.mediaErr(start + PageID(i)); err != nil {
+			return err
 		}
 	}
 	return nil

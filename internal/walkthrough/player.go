@@ -1,6 +1,7 @@
 package walkthrough
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/render"
 	"repro/internal/review"
+	"repro/internal/storage"
 )
 
 // FrameStat records one frame of a playback.
@@ -28,6 +30,12 @@ type FrameStat struct {
 	// overlaps rendering in a real system, so it is excluded from the
 	// frame time but counted here so total-I/O accounting stays honest.
 	PrefetchIO int64
+	// Degradations counts media faults absorbed this frame (including
+	// during prefetch) under fault-tolerant traversal; see core.Degradation.
+	Degradations int
+	// Retries counts transient read faults the disk retried away this
+	// frame.
+	Retries int64
 }
 
 // Result is a full playback trace.
@@ -39,6 +47,10 @@ type Result struct {
 	// Queries is how many database queries ran (cell changes for VISUAL,
 	// movement-triggered window queries for REVIEW).
 	Queries int
+	// Degradations totals the per-frame degradation counts; DegradedFrames
+	// is the number of frames with at least one.
+	Degradations   int
+	DegradedFrames int
 }
 
 // AvgFrameTime returns the mean frame time in milliseconds.
@@ -180,8 +192,10 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 			fs.QueryTime = d.SimTime
 			fs.LightIO = d.LightReads
 			fs.HeavyIO = d.HeavyReads
+			fs.Retries = d.Retries
 			fs.Fetched = fetched
 			fs.Queried = true
+			fs.Degradations += len(res.Degradations)
 			out.Queries++
 			resident = res
 			cur = cell
@@ -207,10 +221,17 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 					for _, it := range res.Items {
 						cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
 					}
+					fs.Degradations += len(res.Degradations)
 					// Restore the scheme's current-cell segment; the
-					// flip-back page is charged to prefetch too.
+					// flip-back page is charged to prefetch too. A media
+					// fault here is absorbed in fault-tolerant mode: the
+					// scheme keeps its previous cell and the next real
+					// query re-flips.
 					if err := p.Tree.VStoreScheme().SetCell(cur); err != nil {
-						return nil, err
+						if !p.Tree.FaultTolerant || !errors.Is(err, storage.ErrCorrupt) {
+							return nil, err
+						}
+						fs.Degradations++
 					}
 					fs.PrefetchIO = p.Tree.Disk.Stats().Sub(before).Reads
 					prefetched = next
@@ -225,6 +246,10 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 		fs.RenderTime = p.Render.RenderTime(fs.Polygons)
 		fs.Total = p.Render.FrameTime(fs.Polygons, fs.QueryTime)
 		fs.CacheBytes = cache.Bytes()
+		out.Degradations += fs.Degradations
+		if fs.Degradations > 0 {
+			out.DegradedFrames++
+		}
 		out.Frames = append(out.Frames, fs)
 	}
 	out.PeakBytes = cache.PeakBytes()
@@ -312,8 +337,10 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 			fs.QueryTime = d.SimTime
 			fs.LightIO = d.LightReads
 			fs.HeavyIO = d.HeavyReads
+			fs.Retries = d.Retries
 			fs.Fetched = fetched
 			fs.Queried = true
+			fs.Degradations += len(res.Degradations)
 			out.Queries++
 			resident = res
 			lastEye = pose.Eye
@@ -342,6 +369,7 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 				for _, it := range res.Items {
 					cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Sys.T, it), pose.Eye)
 				}
+				fs.Degradations += len(res.Degradations)
 				fs.PrefetchIO = p.Sys.T.Disk.Stats().Sub(before).Reads
 			}
 		}
@@ -353,6 +381,10 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 		fs.RenderTime = p.Render.RenderTime(fs.Polygons)
 		fs.Total = p.Render.FrameTime(fs.Polygons, fs.QueryTime)
 		fs.CacheBytes = cache.Bytes()
+		out.Degradations += fs.Degradations
+		if fs.Degradations > 0 {
+			out.DegradedFrames++
+		}
 		out.Frames = append(out.Frames, fs)
 	}
 	out.PeakBytes = cache.PeakBytes()

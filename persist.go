@@ -8,7 +8,10 @@ import (
 // Save persists the database to a directory (manifest.json + disk.img).
 // The expensive precomputation — R-tree construction, internal-LoD
 // generation, per-cell DoV evaluation, V-page layout — is all captured, so
-// Open is fast.
+// Open is fast. The write is crash-safe: the image is committed (fsync +
+// atomic rename) before the checksummed manifest, whose rename is the
+// commit point — a Save killed at any boundary leaves either the previous
+// committed version or a directory Open cleanly rejects.
 func (db *DB) Save(dir string) error {
 	return dbfile.Save(dir, &dbfile.Database{
 		Scene:      db.scene,

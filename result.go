@@ -32,6 +32,28 @@ type Item struct {
 // Internal reports whether the item is an internal (aggregate) LoD.
 func (it Item) Internal() bool { return it.NodeID >= 0 }
 
+// Degradation records one absorbed media fault in a fault-tolerant query:
+// which branch was lost, why, and which internal LoD stood in for it.
+type Degradation struct {
+	// Node is the subtree whose data failed (-1 for cell-flip faults and
+	// for object-payload faults).
+	Node int32
+	// Object is the object whose payload failed (-1 unless the failure
+	// was an object payload).
+	Object int64
+	// Cause classifies the failed read: "node-record", "v-page",
+	// "payload" or "cell-flip".
+	Cause string
+	// Page is the first failing disk page (-1 for decode failures on
+	// readable pages).
+	Page int64
+	// SubstituteNode and SubstituteLevel identify the internal LoD that
+	// stood in for the lost branch (-1 / -1 if nothing readable was found
+	// — the branch is simply absent from the answer).
+	SubstituteNode  int32
+	SubstituteLevel int
+}
+
 // Result is a visibility-query answer with its cost accounting.
 type Result struct {
 	// Cell is the viewing cell the query ran in.
@@ -51,6 +73,12 @@ type Result struct {
 	Bytes    int64
 	// NodesVisited and EarlyStops describe the traversal.
 	NodesVisited, EarlyStops int
+	// Retries counts transient read faults the disk retried away during
+	// this query (nonzero only under fault injection).
+	Retries int64
+	// Degradations lists the media faults absorbed by degraded-mode
+	// traversal (empty unless fault tolerance is on and faults fired).
+	Degradations []Degradation
 
 	inner *core.QueryResult
 }
@@ -66,7 +94,21 @@ func wrapResult(r *core.QueryResult) *Result {
 		Bytes:        r.Stats.TotalBytes,
 		NodesVisited: r.Stats.NodesVisited,
 		EarlyStops:   r.Stats.EarlyStops,
+		Retries:      r.Stats.Retries,
 		inner:        r,
+	}
+	if len(r.Degradations) > 0 {
+		out.Degradations = make([]Degradation, len(r.Degradations))
+		for i, d := range r.Degradations {
+			out.Degradations[i] = Degradation{
+				Node:            int32(d.Node),
+				Object:          d.Object,
+				Cause:           d.Cause.String(),
+				Page:            int64(d.Page),
+				SubstituteNode:  int32(d.SubstituteNode),
+				SubstituteLevel: d.SubstituteLevel,
+			}
+		}
 	}
 	out.Items = make([]Item, len(r.Items))
 	for i, it := range r.Items {
@@ -122,7 +164,9 @@ func (db *DB) QueryNaive(p Point) (*Result, error) {
 }
 
 // Fetch charges the heavy-weight I/O of retrieving every item's payload
-// and updates the result's I/O and time accounting.
+// and updates the result's I/O and time accounting. In fault-tolerant
+// mode an unreadable payload degrades the item to a coarser readable
+// level (recorded in Degradations) instead of failing the call.
 func (db *DB) Fetch(r *Result) error {
 	before := db.disk.Stats()
 	if _, err := db.tree.FetchPayloads(r.inner, nil); err != nil {
@@ -131,6 +175,14 @@ func (db *DB) Fetch(r *Result) error {
 	d := db.disk.Stats().Sub(before)
 	r.HeavyIO += d.HeavyReads
 	r.SimTime += d.SimTime
+	r.Retries += d.Retries
+	// Payload faults absorbed during the fetch may have degraded items to
+	// coarser levels and appended degradation records: re-mirror both.
+	if len(r.inner.Degradations) > len(r.Degradations) {
+		fresh := wrapResult(r.inner)
+		r.Items = fresh.Items
+		r.Degradations = fresh.Degradations
+	}
 	return nil
 }
 
@@ -214,7 +266,10 @@ func (db *DB) Fidelity(p Point, r *Result) Fidelity {
 // DiskStats is the I/O accounting snapshot of the database's disk.
 type DiskStats struct {
 	Reads, Seeks, LightReads, HeavyReads int64
-	SimTime                              time.Duration
+	// Retries counts transient read faults absorbed by the disk's bounded
+	// retry loop (nonzero only under fault injection).
+	Retries int64
+	SimTime time.Duration
 }
 
 // DiskStats returns the cumulative disk accounting.
@@ -223,6 +278,7 @@ func (db *DB) DiskStats() DiskStats {
 	return DiskStats{
 		Reads: s.Reads, Seeks: s.Seeks,
 		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
+		Retries: s.Retries,
 		SimTime: s.SimTime,
 	}
 }

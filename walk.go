@@ -74,6 +74,13 @@ type WalkStats struct {
 	FrameTimesMS []float64
 	// TotalHeavyIO is the summed payload page reads.
 	TotalHeavyIO int64
+	// Degradations totals the media faults absorbed across the playback;
+	// DegradedFrames counts frames that absorbed at least one. Both are
+	// zero unless fault tolerance is on and faults fired.
+	Degradations   int
+	DegradedFrames int
+	// Retries is the summed transient-fault retries across the playback.
+	Retries int64
 }
 
 // Walkthrough records a session with the requested motion pattern and
@@ -131,11 +138,14 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 		AvgQueryMS:      res.AvgQueryTime(),
 		AvgQueryIO:      res.AvgQueryIO(),
 		PeakMemoryBytes: res.PeakBytes,
+		Degradations:    res.Degradations,
+		DegradedFrames:  res.DegradedFrames,
 	}
 	out.FrameTimesMS = make([]float64, len(res.Frames))
 	for i, f := range res.Frames {
 		out.FrameTimesMS[i] = float64(f.Total) / float64(time.Millisecond)
 		out.TotalHeavyIO += f.HeavyIO
+		out.Retries += f.Retries
 	}
 	return out, nil
 }
