@@ -8,11 +8,14 @@
 //	hdovbench -exp table2
 //	hdovbench -exp fig7,fig8a,fig8b
 //	hdovbench -exp all -quick
+//	hdovbench -quick -clients 8
+//	hdovbench -quick -guard BENCH_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,24 +24,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hdovbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "use the small smoke-test parameter set")
-		queries  = flag.Int("queries", 0, "override the visibility-query count")
-		frames   = flag.Int("frames", 0, "override the walkthrough frame count")
-		blocks   = flag.Int("blocks", 0, "override the city size (blocks per side)")
-		gridFlag = flag.Int("grid", 0, "override the viewing-cell grid (cells per side)")
-		seed     = flag.Int64("seed", 0, "override the random seed")
-		images   = flag.String("images", "", "directory for Figure 11 PGM renderings")
+		expFlag  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		quick    = fs.Bool("quick", false, "use the small smoke-test parameter set")
+		queries  = fs.Int("queries", 0, "override the visibility-query count")
+		frames   = fs.Int("frames", 0, "override the walkthrough frame count")
+		blocks   = fs.Int("blocks", 0, "override the city size (blocks per side)")
+		gridFlag = fs.Int("grid", 0, "override the viewing-cell grid (cells per side)")
+		seed     = fs.Int64("seed", 0, "override the random seed")
+		images   = fs.String("images", "", "directory for Figure 11 PGM renderings")
+		clients  = fs.Int("clients", 0, "serve mode: run N concurrent query sessions and report aggregate throughput")
+		cache    = fs.Int("cache", 1<<16, "serve mode: shared buffer pool size in pages")
+		guard    = fs.String("guard", "", "compare fresh bench metrics against a committed baseline file; exit 1 on >25% regression")
+		writeBas = fs.String("writebaseline", "", "measure and write the baseline file, then exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	p := bench.Default()
@@ -64,6 +79,58 @@ func main() {
 		p.ImageDir = *images
 	}
 
+	if *writeBas != "" {
+		b, err := bench.CollectBaseline(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteBaseline(*writeBas, b); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baseline written to %s (workload %s)\n", *writeBas, b.Workload)
+		return 0
+	}
+
+	if *guard != "" {
+		ref, err := bench.LoadBaseline(*guard)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectBaseline(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareBaseline(ref, cur, 0.25); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "baseline guard passed (workload %s, %d schemes)\n",
+			ref.Workload, len(ref.Schemes))
+		return 0
+	}
+
+	if *clients > 0 {
+		cfg := bench.DefaultServeConfig(p)
+		cfg.Clients = *clients
+		cfg.CachePages = *cache
+		r, err := bench.RunServeClients(p, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: serve: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout,
+			"clients=%d queries=%d elapsed=%v throughput=%.0f q/s pool_hits=%d pool_misses=%d\n",
+			r.Clients, r.Queries, r.Elapsed.Round(time.Millisecond),
+			r.Throughput, r.PoolHits, r.PoolMisses)
+		return 0
+	}
+
 	var ids []string
 	if *expFlag == "all" {
 		for _, e := range bench.All() {
@@ -77,15 +144,16 @@ func main() {
 		id = strings.TrimSpace(id)
 		e, ok := bench.Lookup(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "hdovbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "hdovbench: unknown experiment %q (try -list)\n", id)
+			return 2
 		}
-		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "==== %s — %s ====\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(os.Stdout, p); err != nil {
-			fmt.Fprintf(os.Stderr, "hdovbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		if err := e.Run(stdout, p); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %s: %v\n", e.ID, err)
+			return 1
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

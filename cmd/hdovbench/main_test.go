@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// update regenerates golden files: go test ./cmd/hdovbench -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code = run(args, &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestListGolden(t *testing.T) {
+	code, out, errOut := runCLI(t, "-list")
+	if code != 0 || errOut != "" {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	checkGolden(t, "list.golden", out)
+}
+
+func TestUnknownExperimentGolden(t *testing.T) {
+	code, out, errOut := runCLI(t, "-quick", "-exp", "fig99")
+	if code != 2 {
+		t.Fatalf("code = %d, want 2 (stdout=%q)", code, out)
+	}
+	checkGolden(t, "unknown-exp.golden", errOut)
+}
+
+// benchArgs shrinks the dataset so CLI integration tests build one tiny
+// shared env (the bench package caches it per parameter set).
+var benchArgs = []string{"-quick", "-blocks", "2", "-grid", "4"}
+
+func TestServeMode(t *testing.T) {
+	code, out, errOut := runCLI(t, append(benchArgs, "-clients", "2")...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	ok := regexp.MustCompile(`^clients=2 queries=\d+ elapsed=\S+ throughput=\d+ q/s pool_hits=\d+ pool_misses=\d+\n$`)
+	if !ok.MatchString(out) {
+		t.Fatalf("serve output malformed: %q", out)
+	}
+}
+
+func TestBaselineGuardRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, out, errOut := runCLI(t, append(benchArgs, "-writebaseline", path)...)
+	if code != 0 {
+		t.Fatalf("writebaseline: code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "baseline written") {
+		t.Fatalf("writebaseline stdout: %q", out)
+	}
+
+	code, out, errOut = runCLI(t, append(benchArgs, "-guard", path)...)
+	if code != 0 || !strings.Contains(out, "baseline guard passed") {
+		t.Fatalf("self-guard: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+
+	// Tamper: pretend the committed baseline was much faster — the fresh
+	// run must now read as a >25% regression and fail the guard.
+	b, err := bench.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range b.Schemes {
+		m.SimMicrosPerQuery /= 2
+		b.Schemes[name] = m
+	}
+	if err := bench.WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCLI(t, append(benchArgs, "-guard", path)...)
+	if code != 1 || !strings.Contains(errOut, "regression") {
+		t.Fatalf("tampered guard: code=%d stderr=%q", code, errOut)
+	}
+
+	// A baseline from a different workload must be refused, not compared.
+	b.Workload = "other-workload"
+	if err := bench.WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCLI(t, append(benchArgs, "-guard", path)...)
+	if code != 1 || !strings.Contains(errOut, "workload mismatch") {
+		t.Fatalf("mismatched guard: code=%d stderr=%q", code, errOut)
+	}
+}

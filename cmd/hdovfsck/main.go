@@ -18,27 +18,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/dbfile"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hdovfsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		repair = flag.Bool("repair", false, "move damaged files and stray temporaries into quarantine/")
-		deep   = flag.Bool("deep", false, "additionally reopen intact databases end to end (slower)")
+		repair = fs.Bool("repair", false, "move damaged files and stray temporaries into quarantine/")
+		deep   = fs.Bool("deep", false, "additionally reopen intact databases end to end (slower)")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hdovfsck [-repair] [-deep] DIR...")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: hdovfsck [-repair] [-deep] DIR...")
+		return 2
 	}
 
 	exit := 0
-	for _, dir := range flag.Args() {
+	for _, dir := range fs.Args() {
 		rep, err := dbfile.Fsck(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hdovfsck: %s: %v\n", dir, err)
+			fmt.Fprintf(stderr, "hdovfsck: %s: %v\n", dir, err)
 			exit = 2
 			continue
 		}
@@ -49,37 +58,37 @@ func main() {
 				exit = 1
 			}
 		}
-		fmt.Printf("%s: %s (manifest=%v image=%v layout=%v)\n",
+		fmt.Fprintf(stdout, "%s: %s (manifest=%v image=%v layout=%v)\n",
 			dir, status, rep.ManifestOK, rep.ImageOK, rep.LayoutOK)
 		for _, p := range rep.Problems {
-			fmt.Printf("  problem: %s\n", p)
+			fmt.Fprintf(stdout, "  problem: %s\n", p)
 		}
 		for _, s := range rep.Stray {
-			fmt.Printf("  stray: %s\n", s)
+			fmt.Fprintf(stdout, "  stray: %s\n", s)
 		}
 
 		if *deep && rep.Intact() {
 			if _, err := dbfile.Open(dir); err != nil {
-				fmt.Printf("  deep: open failed: %v\n", err)
+				fmt.Fprintf(stdout, "  deep: open failed: %v\n", err)
 				if exit == 0 {
 					exit = 1
 				}
 			} else {
-				fmt.Printf("  deep: open ok\n")
+				fmt.Fprintf(stdout, "  deep: open ok\n")
 			}
 		}
 
 		if *repair && (!rep.Intact() || len(rep.Stray) > 0) {
 			moved, err := dbfile.Repair(dir, rep)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hdovfsck: %s: %v\n", dir, err)
+				fmt.Fprintf(stderr, "hdovfsck: %s: %v\n", dir, err)
 				exit = 2
 				continue
 			}
 			for _, name := range moved {
-				fmt.Printf("  quarantined: %s\n", name)
+				fmt.Fprintf(stdout, "  quarantined: %s\n", name)
 			}
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

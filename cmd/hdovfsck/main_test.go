@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	hdov "repro"
+)
+
+// update regenerates golden files: go test ./cmd/hdovfsck -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var (
+	dbOnce sync.Once
+	dbDir  string
+	dbErr  error
+)
+
+// savedDB builds one tiny database and saves it once; tests copy it into
+// their own scratch directories to damage at will.
+func savedDB(t *testing.T) string {
+	t.Helper()
+	dbOnce.Do(func() {
+		cfg := hdov.DefaultConfig()
+		cfg.Scene.Blocks = 2
+		cfg.GridCells = 4
+		cfg.DoVRays = 256
+		cfg.Scene.NominalBytes = 8 << 20
+		db, err := hdov.Build(cfg)
+		if err != nil {
+			dbErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "hdovfsck-golden-*")
+		if err != nil {
+			dbErr = err
+			return
+		}
+		dbDir = filepath.Join(dir, "db")
+		dbErr = db.Save(dbDir)
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return dbDir
+}
+
+func copyDB(t *testing.T, name string) string {
+	t.Helper()
+	src := savedDB(t)
+	dst := filepath.Join(t.TempDir(), name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+var (
+	hexRe   = regexp.MustCompile(`[0-9a-f]{8}`)
+	sizeRe  = regexp.MustCompile(`\d+ bytes, manifest committed \d+`)
+	crcRe   = regexp.MustCompile(`CRC [0-9A-Fa-f]+, manifest committed [0-9A-Fa-f]+`)
+	errPath = regexp.MustCompile(`open [^:\n]+:`)
+)
+
+// normalize strips run-dependent detail — scratch paths, byte counts,
+// checksums — so the remaining structure golden-compares exactly.
+func normalize(out string, dirs map[string]string) string {
+	for path, name := range dirs {
+		out = strings.ReplaceAll(out, path, name)
+	}
+	out = crcRe.ReplaceAllString(out, "CRC XXXXXXXX, manifest committed YYYYYYYY")
+	out = sizeRe.ReplaceAllString(out, "N bytes, manifest committed M")
+	out = errPath.ReplaceAllString(out, "open FILE:")
+	out = hexRe.ReplaceAllString(out, "XXXXXXXX")
+	return out
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestFsckGolden(t *testing.T) {
+	good := copyDB(t, "good")
+
+	missing := copyDB(t, "bad-missing")
+	if err := os.Remove(filepath.Join(missing, "disk.img")); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := copyDB(t, "bad-crc")
+	img := filepath.Join(corrupt, "disk.img")
+	raw, err := os.ReadFile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(img, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stray := copyDB(t, "stray")
+	if err := os.WriteFile(filepath.Join(stray, "disk.img.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dirs := map[string]string{
+		good: "GOOD", missing: "BAD-MISSING", corrupt: "BAD-CRC", stray: "STRAY",
+	}
+
+	var out, errB bytes.Buffer
+	code := run([]string{"-deep", good, missing, corrupt, stray}, &out, &errB)
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 (stderr=%q)", code, errB.String())
+	}
+	if errB.Len() != 0 {
+		t.Fatalf("stderr: %q", errB.String())
+	}
+	checkGolden(t, "fsck.golden", normalize(out.String(), dirs))
+}
+
+func TestFsckRepairGolden(t *testing.T) {
+	corrupt := copyDB(t, "bad-crc")
+	img := filepath.Join(corrupt, "disk.img")
+	raw, err := os.ReadFile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(img, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(corrupt, "manifest.json.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dirs := map[string]string{corrupt: "BAD-CRC"}
+	var out, errB bytes.Buffer
+	code := run([]string{"-repair", corrupt}, &out, &errB)
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 (stderr=%q)", code, errB.String())
+	}
+	checkGolden(t, "fsck-repair.golden", normalize(out.String(), dirs))
+
+	// The damaged image and the stray temp file must now be quarantined.
+	for _, name := range []string{"disk.img", "manifest.json.tmp"} {
+		if _, err := os.Stat(filepath.Join(corrupt, "quarantine", name)); err != nil {
+			t.Fatalf("%s not quarantined: %v", name, err)
+		}
+	}
+}
+
+func TestFsckUsage(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run(nil, &out, &errB); code != 2 {
+		t.Fatalf("code = %d, want 2", code)
+	}
+	if !strings.Contains(errB.String(), "usage: hdovfsck") {
+		t.Fatalf("stderr: %q", errB.String())
+	}
+}

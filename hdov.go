@@ -20,6 +20,12 @@
 //   - walkthrough players for VISUAL (this system) and the REVIEW spatial
 //     baseline, with delta/complement search and semantic caching.
 //
+// One open DB serves many clients concurrently: NewSession gives each
+// client a private query handle with its own I/O accounting, SetCacheSize
+// installs a shared buffer pool whose hits charge no simulated I/O,
+// SetParallel bounds the per-query traversal fan-out, and Serve plays N
+// concurrent walkthrough clients end to end (see DESIGN.md §10).
+//
 // Quick start:
 //
 //	db, err := hdov.Build(hdov.DefaultConfig())

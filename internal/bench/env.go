@@ -196,6 +196,7 @@ func All() []Experiment {
 		{ID: "table3", Title: "Table 3: frame time and variance vs eta", Run: RunTable3},
 		{ID: "ablation", Title: "Ablations: D1-D8 design-choice studies", Run: RunAblations},
 		{ID: "museum", Title: "Extension: indoor extreme-occlusion regime (hidden-object waste)", Run: RunMuseum},
+		{ID: "serve", Title: "Extension: multi-client serving throughput with the shared buffer pool", Run: RunServe},
 		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
 	}
 }

@@ -104,6 +104,18 @@ type Tree struct {
 	// faults firing, results are identical either way.
 	FaultTolerant bool
 
+	// IO is the accounting handle the tree's query-path reads go through,
+	// so per-query stats stay exact when several sessions share one disk.
+	// Build and OpenTree set it; Session gives each session its own.
+	IO *storage.Client
+
+	// Parallel bounds the traversal fan-out (see SetParallel); <= 1 keeps
+	// the strictly serial Figure 3 traversal.
+	Parallel int
+	// parSem is the worker-slot semaphore backing Parallel (capacity
+	// Parallel-1: the caller's goroutine is the remaining worker).
+	parSem chan struct{}
+
 	vstore       VStore
 	nodePageBase storage.PageID
 	nodeStride   int // pages per node record
@@ -151,7 +163,7 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 		p.SamplesPerCell = 1
 	}
 
-	t := &Tree{Scene: sc, Grid: p.Grid, Disk: d, Params: p}
+	t := &Tree{Scene: sc, Grid: p.Grid, Disk: d, Params: p, IO: d.NewClient()}
 
 	// Step 1: R-tree over object MBRs — linear-split insertion as in
 	// §5.1, or STR packing when BulkLoad is set.
@@ -380,7 +392,7 @@ func (t *Tree) ReadNodeRecord(id NodeID) (*Node, error) {
 	if int(id) < 0 || int(id) >= len(t.Nodes) {
 		return nil, fmt.Errorf("core: node %d out of range", id)
 	}
-	buf, err := t.Disk.ReadBytes(t.NodePage(id), t.Nodes[id].RecordSize(), storage.ClassLight)
+	buf, err := t.reader().ReadBytes(t.NodePage(id), t.Nodes[id].RecordSize(), storage.ClassLight)
 	if err != nil {
 		return nil, err
 	}

@@ -109,6 +109,7 @@ func OpenTree(sc *scene.Scene, d *storage.Disk, m TreeManifest) (*Tree, error) {
 		Scene: sc,
 		Grid:  grid,
 		Disk:  d,
+		IO:    d.NewClient(),
 		Params: BuildParams{
 			FanoutMin:         m.Params.FanoutMin,
 			FanoutMax:         m.Params.FanoutMax,

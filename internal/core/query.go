@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cells"
@@ -79,7 +80,7 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 	if eta < 0 {
 		eta = 0
 	}
-	before := t.Disk.Stats()
+	before := t.statsNow()
 	res := &QueryResult{Cell: cell, Eta: eta}
 	if err := t.vstore.SetCell(cell); err != nil {
 		if !t.rootFallback(res, err, CauseCellFlip) {
@@ -92,7 +93,7 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 			return nil, err
 		}
 	}
-	d := t.Disk.Stats().Sub(before)
+	d := t.statsNow().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
 	res.Stats.Retries = d.Retries
@@ -125,6 +126,9 @@ func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSou
 	}
 	if len(vd) < len(node.Entries) {
 		return fmt.Errorf("core: node %d has %d entries but V-page has %d", id, len(node.Entries), len(vd))
+	}
+	if t.parSem != nil && !node.Leaf {
+		return t.searchEntriesParallel(node, vd, eta, res, anc)
 	}
 	for ei, e := range node.Entries {
 		v := vd[ei]
@@ -191,6 +195,132 @@ func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSou
 	return nil
 }
 
+// entryPlan is the per-entry outcome of the planning pass of a parallel
+// fan-out: pruned, answered by an early-stop internal LoD, or descended
+// into a child subtree whose sub-result merges back in entry order.
+type entryPlan struct {
+	cut      bool
+	item     *ResultItem // early-stop item (line 8 of Figure 3)
+	recurse  bool
+	childAnc []lodSource
+	dov, k   float64
+	sub      *QueryResult
+	err      error
+}
+
+// searchEntriesParallel is the bounded-fan-out form of the entry loop of
+// searchNode for internal nodes. A planning pass makes the per-entry
+// decisions (which need only the already-read node record and V-page),
+// then child descents run on up to Parallel workers, then sub-results
+// merge serially in entry index order — so the answer set, degradation
+// events, and traversal stats are identical to the serial traversal's.
+func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *QueryResult, anc []lodSource) error {
+	plans := make([]entryPlan, len(node.Entries))
+	for ei, e := range node.Entries {
+		v := vd[ei]
+		p := &plans[ei]
+		if v.DoV <= 0 {
+			p.cut = true
+			res.Stats.BranchesCut++
+			continue
+		}
+		k := InternalDetail(v.DoV, eta)
+		internalPolys := interpolatePolys(e.LoDPolys, k)
+		avgObjPolys := 0.0
+		if e.DescCount > 0 {
+			avgObjPolys = float64(e.DescPolys) / float64(e.DescCount)
+		}
+		if len(e.LoDRefs) > 0 && v.DoV <= eta && (t.DisableTerminationHeuristic ||
+			TerminateHeuristic(internalPolys, avgObjPolys, t.RhoMeasured, v.NVO)) {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			p.item = &ResultItem{
+				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			}
+			res.Stats.EarlyStops++
+			continue
+		}
+		p.recurse = true
+		p.dov, p.k = v.DoV, k
+		// The three-index slice caps capacity so concurrent appends cannot
+		// alias one backing array across sibling subtrees.
+		p.childAnc = append(anc[:len(anc):len(anc)],
+			lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
+		p.sub = &QueryResult{Cell: res.Cell, Eta: res.Eta}
+	}
+	// Fan out: claim a worker slot per descent, or descend inline on this
+	// goroutine when all slots are busy (which also bounds recursion depth
+	// of waiters — no goroutine ever blocks holding work).
+	var wg sync.WaitGroup
+	for i := range plans {
+		p := &plans[i]
+		if !p.recurse {
+			continue
+		}
+		child := node.Entries[i].ChildID
+		select {
+		case t.parSem <- struct{}{}:
+			wg.Add(1)
+			go func(p *entryPlan, child NodeID) {
+				defer wg.Done()
+				defer func() { <-t.parSem }()
+				p.err = t.searchNode(child, eta, p.sub, p.childAnc)
+			}(p, child)
+		default:
+			p.err = t.searchNode(child, eta, p.sub, p.childAnc)
+		}
+	}
+	wg.Wait()
+	// Merge in entry index order; fault absorption runs here, on one
+	// goroutine, so quarantine marks and substitutions land in the same
+	// order a serial traversal would produce.
+	for i := range plans {
+		p := &plans[i]
+		if p.item != nil {
+			res.Items = append(res.Items, *p.item)
+			continue
+		}
+		if !p.recurse {
+			continue
+		}
+		if p.err != nil {
+			cause, page, ok := t.absorbFault(p.err, node.Entries[i].ChildID)
+			if !ok {
+				return p.err
+			}
+			t.substitute(res, p.childAnc, node.Entries[i].ChildID, p.dov, p.k, cause, page)
+			continue
+		}
+		res.absorb(p.sub)
+	}
+	return nil
+}
+
+// absorb merges a completed subtree sub-result into res: items and
+// degradations append in order, traversal stats sum, and internal-LoD
+// substitution stand-ins dedup against the substitutions already merged —
+// exactly the answer the serial traversal builds in place.
+func (res *QueryResult) absorb(sub *QueryResult) {
+	for _, it := range sub.Items {
+		if it.IsInternal() && sub.substituted[it.NodeID] {
+			if res.substituted[it.NodeID] {
+				continue
+			}
+			if res.substituted == nil {
+				res.substituted = make(map[NodeID]bool)
+			}
+			res.substituted[it.NodeID] = true
+		}
+		res.Items = append(res.Items, it)
+	}
+	res.Stats.NodesVisited += sub.Stats.NodesVisited
+	res.Stats.BranchesCut += sub.Stats.BranchesCut
+	res.Stats.EarlyStops += sub.Stats.EarlyStops
+	res.Degradations = append(res.Degradations, sub.Degradations...)
+}
+
 // chooseLevel maps a continuous detail k in [0,1] (1 = finest) to a
 // discrete level index among n levels, mirroring mesh.LoDChain.LevelFor.
 func chooseLevel(k float64, n int) int {
@@ -239,7 +369,7 @@ func (t *Tree) FetchPayloads(res *QueryResult, skip func(ResultItem) bool) (int,
 			continue
 		}
 		ext := it.Extent
-		err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy)
+		err := t.reader().ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy)
 		if err == nil {
 			fetched++
 			continue
@@ -284,7 +414,7 @@ func (t *Tree) degradePayload(res *QueryResult, i int) (int, bool) {
 	lvl, ok := t.pickReadableLevel(refs, it.Level+1)
 	if ok {
 		ext := refs[lvl]
-		if err := t.Disk.ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy); err == nil {
+		if err := t.reader().ReadExtent(ext.Start, ext.Pages(t.Disk), storage.ClassHeavy); err == nil {
 			res.Items[i].Level = lvl
 			res.Items[i].Extent = ext
 			if lvl < len(polys) {
@@ -311,7 +441,7 @@ func (t *Tree) degradePayload(res *QueryResult, i int) (int, bool) {
 // bytes prefix of its extent), charging heavy I/O for the full nominal
 // extent. Examples and the fidelity renderer use this.
 func (t *Tree) LoadMesh(it ResultItem) (*mesh.Mesh, error) {
-	buf, err := t.Disk.ReadBytes(it.Extent.Start, int(it.Extent.RealBytes), storage.ClassHeavy)
+	buf, err := t.reader().ReadBytes(it.Extent.Start, int(it.Extent.RealBytes), storage.ClassHeavy)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +460,7 @@ func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) 
 	if eta < 0 {
 		eta = 0
 	}
-	before := t.Disk.Stats()
+	before := t.statsNow()
 	res := &QueryResult{Cell: cell, Eta: eta}
 	if err := t.vstore.SetCell(cell); err != nil {
 		if !t.rootFallback(res, err, CauseCellFlip) {
@@ -341,7 +471,7 @@ func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) 
 			return nil, err
 		}
 	}
-	d := t.Disk.Stats().Sub(before)
+	d := t.statsNow().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
 	res.Stats.Retries = d.Retries

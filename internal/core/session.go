@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/storage"
+)
+
+// Session support: one built Tree can serve many concurrent query
+// sessions. The view-invariant structure (Nodes, ObjExtents, the disk
+// layout) is immutable after Build/OpenTree and shared; what a session
+// needs of its own is (a) a storage.Client so its I/O and simulated time
+// are attributed to it alone, and (b) a view of the storage scheme,
+// because the vertical and indexed-vertical schemes keep a current-cell
+// cursor (the flipped segment of §4.2–4.3) that two sessions in
+// different cells would fight over.
+
+// Session returns an independent query view of the tree: same structure
+// and disk, fresh I/O accounting, own storage-scheme cursor, own
+// traversal worker pool. The base tree remains usable; sessions are not
+// themselves re-sessionable trees in any deeper sense (Session of a
+// session just works — it is another shallow view).
+//
+// A session's Query/FetchPayloads/LoadMesh may run concurrently with
+// other sessions'. A single session is still one logical walker: do not
+// share one session between goroutines.
+func (t *Tree) Session() *Tree {
+	s := *t
+	s.IO = t.Disk.NewClient()
+	if t.vstore != nil {
+		if v, ok := t.vstore.(VStoreViewer); ok {
+			s.vstore = v.View(s.IO)
+		}
+	}
+	if s.Parallel > 1 {
+		s.parSem = make(chan struct{}, s.Parallel-1)
+	}
+	return &s
+}
+
+// SetParallel bounds the traversal fan-out: queries on this tree (or on
+// sessions derived from it afterwards) descend up to n child subtrees
+// concurrently. n <= 1 restores the strictly serial traversal of Figure
+// 3. The answer set is identical either way — parallel subtree results
+// are merged in entry order — but per-branch worker scheduling changes
+// which read hits the disk first, so seek-sensitive accounting (Stats.
+// Seeks, SimTime) may differ from the serial run; page counts do not.
+func (t *Tree) SetParallel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.Parallel = n
+	if n > 1 {
+		t.parSem = make(chan struct{}, n-1)
+	} else {
+		t.parSem = nil
+	}
+}
+
+// reader returns the handle query-path reads go through: the session's
+// client when one exists, else the disk itself (identical accounting,
+// minus per-session attribution).
+func (t *Tree) reader() storage.Reader {
+	if t.IO != nil {
+		return t.IO
+	}
+	return t.Disk
+}
+
+// statsNow snapshots the accounting the session's queries are measured
+// against: the client's own counters when one exists, else the global
+// disk counters (exact only while the disk has a single user).
+func (t *Tree) statsNow() storage.Stats {
+	if t.IO != nil {
+		return t.IO.Stats()
+	}
+	return t.Disk.Stats()
+}

@@ -113,6 +113,14 @@ type VStore interface {
 	SizeBytes() int64
 }
 
+// VStoreViewer is implemented by storage schemes that can produce
+// per-session views: a view shares the scheme's immutable on-disk layout
+// but owns its current-cell cursor and reads through the given client so
+// V-page I/O is attributed to the session (see Tree.Session).
+type VStoreViewer interface {
+	View(io *storage.Client) VStore
+}
+
 // VisData is the precomputed visibility field handed from the build
 // pipeline to the storage schemes: for every cell, for every node (indexed
 // by NodeID), the VD values aligned with the node's entries, or nil when

@@ -1,125 +1,393 @@
 package storage
 
-// Buffer pool: an optional LRU cache over light-class (index) pages. The
-// paper's prototype deliberately runs without node caching ("None of the
-// two systems caches the tree nodes in the queries", §5.4), so the pool is
-// disabled by default; the ablation suite (DESIGN.md D6) measures what a
-// buffer manager would add. Heavy-class payload pages are intentionally
-// not cached here — model data residency is governed by the walkthrough's
-// semantic cache, matching the paper's architecture.
+// Buffer pool: an optional sharded LRU cache over disk pages with a
+// pin/unpin discipline. The paper's prototype deliberately runs without
+// node caching ("None of the two systems caches the tree nodes in the
+// queries", §5.4), so the pool is disabled by default; the ablation suite
+// (DESIGN.md D6) and the concurrent serving path (DESIGN.md §10) measure
+// what a buffer manager adds.
+//
+// Admission is class-aware: light-class (index) pages — tree nodes,
+// V-pages, V-page-index segments — are always admitted, because they are
+// small, hot, and shared across sessions. Heavy-class (model payload)
+// pages are admitted only when PoolConfig.AdmitHeavy is set; payload
+// residency is normally governed by the walkthrough's semantic cache,
+// matching the paper's architecture, and letting multi-megabyte payload
+// extents wash through the pool would evict the index working set.
+//
+// Concurrency: the pool is safe for concurrent use. It is split into
+// power-of-two shards, each with its own mutex, LRU list and map, so
+// concurrent sessions hitting disjoint pages do not serialize. A frame
+// with a positive pin count is never evicted; Release drops the pin.
+// Page data slices are immutable once inserted (WritePage invalidates
+// rather than mutates), so a data slice returned by a lookup stays valid
+// after eviction — pinning is about guaranteed residency (and honest
+// memory accounting), not use-after-free.
 
-// bufferPool is a doubly-linked LRU of page copies.
-type bufferPool struct {
-	capacity int
-	pages    map[PageID]*bufNode
-	head     *bufNode // most recently used
-	tail     *bufNode // least recently used
-	hits     int64
-	misses   int64
+import (
+	"sync"
+)
+
+// PoolConfig configures the disk's buffer pool.
+type PoolConfig struct {
+	// Pages is the pool capacity in disk pages (<= 0 disables the pool).
+	Pages int
+	// Shards is the number of independently locked LRU shards (rounded up
+	// to a power of two; 0 = defaultPoolShards). More shards mean less
+	// lock contention between concurrent sessions.
+	Shards int
+	// AdmitHeavy also caches heavy-class (payload) pages. Off by default:
+	// payload residency belongs to the walkthrough's semantic cache.
+	AdmitHeavy bool
 }
 
-type bufNode struct {
+const defaultPoolShards = 16
+
+// PoolStats is the buffer pool's accounting snapshot, split by I/O class.
+type PoolStats struct {
+	LightHits, LightMisses int64
+	HeavyHits, HeavyMisses int64
+	Evictions              int64
+	// Pages and Pinned are the current resident and pinned frame counts;
+	// Capacity is the configured limit.
+	Pages, Pinned, Capacity int
+}
+
+// Hits returns total hits across classes.
+func (p PoolStats) Hits() int64 { return p.LightHits + p.HeavyHits }
+
+// Misses returns total misses across classes.
+func (p PoolStats) Misses() int64 { return p.LightMisses + p.HeavyMisses }
+
+// bufFrame is one cached page copy with its pin count.
+type bufFrame struct {
 	id         PageID
 	data       []byte
-	prev, next *bufNode
+	pins       int
+	prev, next *bufFrame
 }
 
-func newBufferPool(capacity int) *bufferPool {
-	return &bufferPool{
-		capacity: capacity,
-		pages:    make(map[PageID]*bufNode, capacity),
+// poolShard is one independently locked LRU.
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[PageID]*bufFrame
+	head     *bufFrame // most recently used
+	tail     *bufFrame // least recently used
+
+	lightHits, lightMisses int64
+	heavyHits, heavyMisses int64
+	evictions              int64
+}
+
+// bufferPool is a sharded LRU of page copies.
+type bufferPool struct {
+	cfg    PoolConfig
+	shards []*poolShard
+	mask   PageID
+}
+
+func newBufferPool(cfg PoolConfig) *bufferPool {
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultPoolShards
 	}
+	// Round up to a power of two so shard selection is a mask. Sharding
+	// makes replacement approximate (LRU per shard, not global), so small
+	// pools collapse to fewer shards — exact LRU matters more than lock
+	// spread when capacity is tiny.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	n = pow
+	for n > 1 && cfg.Pages/n < 8 {
+		n >>= 1
+	}
+	b := &bufferPool{cfg: cfg, shards: make([]*poolShard, n), mask: PageID(n - 1)}
+	per := cfg.Pages / n
+	extra := cfg.Pages % n
+	for i := range b.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		b.shards[i] = &poolShard{capacity: c, frames: make(map[PageID]*bufFrame)}
+	}
+	return b
 }
 
-// get returns the cached copy of id, promoting it to MRU.
-func (b *bufferPool) get(id PageID) ([]byte, bool) {
-	n, ok := b.pages[id]
+// caches reports whether the pool admits pages of the given class.
+func (b *bufferPool) caches(class Class) bool {
+	return class == ClassLight || b.cfg.AdmitHeavy
+}
+
+func (b *bufferPool) shard(id PageID) *poolShard { return b.shards[id&b.mask] }
+
+// get returns the cached copy of id, promoting it to MRU, and counts a
+// hit or miss against the class.
+func (b *bufferPool) get(id PageID, class Class) ([]byte, bool) {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
-		b.misses++
+		if class == ClassHeavy {
+			s.heavyMisses++
+		} else {
+			s.lightMisses++
+		}
 		return nil, false
 	}
-	b.hits++
-	b.moveToFront(n)
-	return n.data, true
+	if class == ClassHeavy {
+		s.heavyHits++
+	} else {
+		s.lightHits++
+	}
+	s.moveToFront(f)
+	return f.data, true
 }
 
-// put inserts (or refreshes) a page copy, evicting the LRU entry if full.
+// put inserts (or refreshes) a page copy, evicting the LRU unpinned frame
+// if the shard is full. Pinned frames are never evicted; if every frame is
+// pinned the shard temporarily exceeds capacity rather than stall.
 func (b *bufferPool) put(id PageID, data []byte) {
-	if b.capacity <= 0 {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
 		return
 	}
-	if n, ok := b.pages[id]; ok {
-		n.data = data
-		b.moveToFront(n)
+	if f, ok := s.frames[id]; ok {
+		f.data = data
+		s.moveToFront(f)
 		return
 	}
-	n := &bufNode{id: id, data: data}
-	b.pages[id] = n
-	b.pushFront(n)
-	if len(b.pages) > b.capacity {
-		lru := b.tail
-		b.unlink(lru)
-		delete(b.pages, lru.id)
+	f := &bufFrame{id: id, data: data}
+	s.frames[id] = f
+	s.pushFront(f)
+	for len(s.frames) > s.capacity {
+		victim := s.tail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			break // every frame pinned: run over capacity
+		}
+		s.unlink(victim)
+		delete(s.frames, victim.id)
+		s.evictions++
 	}
 }
 
-// invalidate drops a page (called on writes so readers never see stale
-// data).
+// pin looks up id and, on a hit, increments its pin count so the frame
+// cannot be evicted until release. Pin does not count a hit or miss — it
+// is a residency guarantee, not an I/O.
+func (b *bufferPool) pin(id PageID) ([]byte, bool) {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok {
+		return nil, false
+	}
+	f.pins++
+	s.moveToFront(f)
+	return f.data, true
+}
+
+// release drops one pin from id (no-op if the frame is gone or unpinned).
+func (b *bufferPool) release(id PageID) {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// invalidate drops a page (called on writes, corruption marks and
+// quarantines so readers never see stale data). A pinned frame is dropped
+// from the map too: the pin holder keeps its immutable data slice, but no
+// future lookup may serve the superseded copy.
 func (b *bufferPool) invalidate(id PageID) {
-	if n, ok := b.pages[id]; ok {
-		b.unlink(n)
-		delete(b.pages, id)
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		s.unlink(f)
+		delete(s.frames, id)
 	}
 }
 
-func (b *bufferPool) pushFront(n *bufNode) {
-	n.prev = nil
-	n.next = b.head
-	if b.head != nil {
-		b.head.prev = n
+// stats sums the shard counters.
+func (b *bufferPool) stats() PoolStats {
+	var out PoolStats
+	out.Capacity = b.cfg.Pages
+	for _, s := range b.shards {
+		s.mu.Lock()
+		out.LightHits += s.lightHits
+		out.LightMisses += s.lightMisses
+		out.HeavyHits += s.heavyHits
+		out.HeavyMisses += s.heavyMisses
+		out.Evictions += s.evictions
+		out.Pages += len(s.frames)
+		for f := s.head; f != nil; f = f.next {
+			if f.pins > 0 {
+				out.Pinned++
+			}
+		}
+		s.mu.Unlock()
 	}
-	b.head = n
-	if b.tail == nil {
-		b.tail = n
+	return out
+}
+
+// resetStats zeroes the shard counters (frames stay resident).
+func (b *bufferPool) resetStats() {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.lightHits, s.lightMisses = 0, 0
+		s.heavyHits, s.heavyMisses = 0, 0
+		s.evictions = 0
+		s.mu.Unlock()
 	}
 }
 
-func (b *bufferPool) unlink(n *bufNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (s *poolShard) pushFront(f *bufFrame) {
+	f.prev = nil
+	f.next = s.head
+	if s.head != nil {
+		s.head.prev = f
+	}
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
+	}
+}
+
+func (s *poolShard) unlink(f *bufFrame) {
+	if f.prev != nil {
+		f.prev.next = f.next
 	} else {
-		b.head = n.next
+		s.head = f.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if f.next != nil {
+		f.next.prev = f.prev
 	} else {
-		b.tail = n.prev
+		s.tail = f.prev
 	}
-	n.prev, n.next = nil, nil
+	f.prev, f.next = nil, nil
 }
 
-func (b *bufferPool) moveToFront(n *bufNode) {
-	if b.head == n {
+func (s *poolShard) moveToFront(f *bufFrame) {
+	if s.head == f {
 		return
 	}
-	b.unlink(n)
-	b.pushFront(n)
+	s.unlink(f)
+	s.pushFront(f)
 }
 
-// SetCacheSize installs (or removes, with n <= 0) an LRU buffer pool of n
-// light-class pages. Cached reads cost no simulated I/O.
+// SetCacheSize installs (or removes, with n <= 0) a buffer pool of n
+// pages with the default shard count and light-only admission. Cached
+// reads cost no simulated I/O — the cost model charges seek and transfer
+// only on pool misses.
 func (d *Disk) SetCacheSize(n int) {
-	if n <= 0 {
+	d.ConfigurePool(PoolConfig{Pages: n})
+}
+
+// ConfigurePool installs a buffer pool with explicit sharding and
+// admission policy, or removes it with cfg.Pages <= 0. Replacing a pool
+// drops its contents and counters.
+func (d *Disk) ConfigurePool(cfg PoolConfig) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cfg.Pages <= 0 {
 		d.pool = nil
 		return
 	}
-	d.pool = newBufferPool(n)
+	d.pool = newBufferPool(cfg)
 }
 
-// CacheStats reports buffer-pool hit/miss counts (zeros when disabled).
+// PoolEnabled reports whether a buffer pool is installed.
+func (d *Disk) PoolEnabled() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pool != nil
+}
+
+// CacheStats reports total buffer-pool hit/miss counts (zeros when
+// disabled). See PoolStats for the per-class split.
 func (d *Disk) CacheStats() (hits, misses int64) {
-	if d.pool == nil {
-		return 0, 0
+	s := d.PoolStats()
+	return s.Hits(), s.Misses()
+}
+
+// PoolStats returns the pool's per-class accounting (zero when disabled).
+func (d *Disk) PoolStats() PoolStats {
+	d.mu.RLock()
+	pool := d.pool
+	d.mu.RUnlock()
+	if pool == nil {
+		return PoolStats{}
 	}
-	return d.pool.hits, d.pool.misses
+	return pool.stats()
+}
+
+// PinnedPage is a page held resident in the buffer pool. The Data slice
+// is immutable; Release drops the residency guarantee. Releasing twice is
+// a no-op.
+type PinnedPage struct {
+	d        *Disk
+	id       PageID
+	released bool
+	// Data is the page content at pin time.
+	Data []byte
+}
+
+// Release unpins the page, making its frame evictable again.
+func (p *PinnedPage) Release() {
+	if p == nil || p.released {
+		return
+	}
+	p.released = true
+	p.d.mu.RLock()
+	pool := p.d.pool
+	p.d.mu.RUnlock()
+	if pool != nil {
+		pool.release(p.id)
+	}
+}
+
+// PinPage reads a page (through the pool, charging I/O only on a miss)
+// and pins its frame so it stays resident until Release. With no pool
+// installed it degrades to a plain ReadPage — the returned page is valid
+// but nothing is held.
+func (d *Disk) PinPage(id PageID, class Class) (*PinnedPage, error) {
+	return d.pinPage(id, class, nil)
+}
+
+func (d *Disk) pinPage(id PageID, class Class, sink *Client) (*PinnedPage, error) {
+	d.mu.RLock()
+	pool := d.pool
+	d.mu.RUnlock()
+	if pool != nil && pool.caches(class) {
+		if data, ok := pool.pin(id); ok {
+			return &PinnedPage{d: d, id: id, Data: data}, nil
+		}
+	}
+	data, err := d.readPage(id, class, sink)
+	if err != nil {
+		return nil, err
+	}
+	out := &PinnedPage{d: d, id: id, Data: data}
+	if pool != nil && pool.caches(class) {
+		if pinned, ok := pool.pin(id); ok {
+			out.Data = pinned
+		} else {
+			out.released = true // not resident (pool races or admission off)
+		}
+	} else {
+		out.released = true
+	}
+	return out, nil
 }

@@ -10,11 +10,21 @@
 // simulated database sparse in memory while preserving exact page-level
 // layout, so the gigabyte-scale nominal datasets of the paper's Figure 9
 // produce the same page counts they would on a real disk (DESIGN.md §3.4).
+//
+// Concurrency: a Disk is safe for concurrent readers and writers. The
+// page map, quarantine set and fault injector are guarded by d.mu; the
+// cost-model accounting (stats, stream heads) by d.statsMu; the optional
+// buffer pool by per-shard locks. No two of these locks are ever held at
+// once, so the locking order is trivial (DESIGN.md §10). Per-session I/O
+// attribution is exact via Client handles: every read charged to the
+// global Stats is also charged to the calling session's Client, so
+// concurrent sessions each see only their own traffic.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -58,7 +68,7 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Stats is the I/O accounting snapshot of a Disk.
+// Stats is the I/O accounting snapshot of a Disk or a Client.
 type Stats struct {
 	Reads      int64 // total pages read
 	Writes     int64 // total pages written
@@ -71,18 +81,47 @@ type Stats struct {
 	// time cost is charged to SimTime.
 	Retries int64
 	SimTime time.Duration
+	// Buffer-pool counters, split by class (zero with no pool installed).
+	// Pool hits cost no seek, transfer or SimTime — the cost model charges
+	// only misses, which appear in Reads as real page I/O.
+	PoolLightHits, PoolLightMisses int64
+	PoolHeavyHits, PoolHeavyMisses int64
+	PoolEvictions                  int64
 }
 
 // Sub returns s - o, for measuring a window of activity.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Reads:      s.Reads - o.Reads,
-		Writes:     s.Writes - o.Writes,
-		Seeks:      s.Seeks - o.Seeks,
-		LightReads: s.LightReads - o.LightReads,
-		HeavyReads: s.HeavyReads - o.HeavyReads,
-		Retries:    s.Retries - o.Retries,
-		SimTime:    s.SimTime - o.SimTime,
+		Reads:           s.Reads - o.Reads,
+		Writes:          s.Writes - o.Writes,
+		Seeks:           s.Seeks - o.Seeks,
+		LightReads:      s.LightReads - o.LightReads,
+		HeavyReads:      s.HeavyReads - o.HeavyReads,
+		Retries:         s.Retries - o.Retries,
+		SimTime:         s.SimTime - o.SimTime,
+		PoolLightHits:   s.PoolLightHits - o.PoolLightHits,
+		PoolLightMisses: s.PoolLightMisses - o.PoolLightMisses,
+		PoolHeavyHits:   s.PoolHeavyHits - o.PoolHeavyHits,
+		PoolHeavyMisses: s.PoolHeavyMisses - o.PoolHeavyMisses,
+		PoolEvictions:   s.PoolEvictions - o.PoolEvictions,
+	}
+}
+
+// add returns s + o.
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Reads:           s.Reads + o.Reads,
+		Writes:          s.Writes + o.Writes,
+		Seeks:           s.Seeks + o.Seeks,
+		LightReads:      s.LightReads + o.LightReads,
+		HeavyReads:      s.HeavyReads + o.HeavyReads,
+		Retries:         s.Retries + o.Retries,
+		SimTime:         s.SimTime + o.SimTime,
+		PoolLightHits:   s.PoolLightHits + o.PoolLightHits,
+		PoolLightMisses: s.PoolLightMisses + o.PoolLightMisses,
+		PoolHeavyHits:   s.PoolHeavyHits + o.PoolHeavyHits,
+		PoolHeavyMisses: s.PoolHeavyMisses + o.PoolHeavyMisses,
+		PoolEvictions:   s.PoolEvictions + o.PoolEvictions,
 	}
 }
 
@@ -90,12 +129,17 @@ func (s Stats) Sub(o Stats) Stats {
 // model recognizes. A real OS issues readahead per open file, so a query
 // that interleaves node-record reads with V-page reads still enjoys
 // sequential transfer within each file; modeling a handful of stream heads
-// reproduces that without a full file abstraction.
+// reproduces that without a full file abstraction. Concurrent sessions
+// share the heads, like processes share one disk arm: heavy interleaving
+// from many clients degrades sequentiality, which is exactly what a real
+// drive would see.
 const numStreams = 8
 
-// Disk is a simulated paged disk. It is not safe for concurrent use; the
-// walkthrough engine owns one disk per session.
+// Disk is a simulated paged disk, safe for concurrent use.
 type Disk struct {
+	// mu guards the structural state: page data, corruption and quarantine
+	// sets, the allocation watermark, and the pool/faults pointers.
+	mu        sync.RWMutex
 	pageSize  int
 	allocated PageID // next free page
 	data      map[PageID][]byte
@@ -107,14 +151,17 @@ type Disk struct {
 	// faults is the optional deterministic fault injector (InjectFaults).
 	faults *faultInjector
 	cost   CostModel
-	stats  Stats
+	// pool is the optional buffer pool (see SetCacheSize/ConfigurePool).
+	pool *bufferPool
+
+	// statsMu guards the cost-model accounting below.
+	statsMu sync.Mutex
+	stats   Stats
 	// streams holds the positions of recent sequential runs (see
 	// numStreams); streamAge implements LRU replacement.
 	streams   [numStreams]PageID
 	streamAge [numStreams]int64
 	clock     int64
-	// pool is the optional light-page buffer pool (see SetCacheSize).
-	pool *bufferPool
 }
 
 // NewDisk creates an empty disk with the given page size (DefaultPageSize
@@ -141,27 +188,72 @@ func NewDisk(pageSize int, cost CostModel) *Disk {
 func (d *Disk) PageSize() int { return d.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (d *Disk) NumPages() int64 { return int64(d.allocated) }
+func (d *Disk) NumPages() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(d.allocated)
+}
 
 // SizeBytes returns the allocated size of the disk in bytes — the quantity
 // Table 2 reports per storage scheme.
-func (d *Disk) SizeBytes() int64 { return int64(d.allocated) * int64(d.pageSize) }
+func (d *Disk) SizeBytes() int64 { return d.NumPages() * int64(d.pageSize) }
 
 // ResidentBytes returns the bytes actually materialized in memory
 // (written, non-sparse pages); always ≤ SizeBytes.
-func (d *Disk) ResidentBytes() int64 { return int64(len(d.data)) * int64(d.pageSize) }
+func (d *Disk) ResidentBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.data)) * int64(d.pageSize)
+}
 
-// Stats returns the accounting snapshot.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns the accounting snapshot, with the buffer-pool counters
+// folded in.
+func (d *Disk) Stats() Stats {
+	d.statsMu.Lock()
+	s := d.stats
+	d.statsMu.Unlock()
+	if ps := d.PoolStats(); ps != (PoolStats{}) {
+		s.PoolLightHits = ps.LightHits
+		s.PoolLightMisses = ps.LightMisses
+		s.PoolHeavyHits = ps.HeavyHits
+		s.PoolHeavyMisses = ps.HeavyMisses
+		s.PoolEvictions = ps.Evictions
+	}
+	return s
+}
 
-// ResetStats zeroes the counters (the head position is kept).
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the counters, including the pool's (the head position
+// and pool contents are kept).
+func (d *Disk) ResetStats() {
+	d.statsMu.Lock()
+	d.stats = Stats{}
+	d.statsMu.Unlock()
+	d.mu.RLock()
+	pool := d.pool
+	d.mu.RUnlock()
+	if pool != nil {
+		pool.resetStats()
+	}
+}
+
+// charge applies a stats delta to the global counters and, when a session
+// client issued the I/O, to that client's counters.
+func (d *Disk) charge(delta Stats, sink *Client) {
+	d.statsMu.Lock()
+	d.stats = d.stats.add(delta)
+	d.statsMu.Unlock()
+	if sink != nil {
+		sink.add(delta)
+	}
+}
 
 // AllocPages reserves n contiguous pages and returns the first PageID.
 func (d *Disk) AllocPages(n int) PageID {
 	if n < 1 {
 		n = 1
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	start := d.allocated
 	d.allocated += PageID(n)
 	return start
@@ -208,19 +300,36 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 // damaged media. A successful WritePage lifts the quarantine (the sector
 // was remapped by the rewrite).
 func (d *Disk) Quarantine(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id >= 0 && id < d.allocated {
 		d.quarantined[id] = true
+		if d.pool != nil {
+			d.pool.invalidate(id)
+		}
 	}
 }
 
 // IsQuarantined reports whether a page is parked.
-func (d *Disk) IsQuarantined(id PageID) bool { return d.quarantined[id] }
+func (d *Disk) IsQuarantined(id PageID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.quarantined[id]
+}
 
 // NumQuarantined returns how many pages are parked.
-func (d *Disk) NumQuarantined() int { return len(d.quarantined) }
+func (d *Disk) NumQuarantined() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.quarantined)
+}
 
 // ClearQuarantine lifts every quarantine mark (tests and repair tools).
-func (d *Disk) ClearQuarantine() { d.quarantined = make(map[PageID]bool) }
+func (d *Disk) ClearQuarantine() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.quarantined = make(map[PageID]bool)
+}
 
 // mediaErr simulates the outcome of physically reading page id: nil on
 // success, a CorruptError on an unreadable sector. With a fault injector
@@ -228,14 +337,22 @@ func (d *Disk) ClearQuarantine() { d.quarantined = make(map[PageID]bool) }
 // retry-with-backoff (transient faults are absorbed, with retries counted
 // in Stats); without one it only honors explicit CorruptPage marks,
 // exactly the pre-injection behavior.
-func (d *Disk) mediaErr(id PageID) error {
-	if d.faults != nil {
-		return d.faults.check(d, id)
+func (d *Disk) mediaErr(id PageID, sink *Client) error {
+	d.mu.RLock()
+	fi := d.faults
+	corrupt := d.corrupt[id]
+	d.mu.RUnlock()
+	if fi == nil {
+		if corrupt {
+			return &CorruptError{Page: id}
+		}
+		return nil
 	}
-	if d.corrupt[id] {
-		return &CorruptError{Page: id}
+	retries, cost, err := fi.check(corrupt, id)
+	if retries > 0 {
+		d.charge(Stats{Retries: retries, SimTime: cost}, sink)
 	}
-	return nil
+	return err
 }
 
 // WritePage stores data (at most one page) at id. Write cost is charged as
@@ -244,16 +361,18 @@ func (d *Disk) mediaErr(id PageID) error {
 // quarantine mark on the page — rewriting a bad sector remaps it, which is
 // what repair paths rely on.
 func (d *Disk) WritePage(id PageID, data []byte) error {
+	d.mu.Lock()
 	if id < 0 || id >= d.allocated {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write page %d: %w", id, errOutOfRange)
 	}
 	if len(data) > d.pageSize {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
 	}
 	page := make([]byte, d.pageSize)
 	copy(page, data)
 	d.data[id] = page
-	d.stats.Writes++
 	delete(d.corrupt, id)
 	delete(d.quarantined, id)
 	if d.faults != nil {
@@ -262,36 +381,65 @@ func (d *Disk) WritePage(id PageID, data []byte) error {
 	if d.pool != nil {
 		d.pool.invalidate(id)
 	}
+	d.mu.Unlock()
+	d.charge(Stats{Writes: 1}, nil)
 	return nil
 }
 
 // ReadPage returns the content of page id, charging one page I/O of the
-// given class. Never-written pages read back zero-filled. Light-class
-// reads served by the buffer pool (SetCacheSize) cost nothing.
+// given class. Never-written pages read back zero-filled. Reads served by
+// the buffer pool (SetCacheSize) cost nothing — seek and transfer are
+// charged only on pool misses.
 func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
+	return d.readPage(id, class, nil)
+}
+
+func (d *Disk) readPage(id PageID, class Class, sink *Client) ([]byte, error) {
+	d.mu.RLock()
 	if id < 0 || id >= d.allocated {
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read page %d: %w", id, errOutOfRange)
 	}
-	if d.pool != nil && class == ClassLight {
-		if p, ok := d.pool.get(id); ok {
+	pool := d.pool
+	d.mu.RUnlock()
+	pooled := pool != nil && pool.caches(class)
+	if pooled {
+		if p, ok := pool.get(id, class); ok {
+			if sink != nil {
+				if class == ClassHeavy {
+					sink.add(Stats{PoolHeavyHits: 1})
+				} else {
+					sink.add(Stats{PoolLightHits: 1})
+				}
+			}
 			return p, nil
 		}
+		if sink != nil {
+			if class == ClassHeavy {
+				sink.add(Stats{PoolHeavyMisses: 1})
+			} else {
+				sink.add(Stats{PoolLightMisses: 1})
+			}
+		}
 	}
-	if d.quarantined[id] {
+	if d.IsQuarantined(id) {
 		return nil, &CorruptError{Page: id, Quarantined: true}
 	}
-	d.account(id, 1, class)
-	if err := d.mediaErr(id); err != nil {
+	d.account(id, 1, class, sink)
+	if err := d.mediaErr(id, sink); err != nil {
 		return nil, err
 	}
+	d.mu.RLock()
+	p, ok := d.data[id]
+	d.mu.RUnlock()
 	var page []byte
-	if p, ok := d.data[id]; ok {
+	if ok {
 		page = p
 	} else {
 		page = make([]byte, d.pageSize)
 	}
-	if d.pool != nil && class == ClassLight {
-		d.pool.put(id, page)
+	if pooled {
+		pool.put(id, page)
 	}
 	return page, nil
 }
@@ -302,6 +450,8 @@ func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
 // and quarantine marks but do not draw injected faults — they model setup
 // access, not the measured query workload.
 func (d *Disk) PeekPage(id PageID) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || id >= d.allocated {
 		return nil, fmt.Errorf("storage: peek page %d: %w", id, errOutOfRange)
 	}
@@ -320,7 +470,9 @@ func (d *Disk) PeekPage(id PageID) ([]byte, error) {
 // account charges n sequential page reads starting at id. The access is
 // sequential if it continues one of the recent stream heads; otherwise it
 // seeks and claims the least-recently-used stream slot.
-func (d *Disk) account(id PageID, n int64, class Class) {
+func (d *Disk) account(id PageID, n int64, class Class, sink *Client) {
+	var delta Stats
+	d.statsMu.Lock()
 	d.clock++
 	slot := -1
 	for i := range d.streams {
@@ -332,8 +484,8 @@ func (d *Disk) account(id PageID, n int64, class Class) {
 		}
 	}
 	if slot < 0 {
-		d.stats.Seeks++
-		d.stats.SimTime += d.cost.Seek
+		delta.Seeks = 1
+		delta.SimTime += d.cost.Seek
 		slot = 0
 		for i := 1; i < numStreams; i++ {
 			if d.streamAge[i] < d.streamAge[slot] {
@@ -343,13 +495,18 @@ func (d *Disk) account(id PageID, n int64, class Class) {
 	}
 	d.streams[slot] = id + PageID(n) - 1
 	d.streamAge[slot] = d.clock
-	d.stats.Reads += n
-	d.stats.SimTime += time.Duration(n) * d.cost.TransferPage
+	delta.Reads = n
+	delta.SimTime += time.Duration(n) * d.cost.TransferPage
 	switch class {
 	case ClassHeavy:
-		d.stats.HeavyReads += n
+		delta.HeavyReads = n
 	default:
-		d.stats.LightReads += n
+		delta.LightReads = n
+	}
+	d.stats = d.stats.add(delta)
+	d.statsMu.Unlock()
+	if sink != nil {
+		sink.add(delta)
 	}
 }
 
@@ -371,19 +528,27 @@ func (d *Disk) WriteBytes(start PageID, data []byte) error {
 // ReadBytes reads length bytes starting at page start. All pages of the
 // extent are charged as one sequential run.
 func (d *Disk) ReadBytes(start PageID, length int, class Class) ([]byte, error) {
+	return d.readBytes(start, length, class, nil)
+}
+
+func (d *Disk) readBytes(start PageID, length int, class Class, sink *Client) ([]byte, error) {
 	if length < 0 {
 		return nil, errors.New("storage: negative read length")
 	}
 	n := d.PagesFor(int64(length))
+	d.mu.RLock()
 	if start < 0 || start+PageID(n) > d.allocated {
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read extent [%d,%d): %w", start, int64(start)+int64(n), errOutOfRange)
 	}
-	if d.pool != nil && class == ClassLight {
+	pool := d.pool
+	d.mu.RUnlock()
+	if pool != nil && pool.caches(class) {
 		// Page-at-a-time through the buffer pool; consecutive misses
 		// still count as one sequential run via the stream heads.
 		out := make([]byte, 0, n*d.pageSize)
 		for i := 0; i < n; i++ {
-			p, err := d.ReadPage(start+PageID(i), class)
+			p, err := d.readPage(start+PageID(i), class, sink)
 			if err != nil {
 				return nil, err
 			}
@@ -391,19 +556,25 @@ func (d *Disk) ReadBytes(start PageID, length int, class Class) ([]byte, error) 
 		}
 		return out[:length], nil
 	}
+	d.mu.RLock()
 	for i := 0; i < n; i++ {
 		if id := start + PageID(i); d.quarantined[id] {
+			d.mu.RUnlock()
 			return nil, &CorruptError{Page: id, Quarantined: true}
 		}
 	}
-	d.account(start, int64(n), class)
+	d.mu.RUnlock()
+	d.account(start, int64(n), class, sink)
 	out := make([]byte, 0, n*d.pageSize)
 	for i := 0; i < n; i++ {
 		id := start + PageID(i)
-		if err := d.mediaErr(id); err != nil {
+		if err := d.mediaErr(id, sink); err != nil {
 			return nil, err
 		}
-		if p, ok := d.data[id]; ok {
+		d.mu.RLock()
+		p, ok := d.data[id]
+		d.mu.RUnlock()
+		if ok {
 			out = append(out, p...)
 		} else {
 			out = append(out, make([]byte, d.pageSize)...)
@@ -417,20 +588,28 @@ func (d *Disk) ReadBytes(start PageID, length int, class Class) ([]byte, error) 
 // need (nominal-size padding) use this, keeping I/O counts exact while the
 // process stays small.
 func (d *Disk) ReadExtent(start PageID, n int, class Class) error {
+	return d.readExtent(start, n, class, nil)
+}
+
+func (d *Disk) readExtent(start PageID, n int, class Class, sink *Client) error {
 	if n < 1 {
 		n = 1
 	}
+	d.mu.RLock()
 	if start < 0 || start+PageID(n) > d.allocated {
+		d.mu.RUnlock()
 		return fmt.Errorf("storage: extent [%d,%d): %w", start, int64(start)+int64(n), errOutOfRange)
 	}
 	for i := 0; i < n; i++ {
 		if id := start + PageID(i); d.quarantined[id] {
+			d.mu.RUnlock()
 			return &CorruptError{Page: id, Quarantined: true}
 		}
 	}
-	d.account(start, int64(n), class)
+	d.mu.RUnlock()
+	d.account(start, int64(n), class, sink)
 	for i := 0; i < n; i++ {
-		if err := d.mediaErr(start + PageID(i)); err != nil {
+		if err := d.mediaErr(start+PageID(i), sink); err != nil {
 			return err
 		}
 	}
@@ -439,10 +618,87 @@ func (d *Disk) ReadExtent(start PageID, n int, class Class) error {
 
 // CorruptPage marks a page as unreadable — the failure-injection hook used
 // by recovery tests.
-func (d *Disk) CorruptPage(id PageID) { d.corrupt[id] = true }
+func (d *Disk) CorruptPage(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.corrupt[id] = true
+	if d.pool != nil {
+		d.pool.invalidate(id)
+	}
+}
 
 // HealPage clears a corruption mark.
-func (d *Disk) HealPage(id PageID) { delete(d.corrupt, id) }
+func (d *Disk) HealPage(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.corrupt, id)
+}
 
 // IsOutOfRange reports whether err came from an out-of-range page access.
 func IsOutOfRange(err error) bool { return errors.Is(err, errOutOfRange) }
+
+// Client is a per-session read handle on a Disk. Every read issued
+// through a Client is charged both to the disk's global Stats and to the
+// client's own, so concurrent sessions get exact per-session I/O and
+// simulated-time attribution. Clients are safe for concurrent use (a
+// session's parallel traversal workers share one client); creating one is
+// cheap. Writes and administrative operations stay on the Disk itself.
+type Client struct {
+	d  *Disk
+	mu sync.Mutex
+	s  Stats
+}
+
+// NewClient returns a fresh accounting handle on the disk.
+func (d *Disk) NewClient() *Client { return &Client{d: d} }
+
+// Disk returns the underlying disk.
+func (c *Client) Disk() *Disk { return c.d }
+
+// add accumulates a charged delta.
+func (c *Client) add(delta Stats) {
+	c.mu.Lock()
+	c.s = c.s.add(delta)
+	c.mu.Unlock()
+}
+
+// Stats returns the client's accounting snapshot: only the I/O this
+// client issued.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// ResetStats zeroes the client's counters (the disk's are untouched).
+func (c *Client) ResetStats() {
+	c.mu.Lock()
+	c.s = Stats{}
+	c.mu.Unlock()
+}
+
+// PageSize returns the disk's page size in bytes.
+func (c *Client) PageSize() int { return c.d.PageSize() }
+
+// PagesFor returns how many pages are needed for n bytes.
+func (c *Client) PagesFor(n int64) int { return c.d.PagesFor(n) }
+
+// ReadPage mirrors Disk.ReadPage with per-client attribution.
+func (c *Client) ReadPage(id PageID, class Class) ([]byte, error) {
+	return c.d.readPage(id, class, c)
+}
+
+// ReadBytes mirrors Disk.ReadBytes with per-client attribution.
+func (c *Client) ReadBytes(start PageID, length int, class Class) ([]byte, error) {
+	return c.d.readBytes(start, length, class, c)
+}
+
+// ReadExtent mirrors Disk.ReadExtent with per-client attribution.
+func (c *Client) ReadExtent(start PageID, n int, class Class) error {
+	return c.d.readExtent(start, n, class, c)
+}
+
+// PinPage mirrors Disk.PinPage with per-client attribution.
+func (c *Client) PinPage(id PageID, class Class) (*PinnedPage, error) {
+	return c.d.pinPage(id, class, c)
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -16,7 +17,11 @@ import (
 //     fault-tolerant callers quarantine.
 //
 // Injection is deterministic given (Seed, read sequence), so a replayed
-// walkthrough session fails in exactly the same places every run.
+// walkthrough session fails in exactly the same places every run. Under
+// concurrent sessions the interleaving of reads — and therefore which
+// read draws which fault — depends on scheduling; tests that need
+// bit-exact failures across runs plant them with InjectPageFault or
+// CorruptPage instead of PageProb.
 
 // FaultKind classifies an injected fault.
 type FaultKind uint8
@@ -64,8 +69,15 @@ type targetedFault struct {
 	remaining int
 }
 
+// faultInjector holds the policy state behind its own mutex; it never
+// touches the disk's stats — check returns the retry charge and the
+// caller applies it through Disk.charge, so accounting stays behind one
+// lock (DESIGN.md §10).
 type faultInjector struct {
-	cfg      FaultConfig
+	mu  sync.Mutex
+	cfg FaultConfig
+	// transfer caches the disk's per-page transfer cost for retry charging.
+	transfer time.Duration
 	rng      *rand.Rand
 	targeted map[PageID]*targetedFault
 	// sticky records pages that drew a probabilistic permanent fault.
@@ -83,21 +95,33 @@ func (d *Disk) InjectFaults(cfg FaultConfig) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = d.cost.Seek
 	}
-	d.faults = &faultInjector{
+	fi := &faultInjector{
 		cfg:      cfg,
+		transfer: d.cost.TransferPage,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		targeted: make(map[PageID]*targetedFault),
 		sticky:   make(map[PageID]bool),
 	}
+	d.mu.Lock()
+	d.faults = fi
+	d.mu.Unlock()
 }
 
 // ClearFaults removes the injection policy, including any sticky
 // probabilistic permanent faults it accumulated. Explicit CorruptPage
 // marks and quarantines are untouched.
-func (d *Disk) ClearFaults() { d.faults = nil }
+func (d *Disk) ClearFaults() {
+	d.mu.Lock()
+	d.faults = nil
+	d.mu.Unlock()
+}
 
 // FaultsInjected reports whether an injection policy is installed.
-func (d *Disk) FaultsInjected() bool { return d.faults != nil }
+func (d *Disk) FaultsInjected() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.faults != nil
+}
 
 // InjectPageFault plants a fault on a specific page. For transient faults,
 // failures is how many read attempts fail before the fault clears
@@ -105,28 +129,42 @@ func (d *Disk) FaultsInjected() bool { return d.faults != nil }
 // probability policy if none is active, so targeted faults work on their
 // own.
 func (d *Disk) InjectPageFault(id PageID, kind FaultKind, failures int) {
-	if d.faults == nil {
+	d.mu.RLock()
+	fi := d.faults
+	d.mu.RUnlock()
+	if fi == nil {
 		d.InjectFaults(FaultConfig{})
+		d.mu.RLock()
+		fi = d.faults
+		d.mu.RUnlock()
 	}
 	if failures < 1 {
 		failures = 1
 	}
-	d.faults.targeted[id] = &targetedFault{kind: kind, remaining: failures}
+	fi.mu.Lock()
+	fi.targeted[id] = &targetedFault{kind: kind, remaining: failures}
+	fi.mu.Unlock()
 }
 
 // heal clears injected faults for a rewritten page.
 func (f *faultInjector) heal(id PageID) {
+	f.mu.Lock()
 	delete(f.targeted, id)
 	delete(f.sticky, id)
+	f.mu.Unlock()
 }
 
 // check simulates reading page id under the policy: the initial attempt
-// plus up to MaxRetries retries. Each retry charges RetryBackoff plus one
-// page transfer of simulated time and increments Stats.Retries. Permanent
-// faults (explicit CorruptPage marks, targeted permanents, and sticky
-// probabilistic permanents) survive every retry.
-func (f *faultInjector) check(d *Disk, id PageID) error {
-	permanent := d.corrupt[id] || f.sticky[id]
+// plus up to MaxRetries retries. corrupt says whether the page carries an
+// explicit CorruptPage mark. It returns the retry count and simulated-time
+// cost the caller must charge (each retry costs RetryBackoff plus one page
+// transfer) and the final outcome: nil once a retry succeeds, CorruptError
+// when the budget is exhausted. Permanent faults (explicit marks, targeted
+// permanents, and sticky probabilistic permanents) survive every retry.
+func (f *faultInjector) check(corrupt bool, id PageID) (retries int64, cost time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	permanent := corrupt || f.sticky[id]
 	transient := 0
 	if !permanent {
 		if t, ok := f.targeted[id]; ok {
@@ -147,7 +185,7 @@ func (f *faultInjector) check(d *Disk, id PageID) error {
 		}
 	}
 	if !permanent && transient <= 0 {
-		return nil
+		return 0, 0, nil
 	}
 	for attempt := 0; ; attempt++ {
 		// This attempt fails.
@@ -161,12 +199,12 @@ func (f *faultInjector) check(d *Disk, id PageID) error {
 			}
 		}
 		if attempt >= f.cfg.MaxRetries {
-			return &CorruptError{Page: id}
+			return retries, cost, &CorruptError{Page: id}
 		}
-		d.stats.Retries++
-		d.stats.SimTime += f.cfg.RetryBackoff + d.cost.TransferPage
+		retries++
+		cost += f.cfg.RetryBackoff + f.transfer
 		if !permanent && transient <= 0 {
-			return nil
+			return retries, cost, nil
 		}
 	}
 }

@@ -28,8 +28,13 @@ const (
 // ErrBadImage is wrapped into all image-format errors.
 var ErrBadImage = errors.New("storage: bad disk image")
 
-// WriteTo serializes the disk's pages. It implements io.WriterTo.
+// WriteTo serializes the disk's pages. It implements io.WriterTo. The
+// disk's structural lock is held for reading throughout, so the image is
+// a consistent snapshot even with concurrent writers; concurrent readers
+// proceed unimpeded.
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
 	var written int64

@@ -1,10 +1,78 @@
 package vstore
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// FuzzDecodePointerSegment drives the vertical scheme's V-page-index
+// segment reader (§4.2) with arbitrary bytes and geometry. A successful
+// decode must yield exactly numNodes pointers, each nilSlot or a valid
+// slot — anything else is a path for corrupt segments to become
+// out-of-range reads mid-query.
+func FuzzDecodePointerSegment(f *testing.F) {
+	good := make([]byte, 3*pointerBytes)
+	var nilPtr int64 = nilSlot
+	binary.LittleEndian.PutUint64(good[0:], uint64(nilPtr))
+	binary.LittleEndian.PutUint64(good[8:], 0)
+	binary.LittleEndian.PutUint64(good[16:], 1)
+	f.Add(good, 3, int64(2))
+	f.Add([]byte{}, 0, int64(0))
+	f.Add([]byte{0xff}, 1, int64(4))
+	f.Fuzz(func(t *testing.T, data []byte, numNodes int, numSlots int64) {
+		if numNodes > 1<<16 {
+			return // bound allocation, not behavior
+		}
+		seg, err := decodePointerSegment(data, numNodes, numSlots)
+		if err != nil {
+			return
+		}
+		if len(seg) != numNodes {
+			t.Fatalf("decoded %d pointers, want %d", len(seg), numNodes)
+		}
+		for i, p := range seg {
+			if p != nilSlot && (p < 0 || p >= numSlots) {
+				t.Fatalf("pointer %d = %d escaped validation (%d slots)", i, p, numSlots)
+			}
+		}
+	})
+}
+
+// FuzzDecodeIndexSegment drives the indexed-vertical scheme's segment
+// reader (§4.3): every accepted entry must reference a valid node and
+// slot, with no duplicate nodes.
+func FuzzDecodeIndexSegment(f *testing.F) {
+	good := make([]byte, 2*segEntryBytes)
+	binary.LittleEndian.PutUint32(good[0:], 0)
+	binary.LittleEndian.PutUint64(good[4:], 0)
+	binary.LittleEndian.PutUint32(good[segEntryBytes:], 5)
+	binary.LittleEndian.PutUint64(good[segEntryBytes+4:], 1)
+	f.Add(good, 2, 8, int64(2))
+	f.Add([]byte{}, 0, 0, int64(0))
+	f.Add([]byte{0x01, 0x02, 0x03}, 1, 2, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, count, numNodes int, numSlots int64) {
+		if count > 1<<16 {
+			return // bound allocation, not behavior
+		}
+		m, err := decodeIndexSegment(data, count, numNodes, numSlots)
+		if err != nil {
+			return
+		}
+		if len(m) != count {
+			t.Fatalf("decoded %d entries, want %d (duplicate slipped through?)", len(m), count)
+		}
+		for id, slot := range m {
+			if int(id) < 0 || int(id) >= numNodes {
+				t.Fatalf("node %d escaped validation (%d nodes)", id, numNodes)
+			}
+			if slot < 0 || slot >= numSlots {
+				t.Fatalf("slot %d escaped validation (%d slots)", slot, numSlots)
+			}
+		}
+	})
+}
 
 // FuzzDecodeVPage drives the V-page codec with arbitrary bytes.
 func FuzzDecodeVPage(f *testing.F) {

@@ -14,7 +14,10 @@ import (
 // walking a cell's visible nodes seeks for every access — the reason the
 // horizontal scheme "performs the worst" in Figure 7.
 type Horizontal struct {
-	disk       *storage.Disk
+	disk *storage.Disk
+	// io is the read handle V-page accesses charge to: the disk itself for
+	// the base scheme, a session's client for views (see View).
+	io         storage.Reader
 	grid       *cells.Grid
 	numNodes   int
 	slots      slotTable
@@ -30,6 +33,7 @@ func BuildHorizontal(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Horiz
 	c := vis.Grid.NumCells()
 	h := &Horizontal{
 		disk:       d,
+		io:         d,
 		grid:       vis.Grid,
 		numNodes:   vis.NumNodes,
 		vpageBytes: vpb,
@@ -63,6 +67,15 @@ func (h *Horizontal) slotOf(id core.NodeID, cell cells.CellID) int64 {
 // Name implements core.VStore.
 func (h *Horizontal) Name() string { return "horizontal" }
 
+// View implements core.VStoreViewer: a per-session view sharing the
+// on-disk layout but owning its cell cursor and charging reads to io.
+func (h *Horizontal) View(io *storage.Client) core.VStore {
+	cp := *h
+	cp.io = io
+	cp.hasCell = false
+	return &cp
+}
+
 // SizeBytes implements core.VStore — the Table 2 storage cost.
 func (h *Horizontal) SizeBytes() int64 { return h.sizeBytes }
 
@@ -86,7 +99,7 @@ func (h *Horizontal) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	if int(id) < 0 || int(id) >= h.numNodes {
 		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
 	}
-	buf, err := h.slots.read(h.disk, h.slotOf(id, h.cur), storage.ClassLight)
+	buf, err := h.slots.read(h.io, h.slotOf(id, h.cur), storage.ClassLight)
 	if err != nil {
 		return nil, false, err
 	}

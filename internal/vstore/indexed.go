@@ -18,7 +18,10 @@ import (
 // Storage cost: (size_pointer + size_integer) · N_vnode · c +
 // size_vpage · N_vnode · c, plus the directory.
 type IndexedVertical struct {
-	disk       *storage.Disk
+	disk *storage.Disk
+	// io is the read handle flips and V-page accesses charge to (the disk
+	// for the base scheme, a session's client for views).
+	io         storage.Reader
 	grid       *cells.Grid
 	numNodes   int
 	slots      slotTable
@@ -55,6 +58,7 @@ func BuildIndexedVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*
 	}
 	iv := &IndexedVertical{
 		disk:       d,
+		io:         d,
 		grid:       vis.Grid,
 		numNodes:   vis.NumNodes,
 		vpageBytes: vpb,
@@ -104,6 +108,18 @@ func BuildIndexedVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*
 // Name implements core.VStore.
 func (iv *IndexedVertical) Name() string { return "indexed-vertical" }
 
+// View implements core.VStoreViewer: a per-session view sharing the
+// on-disk layout and directory but owning its flipped segment map and
+// charging reads to io.
+func (iv *IndexedVertical) View(io *storage.Client) core.VStore {
+	cp := *iv
+	cp.io = io
+	cp.hasCell = false
+	cp.curMap = nil
+	cp.flips = 0
+	return &cp
+}
+
 // SizeBytes implements core.VStore.
 func (iv *IndexedVertical) SizeBytes() int64 { return iv.size }
 
@@ -122,14 +138,12 @@ func (iv *IndexedVertical) SetCell(cell cells.CellID) error {
 	desc := iv.dir[cell]
 	m := make(map[core.NodeID]int64, desc.count)
 	if desc.start != storage.NilPage && desc.count > 0 {
-		buf, err := iv.disk.ReadBytes(desc.start, segEntryBytes*int(desc.count), storage.ClassLight)
+		buf, err := iv.io.ReadBytes(desc.start, segEntryBytes*int(desc.count), storage.ClassLight)
 		if err != nil {
 			return err
 		}
-		for i := 0; i < int(desc.count); i++ {
-			id := core.NodeID(binary.LittleEndian.Uint32(buf[i*segEntryBytes:]))
-			slot := int64(binary.LittleEndian.Uint64(buf[i*segEntryBytes+4:]))
-			m[id] = slot
+		if m, err = decodeIndexSegment(buf, int(desc.count), iv.numNodes, int64(iv.slots.count)); err != nil {
+			return err
 		}
 	}
 	iv.curMap = m
@@ -151,7 +165,7 @@ func (iv *IndexedVertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	buf, err := iv.slots.read(iv.disk, slot, storage.ClassLight)
+	buf, err := iv.slots.read(iv.io, slot, storage.ClassLight)
 	if err != nil {
 		return nil, false, err
 	}

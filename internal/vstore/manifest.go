@@ -55,6 +55,7 @@ func OpenHorizontal(d *storage.Disk, grid *cells.Grid, m HorizontalManifest) (*H
 	}
 	return &Horizontal{
 		disk:       d,
+		io:         d,
 		grid:       grid,
 		numNodes:   m.NumNodes,
 		slots:      slots,
@@ -96,6 +97,7 @@ func OpenVertical(d *storage.Disk, grid *cells.Grid, m VerticalManifest) (*Verti
 	}
 	return &Vertical{
 		disk:       d,
+		io:         d,
 		grid:       grid,
 		numNodes:   m.NumNodes,
 		segBase:    m.SegBase,
@@ -154,6 +156,7 @@ func OpenIndexedVertical(d *storage.Disk, grid *cells.Grid, m IndexedVerticalMan
 	}
 	return &IndexedVertical{
 		disk:       d,
+		io:         d,
 		grid:       grid,
 		numNodes:   m.NumNodes,
 		slots:      slots,

@@ -1,0 +1,58 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// V-page-index segment decoding, shared by the vertical and
+// indexed-vertical schemes' cell flips and fuzzed directly (the segments
+// are the one variable-length on-disk structure the query path decodes,
+// so they are where silent corruption turns into bad pointers).
+
+// decodePointerSegment parses a vertical-scheme segment (§4.2): numNodes
+// little-endian int64 V-page pointers, nilSlot for invisible nodes. Every
+// pointer is validated against the slot-table size so a corrupt segment
+// surfaces at flip time instead of as an out-of-range read mid-query.
+func decodePointerSegment(buf []byte, numNodes int, numSlots int64) ([]int64, error) {
+	if numNodes < 0 || len(buf) < numNodes*pointerBytes {
+		return nil, fmt.Errorf("vstore: pointer segment is %d bytes, want %d", len(buf), numNodes*pointerBytes)
+	}
+	seg := make([]int64, numNodes)
+	for i := range seg {
+		p := int64(binary.LittleEndian.Uint64(buf[i*pointerBytes:]))
+		if p != nilSlot && (p < 0 || p >= numSlots) {
+			return nil, fmt.Errorf("vstore: node %d pointer %d out of range (%d slots)", i, p, numSlots)
+		}
+		seg[i] = p
+	}
+	return seg, nil
+}
+
+// decodeIndexSegment parses an indexed-vertical segment (§4.3): count ×
+// (u32 node offset, i64 V-page pointer) pairs for the visible nodes.
+// Offsets and pointers are range-checked, and duplicate offsets rejected,
+// so a corrupt segment cannot alias two nodes onto one V-page silently.
+func decodeIndexSegment(buf []byte, count, numNodes int, numSlots int64) (map[core.NodeID]int64, error) {
+	if count < 0 || len(buf) < count*segEntryBytes {
+		return nil, fmt.Errorf("vstore: index segment is %d bytes, want %d", len(buf), count*segEntryBytes)
+	}
+	m := make(map[core.NodeID]int64, count)
+	for i := 0; i < count; i++ {
+		id := core.NodeID(binary.LittleEndian.Uint32(buf[i*segEntryBytes:]))
+		slot := int64(binary.LittleEndian.Uint64(buf[i*segEntryBytes+4:]))
+		if int(id) < 0 || int(id) >= numNodes {
+			return nil, fmt.Errorf("vstore: segment entry %d: node %d out of range (%d nodes)", i, id, numNodes)
+		}
+		if slot < 0 || slot >= numSlots {
+			return nil, fmt.Errorf("vstore: segment entry %d: pointer %d out of range (%d slots)", i, slot, numSlots)
+		}
+		if _, dup := m[id]; dup {
+			return nil, fmt.Errorf("vstore: segment entry %d: duplicate node %d", i, id)
+		}
+		m[id] = slot
+	}
+	return m, nil
+}

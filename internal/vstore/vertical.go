@@ -19,7 +19,10 @@ import (
 //
 // Storage cost: size_pointer · N_node · c + size_vpage · N_vnode · c.
 type Vertical struct {
-	disk       *storage.Disk
+	disk *storage.Disk
+	// io is the read handle flips and V-page accesses charge to (the disk
+	// for the base scheme, a session's client for views).
+	io         storage.Reader
 	grid       *cells.Grid
 	numNodes   int
 	segBase    storage.PageID
@@ -46,6 +49,7 @@ func BuildVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Vertica
 	}
 	v := &Vertical{
 		disk:       d,
+		io:         d,
 		grid:       vis.Grid,
 		numNodes:   vis.NumNodes,
 		vpageBytes: vpb,
@@ -108,6 +112,17 @@ func (v *Vertical) segPage(cell cells.CellID) storage.PageID {
 // Name implements core.VStore.
 func (v *Vertical) Name() string { return "vertical" }
 
+// View implements core.VStoreViewer: a per-session view sharing the
+// on-disk layout but owning its flipped segment and charging reads to io.
+func (v *Vertical) View(io *storage.Client) core.VStore {
+	cp := *v
+	cp.io = io
+	cp.hasCell = false
+	cp.curSeg = nil
+	cp.flips = 0
+	return &cp
+}
+
 // SizeBytes implements core.VStore.
 func (v *Vertical) SizeBytes() int64 { return v.size }
 
@@ -123,13 +138,13 @@ func (v *Vertical) SetCell(cell cells.CellID) error {
 	if v.hasCell && v.cur == cell {
 		return nil
 	}
-	buf, err := v.disk.ReadBytes(v.segPage(cell), pointerBytes*v.numNodes, storage.ClassLight)
+	buf, err := v.io.ReadBytes(v.segPage(cell), pointerBytes*v.numNodes, storage.ClassLight)
 	if err != nil {
 		return err
 	}
-	seg := make([]int64, v.numNodes)
-	for i := range seg {
-		seg[i] = int64(binary.LittleEndian.Uint64(buf[i*pointerBytes:]))
+	seg, err := decodePointerSegment(buf, v.numNodes, int64(v.slots.count))
+	if err != nil {
+		return err
 	}
 	v.curSeg = seg
 	v.cur = cell
@@ -151,7 +166,7 @@ func (v *Vertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	if slot == nilSlot {
 		return nil, false, nil
 	}
-	buf, err := v.slots.read(v.disk, slot, storage.ClassLight)
+	buf, err := v.slots.read(v.io, slot, storage.ClassLight)
 	if err != nil {
 		return nil, false, err
 	}

@@ -155,12 +155,13 @@ func (t slotTable) write(d *storage.Disk, i int64, buf []byte) error {
 	return d.WritePage(pageID, merged)
 }
 
-// read fetches slot i, charging one page read of the given class.
-func (t slotTable) read(d *storage.Disk, i int64, class storage.Class) ([]byte, error) {
+// read fetches slot i through r (the building disk, or a session's
+// client), charging one page read of the given class.
+func (t slotTable) read(r storage.Reader, i int64, class storage.Class) ([]byte, error) {
 	if i < 0 || i >= int64(t.count) {
 		return nil, fmt.Errorf("vstore: slot %d out of range (%d)", i, t.count)
 	}
-	page, err := d.ReadPage(t.page(i), class)
+	page, err := r.ReadPage(t.page(i), class)
 	if err != nil {
 		return nil, err
 	}

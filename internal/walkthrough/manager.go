@@ -1,0 +1,113 @@
+package walkthrough
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/storage"
+)
+
+// SessionManager plays many walkthrough sessions concurrently against one
+// open tree. Each player gets its own core.Tree session (shared structure
+// and disk, private I/O accounting and storage-scheme cursor), so N
+// walkers contend for the one simulated disk and share its buffer pool —
+// the serving regime the paper's single-walker prototype never faces.
+type SessionManager struct {
+	Base *core.Tree
+	Eta  float64
+	// Delta enables the per-player delta search (each player has its own
+	// payload cache, like each client has its own renderer memory).
+	Delta bool
+	// Prefetch enables speculative next-cell queries per player.
+	Prefetch bool
+	// CacheBudget bounds each player's payload cache (0 = unlimited).
+	CacheBudget int64
+	Render      render.Config
+}
+
+// PlayerTrace is one client's playback outcome: the trace, the session's
+// own I/O accounting (reads, retries, simulated time — this client's
+// traffic only, however many others ran beside it), and the error if the
+// playback aborted.
+type PlayerTrace struct {
+	Result *Result
+	IO     storage.Stats
+	Err    error
+}
+
+// Degraded reports how many media-fault degradations this client
+// absorbed (zero unless fault tolerance is on and faults fired).
+func (p PlayerTrace) Degraded() int {
+	if p.Result == nil {
+		return 0
+	}
+	return p.Result.Degradations
+}
+
+// ServeStats aggregates a concurrent playback run.
+type ServeStats struct {
+	Players []PlayerTrace
+	// Queries is the summed query count across players; Elapsed is the
+	// wall-clock span of the whole run, so Queries/Elapsed.Seconds() is
+	// the aggregate served throughput.
+	Queries int
+	Elapsed time.Duration
+	// Errs counts players whose playback aborted.
+	Errs int
+}
+
+// Throughput returns aggregate queries per wall-clock second.
+func (s ServeStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Elapsed.Seconds()
+}
+
+// FirstErr returns the first player error, or nil.
+func (s ServeStats) FirstErr() error {
+	for i, p := range s.Players {
+		if p.Err != nil {
+			return fmt.Errorf("walkthrough: player %d: %w", i, p.Err)
+		}
+	}
+	return nil
+}
+
+// Play runs all sessions concurrently, one goroutine per client, and
+// returns when every playback has finished.
+func (m *SessionManager) Play(sessions []Session) ServeStats {
+	out := ServeStats{Players: make([]PlayerTrace, len(sessions))}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tree := m.Base.Session()
+			p := &VisualPlayer{
+				Tree:        tree,
+				Eta:         m.Eta,
+				Delta:       m.Delta,
+				Prefetch:    m.Prefetch,
+				CacheBudget: m.CacheBudget,
+				Render:      m.Render,
+			}
+			res, err := p.Play(sessions[i])
+			out.Players[i] = PlayerTrace{Result: res, IO: tree.IO.Stats(), Err: err}
+		}(i)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	for _, p := range out.Players {
+		if p.Err != nil {
+			out.Errs++
+			continue
+		}
+		out.Queries += p.Result.Queries
+	}
+	return out
+}

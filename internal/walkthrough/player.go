@@ -172,7 +172,7 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 		var fs FrameStat
 		cell := p.Tree.Grid.Locate(pose.Eye)
 		if cell != cells.NoCell && cell != cur {
-			before := p.Tree.Disk.Stats()
+			before := treeStats(p.Tree)
 			res, err := p.Tree.Query(cell, p.Eta)
 			if err != nil {
 				return nil, err
@@ -188,7 +188,7 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 			for _, it := range res.Items {
 				cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
 			}
-			d := p.Tree.Disk.Stats().Sub(before)
+			d := treeStats(p.Tree).Sub(before)
 			fs.QueryTime = d.SimTime
 			fs.LightIO = d.LightReads
 			fs.HeavyIO = d.HeavyReads
@@ -209,7 +209,7 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 				ahead := pose.Eye.Add(vel.Normalize().Mul(lookahead))
 				next := p.Tree.Grid.Locate(ahead)
 				if next != cells.NoCell && next != cur && next != prefetched {
-					before := p.Tree.Disk.Stats()
+					before := treeStats(p.Tree)
 					res, err := p.Tree.Query(next, p.Eta)
 					if err != nil {
 						return nil, err
@@ -233,7 +233,7 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 						}
 						fs.Degradations++
 					}
-					fs.PrefetchIO = p.Tree.Disk.Stats().Sub(before).Reads
+					fs.PrefetchIO = treeStats(p.Tree).Sub(before).Reads
 					prefetched = next
 				}
 			}
@@ -254,6 +254,16 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 	}
 	out.PeakBytes = cache.PeakBytes()
 	return out, nil
+}
+
+// treeStats snapshots the accounting a player's frame deltas are measured
+// against: the tree session's own client when present (exact under
+// concurrent serving), else the global disk counters.
+func treeStats(t *core.Tree) storage.Stats {
+	if t.IO != nil {
+		return t.IO.Stats()
+	}
+	return t.Disk.Stats()
 }
 
 // itemCenter locates an item for the distance-based cache policy.
@@ -317,7 +327,7 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 			pose.Eye.Dist(lastEye) > p.RequeryDist ||
 			angleBetween(pose.Look, lastLook) > p.RequeryAngle
 		if moved {
-			before := p.Sys.T.Disk.Stats()
+			before := treeStats(p.Sys.T)
 			res, err := p.Sys.Query(pose.Eye, pose.Look)
 			if err != nil {
 				return nil, err
@@ -333,7 +343,7 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 			for _, it := range res.Items {
 				cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Sys.T, it), pose.Eye)
 			}
-			d := p.Sys.T.Disk.Stats().Sub(before)
+			d := treeStats(p.Sys.T).Sub(before)
 			fs.QueryTime = d.SimTime
 			fs.LightIO = d.LightReads
 			fs.HeavyIO = d.HeavyReads
@@ -357,7 +367,7 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 				pose.Eye.Dist(lastPrefetch) > p.RequeryDist/2 {
 				lastPrefetch = pose.Eye
 				ahead := pose.Eye.Add(vel.Normalize().Mul(p.RequeryDist))
-				before := p.Sys.T.Disk.Stats()
+				before := treeStats(p.Sys.T)
 				res, err := p.Sys.Query(ahead, pose.Look)
 				if err != nil {
 					return nil, err
@@ -370,7 +380,7 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 					cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Sys.T, it), pose.Eye)
 				}
 				fs.Degradations += len(res.Degradations)
-				fs.PrefetchIO = p.Sys.T.Disk.Stats().Sub(before).Reads
+				fs.PrefetchIO = treeStats(p.Sys.T).Sub(before).Reads
 			}
 		}
 		prevEye = pose.Eye

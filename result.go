@@ -168,22 +168,7 @@ func (db *DB) QueryNaive(p Point) (*Result, error) {
 // mode an unreadable payload degrades the item to a coarser readable
 // level (recorded in Degradations) instead of failing the call.
 func (db *DB) Fetch(r *Result) error {
-	before := db.disk.Stats()
-	if _, err := db.tree.FetchPayloads(r.inner, nil); err != nil {
-		return err
-	}
-	d := db.disk.Stats().Sub(before)
-	r.HeavyIO += d.HeavyReads
-	r.SimTime += d.SimTime
-	r.Retries += d.Retries
-	// Payload faults absorbed during the fetch may have degraded items to
-	// coarser levels and appended degradation records: re-mirror both.
-	if len(r.inner.Degradations) > len(r.Degradations) {
-		fresh := wrapResult(r.inner)
-		r.Items = fresh.Items
-		r.Degradations = fresh.Degradations
-	}
-	return nil
+	return fetchOn(db.tree, r)
 }
 
 // Mesh is decoded triangle geometry.
@@ -270,17 +255,15 @@ type DiskStats struct {
 	// retry loop (nonzero only under fault injection).
 	Retries int64
 	SimTime time.Duration
+	// PoolHits and PoolMisses count buffer-pool lookups (zero unless
+	// SetCacheSize installed a pool). Hits charge no seek or transfer.
+	PoolHits, PoolMisses int64
 }
 
-// DiskStats returns the cumulative disk accounting.
+// DiskStats returns the cumulative disk accounting, summed over every
+// session (Session.Stats reports one session's own share).
 func (db *DB) DiskStats() DiskStats {
-	s := db.disk.Stats()
-	return DiskStats{
-		Reads: s.Reads, Seeks: s.Seeks,
-		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
-		Retries: s.Retries,
-		SimTime: s.SimTime,
-	}
+	return diskStatsFrom(db.disk.Stats())
 }
 
 // ResetDiskStats zeroes the cumulative counters.

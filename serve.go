@@ -1,0 +1,229 @@
+package hdov
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/storage"
+	"repro/internal/walkthrough"
+)
+
+// Concurrent serving: one open DB can answer many clients at once. Each
+// client holds a Session — same tree, same disk, same buffer pool, but
+// private I/O accounting and a private storage-scheme cursor — so queries
+// from different sessions run concurrently and each session's Result
+// carries exactly its own cost. See DESIGN.md §10 for the model.
+
+// Session is an independent query handle on an open DB. Sessions are
+// cheap to create and need no teardown. A single Session serves one
+// logical client: do not share one between goroutines (create more
+// instead — different Sessions are safe to use concurrently).
+type Session struct {
+	db   *DB
+	tree *core.Tree
+}
+
+// Query answers the visibility query at viewpoint p with DoV threshold
+// eta, like DB.Query, charged to this session alone.
+func (s *Session) Query(p Point, eta float64) (*Result, error) {
+	cell := s.tree.Grid.Locate(p.vec())
+	if cell == cells.NoCell {
+		return nil, ErrOutsideCells
+	}
+	return s.QueryCell(int(cell), eta)
+}
+
+// QueryCell is Query for an explicit cell index.
+func (s *Session) QueryCell(cell int, eta float64) (*Result, error) {
+	if cell < 0 || cell >= s.db.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	}
+	r, err := s.tree.Query(cells.CellID(cell), eta)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// Fetch charges the heavy-weight I/O of retrieving every item's payload,
+// like DB.Fetch, charged to this session alone.
+func (s *Session) Fetch(r *Result) error {
+	return fetchOn(s.tree, r)
+}
+
+// Stats returns the session's own cumulative I/O accounting: only reads
+// this session issued, regardless of how many other sessions share the
+// disk.
+func (s *Session) Stats() DiskStats {
+	return diskStatsFrom(s.tree.IO.Stats())
+}
+
+// ResetStats zeroes the session's counters (global disk counters are
+// untouched).
+func (s *Session) ResetStats() { s.tree.IO.ResetStats() }
+
+// NewSession returns a fresh query session on the database. The session
+// sees the scheme and parallelism settings in effect now; SetScheme or
+// SetParallel calls after creation affect only future sessions.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, tree: db.tree.Session()}
+}
+
+// SetCacheSize installs a shared buffer pool of n disk pages in front of
+// the simulated disk (n <= 0 removes it; the default is none, matching
+// the paper's uncached prototype — §5.4). Cached reads charge no seek or
+// transfer: the cost model bills only pool misses, so a hot working set
+// serves many sessions at memory speed.
+func (db *DB) SetCacheSize(n int) { db.disk.SetCacheSize(n) }
+
+// PoolStats reports the shared buffer pool's accounting (zeros when no
+// pool is installed).
+type PoolStats struct {
+	// Hits and Misses split by I/O class: light (index: node records,
+	// V-pages) and heavy (model payload).
+	LightHits, LightMisses int64
+	HeavyHits, HeavyMisses int64
+	Evictions              int64
+	// Pages is the current resident page count; Capacity the configured
+	// limit.
+	Pages, Capacity int
+}
+
+// PoolStats returns the current buffer-pool counters.
+func (db *DB) PoolStats() PoolStats {
+	s := db.disk.PoolStats()
+	return PoolStats{
+		LightHits: s.LightHits, LightMisses: s.LightMisses,
+		HeavyHits: s.HeavyHits, HeavyMisses: s.HeavyMisses,
+		Evictions: s.Evictions,
+		Pages:     s.Pages, Capacity: s.Capacity,
+	}
+}
+
+// SetParallel bounds the per-query traversal fan-out: each query descends
+// up to n child subtrees concurrently (n <= 1 restores the strictly
+// serial Figure 3 traversal; the answer set is identical either way).
+// Affects DB queries and sessions created afterwards.
+func (db *DB) SetParallel(n int) { db.tree.SetParallel(n) }
+
+// ServeStats summarizes a concurrent multi-client walkthrough run.
+type ServeStats struct {
+	// Clients is how many walkers played; Errors how many aborted.
+	Clients, Errors int
+	// Queries is the total database queries served; Elapsed the wall-clock
+	// span; Throughput the ratio in queries per second.
+	Queries    int
+	Elapsed    time.Duration
+	Throughput float64
+	// Degradations totals absorbed media faults across clients.
+	Degradations int
+	// PerClient is each client's playback summary (nil entries for aborted
+	// clients) and own retry count.
+	PerClient []ClientStats
+}
+
+// ClientStats is one client's share of a serving run.
+type ClientStats struct {
+	Queries      int
+	Frames       int
+	AvgFrameMS   float64
+	Degradations int
+	// Reads and Retries are this client's own disk traffic.
+	Reads, Retries int64
+	SimTime        time.Duration
+	Err            string
+}
+
+// Serve plays n concurrent walkthrough clients against the database, each
+// with its own recorded motion path (seeded from opts.Seed + client
+// index), and returns the aggregate and per-client accounting. It is the
+// multi-client form of Walkthrough; opts.UseREVIEW is not supported here.
+func (db *DB) Serve(opts WalkOptions, n int) (*ServeStats, error) {
+	if n < 1 {
+		n = 1
+	}
+	if opts.UseREVIEW {
+		return nil, fmt.Errorf("hdov: Serve supports only the VISUAL system")
+	}
+	if opts.Frames <= 0 {
+		opts.Frames = 600
+	}
+	sessions := make([]walkthrough.Session, n)
+	for i := range sessions {
+		seed := opts.Seed + int64(i)
+		switch opts.Session {
+		case SessionTurning:
+			sessions[i] = walkthrough.RecordTurning(db.scene, opts.Frames, seed+1)
+		case SessionBackForward:
+			sessions[i] = walkthrough.RecordBackForward(db.scene, opts.Frames, seed+2)
+		default:
+			sessions[i] = walkthrough.RecordNormal(db.scene, opts.Frames, seed)
+		}
+	}
+	m := &walkthrough.SessionManager{
+		Base:        db.tree,
+		Eta:         opts.Eta,
+		Delta:       opts.Delta,
+		Prefetch:    opts.Prefetch,
+		CacheBudget: opts.CacheBudget,
+		Render:      render.DefaultConfig(),
+	}
+	run := m.Play(sessions)
+	out := &ServeStats{
+		Clients:   n,
+		Errors:    run.Errs,
+		Queries:   run.Queries,
+		Elapsed:   run.Elapsed,
+		PerClient: make([]ClientStats, n),
+	}
+	out.Throughput = run.Throughput()
+	for i, p := range run.Players {
+		cs := ClientStats{Reads: p.IO.Reads, Retries: p.IO.Retries, SimTime: p.IO.SimTime}
+		if p.Err != nil {
+			cs.Err = p.Err.Error()
+		} else {
+			cs.Queries = p.Result.Queries
+			cs.Frames = len(p.Result.Frames)
+			cs.AvgFrameMS = p.Result.AvgFrameTime()
+			cs.Degradations = p.Result.Degradations
+			out.Degradations += p.Result.Degradations
+		}
+		out.PerClient[i] = cs
+	}
+	return out, nil
+}
+
+// fetchOn is Fetch against an explicit tree session.
+func fetchOn(t *core.Tree, r *Result) error {
+	before := t.IO.Stats()
+	if _, err := t.FetchPayloads(r.inner, nil); err != nil {
+		return err
+	}
+	d := t.IO.Stats().Sub(before)
+	r.HeavyIO += d.HeavyReads
+	r.SimTime += d.SimTime
+	r.Retries += d.Retries
+	// Payload faults absorbed during the fetch may have degraded items to
+	// coarser levels and appended degradation records: re-mirror both.
+	if len(r.inner.Degradations) > len(r.Degradations) {
+		fresh := wrapResult(r.inner)
+		r.Items = fresh.Items
+		r.Degradations = fresh.Degradations
+	}
+	return nil
+}
+
+// diskStatsFrom mirrors a storage.Stats snapshot into the public type.
+func diskStatsFrom(s storage.Stats) DiskStats {
+	return DiskStats{
+		Reads: s.Reads, Seeks: s.Seeks,
+		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
+		Retries: s.Retries,
+		SimTime: s.SimTime,
+		PoolHits:   s.PoolLightHits + s.PoolHeavyHits,
+		PoolMisses: s.PoolLightMisses + s.PoolHeavyMisses,
+	}
+}
