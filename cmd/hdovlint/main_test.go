@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden output files")
+
+// fixtureRoot reuses the analyzer's fixture module as an end-to-end
+// target: a mini-repository whose packages violate every pass.
+const fixtureRoot = "../../internal/analysis/testdata/src/fixture"
+
+// fixtureAPIGolden writes an in-sync API snapshot for the fixture
+// module, so apisnapshot stays quiet and the golden output captures only
+// the deliberate fixture violations.
+func fixtureAPIGolden(t *testing.T) string {
+	t.Helper()
+	l, err := analysis.NewLoader(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "api.golden")
+	if err := analysis.WriteAPIGolden(pkg.Types, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func checkGolden(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s (run `go test -update ./cmd/hdovlint` to create): %v", goldenPath, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestRunGoldenText runs the whole fixture module and compares the
+// human-readable report byte-for-byte against the committed golden.
+func TestRunGoldenText(t *testing.T) {
+	api := fixtureAPIGolden(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", fixtureRoot, "-api-golden", api, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings); stderr: %s", code, errb.String())
+	}
+	checkGolden(t, filepath.Join("testdata", "findings.golden"), out.Bytes())
+}
+
+// TestRunGoldenJSON runs the same analysis in -json mode.
+func TestRunGoldenJSON(t *testing.T) {
+	api := fixtureAPIGolden(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-root", fixtureRoot, "-api-golden", api, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings); stderr: %s", code, errb.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json reported no findings over the violation fixtures")
+	}
+	checkGolden(t, filepath.Join("testdata", "findings_json.golden"), out.Bytes())
+}
+
+// TestRunClean analyzes only the fixture root package (which is clean)
+// and expects a silent, successful exit in both output modes.
+func TestRunClean(t *testing.T) {
+	api := fixtureAPIGolden(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", fixtureRoot, "-api-golden", api, "fixture"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; out: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run produced output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", "-root", fixtureRoot, "-api-golden", api, "fixture"}, &out, &errb); code != 0 {
+		t.Fatalf("-json exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if got := out.String(); got != "[]\n" {
+		t.Fatalf("clean -json output = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestRunBadFlag checks the usage-error exit path.
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

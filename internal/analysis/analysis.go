@@ -1,0 +1,361 @@
+// Package analysis implements hdovlint, the project-invariant static
+// analyzer. The HDoV codebase carries invariants that ordinary Go vetting
+// cannot see — pinned buffer-pool pages must reach Release on every path,
+// Disk.mu must never be acquired under Disk.statsMu, query traversal must
+// stay deterministic so the differential suite's byte-identical guarantee
+// holds, and decoder/write errors must not be dropped. Each invariant is a
+// Pass; the driver type-checks packages with the standard library only
+// (go/parser + go/types with a source importer, no module dependencies)
+// and reports findings with file:line positions.
+//
+// A finding can be suppressed with a comment on the same line or the line
+// directly above it:
+//
+//	//lint:ignore <pass> reason
+//
+// The reason is mandatory; suppressions without one are themselves
+// reported. See DESIGN.md §11 for the invariant catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pass    string         `json:"pass"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Message string         `json:"message"`
+}
+
+// String formats the finding the way compilers do, so editors can jump to
+// it: file:line:col: [pass] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Pass, f.Message)
+}
+
+// Package is one type-checked package handed to the passes.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/storage"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass is one invariant checker.
+type Pass interface {
+	// Name is the pass identifier used in output and suppression comments.
+	Name() string
+	// Run inspects one package and returns its findings. Findings are
+	// filtered through suppression comments by the driver.
+	Run(pkg *Package) []Finding
+}
+
+// Passes returns the full hdovlint pass set. apiGoldenPath locates the
+// committed API snapshot for the apisnapshot pass (empty disables it).
+func Passes(apiGoldenPath string) []Pass {
+	ps := []Pass{
+		&PinReleasePass{},
+		&LockOrderPass{},
+		&DeterminismPass{},
+		&ErrFlowPass{},
+	}
+	if apiGoldenPath != "" {
+		ps = append(ps, &APISnapshotPass{GoldenPath: apiGoldenPath})
+	}
+	return ps
+}
+
+// Loader parses and type-checks packages of the repro module from source,
+// resolving standard-library imports through the toolchain's source
+// importer and module-internal imports from the repository tree itself.
+type Loader struct {
+	Root string // repository root (directory containing go.mod)
+	Fset *token.FileSet
+
+	module   string // module path from go.mod ("repro")
+	fallback types.ImporterFrom
+	cache    map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the repository directory.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:     abs,
+		Fset:     fset,
+		module:   mod,
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:    make(map[string]*Package),
+	}, nil
+}
+
+// modulePath reads the module directive from go.mod.
+func modulePath(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// Import implements types.Importer over the module tree + stdlib.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// dirFor maps an import path inside the module to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// Load parses and type-checks one module package by import path,
+// memoized. Test files (_test.go) are excluded: the invariants govern
+// shipping code, and test packages may deliberately violate them.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(path)
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses the non-test Go files of dir and type-checks them as
+// import path "path".
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ModulePackages walks the repository and returns the import paths of
+// every buildable package, skipping testdata, hidden directories, and the
+// analyzer's own fixture trees.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if base == "testdata" || (strings.HasPrefix(base, ".") && p != l.Root) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, l.module)
+				} else {
+					paths = append(paths, l.module+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Run executes every pass over every named package, applies suppression
+// comments, and returns the surviving findings sorted by position.
+func Run(l *Loader, passes []Pass, paths []string) ([]Finding, error) {
+	var out []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		sup := collectSuppressions(pkg)
+		for _, p := range passes {
+			for _, f := range p.Run(pkg) {
+				if sup.matches(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+		out = append(out, sup.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out, nil
+}
+
+// position converts a token.Pos into a Finding-ready position.
+func position(fset *token.FileSet, pos token.Pos) token.Position {
+	return fset.Position(pos)
+}
+
+// finding builds a Finding at pos.
+func finding(pass string, fset *token.FileSet, pos token.Pos, format string, args ...any) Finding {
+	p := position(fset, pos)
+	return Finding{
+		Pass:    pass,
+		Pos:     p,
+		File:    p.Filename,
+		Line:    p.Line,
+		Col:     p.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// suppressions indexes //lint:ignore comments by file and line.
+type suppressions struct {
+	// byLine maps file -> line -> set of suppressed pass names.
+	byLine    map[string]map[int]map[string]bool
+	malformed []Finding
+}
+
+// collectSuppressions scans the package's comments for lint directives.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := position(pkg.Fset, c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, finding("suppress", pkg.Fset, c.Pos(),
+						"malformed directive: want //lint:ignore <pass> <reason>"))
+					continue
+				}
+				pass := fields[0]
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byLine[pos.Filename] = lines
+				}
+				// A directive covers its own line and the line below it, so
+				// both same-line trailing comments and above-line comments
+				// work.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					set[pass] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether a finding is covered by a directive.
+func (s *suppressions) matches(f Finding) bool {
+	lines, ok := s.byLine[f.File]
+	if !ok {
+		return false
+	}
+	set, ok := lines[f.Line]
+	if !ok {
+		return false
+	}
+	return set[f.Pass] || set["all"]
+}

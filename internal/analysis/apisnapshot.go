@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// APISnapshotPass diffs the exported API of the module's root package
+// against a committed golden file (api.golden), so accidental breaking
+// changes — a renamed method, a narrowed signature, a vanished type —
+// fail CI with an explicit diff instead of surfacing in downstream
+// breakage. Intentional changes regenerate the snapshot with
+// `hdovlint -update-api`, which makes API evolution a reviewed, visible
+// hunk in the same commit as the code that causes it.
+type APISnapshotPass struct {
+	// GoldenPath locates the committed snapshot.
+	GoldenPath string
+}
+
+// Name implements Pass.
+func (*APISnapshotPass) Name() string { return "apisnapshot" }
+
+// Run implements Pass.
+func (p *APISnapshotPass) Run(pkg *Package) []Finding {
+	if strings.Contains(pkg.Path, "/") {
+		return nil // root package only
+	}
+	current := APISurface(pkg.Types)
+	raw, err := os.ReadFile(p.GoldenPath)
+	if err != nil {
+		return []Finding{{
+			Pass: "apisnapshot", File: p.GoldenPath, Line: 1, Col: 1,
+			Message: fmt.Sprintf("apisnapshot: cannot read golden snapshot: %v (regenerate with hdovlint -update-api)", err),
+		}}
+	}
+	golden := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+
+	have := make(map[string]bool, len(current))
+	for _, l := range current {
+		have[l] = true
+	}
+	want := make(map[string]bool, len(golden))
+	for _, l := range golden {
+		if l != "" {
+			want[l] = true
+		}
+	}
+	var out []Finding
+	for _, l := range golden {
+		if l != "" && !have[l] {
+			out = append(out, Finding{
+				Pass: "apisnapshot", File: p.GoldenPath, Line: 1, Col: 1,
+				Message: fmt.Sprintf("apisnapshot: exported API lost or changed: %q (breaking change? update api.golden deliberately)", l),
+			})
+		}
+	}
+	for _, l := range current {
+		if !want[l] {
+			out = append(out, Finding{
+				Pass: "apisnapshot", File: p.GoldenPath, Line: 1, Col: 1,
+				Message: fmt.Sprintf("apisnapshot: new exported API not in snapshot: %q (run hdovlint -update-api and commit)", l),
+			})
+		}
+	}
+	return out
+}
+
+// APISurface renders the exported surface of a package as sorted,
+// stable, one-per-line declarations. Unexported struct fields and
+// methods are omitted — they can change freely.
+func APISurface(pkg *types.Package) []string {
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s", name, types.TypeString(o.Type(), qual)))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s", name, types.TypeString(o.Type(), qual)))
+		case *types.Func:
+			lines = append(lines, fmt.Sprintf("func %s%s", name, signatureString(o.Type().(*types.Signature), qual)))
+		case *types.TypeName:
+			lines = append(lines, typeLines(o, qual)...)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// typeLines renders one exported type: its shape plus its exported
+// method set.
+func typeLines(o *types.TypeName, qual types.Qualifier) []string {
+	name := o.Name()
+	var lines []string
+	if o.IsAlias() {
+		lines = append(lines, fmt.Sprintf("type %s = %s", name, types.TypeString(o.Type(), qual)))
+		return lines
+	}
+	named, ok := o.Type().(*types.Named)
+	if !ok {
+		return lines
+	}
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		var fields []string
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, f.Name()+" "+types.TypeString(f.Type(), qual))
+		}
+		lines = append(lines, fmt.Sprintf("type %s struct { %s }", name, strings.Join(fields, "; ")))
+	case *types.Interface:
+		var methods []string
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			methods = append(methods, m.Name()+signatureString(m.Type().(*types.Signature), qual))
+		}
+		sort.Strings(methods)
+		lines = append(lines, fmt.Sprintf("type %s interface { %s }", name, strings.Join(methods, "; ")))
+	default:
+		lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(u, qual)))
+	}
+	// Exported methods, through the pointer method set (covers both
+	// receiver kinds).
+	mset := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < mset.Len(); i++ {
+		m := mset.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		fn, ok := m.(*types.Func)
+		if !ok {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("method (%s) %s%s", name, m.Name(),
+			signatureString(fn.Type().(*types.Signature), qual)))
+	}
+	return lines
+}
+
+// signatureString renders a function signature without the receiver.
+func signatureString(sig *types.Signature, qual types.Qualifier) string {
+	bare := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	s := types.TypeString(bare, qual)
+	return strings.TrimPrefix(s, "func")
+}
+
+// WriteAPIGolden regenerates the snapshot file from the given package.
+func WriteAPIGolden(pkg *types.Package, path string) error {
+	lines := APISurface(pkg)
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}

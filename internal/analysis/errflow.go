@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlowPass flags dropped errors on the serialization and storage
+// write paths, where a swallowed failure corrupts data silently instead
+// of failing the build or query:
+//
+//   - binary.Read / binary.Write with the error unchecked;
+//   - segment/page decoders (functions named Decode*/decode*) whose
+//     error result is discarded;
+//   - storage writes (WritePage / WriteBytes / WriteTo) whose error is
+//     assigned to the blank identifier or ignored as a statement.
+//
+// Unlike a general errcheck, the pass is deliberately narrow: these are
+// the calls whose failure modes the fault-injection and crash-safety
+// suites exercise, so ignoring them defeats tested recovery machinery.
+type ErrFlowPass struct{}
+
+// Name implements Pass.
+func (*ErrFlowPass) Name() string { return "errflow" }
+
+// watchedWriters are method names whose error results must be consumed.
+var watchedWriters = map[string]bool{
+	"WritePage":  true,
+	"WriteBytes": true,
+	"WriteTo":    true,
+}
+
+// Run implements Pass.
+func (p *ErrFlowPass) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, ok := p.watched(pkg, call); ok {
+						out = append(out, finding("errflow", pkg.Fset, call.Pos(),
+							"result of %s is ignored (a dropped error here corrupts data silently)", name))
+					}
+				}
+			case *ast.AssignStmt:
+				out = append(out, p.checkAssign(pkg, st)...)
+			case *ast.GoStmt:
+				if name, ok := p.watched(pkg, st.Call); ok {
+					out = append(out, finding("errflow", pkg.Fset, st.Call.Pos(),
+						"result of %s is lost in a go statement", name))
+				}
+			case *ast.DeferStmt:
+				if name, ok := p.watched(pkg, st.Call); ok {
+					out = append(out, finding("errflow", pkg.Fset, st.Call.Pos(),
+						"result of %s is lost in a defer", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// watched reports whether call is one of the guarded functions, with a
+// printable name.
+func (p *ErrFlowPass) watched(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if !callReturnsError(pkg, call) {
+		return "", false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// binary.Read / binary.Write.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if obj, ok := pkg.Info.Uses[id]; ok {
+				if pn, ok := obj.(*types.PkgName); ok {
+					if pn.Imported().Path() == "encoding/binary" && (name == "Read" || name == "Write") {
+						return "binary." + name, true
+					}
+					// Package-level decoders: vstore.DecodeX etc.
+					if isDecoderName(name) {
+						return pn.Imported().Name() + "." + name, true
+					}
+					return "", false
+				}
+			}
+		}
+		if watchedWriters[name] || isDecoderName(name) {
+			return exprString(fun.X) + "." + name, true
+		}
+	case *ast.Ident:
+		if isDecoderName(fun.Name) {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+// isDecoderName matches the project's decoder naming convention.
+func isDecoderName(name string) bool {
+	return strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "decode")
+}
+
+// callReturnsError reports whether any result of call has type error.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(tv.Type)
+}
+
+// checkAssign flags `_ = watchedCall(...)` and multi-assigns that blank
+// the error position.
+func (p *ErrFlowPass) checkAssign(pkg *Package, st *ast.AssignStmt) []Finding {
+	var out []Finding
+	if len(st.Rhs) != 1 {
+		return nil
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	name, ok := p.watched(pkg, call)
+	if !ok {
+		return nil
+	}
+	// Which result positions hold the error?
+	tv := pkg.Info.Types[call]
+	errIdx := []int{}
+	if tup, isTup := tv.Type.(*types.Tuple); isTup {
+		for i := 0; i < tup.Len(); i++ {
+			if named, isNamed := tup.At(i).Type().(*types.Named); isNamed &&
+				named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				errIdx = append(errIdx, i)
+			}
+		}
+	} else {
+		errIdx = append(errIdx, 0)
+	}
+	for _, i := range errIdx {
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if id, isID := st.Lhs[i].(*ast.Ident); isID && id.Name == "_" {
+			out = append(out, finding("errflow", pkg.Fset, st.Pos(),
+				"error from %s is assigned to _ (a dropped error here corrupts data silently)", name))
+		}
+	}
+	return out
+}

@@ -1,0 +1,449 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinReleasePass enforces the buffer-pool pin/release contract
+// (DESIGN.md §10): every page pinned with PinPage (or any call returning
+// a *storage.PinnedPage) must reach Release() on every control-flow path
+// of the acquiring function, or visibly transfer ownership (be returned,
+// stored into a composite/field, or passed to another function as the
+// pin value itself — reading p.Data transfers nothing).
+//
+// The checker is defer-aware — `defer p.Release()` covers every later
+// path including panics — and path-sensitive over the statement
+// structure: an early return inside a branch taken before the release is
+// a leak even when the fall-through path releases correctly.
+type PinReleasePass struct{}
+
+// Name implements Pass.
+func (*PinReleasePass) Name() string { return "pinrelease" }
+
+// Run implements Pass.
+func (p *PinReleasePass) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			c := &pinChecker{pkg: pkg}
+			exit := c.checkBlock(body.List, nil)
+			for _, v := range exit {
+				c.report(v, "can fall off the end of the function")
+			}
+			out = append(out, c.findings...)
+			// Keep walking: nested function literals get their own
+			// independent analysis.
+			return true
+		})
+	}
+	return out
+}
+
+// isPinAcquisition reports whether call returns a pinned page as its
+// first result: any call whose first result type is *PinnedPage. Matching
+// on the result type (not the callee name) catches wrappers around
+// PinPage too.
+func isPinAcquisition(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	first := tv.Type
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		first = tup.At(0).Type()
+	}
+	ptr, ok := first.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "PinnedPage"
+}
+
+// pinVar is one tracked pinned-page variable within a function body.
+type pinVar struct {
+	obj types.Object // nil for a discarded result
+	pos token.Pos    // acquisition site, for the diagnostic
+	// errObj is the error variable bound alongside the pin (`p, err :=
+	// PinPage(...)`); on paths where errObj is known non-nil the pin is
+	// nil, so the obligation does not exist there.
+	errObj types.Object
+}
+
+// pinState is the set of live (unreleased, unescaped) pins on the
+// current path.
+type pinState []*pinVar
+
+func (s pinState) without(obj types.Object) pinState {
+	out := make(pinState, 0, len(s))
+	for _, v := range s {
+		if v.obj != obj {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s pinState) has(obj types.Object) bool {
+	for _, v := range s {
+		if v.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// mergePins unions two path states (a pin unreleased on either path is
+// still an obligation).
+func mergePins(a, b pinState) pinState {
+	out := append(pinState{}, a...)
+	for _, v := range b {
+		if v.obj == nil || !out.has(v.obj) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type pinChecker struct {
+	pkg      *Package
+	findings []Finding
+}
+
+func (c *pinChecker) report(v *pinVar, why string) {
+	name := "pinned page"
+	if v.obj != nil {
+		name = "pinned page " + v.obj.Name()
+	}
+	c.findings = append(c.findings, finding("pinrelease", c.pkg.Fset, v.pos,
+		"%s %s without Release (a leaked pin keeps its frame unevictable)", name, why))
+}
+
+// checkBlock walks stmts with the set of live pins, returning the live
+// set at the fall-through exit. Terminating paths (return) are checked
+// inline.
+func (c *pinChecker) checkBlock(stmts []ast.Stmt, live pinState) pinState {
+	for _, s := range stmts {
+		live = c.checkStmt(s, live)
+	}
+	return live
+}
+
+// checkStmt processes one statement, returning the updated live set.
+func (c *pinChecker) checkStmt(s ast.Stmt, live pinState) pinState {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.checkAssign(st, live)
+	case *ast.DeferStmt:
+		if obj := c.releaseTarget(st.Call); obj != nil {
+			return live.without(obj)
+		}
+		return c.escapeThroughCall(st.Call, live)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if obj := c.releaseTarget(call); obj != nil {
+				return live.without(obj)
+			}
+			if isPinAcquisition(c.pkg, call) {
+				c.report(&pinVar{pos: call.Pos()}, "is discarded")
+				return live
+			}
+			return c.escapeThroughCall(call, live)
+		}
+		return live
+	case *ast.ReturnStmt:
+		escaped := make(map[types.Object]bool)
+		for _, r := range st.Results {
+			c.collectEscapes(r, escaped)
+		}
+		for _, v := range live {
+			if !escaped[v.obj] {
+				c.report(v, "can leave the function on this return path")
+			}
+		}
+		return nil
+	case *ast.BranchStmt:
+		// break/continue/goto: the pins stay live on the jumped-to path;
+		// approximating it with the current state keeps loops sound
+		// enough without a full CFG.
+		return live
+	case *ast.IfStmt:
+		if st.Init != nil {
+			live = c.checkStmt(st.Init, live)
+		}
+		thenLive, elseLive := c.splitOnErrCheck(st.Cond, live)
+		thenOut := c.checkBlock(st.Body.List, thenLive)
+		elseOut := elseLive
+		if st.Else != nil {
+			elseOut = c.checkStmt(st.Else, elseLive)
+		}
+		return mergePins(thenOut, elseOut)
+	case *ast.BlockStmt:
+		return c.checkBlock(st.List, live)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			live = c.checkStmt(st.Init, live)
+		}
+		// The body may run zero times, so pins released only inside it
+		// are still live on the fall-through path.
+		c.checkBlock(st.Body.List, live)
+		return live
+	case *ast.RangeStmt:
+		c.checkBlock(st.Body.List, live)
+		return live
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			live = c.checkStmt(st.Init, live)
+		}
+		return c.checkCases(st.Body, live)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			live = c.checkStmt(st.Init, live)
+		}
+		return c.checkCases(st.Body, live)
+	case *ast.SelectStmt:
+		return c.checkCases(st.Body, live)
+	case *ast.GoStmt:
+		return c.escapeThroughCall(st.Call, live)
+	case *ast.SendStmt:
+		escaped := make(map[types.Object]bool)
+		c.collectEscapes(st.Value, escaped)
+		return live.withoutAll(escaped)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			escaped := make(map[types.Object]bool)
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						c.collectEscapes(val, escaped)
+					}
+				}
+			}
+			return live.withoutAll(escaped)
+		}
+		return live
+	default:
+		return live
+	}
+}
+
+// splitOnErrCheck refines the live set per branch of `if <cond>`: inside
+// `err != nil` the pins acquired alongside err are nil and carry no
+// obligation; inside `err == nil` (and after its else) they do.
+func (c *pinChecker) splitOnErrCheck(cond ast.Expr, live pinState) (thenLive, elseLive pinState) {
+	thenLive, elseLive = live, live
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var errIdent *ast.Ident
+	if id, isID := bin.X.(*ast.Ident); isID && isNilIdent(bin.Y) {
+		errIdent = id
+	} else if id, isID := bin.Y.(*ast.Ident); isID && isNilIdent(bin.X) {
+		errIdent = id
+	}
+	if errIdent == nil {
+		return
+	}
+	obj := c.pkg.Info.Uses[errIdent]
+	if obj == nil {
+		return
+	}
+	drop := func(s pinState) pinState {
+		out := s
+		for _, v := range s {
+			if v.errObj == obj {
+				out = out.without(v.obj)
+			}
+		}
+		return out
+	}
+	switch bin.Op {
+	case token.NEQ: // err != nil: pin is nil in the then-branch
+		thenLive = drop(live)
+	case token.EQL: // err == nil: pin is nil in the else-branch
+		elseLive = drop(live)
+	}
+	return
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func (s pinState) withoutAll(objs map[types.Object]bool) pinState {
+	out := s
+	for obj := range objs {
+		out = out.without(obj)
+	}
+	return out
+}
+
+// checkCases walks each case clause of a switch/select body as an
+// independent branch and merges the exits.
+func (c *pinChecker) checkCases(body *ast.BlockStmt, live pinState) pinState {
+	var merged pinState
+	sawDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				sawDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				sawDefault = true
+			}
+		}
+		merged = mergePins(merged, c.checkBlock(stmts, live))
+	}
+	if !sawDefault {
+		// Without a default clause the no-case-taken path keeps the
+		// incoming obligations alive.
+		merged = mergePins(merged, live)
+	}
+	return merged
+}
+
+// checkAssign handles `p, err := d.PinPage(...)` acquisitions, and
+// escapes through the RHS of ordinary assignments.
+func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
+	if len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isPinAcquisition(c.pkg, call) {
+			live = c.escapeThroughCall(call, live)
+			if len(st.Lhs) >= 1 {
+				switch lhs := st.Lhs[0].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						c.report(&pinVar{pos: call.Pos()}, "is discarded")
+						return live
+					}
+					var obj types.Object
+					if o := c.pkg.Info.Defs[lhs]; o != nil {
+						obj = o
+					} else if o := c.pkg.Info.Uses[lhs]; o != nil {
+						obj = o
+					}
+					if obj == nil {
+						return live
+					}
+					if live.has(obj) {
+						for _, v := range live {
+							if v.obj == obj {
+								c.report(v, "is overwritten by a new acquisition")
+							}
+						}
+						live = live.without(obj)
+					}
+					var errObj types.Object
+					if len(st.Lhs) >= 2 {
+						if eid, ok := st.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+							if o := c.pkg.Info.Defs[eid]; o != nil {
+								errObj = o
+							} else if o := c.pkg.Info.Uses[eid]; o != nil {
+								errObj = o
+							}
+						}
+					}
+					return append(live[:len(live):len(live)], &pinVar{obj: obj, pos: call.Pos(), errObj: errObj})
+				default:
+					// Stored straight into a field, slice element, or map:
+					// ownership transfers to the container.
+					return live
+				}
+			}
+			return live
+		}
+	}
+	escaped := make(map[types.Object]bool)
+	for _, r := range st.Rhs {
+		c.collectEscapes(r, escaped)
+	}
+	return live.withoutAll(escaped)
+}
+
+// releaseTarget returns the tracked object released by an `x.Release()`
+// call, or nil.
+func (c *pinChecker) releaseTarget(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return c.pkg.Info.Uses[id]
+}
+
+// escapeThroughCall drops pins passed as arguments: ownership moves to
+// the callee.
+func (c *pinChecker) escapeThroughCall(call *ast.CallExpr, live pinState) pinState {
+	escaped := make(map[types.Object]bool)
+	for _, a := range call.Args {
+		c.collectEscapes(a, escaped)
+	}
+	return live.withoutAll(escaped)
+}
+
+// collectEscapes records tracked variables whose pin *value* flows into
+// e: a bare identifier (possibly parenthesized, address-taken, or nested
+// in a composite literal or call argument). Selections like p.Data and
+// comparisons like p != nil do not transfer the obligation — only the
+// *PinnedPage itself moving on counts, so the pass stays quiet on normal
+// read-the-data usage.
+func (c *pinChecker) collectEscapes(e ast.Expr, out map[types.Object]bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := c.pkg.Info.Uses[x]; o != nil {
+			out[o] = true
+		}
+	case *ast.ParenExpr:
+		c.collectEscapes(x.X, out)
+	case *ast.UnaryExpr:
+		c.collectEscapes(x.X, out)
+	case *ast.StarExpr:
+		c.collectEscapes(x.X, out)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			c.collectEscapes(a, out)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			c.collectEscapes(el, out)
+		}
+	case *ast.KeyValueExpr:
+		c.collectEscapes(x.Value, out)
+	case *ast.FuncLit:
+		// A closure capturing the pin takes over the obligation.
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if o := c.pkg.Info.Uses[id]; o != nil {
+					out[o] = true
+				}
+			}
+			return true
+		})
+	}
+}

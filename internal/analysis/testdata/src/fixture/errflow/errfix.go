@@ -1,0 +1,58 @@
+// Package errfix is the errflow fixture: storage-write shaped methods,
+// binary encoding calls, and decoder-named functions whose error results
+// are variously dropped and consumed.
+package errfix
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Disk carries a WriteBytes method matching the watched writer names.
+type Disk struct{}
+
+// WriteBytes mirrors the storage write API.
+func (d *Disk) WriteBytes(p int64, b []byte) error {
+	return nil
+}
+
+// DecodeThing matches the project's decoder naming convention.
+func DecodeThing(b []byte) (int, error) {
+	return len(b), nil
+}
+
+// IgnoredWrite drops the write error as a bare statement.
+func IgnoredWrite(d *Disk) {
+	d.WriteBytes(0, nil) // want errflow
+}
+
+// BlankWrite assigns the error to the blank identifier.
+func BlankWrite(d *Disk) {
+	_ = d.WriteBytes(0, nil) // want errflow
+}
+
+// CheckedWrite propagates the error: clean.
+func CheckedWrite(d *Disk) error {
+	return d.WriteBytes(0, nil)
+}
+
+// IgnoredBinary drops binary.Write's error.
+func IgnoredBinary(buf *bytes.Buffer) {
+	binary.Write(buf, binary.LittleEndian, uint32(1)) // want errflow
+}
+
+// BlankDecode blanks the decoder error position.
+func BlankDecode(b []byte) int {
+	v, _ := DecodeThing(b) // want errflow
+	return v
+}
+
+// CheckedDecode propagates: clean.
+func CheckedDecode(b []byte) (int, error) {
+	return DecodeThing(b)
+}
+
+// DeferredWrite loses the error in a defer.
+func DeferredWrite(d *Disk) {
+	defer d.WriteBytes(0, nil) // want errflow
+}

@@ -1,0 +1,35 @@
+// Package fixture is the root package of the analyzer's fixture module.
+// Its exported surface exercises the apisnapshot pass: the fixture tests
+// snapshot this API, then mutate the golden file and assert the pass
+// reports both the lost and the unexpected declarations.
+package fixture
+
+// Version is the fixture API version.
+const Version = 1
+
+// DefaultName is the zero-config widget name.
+var DefaultName = "widget"
+
+// Widget is an exported type with one exported and one hidden field;
+// only the exported field may appear in the API surface.
+type Widget struct {
+	Name   string
+	hidden int
+}
+
+// Grow returns a copy of w grown by n sizes.
+func (w *Widget) Grow(n int) Widget {
+	out := *w
+	out.hidden += n
+	return out
+}
+
+// MakeWidget constructs a named widget.
+func MakeWidget(name string) *Widget {
+	return &Widget{Name: name}
+}
+
+// Sizer measures widgets.
+type Sizer interface {
+	Size(w Widget) int
+}

@@ -1,0 +1,66 @@
+// Package storagefix is the lockorder fixture. Its import path ends in
+// internal/storage, so the pass's default scope applies; the mutex
+// fields deliberately reuse the real Disk's names (mu outer, statsMu
+// inner).
+package storagefix
+
+import (
+	"io"
+	"sync"
+)
+
+// Disk mirrors the real disk's two-lock layout.
+type Disk struct {
+	mu      sync.RWMutex
+	statsMu sync.Mutex
+	n       int
+}
+
+// SelfNest locks mu twice without an intervening unlock.
+func (d *Disk) SelfNest() {
+	d.mu.Lock()
+	d.mu.Lock() // want lockorder
+	d.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Inversion acquires the outer mu while the inner statsMu is held.
+func (d *Disk) Inversion() {
+	d.statsMu.Lock()
+	d.mu.Lock() // want lockorder
+	d.mu.Unlock()
+	d.statsMu.Unlock()
+}
+
+// CorrectOrder takes mu before statsMu, the documented direction: clean.
+func (d *Disk) CorrectOrder() {
+	d.mu.Lock()
+	d.statsMu.Lock()
+	d.statsMu.Unlock()
+	d.mu.Unlock()
+}
+
+// IOUnderLock writes through an interface while holding mu (the defer
+// keeps it held to function exit).
+func (d *Disk) IOUnderLock(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, err := w.Write(nil) // want lockorder
+	return err
+}
+
+// IOAfterUnlock snapshots under the lock and writes after: clean.
+func (d *Disk) IOAfterUnlock(w io.Writer) error {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	_, err := w.Write(make([]byte, n))
+	return err
+}
+
+// CallbackUnderLock hands control to an unknown func value under mu.
+func (d *Disk) CallbackUnderLock(fn func()) {
+	d.mu.Lock()
+	fn() // want lockorder
+	d.mu.Unlock()
+}

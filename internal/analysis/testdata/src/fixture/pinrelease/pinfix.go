@@ -1,0 +1,115 @@
+// Package pinfix is the pinrelease fixture: the pass matches any call
+// whose first result is a *PinnedPage, so the fixture carries its own
+// miniature pin API and needs no dependency on internal/storage.
+//
+// Lines expecting a finding carry a trailing `// want pinrelease`
+// marker; the driver test fails if the findings and markers disagree in
+// either direction.
+package pinfix
+
+// PinnedPage mirrors the storage pin handle's shape.
+type PinnedPage struct {
+	Data []byte
+}
+
+// Release unpins the page.
+func (p *PinnedPage) Release() {}
+
+// Disk mirrors the storage pin acquisition API.
+type Disk struct{}
+
+// PinPage acquires a pin.
+func (d *Disk) PinPage(id int) (*PinnedPage, error) {
+	return nil, nil
+}
+
+// LeakStraight never releases: flagged at the acquisition.
+func LeakStraight(d *Disk) {
+	p, err := d.PinPage(1) // want pinrelease
+	if err != nil {
+		return
+	}
+	_ = p.Data
+}
+
+// LeakOnBranch releases on the fall-through path but leaks on the early
+// return: still flagged at the acquisition.
+func LeakOnBranch(d *Disk, cond bool) error {
+	p, err := d.PinPage(2) // want pinrelease
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	p.Release()
+	return nil
+}
+
+// ReleaseBothBranches releases on every path: clean.
+func ReleaseBothBranches(d *Disk, cond bool) {
+	p, err := d.PinPage(3)
+	if err != nil {
+		return
+	}
+	if cond {
+		p.Release()
+		return
+	}
+	p.Release()
+}
+
+// DeferRelease covers every later path with one defer: clean.
+func DeferRelease(d *Disk, cond bool) error {
+	p, err := d.PinPage(4)
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	if cond {
+		return nil
+	}
+	_ = p.Data
+	return nil
+}
+
+// Discard drops the pin as a bare statement.
+func Discard(d *Disk) {
+	d.PinPage(5) // want pinrelease
+}
+
+// DiscardBlank drops the pin into the blank identifier.
+func DiscardBlank(d *Disk) {
+	_, _ = d.PinPage(6) // want pinrelease
+}
+
+// Overwrite reacquires into a live pin variable: the first acquisition
+// is flagged, the second is released.
+func Overwrite(d *Disk) {
+	p, _ := d.PinPage(7) // want pinrelease
+	p, _ = d.PinPage(8)
+	p.Release()
+}
+
+// AcquireFor returns the pin: ownership transfers to the caller, clean.
+func AcquireFor(d *Disk) (*PinnedPage, error) {
+	p, err := d.PinPage(9)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// holder keeps a pin alive across calls.
+type holder struct {
+	p *PinnedPage
+}
+
+// Stash stores the pin into a struct: ownership transfers, clean.
+func Stash(d *Disk, h *holder) {
+	p, err := d.PinPage(10)
+	if err != nil {
+		return
+	}
+	h.p = p
+}

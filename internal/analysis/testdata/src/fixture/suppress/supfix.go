@@ -1,0 +1,50 @@
+// Package supfix exercises the suppression machinery: a justified
+// directive silences its finding, a wrong-pass directive does not, a
+// reason-less directive is itself reported (pass "suppress") and
+// suppresses nothing, and the "all" wildcard covers every pass.
+package supfix
+
+// PinnedPage mirrors the storage pin handle's shape.
+type PinnedPage struct {
+	Data []byte
+}
+
+// Release unpins the page.
+func (p *PinnedPage) Release() {}
+
+// Disk mirrors the storage pin acquisition API.
+type Disk struct{}
+
+// PinPage acquires a pin.
+func (d *Disk) PinPage(id int) (*PinnedPage, error) {
+	return nil, nil
+}
+
+// Good leaks, but the justified directive suppresses the finding.
+func Good(d *Disk) {
+	//lint:ignore pinrelease fixture: pin ownership is tracked out of band
+	p, _ := d.PinPage(1)
+	_ = p.Data
+}
+
+// WrongPass suppresses a different pass; the pinrelease finding survives.
+func WrongPass(d *Disk) {
+	//lint:ignore lockorder fixture: names the wrong pass on purpose
+	p, _ := d.PinPage(2)
+	_ = p.Data
+}
+
+// Malformed omits the mandatory reason: the directive is reported as a
+// "suppress" finding and the leak is reported too.
+func Malformed(d *Disk) {
+	//lint:ignore pinrelease
+	p, _ := d.PinPage(3)
+	_ = p.Data
+}
+
+// Wildcard uses the "all" pass name to cover any finding on the line.
+func Wildcard(d *Disk) {
+	//lint:ignore all fixture: wildcard suppression
+	p, _ := d.PinPage(4)
+	_ = p.Data
+}

@@ -185,7 +185,9 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	t.mirror(rt)
 
 	// Step 3: internal LoDs, bottom-up; writes payload extents.
-	t.buildInternalLoDs()
+	if err := t.buildInternalLoDs(); err != nil {
+		return nil, nil, err
+	}
 
 	// Measure rho: the mean coarsest/finest polygon ratio of the object
 	// chains, the LoD-selected-retrieval correction of the equation-3
@@ -201,7 +203,9 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	t.RhoMeasured = rhoSum / float64(len(sc.Objects))
 
 	// Step 4: object LoD payload extents.
-	t.writeObjectPayloads()
+	if err := t.writeObjectPayloads(); err != nil {
+		return nil, nil, err
+	}
 
 	// Step 5: node records.
 	if err := t.writeNodeRecords(); err != nil {
@@ -251,7 +255,7 @@ func (t *Tree) mirror(rt *rtree.Tree) {
 // aggregates its children's internal LoDs — "Internal LoDs of nodes at
 // higher levels are then generated in a bottom-up order" (§5.1). The
 // simplification target enforces npoly(node) ≈ S · Σ npoly(children).
-func (t *Tree) buildInternalLoDs() {
+func (t *Tree) buildInternalLoDs() error {
 	var sSum float64
 	var sCnt int
 	// DFS preorder guarantees children have higher IDs than parents, so
@@ -298,7 +302,9 @@ func (t *Tree) buildInternalLoDs() {
 			}
 			start := t.Disk.AllocPages(t.Disk.PagesFor(nominal))
 			// Real bytes are written so the mesh can be reloaded.
-			_ = t.Disk.WriteBytes(start, enc)
+			if err := t.Disk.WriteBytes(start, enc); err != nil {
+				return fmt.Errorf("core: node %d internal LoD %d: %w", n.ID, li, err)
+			}
 			n.InternalExtents[li] = Extent{Start: start, NominalBytes: nominal, RealBytes: int64(len(enc))}
 			n.InternalPolys[li] = m.NumTriangles()
 		}
@@ -320,10 +326,11 @@ func (t *Tree) buildInternalLoDs() {
 			n.Entries[ei].LoDPolys = append([]int(nil), c.InternalPolys...)
 		}
 	}
+	return nil
 }
 
 // writeObjectPayloads allocates and writes the object LoD payload extents.
-func (t *Tree) writeObjectPayloads() {
+func (t *Tree) writeObjectPayloads() error {
 	t.ObjExtents = make([][]Extent, len(t.Scene.Objects))
 	for _, o := range t.Scene.Objects {
 		exts := make([]Extent, o.LoDs.NumLevels())
@@ -334,11 +341,14 @@ func (t *Tree) writeObjectPayloads() {
 				nominal = int64(len(enc))
 			}
 			start := t.Disk.AllocPages(t.Disk.PagesFor(nominal))
-			_ = t.Disk.WriteBytes(start, enc)
+			if err := t.Disk.WriteBytes(start, enc); err != nil {
+				return fmt.Errorf("core: object %d LoD %d: %w", o.ID, li, err)
+			}
 			exts[li] = Extent{Start: start, NominalBytes: nominal, RealBytes: int64(len(enc))}
 		}
 		t.ObjExtents[o.ID] = exts
 	}
+	return nil
 }
 
 // writeNodeRecords lays the node records out contiguously in ID order with
@@ -516,7 +526,11 @@ func (t *Tree) aggregate(objDoV []float64) [][]VD {
 // VisData field: non-negativity, the parent-sum property, and the
 // visible-child property. Returns the first violation.
 func (t *Tree) CheckVisDataInvariants(vis *VisData) error {
-	for cell, perNode := range vis.PerCell {
+	// Walk cells in ID order, not map order, so which violation is
+	// reported first is the same on every run.
+	for c := 0; c < vis.Grid.NumCells(); c++ {
+		cell := cells.CellID(c)
+		perNode := vis.PerCell[cell]
 		for id, vd := range perNode {
 			if vd == nil {
 				continue

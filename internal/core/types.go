@@ -149,6 +149,7 @@ func (v *VisData) AvgVisibleNodes() float64 {
 		return 0
 	}
 	total := 0
+	//lint:ignore determinism integer summation over all cells is iteration-order independent
 	for cell := range v.PerCell {
 		total += v.VisibleNodes(cell)
 	}

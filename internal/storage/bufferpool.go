@@ -26,6 +26,7 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // PoolConfig configures the disk's buffer pool.
@@ -334,22 +335,25 @@ func (d *Disk) PoolStats() PoolStats {
 }
 
 // PinnedPage is a page held resident in the buffer pool. The Data slice
-// is immutable; Release drops the residency guarantee. Releasing twice is
-// a no-op.
+// is immutable; Release drops the residency guarantee. Release is
+// idempotent and safe to call concurrently: exactly one call decrements
+// the pin count, every other is a no-op.
 type PinnedPage struct {
 	d        *Disk
 	id       PageID
-	released bool
+	released atomic.Bool
 	// Data is the page content at pin time.
 	Data []byte
 }
 
-// Release unpins the page, making its frame evictable again.
+// Release unpins the page, making its frame evictable again. The
+// compare-and-swap guarantees a double (or racing) Release cannot
+// decrement the frame's pin count twice — an extra decrement would let
+// the pool evict a frame some other holder still relies on.
 func (p *PinnedPage) Release() {
-	if p == nil || p.released {
+	if p == nil || !p.released.CompareAndSwap(false, true) {
 		return
 	}
-	p.released = true
 	p.d.mu.RLock()
 	pool := p.d.pool
 	p.d.mu.RUnlock()
@@ -384,10 +388,10 @@ func (d *Disk) pinPage(id PageID, class Class, sink *Client) (*PinnedPage, error
 		if pinned, ok := pool.pin(id); ok {
 			out.Data = pinned
 		} else {
-			out.released = true // not resident (pool races or admission off)
+			out.released.Store(true) // not resident (pool races or admission off)
 		}
 	} else {
-		out.released = true
+		out.released.Store(true)
 	}
 	return out, nil
 }

@@ -29,12 +29,21 @@ const (
 var ErrBadImage = errors.New("storage: bad disk image")
 
 // WriteTo serializes the disk's pages. It implements io.WriterTo. The
-// disk's structural lock is held for reading throughout, so the image is
-// a consistent snapshot even with concurrent writers; concurrent readers
-// proceed unimpeded.
+// structural lock is held only long enough to snapshot the page table —
+// page data slices are immutable once inserted (WritePage replaces, never
+// mutates), so the shallow copy is a consistent point-in-time image even
+// with concurrent writers, and no I/O happens under d.mu (the lockorder
+// invariant, DESIGN.md §11).
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
+	allocated := d.allocated
+	pageSize := d.pageSize
+	pages := make(map[PageID][]byte, len(d.data))
+	for id, p := range d.data {
+		pages[id] = p
+	}
+	d.mu.RUnlock()
+
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
 	var written int64
@@ -47,19 +56,19 @@ func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	var hdr [imageHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], imageVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.pageSize))
-	binary.LittleEndian.PutUint64(hdr[12:], uint64(d.allocated))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(pageSize))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(allocated))
 	if err := put(hdr[:]); err != nil {
 		return written, err
 	}
 	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(d.data)))
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(pages)))
 	if err := put(cnt[:]); err != nil {
 		return written, err
 	}
 	// Deterministic layout: ascending page ID.
-	ids := make([]PageID, 0, len(d.data))
-	for id := range d.data {
+	ids := make([]PageID, 0, len(pages))
+	for id := range pages {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -69,7 +78,7 @@ func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 		if err := put(idbuf[:]); err != nil {
 			return written, err
 		}
-		if err := put(d.data[id]); err != nil {
+		if err := put(pages[id]); err != nil {
 			return written, err
 		}
 	}

@@ -41,8 +41,12 @@ func BuildHorizontal(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Horiz
 		// Table 2 reports the logical footprint: size_vpage · c · N_node.
 		sizeBytes: int64(vpb) * int64(c) * int64(vis.NumNodes),
 	}
-	for cell, perNode := range vis.PerCell {
-		for id, vd := range perNode {
+	// Cells are laid down in ID order (not map order) so the build's
+	// write sequence — and therefore the disk image byte stream — is
+	// identical on every run.
+	for ci := 0; ci < c; ci++ {
+		cell := cells.CellID(ci)
+		for id, vd := range vis.PerCell[cell] {
 			if vd == nil {
 				continue // invisible: the reserved V-page stays zero-filled
 			}

@@ -221,8 +221,8 @@ func diskStatsFrom(s storage.Stats) DiskStats {
 	return DiskStats{
 		Reads: s.Reads, Seeks: s.Seeks,
 		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
-		Retries: s.Retries,
-		SimTime: s.SimTime,
+		Retries:    s.Retries,
+		SimTime:    s.SimTime,
 		PoolHits:   s.PoolLightHits + s.PoolHeavyHits,
 		PoolMisses: s.PoolLightMisses + s.PoolHeavyMisses,
 	}
