@@ -32,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		expFlag  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		expAlias = fs.String("experiment", "", "alias for -exp")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		quick    = fs.Bool("quick", false, "use the small smoke-test parameter set")
 		queries  = fs.Int("queries", 0, "override the visibility-query count")
@@ -44,9 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache    = fs.Int("cache", 1<<16, "serve mode: shared buffer pool size in pages")
 		guard    = fs.String("guard", "", "compare fresh bench metrics against a committed baseline file; exit 1 on >25% regression")
 		writeBas = fs.String("writebaseline", "", "measure and write the baseline file, then exit")
+		writeWC  = fs.String("writewalkcoherence", "", "measure and write the walkcoherence reference file, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *expAlias != "" {
+		*expFlag = *expAlias
 	}
 
 	if *list {
@@ -90,6 +95,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "baseline written to %s (workload %s)\n", *writeBas, b.Workload)
+		return 0
+	}
+
+	if *writeWC != "" {
+		wc, err := bench.CollectWalkCoherence(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteWalkCoherence(*writeWC, wc); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "walkcoherence reference written to %s (workload %s)\n", *writeWC, wc.Workload)
 		return 0
 	}
 

@@ -56,6 +56,8 @@ func TestPassFixtures(t *testing.T) {
 		{&PinReleasePass{}, "fixture/pinrelease"},
 		{&LockOrderPass{}, "fixture/internal/storage"},
 		{&DeterminismPass{}, "fixture/internal/core"},
+		{&DeterminismPass{}, "fixture/prefetch/internal/storage"},
+		{&DeterminismPass{}, "fixture/prefetch/internal/walkthrough"},
 		{&ErrFlowPass{}, "fixture/errflow"},
 	}
 	l := fixtureLoader(t)

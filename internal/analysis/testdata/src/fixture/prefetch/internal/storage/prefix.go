@@ -1,0 +1,39 @@
+// Package prefix is the prefetch-isolation fixture. Its import path
+// ends in internal/storage, so both rules apply: goroutine bodies and
+// Enqueue closures may not reference core's QueryResult.
+package prefix
+
+import corefix "fixture/internal/core"
+
+// Queue mimics the prefetcher's enqueue surface; the rule matches the
+// method name, not the receiver type.
+type Queue struct{}
+
+// Enqueue accepts a job closure.
+func (q *Queue) Enqueue(job func() int) bool { _ = job; return true }
+
+// WorkerTouchesResult spawns a goroutine that reads query state.
+func WorkerTouchesResult(res *corefix.QueryResult) {
+	go func() {
+		_ = res.Items // want determinism
+	}()
+}
+
+// WorkerCounts touches only a counter from its goroutine: clean.
+func WorkerCounts(n *int) {
+	go func() {
+		*n++
+	}()
+}
+
+// JobCapturesResult hands the queue a closure over query state.
+func JobCapturesResult(q *Queue, res *corefix.QueryResult) {
+	q.Enqueue(func() int {
+		return len(res.Items) // want determinism
+	})
+}
+
+// JobCapturesIDs captures only plain identifiers: clean.
+func JobCapturesIDs(q *Queue, cell int) {
+	q.Enqueue(func() int { return cell })
+}

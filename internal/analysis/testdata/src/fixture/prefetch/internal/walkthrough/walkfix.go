@@ -1,0 +1,34 @@
+// Package walkfix is the walkthrough half of the prefetch-isolation
+// fixture: the Enqueue-closure rule applies here too (the player is
+// where jobs are built), but the goroutine rule does not — players
+// legitimately move results across goroutines in the session manager.
+package walkfix
+
+import corefix "fixture/internal/core"
+
+type queue struct{}
+
+func (q *queue) Enqueue(job func() int) bool { _ = job; return true }
+
+// PlayerGoroutine touches a result from a plain goroutine: allowed in
+// this package.
+func PlayerGoroutine(res *corefix.QueryResult) {
+	done := make(chan struct{})
+	go func() {
+		_ = res.Items
+		close(done)
+	}()
+	<-done
+}
+
+// EnqueueResult captures a result in a prefetch job: flagged.
+func EnqueueResult(q *queue, res *corefix.QueryResult) {
+	q.Enqueue(func() int {
+		return len(res.Items) // want determinism
+	})
+}
+
+// EnqueueCell captures only a cell identifier: clean.
+func EnqueueCell(q *queue, cell int) {
+	q.Enqueue(func() int { return cell })
+}

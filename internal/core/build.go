@@ -119,6 +119,13 @@ type Tree struct {
 	vstore       VStore
 	nodePageBase storage.PageID
 	nodeStride   int // pages per node record
+
+	// cut is the session's retained traversal frontier (QueryCoherent);
+	// nil until the first coherent query. Sessions never inherit a cut.
+	cut *cutState
+	// resPool recycles QueryResults within one session (see Recycle);
+	// nil on the base tree, so recycling is per-session by construction.
+	resPool *resultPool
 }
 
 // Root returns the root node.

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/storage"
+)
+
+// Frame-coherent incremental traversal. A walkthrough viewer moves between
+// *adjacent* cells, and the Figure 3 traversal's shape changes only where
+// DoV values cross the η threshold — almost nowhere, between neighbors. A
+// session can therefore keep the previous query's traversal cut (the
+// frontier where the descent terminated, with the decision per entry) and,
+// on the next query, re-evaluate that cut against the new cell's V-data:
+// entries whose DoV rose re-expand, subtrees whose DoV fell collapse, and
+// every retained interior node answers from its cached record instead of a
+// disk read. V-data is ALWAYS re-read for the new cell (it is
+// view-variant by definition); only the view-invariant node records are
+// reused. The answer set is byte-identical to a from-root traversal — the
+// differential suite asserts exactly that across all three schemes.
+//
+// Fault handling is deliberately blunt: the incremental path absorbs
+// nothing. Any error — corrupt V-page, quarantined record, decode failure
+// — invalidates the whole cut and falls back to a plain Query, which
+// degrades (or fails) exactly like a fresh full traversal would. A
+// degraded query never seeds a cut, so a stale frontier can never be
+// re-served after a fault.
+
+// cutNode is one retained node of the previous query's traversal tree:
+// the decoded record (view-invariant, so reusable across cells) and the
+// children that were descended into last time, in entry order.
+type cutNode struct {
+	id       NodeID
+	node     *Node // cached decoded record; nil until first visited
+	children []*cutNode
+}
+
+// CoherenceStats counts how a session's QueryCoherent calls were served.
+type CoherenceStats struct {
+	// Incremental counts queries served through the cut machinery — a
+	// cold start is included (its seed cut is just the root, so every
+	// node shows up in Expanded); Full counts fallbacks to plain Query
+	// after a traversal fault or decode error invalidated the cut.
+	Incremental int64
+	Full        int64
+	// NodesReused counts node records served from the cut instead of
+	// disk; Expanded and Collapsed count cut edits (subtrees newly
+	// descended into, and subtrees dropped because their entry's decision
+	// changed or a fault forced a rebuild).
+	NodesReused int64
+	Expanded    int64
+	Collapsed   int64
+}
+
+// cutState is a session's cut between queries: valid for one η only —
+// changing the threshold moves the frontier everywhere, so it rebuilds.
+type cutState struct {
+	root  *cutNode
+	eta   float64
+	valid bool
+	stats CoherenceStats
+}
+
+// QueryCoherent is Query with incremental cut maintenance: identical
+// answer set (the differential suite asserts byte-identity, Degradations
+// included), but node records retained from this session's previous query
+// are served from memory, so a warm adjacent-cell query pays only the
+// V-data reads. Use on a Session driving a walkthrough; on a cold cut,
+// after an η change, or after any traversal fault it transparently runs
+// the full Query. Not safe for concurrent use — like every other method
+// of one session.
+func (t *Tree) QueryCoherent(cell cells.CellID, eta float64) (*QueryResult, error) {
+	if t.vstore == nil {
+		return nil, ErrNoVStore
+	}
+	if eta < 0 {
+		eta = 0
+	}
+	if t.cut == nil {
+		t.cut = &cutState{}
+	}
+	cs := t.cut
+	if !cs.valid || cs.eta != eta {
+		cs.root = &cutNode{id: 0}
+		cs.eta = eta
+		cs.valid = true
+	}
+	before := t.statsNow()
+	res := t.getResult(cell, eta)
+	err := t.vstore.SetCell(cell)
+	if err == nil {
+		err = t.searchCut(cs.root, eta, res)
+	}
+	if err != nil {
+		// Fail fast: drop the cut and answer with a full traversal, which
+		// absorbs (or reports) the fault exactly as a cold query would.
+		// The wasted incremental reads stay on this session's account;
+		// the returned result's Stats cover only the full traversal.
+		cs.valid = false
+		cs.root = nil
+		cs.stats.Full++
+		t.Recycle(res)
+		return t.Query(cell, eta)
+	}
+	cs.stats.Incremental++
+	d := t.statsNow().Sub(before)
+	res.Stats.LightIO = d.LightReads
+	res.Stats.HeavyIO = d.HeavyReads
+	res.Stats.Retries = d.Retries
+	res.Stats.SimTime = d.SimTime
+	for _, it := range res.Items {
+		res.Stats.TotalPolygons += it.Polygons
+		res.Stats.TotalBytes += it.Extent.NominalBytes
+	}
+	return res, nil
+}
+
+// CoherenceStats returns this session's incremental-traversal counters.
+func (t *Tree) CoherenceStats() CoherenceStats {
+	if t.cut == nil {
+		return CoherenceStats{}
+	}
+	return t.cut.stats
+}
+
+// InvalidateCut drops the retained cut; the next QueryCoherent runs a
+// full traversal. Callers that mutate the disk under a live session (test
+// harnesses injecting faults, repair tools) should invalidate explicitly
+// rather than rely on quarantine detection.
+func (t *Tree) InvalidateCut() {
+	if t.cut != nil {
+		t.cut.valid = false
+		t.cut.root = nil
+	}
+}
+
+// cutRecord returns cn's node record, from the cut cache when possible.
+// A cached record whose pages have since been quarantined is dropped and
+// re-read — the re-read surfaces the fault instead of masking it.
+// (Corruption injected after caching without quarantine is invisible
+// here, exactly as it is invisible to a page sitting in the buffer pool.)
+func (t *Tree) cutRecord(cn *cutNode, res *QueryResult) (*Node, error) {
+	if cn.node != nil && !t.recordQuarantined(cn.id) {
+		t.cut.stats.NodesReused++
+		return cn.node, nil
+	}
+	cn.node = nil
+	node, err := t.ReadNodeRecord(cn.id)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.NodesVisited++
+	cn.node = node
+	return node, nil
+}
+
+// recordQuarantined reports whether any page of id's record is parked.
+func (t *Tree) recordQuarantined(id NodeID) bool {
+	start := t.NodePage(id)
+	for i := 0; i < t.nodeStride; i++ {
+		if t.Disk.IsQuarantined(start + storage.PageID(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// child returns the retained cut child for id, if the previous traversal
+// descended into it. Children are kept in entry order and nodes have
+// bounded fan-out, so the linear scan is cheaper than any map.
+func (cn *cutNode) child(id NodeID) *cutNode {
+	for _, c := range cn.children {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// searchCut is searchNode re-rooted on the retained cut: the same Figure 3
+// decisions in the same entry order — so the same Items — but node records
+// come from the cut where retained, and the cut is rewritten in place to
+// the new traversal's shape. Always serial: the cut structure is the
+// shared mutable state a fan-out would have to lock, and the records it
+// saves are exactly the reads parallelism would have overlapped. No fault
+// absorption here — any error aborts to the caller's full-query fallback.
+func (t *Tree) searchCut(cn *cutNode, eta float64, res *QueryResult) error {
+	node, err := t.cutRecord(cn, res)
+	if err != nil {
+		return err
+	}
+	vd, ok, err := t.vstore.NodeVD(cn.id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Whole node invisible in this cell: the cut keeps cn (the record
+		// cache stays warm — a neighbor may flip it visible again) but
+		// drops the subtree below the frontier.
+		t.collapse(cn)
+		return nil
+	}
+	if len(vd) < len(node.Entries) {
+		return fmt.Errorf("core: node %d has %d entries but V-page has %d", cn.id, len(node.Entries), len(vd))
+	}
+	var keep []*cutNode
+	for ei, e := range node.Entries {
+		v := vd[ei]
+		if v.DoV <= 0 {
+			res.Stats.BranchesCut++
+			if !node.Leaf && cn.child(e.ChildID) != nil {
+				t.cut.stats.Collapsed++
+			}
+			continue
+		}
+		if node.Leaf {
+			k := LeafDetail(v.DoV)
+			lvl := chooseLevel(k, len(t.ObjExtents[e.ObjectID]))
+			obj := t.Scene.Object(e.ObjectID)
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: e.ObjectID,
+				NodeID:   NilNode,
+				DoV:      v.DoV,
+				Detail:   k,
+				Level:    lvl,
+				Polygons: obj.LoDs.PolygonsFor(k),
+				Extent:   t.ObjExtents[e.ObjectID][lvl],
+			})
+			continue
+		}
+		k := InternalDetail(v.DoV, eta)
+		internalPolys := interpolatePolys(e.LoDPolys, k)
+		avgObjPolys := 0.0
+		if e.DescCount > 0 {
+			avgObjPolys = float64(e.DescPolys) / float64(e.DescCount)
+		}
+		if len(e.LoDRefs) > 0 && v.DoV <= eta && (t.DisableTerminationHeuristic ||
+			TerminateHeuristic(internalPolys, avgObjPolys, t.RhoMeasured, v.NVO)) {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: -1,
+				NodeID:   e.ChildID,
+				DoV:      v.DoV,
+				Detail:   k,
+				Level:    lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			})
+			res.Stats.EarlyStops++
+			if cn.child(e.ChildID) != nil {
+				t.cut.stats.Collapsed++
+			}
+			continue
+		}
+		c := cn.child(e.ChildID)
+		if c == nil {
+			c = &cutNode{id: e.ChildID}
+			t.cut.stats.Expanded++
+		}
+		if err := t.searchCut(c, eta, res); err != nil {
+			return err
+		}
+		keep = append(keep, c)
+	}
+	cn.children = keep
+	return nil
+}
+
+// collapse drops cn's subtree from the cut (the frontier moved above it),
+// counting one collapse per retained descendant edge.
+func (t *Tree) collapse(cn *cutNode) {
+	for _, c := range cn.children {
+		t.cut.stats.Collapsed++
+		t.collapse(c)
+	}
+	cn.children = nil
+}

@@ -81,7 +81,7 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 		eta = 0
 	}
 	before := t.statsNow()
-	res := &QueryResult{Cell: cell, Eta: eta}
+	res := t.getResult(cell, eta)
 	if err := t.vstore.SetCell(cell); err != nil {
 		if !t.rootFallback(res, err, CauseCellFlip) {
 			return nil, fmt.Errorf("core: cell flip: %w", err)
@@ -248,7 +248,7 @@ func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *Quer
 		// alias one backing array across sibling subtrees.
 		p.childAnc = append(anc[:len(anc):len(anc)],
 			lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
-		p.sub = &QueryResult{Cell: res.Cell, Eta: res.Eta}
+		p.sub = t.getResult(res.Cell, res.Eta)
 	}
 	// Fan out: claim a worker slot per descent, or descend inline on this
 	// goroutine when all slots are busy (which also bounds recursion depth
@@ -291,9 +291,11 @@ func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *Quer
 				return p.err
 			}
 			t.substitute(res, p.childAnc, node.Entries[i].ChildID, p.dov, p.k, cause, page)
+			t.Recycle(p.sub)
 			continue
 		}
 		res.absorb(p.sub)
+		t.Recycle(p.sub)
 	}
 	return nil
 }

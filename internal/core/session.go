@@ -33,6 +33,11 @@ func (t *Tree) Session() *Tree {
 	if s.Parallel > 1 {
 		s.parSem = make(chan struct{}, s.Parallel-1)
 	}
+	// Frame-coherence state is strictly per-session: a fresh session
+	// starts with no retained cut and an empty result free list, never
+	// sharing either with the tree (or session) it was derived from.
+	s.cut = nil
+	s.resPool = &resultPool{}
 	return &s
 }
 

@@ -49,6 +49,10 @@ type PoolStats struct {
 	LightHits, LightMisses int64
 	HeavyHits, HeavyMisses int64
 	Evictions              int64
+	// PrefetchHits counts demand reads served by a frame the background
+	// prefetcher loaded; PrefetchWasted counts prefetched frames evicted
+	// or invalidated before any demand read used them.
+	PrefetchHits, PrefetchWasted int64
 	// Pages and Pinned are the current resident and pinned frame counts;
 	// Capacity is the configured limit.
 	Pages, Pinned, Capacity int
@@ -62,9 +66,13 @@ func (p PoolStats) Misses() int64 { return p.LightMisses + p.HeavyMisses }
 
 // bufFrame is one cached page copy with its pin count.
 type bufFrame struct {
-	id         PageID
-	data       []byte
-	pins       int
+	id   PageID
+	data []byte
+	pins int
+	// prefetched marks a frame loaded by the background prefetcher that
+	// no demand read has used yet; the first demand hit clears it and
+	// counts a prefetch hit, eviction while still set counts it wasted.
+	prefetched bool
 	prev, next *bufFrame
 }
 
@@ -79,6 +87,8 @@ type poolShard struct {
 	lightHits, lightMisses int64
 	heavyHits, heavyMisses int64
 	evictions              int64
+
+	prefetchHits, prefetchWasted int64
 }
 
 // bufferPool is a sharded LRU of page copies.
@@ -145,6 +155,10 @@ func (b *bufferPool) get(id PageID, class Class) ([]byte, bool) {
 	} else {
 		s.lightHits++
 	}
+	if f.prefetched {
+		f.prefetched = false
+		s.prefetchHits++
+	}
 	s.moveToFront(f)
 	return f.data, true
 }
@@ -178,7 +192,21 @@ func (b *bufferPool) put(id PageID, data []byte) {
 		s.unlink(victim)
 		delete(s.frames, victim.id)
 		s.evictions++
+		if victim.prefetched {
+			s.prefetchWasted++
+		}
 	}
+}
+
+// markPrefetched flags a resident frame as loaded by the background
+// prefetcher (no-op if the page is not resident).
+func (b *bufferPool) markPrefetched(id PageID) {
+	s := b.shard(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		f.prefetched = true
+	}
+	s.mu.Unlock()
 }
 
 // pin looks up id and, on a hit, increments its pin count so the frame
@@ -218,6 +246,9 @@ func (b *bufferPool) invalidate(id PageID) {
 	if f, ok := s.frames[id]; ok {
 		s.unlink(f)
 		delete(s.frames, id)
+		if f.prefetched {
+			s.prefetchWasted++
+		}
 	}
 }
 
@@ -232,6 +263,8 @@ func (b *bufferPool) stats() PoolStats {
 		out.HeavyHits += s.heavyHits
 		out.HeavyMisses += s.heavyMisses
 		out.Evictions += s.evictions
+		out.PrefetchHits += s.prefetchHits
+		out.PrefetchWasted += s.prefetchWasted
 		out.Pages += len(s.frames)
 		for f := s.head; f != nil; f = f.next {
 			if f.pins > 0 {
@@ -250,6 +283,7 @@ func (b *bufferPool) resetStats() {
 		s.lightHits, s.lightMisses = 0, 0
 		s.heavyHits, s.heavyMisses = 0, 0
 		s.evictions = 0
+		s.prefetchHits, s.prefetchWasted = 0, 0
 		s.mu.Unlock()
 	}
 }

@@ -87,6 +87,15 @@ type Stats struct {
 	PoolLightHits, PoolLightMisses int64
 	PoolHeavyHits, PoolHeavyMisses int64
 	PoolEvictions                  int64
+	// Prefetch accounting (zero with no pool or no prefetcher). A
+	// prefetched page that a demand read later hits counts as a
+	// PrefetchHit; one evicted or invalidated before any demand read
+	// counts as PrefetchWasted. Together they make the spike-flattening
+	// vs extra-I/O trade of background prefetching measurable.
+	PrefetchHits, PrefetchWasted int64
+	// VDCacheHits counts V-page reads answered from a scheme's decoded
+	// V-data cache (vstore), costing no page I/O.
+	VDCacheHits int64
 }
 
 // Sub returns s - o, for measuring a window of activity.
@@ -104,6 +113,9 @@ func (s Stats) Sub(o Stats) Stats {
 		PoolHeavyHits:   s.PoolHeavyHits - o.PoolHeavyHits,
 		PoolHeavyMisses: s.PoolHeavyMisses - o.PoolHeavyMisses,
 		PoolEvictions:   s.PoolEvictions - o.PoolEvictions,
+		PrefetchHits:    s.PrefetchHits - o.PrefetchHits,
+		PrefetchWasted:  s.PrefetchWasted - o.PrefetchWasted,
+		VDCacheHits:     s.VDCacheHits - o.VDCacheHits,
 	}
 }
 
@@ -122,6 +134,9 @@ func (s Stats) add(o Stats) Stats {
 		PoolHeavyHits:   s.PoolHeavyHits + o.PoolHeavyHits,
 		PoolHeavyMisses: s.PoolHeavyMisses + o.PoolHeavyMisses,
 		PoolEvictions:   s.PoolEvictions + o.PoolEvictions,
+		PrefetchHits:    s.PrefetchHits + o.PrefetchHits,
+		PrefetchWasted:  s.PrefetchWasted + o.PrefetchWasted,
+		VDCacheHits:     s.VDCacheHits + o.VDCacheHits,
 	}
 }
 
@@ -218,6 +233,8 @@ func (d *Disk) Stats() Stats {
 		s.PoolHeavyHits = ps.HeavyHits
 		s.PoolHeavyMisses = ps.HeavyMisses
 		s.PoolEvictions = ps.Evictions
+		s.PrefetchHits = ps.PrefetchHits
+		s.PrefetchWasted = ps.PrefetchWasted
 	}
 	return s
 }
@@ -702,3 +719,12 @@ func (c *Client) ReadExtent(start PageID, n int, class Class) error {
 func (c *Client) PinPage(id PageID, class Class) (*PinnedPage, error) {
 	return c.d.pinPage(id, class, c)
 }
+
+// RecordVDCacheHit charges one decoded-V-data cache hit (a V-page access
+// answered from memory, costing no page I/O). The vstore schemes call it
+// through whichever read handle their view charges to.
+func (d *Disk) RecordVDCacheHit() { d.charge(Stats{VDCacheHits: 1}, nil) }
+
+// RecordVDCacheHit mirrors Disk.RecordVDCacheHit with per-client
+// attribution.
+func (c *Client) RecordVDCacheHit() { c.d.charge(Stats{VDCacheHits: 1}, c) }

@@ -1,0 +1,182 @@
+package storage
+
+// Background prefetcher: a bounded queue of page-warming jobs drained by
+// one worker goroutine. Jobs come from the walkthrough's motion predictor
+// (the cell the viewer is about to enter) and resolve, on the worker, to
+// the disk pages holding that cell's visibility data; each page is then
+// pulled through the shared buffer pool with a pinned-then-released read
+// so it is resident — and cheap — when the demand query arrives.
+//
+// The prefetcher owns a Client, so its I/O is attributed separately from
+// every session's demand traffic; frames it loads are marked in the pool,
+// and Stats.PrefetchHits / Stats.PrefetchWasted report how many of them a
+// demand read later used versus how many were evicted untouched — the
+// spike-flattening vs extra-I/O trade, as a pair of counters.
+//
+// The worker never sees query state: jobs receive only a Reader and
+// return page IDs. hdovlint's determinism pass enforces that no goroutine
+// in this package (and no job enqueued from the walkthrough) touches
+// core.QueryResult.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PrefetchJob resolves, on the prefetch worker, to the pages worth
+// warming. Reads the job itself issues (segment lookups, directories) are
+// charged to the prefetcher's client like the page warms themselves.
+type PrefetchJob func(r Reader) ([]PageID, error)
+
+// DefaultPrefetchQueue is the queue bound when NewPrefetcher is given a
+// non-positive length: deep enough to cover a few predicted cells, small
+// enough that stale predictions are dropped rather than hoarded.
+const DefaultPrefetchQueue = 16
+
+// Prefetcher drains PrefetchJobs in the background, warming the disk's
+// buffer pool. Create one per walkthrough (or shared per disk); Close it
+// when playback ends. With no buffer pool installed warming is pointless,
+// so jobs resolve but their pages are skipped.
+type Prefetcher struct {
+	d      *Disk
+	client *Client
+	jobs   chan PrefetchJob
+	wg     sync.WaitGroup
+
+	// pending counts accepted-but-unfinished jobs; idle is broadcast when
+	// it drains to zero, which is what Quiesce waits on.
+	mu      sync.Mutex
+	idle    *sync.Cond
+	pending int
+
+	closed  atomic.Bool
+	dropped atomic.Int64
+	warmed  atomic.Int64
+}
+
+// NewPrefetcher starts a prefetcher with the given queue bound (<= 0 uses
+// DefaultPrefetchQueue) and one worker goroutine.
+func NewPrefetcher(d *Disk, queue int) *Prefetcher {
+	if queue <= 0 {
+		queue = DefaultPrefetchQueue
+	}
+	p := &Prefetcher{
+		d:      d,
+		client: d.NewClient(),
+		jobs:   make(chan PrefetchJob, queue),
+	}
+	p.idle = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for job := range p.jobs {
+			p.run(job)
+			p.track(-1)
+		}
+	}()
+	return p
+}
+
+// track adjusts the pending-job count, waking Quiesce waiters when the
+// queue drains.
+func (p *Prefetcher) track(delta int) {
+	p.mu.Lock()
+	p.pending += delta
+	if p.pending == 0 {
+		p.idle.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// run resolves one job and warms its pages. Faulty or quarantined pages
+// are skipped silently — prefetching is advisory, never load-bearing.
+func (p *Prefetcher) run(job PrefetchJob) {
+	pages, err := job(p.client)
+	if err != nil {
+		return
+	}
+	for _, id := range pages {
+		if p.d.PrefetchPage(id, p.client) == nil {
+			p.warmed.Add(1)
+		}
+	}
+}
+
+// Enqueue submits a job without blocking. When the queue is full the job
+// is dropped (and counted): a prefetcher that cannot keep up must shed
+// predictions, not stall the frame loop feeding it.
+func (p *Prefetcher) Enqueue(job PrefetchJob) bool {
+	if p.closed.Load() {
+		return false
+	}
+	p.track(1)
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		p.track(-1)
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Quiesce blocks until every accepted job has finished. The walkthrough
+// player calls it at each cell entry: simulated render time between
+// frames is orders of magnitude longer than a few page warms, so by the
+// time the viewer reaches a predicted cell its jobs would have long
+// completed — the barrier credits the worker with that time, which the
+// wall clock of a simulation run does not otherwise provide.
+func (p *Prefetcher) Quiesce() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops accepting jobs, drains the queue, and waits for the worker.
+// Idempotent.
+func (p *Prefetcher) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Stats returns the prefetcher's own I/O accounting (pages it read to
+// warm the pool, and their simulated time).
+func (p *Prefetcher) Stats() Stats { return p.client.Stats() }
+
+// Dropped returns how many jobs were shed on a full queue.
+func (p *Prefetcher) Dropped() int64 { return p.dropped.Load() }
+
+// Warmed returns how many page warms completed (pool hits included).
+func (p *Prefetcher) Warmed() int64 { return p.warmed.Load() }
+
+// PrefetchPage warms one page into the buffer pool on behalf of the
+// background prefetcher. Already-resident pages are left untouched (and
+// unmarked — they were demand-loaded). On a miss the page is read through
+// the pool with a pinned-then-released read, charged to sink, and its
+// frame is marked so later accounting can classify it as hit or wasted.
+// With no pool installed (or light admission off) this is a no-op: there
+// is nowhere to warm.
+func (d *Disk) PrefetchPage(id PageID, sink *Client) error {
+	d.mu.RLock()
+	pool := d.pool
+	d.mu.RUnlock()
+	if pool == nil || !pool.caches(ClassLight) {
+		return nil
+	}
+	if _, ok := pool.pin(id); ok {
+		pool.release(id)
+		return nil
+	}
+	pp, err := d.pinPage(id, ClassLight, sink)
+	if err != nil {
+		return err
+	}
+	pool.markPrefetched(id)
+	pp.Release()
+	return nil
+}

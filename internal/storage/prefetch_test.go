@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// Prefetched-then-read pages must count as prefetch hits, charge the
+// prefetcher (not the demand client) for the I/O, and cost the demand
+// reader nothing.
+func TestPrefetchWarmsPoolAndCountsHits(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(4)
+	_ = d.WriteBytes(p, []byte("abcd"))
+	d.SetCacheSize(16)
+
+	pf := NewPrefetcher(d, 8)
+	defer pf.Close()
+	if !pf.Enqueue(func(r Reader) ([]PageID, error) {
+		return []PageID{p, p + 1}, nil
+	}) {
+		t.Fatal("enqueue rejected on empty queue")
+	}
+	pf.Close() // drain
+
+	if got := pf.Warmed(); got != 2 {
+		t.Fatalf("warmed = %d, want 2", got)
+	}
+	if pf.Stats().Reads != 2 {
+		t.Fatalf("prefetcher charged %d reads, want 2", pf.Stats().Reads)
+	}
+
+	c := d.NewClient()
+	before := d.Stats()
+	if _, err := c.ReadPage(p, ClassLight); err != nil {
+		t.Fatal(err)
+	}
+	if delta := d.Stats().Sub(before); delta.Reads != 0 || delta.SimTime != 0 {
+		t.Fatalf("demand read of prefetched page charged I/O: %+v", delta)
+	}
+	if hits := d.Stats().PrefetchHits; hits != 1 {
+		t.Fatalf("PrefetchHits = %d, want 1", hits)
+	}
+	// The second demand read of the same page is an ordinary pool hit —
+	// the prefetched mark is consumed exactly once.
+	_, _ = c.ReadPage(p, ClassLight)
+	if hits := d.Stats().PrefetchHits; hits != 1 {
+		t.Fatalf("PrefetchHits after re-read = %d, want 1", hits)
+	}
+}
+
+// Prefetched pages evicted before any demand read count as wasted.
+func TestPrefetchWastedOnEviction(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(8)
+	d.SetCacheSize(2)
+
+	pf := NewPrefetcher(d, 8)
+	pf.Enqueue(func(r Reader) ([]PageID, error) { return []PageID{p}, nil })
+	pf.Close()
+
+	// Flood the tiny pool so the prefetched frame is evicted untouched.
+	for i := int64(1); i < 8; i++ {
+		_, _ = d.ReadPage(p+PageID(i), ClassLight)
+	}
+	s := d.Stats()
+	if s.PrefetchWasted != 1 {
+		t.Fatalf("PrefetchWasted = %d, want 1 (stats: hits=%d)", s.PrefetchWasted, s.PrefetchHits)
+	}
+	if s.PrefetchHits != 0 {
+		t.Fatalf("PrefetchHits = %d, want 0", s.PrefetchHits)
+	}
+}
+
+// A full queue sheds jobs instead of blocking the caller, and Close is
+// idempotent with Enqueue refused afterwards.
+func TestPrefetchQueueBoundsAndClose(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(1)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	pf := NewPrefetcher(d, 1)
+	// First job parks the worker so later jobs pile up in the queue.
+	pf.Enqueue(func(r Reader) ([]PageID, error) { close(started); <-gate; return nil, nil })
+	<-started
+	pf.Enqueue(func(r Reader) ([]PageID, error) { return []PageID{p}, nil }) // fills queue
+	if pf.Enqueue(func(r Reader) ([]PageID, error) { return []PageID{p}, nil }) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	if pf.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", pf.Dropped())
+	}
+	close(gate)
+	pf.Close()
+	pf.Close() // idempotent
+	if pf.Enqueue(func(r Reader) ([]PageID, error) { return nil, nil }) {
+		t.Fatal("enqueue succeeded after Close")
+	}
+}
+
+// Job errors and quarantined pages are skipped silently; prefetch is
+// advisory and must never surface faults.
+func TestPrefetchSkipsFaultyPages(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(2)
+	d.SetCacheSize(16)
+	d.Quarantine(p)
+
+	pf := NewPrefetcher(d, 4)
+	pf.Enqueue(func(r Reader) ([]PageID, error) { return nil, errors.New("stale prediction") })
+	pf.Enqueue(func(r Reader) ([]PageID, error) { return []PageID{p, p + 1}, nil })
+	pf.Close()
+	if got := pf.Warmed(); got != 1 {
+		t.Fatalf("warmed = %d, want 1 (quarantined page skipped)", got)
+	}
+}
+
+// Without a buffer pool there is nowhere to warm: prefetch performs no
+// I/O at all rather than paying for reads it cannot retain.
+func TestPrefetchNoPoolIsNoop(t *testing.T) {
+	d := newTestDisk()
+	p := d.AllocPages(1)
+	pf := NewPrefetcher(d, 4)
+	pf.Enqueue(func(r Reader) ([]PageID, error) { return []PageID{p}, nil })
+	pf.Close()
+	if pf.Stats().Reads != 0 {
+		t.Fatalf("prefetch without pool performed %d reads", pf.Stats().Reads)
+	}
+}

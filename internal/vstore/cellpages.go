@@ -1,0 +1,120 @@
+package vstore
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// CellPages implementations of core.CellPager for the three schemes: the
+// disk pages a query against the given cell will touch in the V-store,
+// segment pages first, then V-page slots in ascending order. All three are
+// read-only with respect to the receiver — they never move the scheme's
+// cell cursor — because they run on the prefetch worker while the owning
+// session is mid-query. Lookup reads (pointer segments, index segments)
+// are charged to r, the prefetcher's client.
+
+// maxCellPages bounds one cell's page enumeration. The horizontal scheme
+// scatters a cell's V-pages across the whole slot array (one page per
+// node, stride c), so an unbounded list could swamp the prefetch queue and
+// the buffer pool; a capped prefix in node order still warms the nodes a
+// traversal visits first (the upper tree).
+const maxCellPages = 512
+
+// dedupePages appends page to out unless it is already present. Lists here
+// are short (≤ maxCellPages) and nearly sorted, so the linear backward
+// scan beats a map allocation.
+func dedupePages(out []storage.PageID, page storage.PageID) []storage.PageID {
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] == page {
+			return out
+		}
+	}
+	return append(out, page)
+}
+
+// CellPages implements core.CellPager. The horizontal scheme has no
+// segment; a cell's data is one V-page slot per node, scattered with
+// stride c. Every node's slot page is enumerated (deduped, capped).
+func (h *Horizontal) CellPages(r storage.Reader, cell cells.CellID) ([]storage.PageID, error) {
+	if int(cell) < 0 || int(cell) >= h.grid.NumCells() {
+		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	var out []storage.PageID
+	for id := 0; id < h.numNodes && len(out) < maxCellPages; id++ {
+		out = dedupePages(out, h.slots.page(h.slotOf(core.NodeID(id), cell)))
+	}
+	return out, nil
+}
+
+// CellPages implements core.CellPager: the cell's pointer-segment pages
+// (what SetCell flips through) followed by the pages of its visible
+// V-page slots, which are consecutive, so the list is a handful of short
+// runs.
+func (v *Vertical) CellPages(r storage.Reader, cell cells.CellID) ([]storage.PageID, error) {
+	if int(cell) < 0 || int(cell) >= v.grid.NumCells() {
+		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	out := make([]storage.PageID, 0, v.segPages)
+	for i := 0; i < v.segPages; i++ {
+		out = append(out, v.segPage(cell)+storage.PageID(i))
+	}
+	buf, err := r.ReadBytes(v.segPage(cell), pointerBytes*v.numNodes, storage.ClassLight)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := decodePointerSegment(buf, v.numNodes, int64(v.slots.count))
+	if err != nil {
+		return nil, err
+	}
+	for _, slot := range seg {
+		if slot == nilSlot {
+			continue
+		}
+		if out = dedupePages(out, v.slots.page(slot)); len(out) >= maxCellPages {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CellPages implements core.CellPager: the cell's index-segment pages
+// (located via the resident directory, no I/O) followed by the pages of
+// its visible V-page slots.
+func (iv *IndexedVertical) CellPages(r storage.Reader, cell cells.CellID) ([]storage.PageID, error) {
+	if int(cell) < 0 || int(cell) >= iv.grid.NumCells() {
+		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	desc := iv.dir[cell]
+	if desc.start == storage.NilPage || desc.count == 0 {
+		return nil, nil
+	}
+	segBytes := segEntryBytes * int(desc.count)
+	out := make([]storage.PageID, 0, iv.disk.PagesFor(int64(segBytes)))
+	for i := 0; i < iv.disk.PagesFor(int64(segBytes)); i++ {
+		out = append(out, desc.start+storage.PageID(i))
+	}
+	buf, err := r.ReadBytes(desc.start, segBytes, storage.ClassLight)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeIndexSegment(buf, int(desc.count), iv.numNodes, int64(iv.slots.count))
+	if err != nil {
+		return nil, err
+	}
+	// Walk node IDs in order rather than ranging over the map: slots were
+	// assigned in node order at build time, so this recovers ascending
+	// slot order deterministically.
+	for id := 0; id < iv.numNodes; id++ {
+		slot, ok := m[core.NodeID(id)]
+		if !ok {
+			continue
+		}
+		if out = dedupePages(out, iv.slots.page(slot)); len(out) >= maxCellPages {
+			break
+		}
+	}
+	return out, nil
+}

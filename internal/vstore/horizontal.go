@@ -25,6 +25,11 @@ type Horizontal struct {
 	cur        cells.CellID
 	hasCell    bool
 	sizeBytes  int64
+	// vdCacheCap > 0 enables the decoded-V-data cache (EnableVDCache);
+	// each view gets its own cache of this capacity, so cached slices are
+	// never shared across sessions.
+	vdCacheCap int
+	vdCache    *vdCache
 }
 
 // BuildHorizontal lays out and writes the horizontal scheme for vis.
@@ -77,7 +82,32 @@ func (h *Horizontal) View(io *storage.Client) core.VStore {
 	cp := *h
 	cp.io = io
 	cp.hasCell = false
+	cp.vdCache = newVDCache(cp.vdCacheCap)
 	return &cp
+}
+
+// EnableVDCache turns on a bounded cache of decoded V-page entries for
+// this scheme and the views derived from it after the call (capacity in
+// V-pages; <= 0 disables). Off by default: the cache masks the horizontal
+// scheme's defining cost — scattered single-V-page reads — so the paper's
+// Figure 7 comparison must run without it. Walkthrough warm paths opt in.
+func (h *Horizontal) EnableVDCache(capacity int) {
+	if capacity <= 0 {
+		h.vdCacheCap = 0
+		h.vdCache = nil
+		return
+	}
+	h.vdCacheCap = capacity
+	h.vdCache = newVDCache(capacity)
+}
+
+// VDCacheHits reports this view's decoded-V-data cache hits (test hook;
+// aggregate accounting flows through Stats.VDCacheHits).
+func (h *Horizontal) VDCacheHits() int64 {
+	if h.vdCache == nil {
+		return 0
+	}
+	return h.vdCache.hits
 }
 
 // SizeBytes implements core.VStore — the Table 2 storage cost.
@@ -103,13 +133,25 @@ func (h *Horizontal) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	if int(id) < 0 || int(id) >= h.numNodes {
 		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
 	}
-	buf, err := h.slots.read(h.io, h.slotOf(id, h.cur), storage.ClassLight)
+	slot := h.slotOf(id, h.cur)
+	if h.vdCache != nil {
+		if vd, ok := h.vdCache.get(slot); ok {
+			if rec, ok := h.io.(interface{ RecordVDCacheHit() }); ok {
+				rec.RecordVDCacheHit()
+			}
+			return vd, vd != nil, nil
+		}
+	}
+	buf, err := h.slots.read(h.io, slot, storage.ClassLight)
 	if err != nil {
 		return nil, false, err
 	}
 	vd, err := decodeVPage(buf)
 	if err != nil {
 		return nil, false, err
+	}
+	if h.vdCache != nil {
+		h.vdCache.put(slot, vd)
 	}
 	if vd == nil {
 		return nil, false, nil

@@ -1,0 +1,57 @@
+package vstore
+
+import (
+	"repro/internal/core"
+)
+
+// vdCache holds decoded V-page entries for the horizontal scheme, keyed by
+// V-page slot (which encodes node and cell together, so cached entries
+// survive cell flips — the point: a walkthrough revisiting a neighboring
+// cell re-reads the same scattered V-pages and, worse, re-decodes them).
+// Bounded FIFO: eviction follows insertion order, so cache contents are a
+// pure function of the access sequence — no clocks, no recency heaps —
+// which the determinism suite relies on.
+//
+// Invisible results (nil entries) are cached too; for the horizontal
+// scheme an invisible node still costs a full V-page read, so a negative
+// hit saves as much as a positive one.
+type vdCache struct {
+	cap     int
+	entries map[int64][]core.VD
+	fifo    []int64 // insertion order; fifo[0] is the next victim
+	hits    int64
+}
+
+func newVDCache(capacity int) *vdCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &vdCache{
+		cap:     capacity,
+		entries: make(map[int64][]core.VD, capacity),
+	}
+}
+
+// get returns the cached entries for slot. The second result reports
+// presence: (nil, true) is a cached invisible node, (nil, false) a miss.
+func (c *vdCache) get(slot int64) ([]core.VD, bool) {
+	vd, ok := c.entries[slot]
+	if ok {
+		c.hits++
+	}
+	return vd, ok
+}
+
+// put inserts (or refreshes) slot, evicting the oldest entry when full.
+func (c *vdCache) put(slot int64, vd []core.VD) {
+	if _, ok := c.entries[slot]; ok {
+		return // already cached; FIFO position unchanged
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.entries, victim)
+	}
+	c.entries[slot] = vd
+	c.fifo = append(c.fifo, slot)
+}

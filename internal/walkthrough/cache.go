@@ -81,13 +81,20 @@ func (c *Cache) Add(k CacheKey, level int, bytes int64, center, eye geom.Vec3) {
 	}
 }
 
-// evict removes farthest entries until the cache fits its budget.
+// evict removes farthest entries until residency fits the byte budget.
+// The loop is bounded by bytes, not entry count: a single internal-LoD
+// mesh larger than the whole budget is itself evicted (the frame renders
+// it from the fetch buffer; it just doesn't stay resident), so residency
+// can never exceed the budget by more than zero entries, no matter how
+// large any one payload is. Equidistant victims tie-break on key order so
+// eviction is deterministic.
 func (c *Cache) evict(eye geom.Vec3) {
-	for c.bytes > c.Budget && len(c.entries) > 1 {
+	for c.bytes > c.Budget && len(c.entries) > 0 {
 		var victim CacheKey
 		worst := -1.0
 		for k, e := range c.entries {
-			if d := e.center.Dist2(eye); d > worst {
+			d := e.center.Dist2(eye)
+			if d > worst || (d == worst && keyLess(victim, k)) {
 				worst = d
 				victim = k
 			}
@@ -95,6 +102,15 @@ func (c *Cache) evict(eye geom.Vec3) {
 		c.bytes -= c.entries[victim].bytes
 		delete(c.entries, victim)
 	}
+}
+
+// keyLess orders cache keys (ObjectID, then NodeID) for eviction
+// tie-breaking.
+func keyLess(a, b CacheKey) bool {
+	if a.ObjectID != b.ObjectID {
+		return a.ObjectID < b.ObjectID
+	}
+	return a.NodeID < b.NodeID
 }
 
 // Bytes returns current residency.

@@ -154,6 +154,20 @@ type VisualPlayer struct {
 	// I/O — the optimization family the paper credits to REVIEW
 	// ("prefetching and in-memory optimization", §2).
 	Prefetch bool
+	// Coherent routes cell-entry queries through the session's retained
+	// traversal cut (core.Tree.QueryCoherent): adjacent-cell queries
+	// re-evaluate the previous frontier instead of descending from the
+	// root. Answer sets are byte-identical to full traversal; superseded
+	// results are recycled into the session's free list.
+	Coherent bool
+	// AsyncPrefetch starts a background storage.Prefetcher that warms the
+	// disk's shared buffer pool with the V-data pages of predicted next
+	// cells (motion-vector prediction, see Predictor). Unlike Prefetch it
+	// moves no query state off the frame loop — the worker sees only page
+	// IDs — and it only helps when a buffer pool is installed
+	// (storage.Disk.SetCacheSize). Works with any scheme implementing
+	// core.CellPager; silently inert otherwise.
+	AsyncPrefetch bool
 	// CacheBudget bounds the payload cache (0 = unlimited).
 	CacheBudget int64
 	Render      render.Config
@@ -168,12 +182,36 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 	var resident *core.QueryResult
 	var prevEye geom.Vec3
 	haveVel := false
+	// Async prefetch state: the motion predictor, the background worker,
+	// and the set of cells already handed to it (cleared per cell entry so
+	// a revisited cell can be warmed again later in the walk).
+	var pred Predictor
+	var pf *storage.Prefetcher
+	var lastPF storage.Stats
+	var enqueued map[cells.CellID]bool
+	var pager core.CellPager
+	if p.AsyncPrefetch {
+		if cp, ok := p.Tree.VStoreScheme().(core.CellPager); ok {
+			pager = cp
+			pf = storage.NewPrefetcher(p.Tree.Disk, 0)
+			defer pf.Close()
+			enqueued = make(map[cells.CellID]bool)
+		}
+	}
 	for _, pose := range s.Frames {
 		var fs FrameStat
+		pred.Observe(pose.Eye)
 		cell := p.Tree.Grid.Locate(pose.Eye)
 		if cell != cells.NoCell && cell != cur {
+			if pf != nil {
+				// Let queued warms land before the demand query: the frames
+				// since they were enqueued represent far more simulated time
+				// than the warms cost, so the worker would have finished long
+				// ago on a real clock.
+				pf.Quiesce()
+			}
 			before := treeStats(p.Tree)
-			res, err := p.Tree.Query(cell, p.Eta)
+			res, err := p.queryCell(cell)
 			if err != nil {
 				return nil, err
 			}
@@ -197,8 +235,27 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 			fs.Queried = true
 			fs.Degradations += len(res.Degradations)
 			out.Queries++
+			p.Tree.Recycle(resident)
 			resident = res
 			cur = cell
+			delete(enqueued, cell) // demand-entered: re-warmable later
+		}
+		// Background warm-up of the cells the motion predictor expects
+		// next. The enqueued closure captures only the pager and a cell ID
+		// — never query state — and a full queue drops predictions rather
+		// than stalling the frame.
+		if pf != nil && cur != cells.NoCell {
+			for _, next := range pred.Predict(p.Tree.Grid, pose.Eye, 2) {
+				if next == cur || enqueued[next] {
+					continue
+				}
+				target := next
+				if pf.Enqueue(func(r storage.Reader) ([]storage.PageID, error) {
+					return pager.CellPages(r, target)
+				}) {
+					enqueued[next] = true
+				}
+			}
 		}
 		// Speculative prefetch of the cell ahead, overlapped with
 		// rendering (not added to frame time).
@@ -235,6 +292,7 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 					}
 					fs.PrefetchIO = treeStats(p.Tree).Sub(before).Reads
 					prefetched = next
+					p.Tree.Recycle(res)
 				}
 			}
 		}
@@ -242,6 +300,15 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 		haveVel = true
 		if resident != nil {
 			fs.Polygons = resident.Stats.TotalPolygons
+		}
+		if pf != nil {
+			// Attribute the worker's I/O since the last frame to this one.
+			// The worker is asynchronous, so the per-frame split is
+			// approximate; the playback total matches the prefetcher's
+			// client exactly.
+			now := pf.Stats()
+			fs.PrefetchIO += now.Sub(lastPF).Reads
+			lastPF = now
 		}
 		fs.RenderTime = p.Render.RenderTime(fs.Polygons)
 		fs.Total = p.Render.FrameTime(fs.Polygons, fs.QueryTime)
@@ -252,8 +319,18 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 		}
 		out.Frames = append(out.Frames, fs)
 	}
+	p.Tree.Recycle(resident)
 	out.PeakBytes = cache.PeakBytes()
 	return out, nil
+}
+
+// queryCell issues the frame's cell-entry query, via the incremental cut
+// when Coherent is set.
+func (p *VisualPlayer) queryCell(cell cells.CellID) (*core.QueryResult, error) {
+	if p.Coherent {
+		return p.Tree.QueryCoherent(cell, p.Eta)
+	}
+	return p.Tree.Query(cell, p.Eta)
 }
 
 // treeStats snapshots the accounting a player's frame deltas are measured

@@ -1,0 +1,82 @@
+package walkthrough
+
+import (
+	"repro/internal/cells"
+	"repro/internal/geom"
+)
+
+// Predictor estimates where the viewer is heading from the observed frame
+// poses, smoothing the per-frame motion vector with an exponential moving
+// average so a single turned frame doesn't redirect the prefetcher. It is
+// deliberately geometry-only: it sees eye positions, never query results,
+// so its output can safely feed the background prefetch worker.
+type Predictor struct {
+	// Alpha is the EMA smoothing factor in (0, 1]; 1 tracks the raw
+	// per-frame motion, smaller values smooth harder. Zero selects
+	// DefaultPredictAlpha.
+	Alpha float64
+
+	vel     geom.Vec3
+	prev    geom.Vec3
+	haveVel bool
+	havePos bool
+}
+
+// DefaultPredictAlpha weights recent motion at one half — responsive
+// within a few frames of a turn, immune to single-frame jitter.
+const DefaultPredictAlpha = 0.5
+
+// Observe feeds one frame's eye position.
+func (p *Predictor) Observe(eye geom.Vec3) {
+	if !p.havePos {
+		p.prev = eye
+		p.havePos = true
+		return
+	}
+	step := eye.Sub(p.prev)
+	p.prev = eye
+	a := p.Alpha
+	if a <= 0 || a > 1 {
+		a = DefaultPredictAlpha
+	}
+	if !p.haveVel {
+		p.vel = step
+		p.haveVel = true
+		return
+	}
+	p.vel = p.vel.Mul(1 - a).Add(step.Mul(a))
+}
+
+// Predict returns up to n distinct cells ahead of the current motion,
+// nearest first, excluding the cell the eye is in. It marches the
+// smoothed motion ray in half-cell steps, so slightly diagonal paths
+// yield the cells the viewer will actually cross. A parked viewer (no
+// meaningful velocity) predicts nothing.
+func (p *Predictor) Predict(grid *cells.Grid, eye geom.Vec3, n int) []cells.CellID {
+	if !p.haveVel || n <= 0 || p.vel.Len2() <= 1e-12 {
+		return nil
+	}
+	dir := p.vel.Normalize()
+	step := grid.CellSize().Len() / 2
+	cur := grid.Locate(eye)
+	var out []cells.CellID
+	// 2(n+1) half-cell steps reach n whole cells along any axis-aligned
+	// or diagonal path; beyond that the prediction is guesswork.
+	for i := 1; i <= 2*(n+1) && len(out) < n; i++ {
+		c := grid.Locate(eye.Add(dir.Mul(step * float64(i))))
+		if c == cells.NoCell || c == cur {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -258,6 +258,15 @@ type DiskStats struct {
 	// PoolHits and PoolMisses count buffer-pool lookups (zero unless
 	// SetCacheSize installed a pool). Hits charge no seek or transfer.
 	PoolHits, PoolMisses int64
+	// PrefetchHits counts demand reads served by a page the background
+	// prefetcher warmed; PrefetchWasted counts warmed pages evicted or
+	// invalidated before any demand read used them. Together they price
+	// the speculative I/O: hits flattened a cell-entry spike, wasted ones
+	// were pure overhead.
+	PrefetchHits, PrefetchWasted int64
+	// VDCacheHits counts V-data decodes served from the horizontal
+	// scheme's per-view cell cache (zero unless EnableVDCache).
+	VDCacheHits int64
 }
 
 // DiskStats returns the cumulative disk accounting, summed over every

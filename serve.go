@@ -48,6 +48,55 @@ func (s *Session) QueryCell(cell int, eta float64) (*Result, error) {
 	return wrapResult(r), nil
 }
 
+// QueryCoherent answers like Query but through the session's retained
+// traversal cut: when consecutive queries come from neighboring cells —
+// a walkthrough's workload — the previous query's frontier is
+// re-evaluated against the new cell's visibility data instead of
+// descending from the root. The answer is byte-identical to Query's
+// (degraded mode included; any fault on the warm path falls back to a
+// full traversal); only the I/O accounting differs. The cut is
+// per-session state, which is why the method lives here and not on DB.
+func (s *Session) QueryCoherent(p Point, eta float64) (*Result, error) {
+	cell := s.tree.Grid.Locate(p.vec())
+	if cell == cells.NoCell {
+		return nil, ErrOutsideCells
+	}
+	return s.QueryCellCoherent(int(cell), eta)
+}
+
+// QueryCellCoherent is QueryCoherent for an explicit cell index.
+func (s *Session) QueryCellCoherent(cell int, eta float64) (*Result, error) {
+	if cell < 0 || cell >= s.db.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	}
+	r, err := s.tree.QueryCoherent(cells.CellID(cell), eta)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// CoherenceStats reports how a session's QueryCoherent calls resolved.
+type CoherenceStats struct {
+	// Incremental counts queries served through the cut machinery — the
+	// first query and eta changes are included (their seed cut is the
+	// bare root, so the whole descent shows up in Expanded); Full counts
+	// fallbacks to a from-root traversal after a fault on the warm path.
+	Incremental, Full int64
+	// NodesReused counts node records served from the cut without a read;
+	// Expanded and Collapsed count cut-frontier nodes added and removed.
+	NodesReused, Expanded, Collapsed int64
+}
+
+// CoherenceStats returns the session's cumulative warm-path accounting.
+func (s *Session) CoherenceStats() CoherenceStats {
+	cs := s.tree.CoherenceStats()
+	return CoherenceStats{
+		Incremental: cs.Incremental, Full: cs.Full,
+		NodesReused: cs.NodesReused, Expanded: cs.Expanded, Collapsed: cs.Collapsed,
+	}
+}
+
 // Fetch charges the heavy-weight I/O of retrieving every item's payload,
 // like DB.Fetch, charged to this session alone.
 func (s *Session) Fetch(r *Result) error {
@@ -221,9 +270,12 @@ func diskStatsFrom(s storage.Stats) DiskStats {
 	return DiskStats{
 		Reads: s.Reads, Seeks: s.Seeks,
 		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
-		Retries:    s.Retries,
-		SimTime:    s.SimTime,
-		PoolHits:   s.PoolLightHits + s.PoolHeavyHits,
-		PoolMisses: s.PoolLightMisses + s.PoolHeavyMisses,
+		Retries:        s.Retries,
+		SimTime:        s.SimTime,
+		PoolHits:       s.PoolLightHits + s.PoolHeavyHits,
+		PoolMisses:     s.PoolLightMisses + s.PoolHeavyMisses,
+		PrefetchHits:   s.PrefetchHits,
+		PrefetchWasted: s.PrefetchWasted,
+		VDCacheHits:    s.VDCacheHits,
 	}
 }

@@ -46,6 +46,14 @@ type WalkOptions struct {
 	// Prefetch speculatively warms the cache with the cell ahead
 	// (VISUAL only).
 	Prefetch bool
+	// Coherent answers cell-entry queries through a retained traversal
+	// cut (see Session.QueryCoherent) instead of descending from the
+	// root each time (VISUAL only).
+	Coherent bool
+	// AsyncPrefetch warms the shared buffer pool with the V-data pages
+	// of predicted next cells from a background worker (VISUAL only;
+	// effective only with SetCacheSize).
+	AsyncPrefetch bool
 	// UseREVIEW plays the session on the REVIEW spatial baseline instead
 	// of the HDoV-tree.
 	UseREVIEW bool
@@ -81,6 +89,12 @@ type WalkStats struct {
 	DegradedFrames int
 	// Retries is the summed transient-fault retries across the playback.
 	Retries int64
+	// TotalLightIO is the summed index page reads charged to queries, and
+	// TotalPrefetchIO the pages the prefetchers (speculative and async)
+	// read off the frame loop.
+	TotalLightIO, TotalPrefetchIO int64
+	// Coherence reports the warm-path accounting when Coherent was set.
+	Coherence CoherenceStats
 }
 
 // Walkthrough records a session with the requested motion pattern and
@@ -104,6 +118,7 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 
 	var res *walkthrough.Result
 	var err error
+	var coherence CoherenceStats
 	if opts.UseREVIEW {
 		cfg := review.DefaultConfig()
 		cfg.QueryBoxDepth = opts.ReviewBoxDepth
@@ -115,15 +130,30 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 		}
 		res, err = p.Play(s)
 	} else {
+		tree := db.tree
+		if opts.Coherent || opts.AsyncPrefetch {
+			// The cut and the result free list are per-session state;
+			// playing on a private session keeps the shared tree clean.
+			tree = db.tree.Session()
+		}
 		p := &walkthrough.VisualPlayer{
-			Tree:        db.tree,
-			Eta:         opts.Eta,
-			Delta:       opts.Delta,
-			Prefetch:    opts.Prefetch,
-			CacheBudget: opts.CacheBudget,
-			Render:      render.DefaultConfig(),
+			Tree:          tree,
+			Eta:           opts.Eta,
+			Delta:         opts.Delta,
+			Prefetch:      opts.Prefetch,
+			Coherent:      opts.Coherent,
+			AsyncPrefetch: opts.AsyncPrefetch,
+			CacheBudget:   opts.CacheBudget,
+			Render:        render.DefaultConfig(),
 		}
 		res, err = p.Play(s)
+		if err == nil && opts.Coherent {
+			cs := tree.CoherenceStats()
+			coherence = CoherenceStats{
+				Incremental: cs.Incremental, Full: cs.Full,
+				NodesReused: cs.NodesReused, Expanded: cs.Expanded, Collapsed: cs.Collapsed,
+			}
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -140,11 +170,14 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 		PeakMemoryBytes: res.PeakBytes,
 		Degradations:    res.Degradations,
 		DegradedFrames:  res.DegradedFrames,
+		Coherence:       coherence,
 	}
 	out.FrameTimesMS = make([]float64, len(res.Frames))
 	for i, f := range res.Frames {
 		out.FrameTimesMS[i] = float64(f.Total) / float64(time.Millisecond)
 		out.TotalHeavyIO += f.HeavyIO
+		out.TotalLightIO += f.LightIO
+		out.TotalPrefetchIO += f.PrefetchIO
 		out.Retries += f.Retries
 	}
 	return out, nil
