@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guard    = fs.String("guard", "", "compare fresh bench metrics against a committed baseline file; exit 1 on >25% regression")
 		writeBas = fs.String("writebaseline", "", "measure and write the baseline file, then exit")
 		writeWC  = fs.String("writewalkcoherence", "", "measure and write the walkcoherence reference file, then exit")
+		writeVC  = fs.String("writevpagecodec", "", "measure and write the vpagecodec reference file, then exit")
+		guardVC  = fs.String("guardvpagecodec", "", "compare fresh vpagecodec metrics against a committed reference file; exit 1 on >25% regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,6 +111,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "walkcoherence reference written to %s (workload %s)\n", *writeWC, wc.Workload)
+		return 0
+	}
+
+	if *writeVC != "" {
+		vc, err := bench.CollectVPageCodec(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteVPageCodec(*writeVC, vc); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "vpagecodec reference written to %s (workload %s)\n", *writeVC, vc.Workload)
+		return 0
+	}
+
+	if *guardVC != "" {
+		ref, err := bench.LoadVPageCodec(*guardVC)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectVPageCodec(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareVPageCodec(ref, cur, 0.25); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "vpagecodec guard passed (workload %s, %d schemes)\n",
+			ref.Workload, len(ref.Schemes))
 		return 0
 	}
 

@@ -1,9 +1,12 @@
 // Command hdovfsck checks saved HDoV database directories: it verifies the
-// manifest's self-checksum, the disk image's committed size and CRC, and
-// every layout pointer, and reports intact vs damaged. With -repair,
-// damaged artifacts and stray temporaries from interrupted saves are moved
-// into a quarantine/ subdirectory so the next save starts clean without
-// destroying evidence.
+// manifest's self-checksum, the disk image's committed size and CRC, every
+// layout pointer, and — for codec-layout databases — every codec unit's
+// header and CRC, and reports intact vs damaged. With -repair, damaged
+// artifacts and stray temporaries from interrupted saves are moved into a
+// quarantine/ subdirectory, and codec-invalid pages are parked in
+// quarantine.json so reopened databases fail their reads fast instead of
+// decoding garbage — the next save starts clean without destroying
+// evidence.
 //
 // Usage:
 //
@@ -58,10 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				exit = 1
 			}
 		}
-		fmt.Fprintf(stdout, "%s: %s (manifest=%v image=%v layout=%v)\n",
-			dir, status, rep.ManifestOK, rep.ImageOK, rep.LayoutOK)
+		fmt.Fprintf(stdout, "%s: %s (manifest=%v image=%v layout=%v codec=%v)\n",
+			dir, status, rep.ManifestOK, rep.ImageOK, rep.LayoutOK, rep.CodecOK)
 		for _, p := range rep.Problems {
 			fmt.Fprintf(stdout, "  problem: %s\n", p)
+		}
+		for _, id := range rep.BadCodecPages {
+			fmt.Fprintf(stdout, "  bad codec page: %d\n", id)
 		}
 		for _, s := range rep.Stray {
 			fmt.Fprintf(stdout, "  stray: %s\n", s)

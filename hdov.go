@@ -130,6 +130,15 @@ type Config struct {
 	// BulkLoad packs the R-tree backbone with STR instead of the paper's
 	// one-by-one Ang–Tan insertion (fewer nodes, lower overlap).
 	BulkLoad bool
+	// Codec stores all three schemes in the compressed V-page layout
+	// (DESIGN.md §13): fixed-point varint DoV entries in CRC-sealed,
+	// variable-length units instead of raw float64 slots. Query results
+	// are byte-identical to the raw layout; V-page bytes and light I/O
+	// drop severalfold.
+	Codec bool
+	// DoVQuantBits overrides the build-time DoV quantization grid
+	// (0 = default 16 fraction bits, < 0 disables quantization).
+	DoVQuantBits int
 }
 
 // DefaultConfig returns a laptop-scale database comparable in structure to
@@ -210,19 +219,21 @@ func Build(cfg Config) (*DB, error) {
 	bp.UseItemBuffer = cfg.UseItemBuffer
 	bp.ItemBufferRes = cfg.ItemBufferRes
 	bp.BulkLoad = cfg.BulkLoad
+	bp.DoVQuantBits = cfg.DoVQuantBits
 	tr, vis, err := core.Build(sc, d, bp)
 	if err != nil {
 		return nil, fmt.Errorf("hdov: %w", err)
 	}
-	h, err := vstore.BuildHorizontal(d, vis, 0)
+	opts := vstore.Options{Codec: cfg.Codec}
+	h, err := vstore.BuildHorizontalOpts(d, vis, opts)
 	if err != nil {
 		return nil, fmt.Errorf("hdov: %w", err)
 	}
-	v, err := vstore.BuildVertical(d, vis, 0)
+	v, err := vstore.BuildVerticalOpts(d, vis, opts)
 	if err != nil {
 		return nil, fmt.Errorf("hdov: %w", err)
 	}
-	iv, err := vstore.BuildIndexedVertical(d, vis, 0)
+	iv, err := vstore.BuildIndexedVerticalOpts(d, vis, opts)
 	if err != nil {
 		return nil, fmt.Errorf("hdov: %w", err)
 	}

@@ -56,3 +56,45 @@ func CheckedDecode(b []byte) (int, error) {
 func DeferredWrite(d *Disk) {
 	defer d.WriteBytes(0, nil) // want errflow
 }
+
+// The codec decoders (DESIGN.md §13) return the error in positions the
+// original fixtures never exercised: last of two non-error results, and
+// slice-valued decodes whose partial result must never be used on error.
+
+// DecodeUnitC mirrors DecodeVPageC: slice result plus error.
+func DecodeUnitC(b []byte) ([]uint64, error) {
+	return nil, nil
+}
+
+// DecodeSegmentC mirrors DecodePointerSegmentC: two payload results with
+// the error in the third position.
+func DecodeSegmentC(b []byte, n int) ([]int64, []int32, error) {
+	return nil, nil, nil
+}
+
+// BlankDecodeUnit blanks the slice decoder's error.
+func BlankDecodeUnit(b []byte) []uint64 {
+	v, _ := DecodeUnitC(b) // want errflow
+	return v
+}
+
+// BlankDecodeSegment blanks the error in the third result position.
+func BlankDecodeSegment(b []byte) ([]int64, []int32) {
+	offs, lens, _ := DecodeSegmentC(b, 4) // want errflow
+	return offs, lens
+}
+
+// IgnoredDecode drops a decode as a bare statement.
+func IgnoredDecode(b []byte) {
+	DecodeUnitC(b) // want errflow
+}
+
+// GoDecode loses the decoder error in a go statement.
+func GoDecode(b []byte) {
+	go DecodeSegmentC(b, 4) // want errflow
+}
+
+// CheckedDecodeSegment propagates: clean.
+func CheckedDecodeSegment(b []byte) ([]int64, []int32, error) {
+	return DecodeSegmentC(b, 4)
+}

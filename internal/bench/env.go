@@ -198,6 +198,7 @@ func All() []Experiment {
 		{ID: "museum", Title: "Extension: indoor extreme-occlusion regime (hidden-object waste)", Run: RunMuseum},
 		{ID: "serve", Title: "Extension: multi-client serving throughput with the shared buffer pool", Run: RunServe},
 		{ID: "walkcoherence", Title: "Extension: frame-coherent traversal with predictive V-page prefetching", Run: RunWalkCoherence},
+		{ID: "vpagecodec", Title: "Extension: compressed V-page layout, bytes and light-I/O cost vs raw", Run: RunVPageCodec},
 		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
 	}
 }

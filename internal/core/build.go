@@ -54,6 +54,16 @@ type BuildParams struct {
 	// one-by-one insertion: near-full leaves, lower sibling overlap,
 	// fewer nodes (ablation D8). The paper inserts incrementally.
 	BulkLoad bool
+	// DoVQuantBits snaps leaf DoV values onto a dyadic 2^-bits grid at
+	// build time (see quant.go), so the codec V-page layer stores them
+	// as small fixed-point integers with byte-identical query results.
+	// Zero: DefaultDoVQuantBits. Negative: no snapping (raw float64s).
+	DoVQuantBits int
+	// QuantSafeEtas are the η thresholds snapping is validated against
+	// per cell (nil: DefaultQuantSafeEtas). A cell where snapping would
+	// move any aggregated DoV across any of these thresholds widens its
+	// grid, and falls back to raw values if none is safe.
+	QuantSafeEtas []float64
 }
 
 // DefaultBuildParams returns parameters mirroring the paper's prototype.
@@ -168,6 +178,12 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	}
 	if p.SamplesPerCell <= 0 {
 		p.SamplesPerCell = 1
+	}
+	if p.DoVQuantBits == 0 {
+		p.DoVQuantBits = DefaultDoVQuantBits
+	}
+	if p.QuantSafeEtas == nil {
+		p.QuantSafeEtas = DefaultQuantSafeEtas()
 	}
 
 	t := &Tree{Scene: sc, Grid: p.Grid, Disk: d, Params: p, IO: d.NewClient()}
@@ -430,9 +446,10 @@ func (t *Tree) ReadNodeRecord(id NodeID) (*Node, error) {
 func (t *Tree) precomputeVisibility() *VisData {
 	grid := t.Grid
 	vis := &VisData{
-		NumNodes: len(t.Nodes),
-		Grid:     grid,
-		PerCell:  make(map[cells.CellID][][]VD, grid.NumCells()),
+		NumNodes:  len(t.Nodes),
+		Grid:      grid,
+		PerCell:   make(map[cells.CellID][][]VD, grid.NumCells()),
+		CellShift: make([]uint8, grid.NumCells()),
 	}
 
 	workers := t.Params.Workers
@@ -449,8 +466,9 @@ func (t *Tree) precomputeVisibility() *VisData {
 		sharedRays = visibility.NewEngine(t.Scene, t.Params.DirsPerViewpoint)
 	}
 	type cellResult struct {
-		cell cells.CellID
-		vd   [][]VD
+		cell  cells.CellID
+		vd    [][]VD
+		shift uint8
 	}
 	jobs := make(chan cells.CellID)
 	results := make(chan cellResult)
@@ -468,7 +486,8 @@ func (t *Tree) precomputeVisibility() *VisData {
 			for cell := range jobs {
 				samples := grid.SamplePoints(cell, t.Params.SamplesPerCell)
 				objDoV := field.RegionDoV(samples)
-				results <- cellResult{cell: cell, vd: t.aggregate(objDoV)}
+				vd, shift := t.quantizeCell(objDoV, t.Params.DoVQuantBits, t.Params.QuantSafeEtas)
+				results <- cellResult{cell: cell, vd: vd, shift: shift}
 			}
 		}()
 	}
@@ -482,6 +501,7 @@ func (t *Tree) precomputeVisibility() *VisData {
 	}()
 	for r := range results {
 		vis.PerCell[r.cell] = r.vd
+		vis.CellShift[r.cell] = r.shift
 	}
 	return vis
 }

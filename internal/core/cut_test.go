@@ -66,9 +66,9 @@ func TestCutDifferential(t *testing.T) {
 	for _, parallel := range []int{1, 4} {
 		e.tree.SetParallel(parallel)
 		for _, s := range e.schemes {
-			e.tree.SetVStore(s)
+			e.tree.SetVStore(s.vs)
 			for _, eta := range diffEtas {
-				name := fmt.Sprintf("%s/par%d/eta%g", s.Name(), parallel, eta)
+				name := fmt.Sprintf("%s/par%d/eta%g", s.name, parallel, eta)
 				t.Run(name, func(t *testing.T) {
 					sess := assertCoherentAgreesWithFull(t, e, walk, eta)
 					cs := sess.CoherenceStats()
@@ -106,8 +106,8 @@ func TestCutDifferentialDegradations(t *testing.T) {
 	}()
 
 	for _, s := range e.schemes {
-		e.tree.SetVStore(s)
-		t.Run(s.Name(), func(t *testing.T) {
+		e.tree.SetVStore(s.vs)
+		t.Run(s.name, func(t *testing.T) {
 			sess := assertCoherentAgreesWithFull(t, e, walk, 0.001)
 			cs := sess.CoherenceStats()
 			if cs.Full == 0 {
@@ -136,8 +136,8 @@ func TestCutQuarantineReexpansionFallback(t *testing.T) {
 	eta := 0.001
 
 	for _, s := range e.schemes {
-		e.tree.SetVStore(s)
-		t.Run(s.Name(), func(t *testing.T) {
+		e.tree.SetVStore(s.vs)
+		t.Run(s.name, func(t *testing.T) {
 			e.disk.ClearQuarantine()
 			sess := e.tree.Session()
 			// Healthy warm-up: cell 0 builds the cut, cell 1 proves it.
@@ -182,7 +182,7 @@ func TestCutQuarantineReexpansionFallback(t *testing.T) {
 // not re-evaluate a frontier computed for a different threshold.
 func TestCutEtaChangeRebuilds(t *testing.T) {
 	e := diffFixture(t)
-	e.tree.SetVStore(e.schemes[2])
+	e.tree.SetVStore(e.schemes[2].vs)
 	sess := e.tree.Session()
 	ref := e.tree.Session()
 	for i, q := range []struct {
@@ -207,7 +207,7 @@ func TestCutEtaChangeRebuilds(t *testing.T) {
 // object back after Recycle, and the base tree must not recycle at all.
 func TestResultRecycling(t *testing.T) {
 	e := diffFixture(t)
-	e.tree.SetVStore(e.schemes[2])
+	e.tree.SetVStore(e.schemes[2].vs)
 	sess := e.tree.Session()
 
 	r1, err := sess.Query(0, 0.001)

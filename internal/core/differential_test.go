@@ -21,10 +21,17 @@ import (
 	"repro/internal/vstore"
 )
 
+// diffScheme pairs a scheme with a label that distinguishes the codec
+// layout variants (Name() alone reports only the §4 scheme family).
+type diffScheme struct {
+	name string
+	vs   core.VStore
+}
+
 type diffEnv struct {
 	tree    *core.Tree
 	disk    *storage.Disk
-	schemes []core.VStore
+	schemes []diffScheme
 }
 
 var (
@@ -64,7 +71,25 @@ func diffFixture(t *testing.T) *diffEnv {
 		if err != nil {
 			panic(err)
 		}
-		diffVal = &diffEnv{tree: tr, disk: d, schemes: []core.VStore{h, v, iv}}
+		// Codec layout variants of the same visibility data: every answer
+		// below must be byte-identical with the codec on or off.
+		copts := vstore.Options{Codec: true}
+		ch, err := vstore.BuildHorizontalOpts(d, vis, copts)
+		if err != nil {
+			panic(err)
+		}
+		cv, err := vstore.BuildVerticalOpts(d, vis, copts)
+		if err != nil {
+			panic(err)
+		}
+		civ, err := vstore.BuildIndexedVerticalOpts(d, vis, copts)
+		if err != nil {
+			panic(err)
+		}
+		diffVal = &diffEnv{tree: tr, disk: d, schemes: []diffScheme{
+			{"horizontal", h}, {"vertical", v}, {"indexed", iv},
+			{"horizontal+codec", ch}, {"vertical+codec", cv}, {"indexed+codec", civ},
+		}}
 	})
 	if diffVal == nil {
 		t.Fatal("differential fixture failed")
@@ -129,19 +154,19 @@ func diffReference(t *testing.T, e *diffEnv, ws []workloadKey) map[workloadKey]s
 	var ref map[workloadKey]string
 	var refName string
 	for _, s := range e.schemes {
-		e.tree.SetVStore(s)
+		e.tree.SetVStore(s.vs)
 		got, err := runWorkload(e.tree, ws)
 		if err != nil {
-			t.Fatalf("%s: %v", s.Name(), err)
+			t.Fatalf("%s: %v", s.name, err)
 		}
 		if ref == nil {
-			ref, refName = got, s.Name()
+			ref, refName = got, s.name
 			continue
 		}
 		for _, k := range ws {
 			if got[k] != ref[k] {
 				t.Fatalf("scheme %s disagrees with %s at cell %d eta %g:\n%s\nvs\n%s",
-					s.Name(), refName, k.cell, k.eta, got[k], ref[k])
+					s.name, refName, k.cell, k.eta, got[k], ref[k])
 			}
 		}
 	}
@@ -153,7 +178,7 @@ func diffReference(t *testing.T, e *diffEnv, ws []workloadKey) map[workloadKey]s
 func assertConcurrentAgreement(t *testing.T, e *diffEnv, ws []workloadKey, ref map[workloadKey]string, clients int) {
 	t.Helper()
 	for _, s := range e.schemes {
-		e.tree.SetVStore(s)
+		e.tree.SetVStore(s.vs)
 		errs := make([]error, clients)
 		var wg sync.WaitGroup
 		for i := 0; i < clients; i++ {
@@ -178,7 +203,7 @@ func assertConcurrentAgreement(t *testing.T, e *diffEnv, ws []workloadKey, ref m
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				t.Fatalf("scheme %s: %v", s.Name(), err)
+				t.Fatalf("scheme %s: %v", s.name, err)
 			}
 		}
 	}

@@ -1,0 +1,123 @@
+package core
+
+import "math"
+
+// Build-time DoV quantization. The paper observes that DoV values only
+// need enough precision to rank against the η thresholds a deployment
+// queries with — our sampled DoV already carries ~sqrt(v(1-v)/N) noise —
+// so the codec V-page layer (vstore, DESIGN.md §13) stores them as
+// fixed-point integers instead of raw float64s. For query results to stay
+// byte-identical between the raw and codec storage paths, the rounding
+// cannot happen at encode time: it happens once, here, during the build,
+// and both paths then store and return exactly the same (already dyadic)
+// float64 values. The codec merely transports them losslessly.
+//
+// Snapping is per cell and validated against the exact data: the
+// aggregated tree built from snapped leaf DoVs must classify every node
+// entry on the same side of every safeguarded η as the tree built from
+// the raw values. On a collision the cell's grid is widened
+// (quantWidenStep more fraction bits at a time); a cell that still
+// collides at maxQuantShift keeps its raw values (QuantShiftRaw), which
+// the codec stores in its exact raw64 fallback mode.
+
+// DefaultDoVQuantBits is the default dyadic grid: leaf DoVs become
+// multiples of 2^-16. One grid step (1.5e-5) sits far below the sampling
+// noise of the default ray budgets (≥ 2.4e-4), so snapping is invisible
+// next to the measurement error the values already carry.
+const DefaultDoVQuantBits = 16
+
+// maxQuantShift is the widest snapping grid before a cell falls back to
+// raw values: beyond 52 fraction bits a unit count no longer fits a
+// float64 mantissa exactly.
+const maxQuantShift = 52
+
+// quantWidenStep is how many fraction bits a collision adds per retry.
+const quantWidenStep = 8
+
+// QuantShiftRaw marks a cell whose DoV values were left unquantized (the
+// per-cell fallback when no safe grid exists, or quantization disabled).
+const QuantShiftRaw uint8 = 0xFF
+
+// DefaultQuantSafeEtas returns the η thresholds quantization must never
+// reorder a value across: every operating point used by the paper's
+// figures and the experiment harness. Builds that will be queried at other
+// thresholds can extend the list via BuildParams.QuantSafeEtas.
+func DefaultQuantSafeEtas() []float64 {
+	return []float64{0, 0.0003, 0.0005, 0.001, 0.002, 0.004, 0.008}
+}
+
+// snapDoV rounds d onto the dyadic grid with the given fraction bits,
+// preserving positivity: a strictly positive DoV never snaps to zero (it
+// rounds up to one grid unit), so visibility (DoV > 0, NVO) is exactly
+// preserved. Values the grid cannot represent exactly in float64 are
+// returned unchanged.
+func snapDoV(d float64, shift int) float64 {
+	if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+		return d
+	}
+	u := math.Round(math.Ldexp(d, shift))
+	if u < 1 {
+		u = 1
+	}
+	if u >= 1<<53 {
+		return d // grid unit count would lose integer exactness
+	}
+	return math.Ldexp(u, -shift)
+}
+
+// quantizeCell snaps one cell's per-object DoV field and re-aggregates the
+// tree from the snapped leaves. Internal sums stay exact in float64
+// because the leaves are same-grid dyadic multiples whose total is far
+// below 2^53 units, so the parent-sum invariant of §3.2 holds with zero
+// error. The returned shift is the grid that validated, or QuantShiftRaw
+// when the cell keeps its raw values.
+func (t *Tree) quantizeCell(objDoV []float64, bits int, etas []float64) ([][]VD, uint8) {
+	raw := t.aggregate(objDoV)
+	if bits < 0 {
+		return raw, QuantShiftRaw
+	}
+	snapped := make([]float64, len(objDoV))
+	for shift := bits; shift <= maxQuantShift; shift += quantWidenStep {
+		for i, d := range objDoV {
+			snapped[i] = snapDoV(d, shift)
+		}
+		vd := t.aggregate(snapped)
+		if quantSafe(raw, vd, etas) {
+			return vd, uint8(shift)
+		}
+	}
+	return raw, QuantShiftRaw
+}
+
+// quantSafe reports whether the snapped aggregation classifies every node
+// entry identically to the raw one: same visibility (nil-ness and NVO)
+// and the same side of every safeguarded η for every DoV. This is the
+// build-time validation the codec's byte-identity guarantee rests on.
+func quantSafe(raw, snap [][]VD, etas []float64) bool {
+	if len(raw) != len(snap) {
+		return false
+	}
+	for i := range raw {
+		if (raw[i] == nil) != (snap[i] == nil) {
+			return false
+		}
+		if raw[i] == nil {
+			continue
+		}
+		if len(raw[i]) != len(snap[i]) {
+			return false
+		}
+		for ei := range raw[i] {
+			r, q := raw[i][ei], snap[i][ei]
+			if q.DoV < 0 || r.NVO != q.NVO {
+				return false
+			}
+			for _, eta := range etas {
+				if (r.DoV <= eta) != (q.DoV <= eta) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -140,6 +140,25 @@ type VisData struct {
 	NumNodes int
 	Grid     *cells.Grid
 	PerCell  map[cells.CellID][][]VD
+	// CellShift[cell] is the dyadic quantization grid (fraction bits) the
+	// cell's DoV values were snapped to at build time, or QuantShiftRaw
+	// when the cell keeps raw float64 values (quantization disabled, or
+	// the per-cell η-safety fallback fired — see quant.go). Nil on
+	// hand-built fields; consumers must treat absence as raw.
+	CellShift []uint8
+}
+
+// QuantFallbackCells counts cells whose DoV values were left unquantized
+// (CellShift == QuantShiftRaw) — the η-collision fallback rate the
+// vpagecodec experiment reports.
+func (v *VisData) QuantFallbackCells() int {
+	n := 0
+	for _, s := range v.CellShift {
+		if s == QuantShiftRaw {
+			n++
+		}
+	}
+	return n
 }
 
 // VisibleNodes returns N_vnode for a cell: the number of nodes with stored

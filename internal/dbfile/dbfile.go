@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/naive"
@@ -46,10 +47,16 @@ import (
 const (
 	// FormatVersion guards manifest compatibility. Version 2 added the
 	// manifest checksum and the image size/CRC cross-check (version-1
-	// directories predate crash-safe saves and are rejected).
-	FormatVersion = 2
+	// directories predate crash-safe saves and are rejected). Version 3
+	// added the codec V-page layout manifests and the page-quarantine
+	// sidecar (quarantine.json).
+	FormatVersion = 3
 	manifestName  = "manifest.json"
 	imageName     = "disk.img"
+	// quarantineName is the optional page-quarantine sidecar: disk pages
+	// fsck found codec-invalid, parked so queries fail fast (and degrade)
+	// on them instead of re-decoding garbage.
+	quarantineName = "quarantine.json"
 )
 
 // Manifest is the JSON document describing a saved database.
@@ -271,6 +278,10 @@ func Open(dir string) (*Database, error) {
 		return nil, err
 	}
 
+	if err := applyQuarantine(dir, disk); err != nil {
+		return nil, err
+	}
+
 	sc := scene.Generate(m.City)
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: regenerated scene: %v", ErrBadDatabase, err)
@@ -367,26 +378,110 @@ func validateLayout(m *Manifest, disk *storage.Disk) error {
 		}
 		return (s.Count + s.PerPage - 1) / s.PerPage
 	}
-	if err := check("horizontal V-pages", m.Horizontal.Slots.Base, slotPages(m.Horizontal.Slots)); err != nil {
-		return err
-	}
-	if err := check("vertical V-pages", m.Vertical.Slots.Base, slotPages(m.Vertical.Slots)); err != nil {
-		return err
-	}
 	numCells := m.Tree.Grid.NX * m.Tree.Grid.NY
-	if err := check("vertical segments", m.Vertical.SegBase, m.Vertical.SegPages*numCells); err != nil {
-		return err
-	}
-	if err := check("indexed V-pages", m.Indexed.Slots.Base, slotPages(m.Indexed.Slots)); err != nil {
-		return err
-	}
-	for cell, seg := range m.Indexed.Dir {
-		if seg.Start == storage.NilPage {
-			continue
+	if m.Horizontal.Codec {
+		if err := check("horizontal codec heap", m.Horizontal.HeapBase, pagesFor(m.Horizontal.HeapBytes)); err != nil {
+			return err
 		}
-		if err := check(fmt.Sprintf("indexed segment for cell %d", cell), seg.Start, 1); err != nil {
+		if err := check("horizontal codec directory", m.Horizontal.DirBase,
+			pagesFor(8*int64(m.Horizontal.NumNodes)*int64(numCells))); err != nil {
+			return err
+		}
+	} else if err := check("horizontal V-pages", m.Horizontal.Slots.Base, slotPages(m.Horizontal.Slots)); err != nil {
+		return err
+	}
+	if m.Vertical.Codec {
+		if err := check("vertical codec heap", m.Vertical.HeapBase, pagesFor(m.Vertical.HeapBytes)); err != nil {
+			return err
+		}
+	} else {
+		if err := check("vertical V-pages", m.Vertical.Slots.Base, slotPages(m.Vertical.Slots)); err != nil {
+			return err
+		}
+		if err := check("vertical segments", m.Vertical.SegBase, m.Vertical.SegPages*numCells); err != nil {
 			return err
 		}
 	}
+	if m.Indexed.Codec {
+		if err := check("indexed codec heap", m.Indexed.HeapBase, pagesFor(m.Indexed.HeapBytes)); err != nil {
+			return err
+		}
+	} else {
+		if err := check("indexed V-pages", m.Indexed.Slots.Base, slotPages(m.Indexed.Slots)); err != nil {
+			return err
+		}
+		for cell, seg := range m.Indexed.Dir {
+			if seg.Start == storage.NilPage {
+				continue
+			}
+			if err := check(fmt.Sprintf("indexed segment for cell %d", cell), seg.Start, 1); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// QuarantineFile is the JSON document of the quarantine.json sidecar.
+type QuarantineFile struct {
+	// Pages lists disk pages parked by fsck -repair: reads of them fail
+	// fast with a CorruptError instead of decoding garbage, which
+	// degraded-mode traversal absorbs.
+	Pages []storage.PageID
+}
+
+// applyQuarantine loads the optional quarantine sidecar and parks its
+// pages on the freshly opened disk. A missing file is the common case and
+// means nothing is parked.
+func applyQuarantine(dir string, disk *storage.Disk) error {
+	raw, err := os.ReadFile(filepath.Join(dir, quarantineName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	var q QuarantineFile
+	if err := json.Unmarshal(raw, &q); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadDatabase, quarantineName, err)
+	}
+	num := disk.NumPages()
+	for _, id := range q.Pages {
+		if id < 0 || int64(id) >= num {
+			return fmt.Errorf("%w: %s: page %d outside image (%d pages)", ErrBadDatabase, quarantineName, id, num)
+		}
+		disk.Quarantine(id)
+	}
+	return nil
+}
+
+// writeQuarantine merges pages into the quarantine sidecar (creating it
+// if absent) and writes it atomically. The merged, sorted page list is
+// returned.
+func writeQuarantine(dir string, pages []storage.PageID) ([]storage.PageID, error) {
+	seen := map[storage.PageID]bool{}
+	var q QuarantineFile
+	if raw, err := os.ReadFile(filepath.Join(dir, quarantineName)); err == nil {
+		// A malformed existing sidecar is simply replaced — it carries
+		// derived damage records, not primary data.
+		_ = json.Unmarshal(raw, &q)
+	}
+	merged := make([]storage.PageID, 0, len(q.Pages)+len(pages))
+	for _, list := range [][]storage.PageID{q.Pages, pages} {
+		for _, id := range list {
+			if !seen[id] {
+				seen[id] = true
+				merged = append(merged, id)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	raw, err := json.MarshalIndent(&QuarantineFile{Pages: merged}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dbfile: %s: %w", quarantineName, err)
+	}
+	if err := writeFileAtomic(dir, quarantineName, raw, "quarantine-tmp"); err != nil {
+		return nil, err
+	}
+	return merged, syncDir(dir)
 }

@@ -6,9 +6,11 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/storage"
+	"repro/internal/vstore"
 )
 
 // FsckReport is the outcome of checking one database directory.
@@ -23,6 +25,15 @@ type FsckReport struct {
 	// LayoutOK: every layout pointer in the manifest stays inside the
 	// image.
 	LayoutOK bool
+	// CodecOK: every codec unit in every scheme decodes and passes its
+	// CRC (pages already parked in quarantine.json are excused — they
+	// are known damage, not new damage). Trivially true for raw-layout
+	// databases.
+	CodecOK bool
+	// BadCodecPages lists the disk pages covered by codec units that
+	// failed validation, deduplicated and sorted; Repair parks them in
+	// quarantine.json.
+	BadCodecPages []storage.PageID
 	// Problems describes each failed check, in check order.
 	Problems []string
 	// Stray lists leftover temporary files from interrupted saves.
@@ -33,7 +44,7 @@ type FsckReport struct {
 // files alone do not make a database damaged — a crash before the commit
 // point leaves them next to a perfectly good previous version).
 func (r *FsckReport) Intact() bool {
-	return r.ManifestOK && r.ImageOK && r.LayoutOK
+	return r.ManifestOK && r.ImageOK && r.LayoutOK && r.CodecOK
 }
 
 func (r *FsckReport) problemf(format string, args ...any) {
@@ -89,7 +100,60 @@ func Fsck(dir string) (*FsckReport, error) {
 		return rep, nil
 	}
 	rep.LayoutOK = true
+
+	checkCodec(dir, m, disk, rep)
 	return rep, nil
+}
+
+// checkCodec walks every codec unit of every scheme through the
+// unmetered peek path, recording failed units' pages and problems in
+// rep. Pages already parked by quarantine.json are applied first so
+// known (repaired) damage is not re-reported — a repaired database
+// comes back intact.
+func checkCodec(dir string, m *Manifest, disk *storage.Disk, rep *FsckReport) {
+	if err := applyQuarantine(dir, disk); err != nil {
+		rep.problemf("codec: %v", err)
+		return
+	}
+	grid, err := m.Tree.Grid.Grid()
+	if err != nil {
+		rep.problemf("codec: grid: %v", err)
+		return
+	}
+	type checker interface {
+		CodecCheck() ([]storage.PageID, []string)
+	}
+	open := []struct {
+		name string
+		fn   func() (checker, error)
+	}{
+		{"horizontal", func() (checker, error) { return vstore.OpenHorizontal(disk, grid, m.Horizontal) }},
+		{"vertical", func() (checker, error) { return vstore.OpenVertical(disk, grid, m.Vertical) }},
+		{"indexed", func() (checker, error) { return vstore.OpenIndexedVertical(disk, grid, m.Indexed) }},
+	}
+	seen := map[storage.PageID]bool{}
+	ok := true
+	for _, o := range open {
+		s, err := o.fn()
+		if err != nil {
+			rep.problemf("codec: open %s: %v", o.name, err)
+			ok = false
+			continue
+		}
+		bad, problems := s.CodecCheck()
+		if len(problems) > 0 {
+			ok = false
+		}
+		rep.Problems = append(rep.Problems, problems...)
+		for _, id := range bad {
+			if !seen[id] {
+				seen[id] = true
+				rep.BadCodecPages = append(rep.BadCodecPages, id)
+			}
+		}
+	}
+	sort.Slice(rep.BadCodecPages, func(i, j int) bool { return rep.BadCodecPages[i] < rep.BadCodecPages[j] })
+	rep.CodecOK = ok
 }
 
 // QuarantineDirName is where Repair moves damaged artifacts, inside the
@@ -98,8 +162,11 @@ const QuarantineDirName = "quarantine"
 
 // Repair moves the damaged artifacts named by rep — plus any stray temp
 // files — into dir/quarantine/, so a subsequent Save starts from a clean
-// directory while nothing is destroyed. It returns the names of the files
-// moved. Repair on an intact report only sweeps strays.
+// directory while nothing is destroyed. Codec-level damage is repaired
+// differently: the failing pages are parked in quarantine.json, so Open
+// fails their reads fast (degraded-mode traversal absorbs them) and a
+// later Fsck excuses them as known damage. It returns the names of the
+// files moved or written. Repair on an intact report only sweeps strays.
 func Repair(dir string, rep *FsckReport) ([]string, error) {
 	var doomed []string
 	switch {
@@ -114,7 +181,15 @@ func Repair(dir string, rep *FsckReport) ([]string, error) {
 	}
 	doomed = append(doomed, rep.Stray...)
 
-	var moved []string
+	var written []string
+	if rep.ManifestOK && rep.ImageOK && rep.LayoutOK && len(rep.BadCodecPages) > 0 {
+		if _, err := writeQuarantine(dir, rep.BadCodecPages); err != nil {
+			return nil, err
+		}
+		written = append(written, quarantineName)
+	}
+
+	moved := written
 	for _, name := range doomed {
 		src := filepath.Join(dir, name)
 		if _, err := os.Stat(src); err != nil {

@@ -56,6 +56,11 @@ type PoolStats struct {
 	// Pages and Pinned are the current resident and pinned frame counts;
 	// Capacity is the configured limit.
 	Pages, Pinned, Capacity int
+	// ResidentBytes is the on-disk (encoded) byte footprint of the
+	// resident frames. With the codec V-page layout the decoded working
+	// set is larger than this — the schemes report that side via their
+	// DecodedResidentBytes methods.
+	ResidentBytes int64
 }
 
 // Hits returns total hits across classes.
@@ -270,6 +275,7 @@ func (b *bufferPool) stats() PoolStats {
 			if f.pins > 0 {
 				out.Pinned++
 			}
+			out.ResidentBytes += int64(len(f.data))
 		}
 		s.mu.Unlock()
 	}

@@ -96,6 +96,11 @@ type Stats struct {
 	// VDCacheHits counts V-page reads answered from a scheme's decoded
 	// V-data cache (vstore), costing no page I/O.
 	VDCacheHits int64
+	// CoalescedReads counts buffer-pool misses that piggybacked on an
+	// in-flight read of the same page instead of hitting the media —
+	// N sessions entering the same cell pay one physical read, not N.
+	// A coalesced read costs no seek, transfer, or SimTime.
+	CoalescedReads int64
 }
 
 // Sub returns s - o, for measuring a window of activity.
@@ -116,6 +121,7 @@ func (s Stats) Sub(o Stats) Stats {
 		PrefetchHits:    s.PrefetchHits - o.PrefetchHits,
 		PrefetchWasted:  s.PrefetchWasted - o.PrefetchWasted,
 		VDCacheHits:     s.VDCacheHits - o.VDCacheHits,
+		CoalescedReads:  s.CoalescedReads - o.CoalescedReads,
 	}
 }
 
@@ -137,6 +143,7 @@ func (s Stats) add(o Stats) Stats {
 		PrefetchHits:    s.PrefetchHits + o.PrefetchHits,
 		PrefetchWasted:  s.PrefetchWasted + o.PrefetchWasted,
 		VDCacheHits:     s.VDCacheHits + o.VDCacheHits,
+		CoalescedReads:  s.CoalescedReads + o.CoalescedReads,
 	}
 }
 
@@ -168,6 +175,10 @@ type Disk struct {
 	cost   CostModel
 	// pool is the optional buffer pool (see SetCacheSize/ConfigurePool).
 	pool *bufferPool
+	// inflight coalesces concurrent pool misses on the same page: one
+	// reader performs the media read, the rest wait for its result and
+	// count a CoalescedRead instead of a second physical I/O.
+	inflight flight
 
 	// statsMu guards the cost-model accounting below.
 	statsMu sync.Mutex
@@ -191,6 +202,7 @@ func NewDisk(pageSize int, cost CostModel) *Disk {
 		corrupt:     make(map[PageID]bool),
 		quarantined: make(map[PageID]bool),
 		cost:        cost,
+		inflight:    flight{calls: make(map[PageID]*flightCall)},
 	}
 	// All stream heads start parked: the first access is always a seek.
 	for i := range d.streams {
@@ -419,26 +431,44 @@ func (d *Disk) readPage(id PageID, class Class, sink *Client) ([]byte, error) {
 	}
 	pool := d.pool
 	d.mu.RUnlock()
-	pooled := pool != nil && pool.caches(class)
-	if pooled {
-		if p, ok := pool.get(id, class); ok {
-			if sink != nil {
-				if class == ClassHeavy {
-					sink.add(Stats{PoolHeavyHits: 1})
-				} else {
-					sink.add(Stats{PoolLightHits: 1})
-				}
-			}
-			return p, nil
-		}
+	if pool == nil || !pool.caches(class) {
+		return d.readPageMedia(id, class, sink, nil)
+	}
+	if p, ok := pool.get(id, class); ok {
 		if sink != nil {
 			if class == ClassHeavy {
-				sink.add(Stats{PoolHeavyMisses: 1})
+				sink.add(Stats{PoolHeavyHits: 1})
 			} else {
-				sink.add(Stats{PoolLightMisses: 1})
+				sink.add(Stats{PoolLightHits: 1})
 			}
 		}
+		return p, nil
 	}
+	if sink != nil {
+		if class == ClassHeavy {
+			sink.add(Stats{PoolHeavyMisses: 1})
+		} else {
+			sink.add(Stats{PoolLightMisses: 1})
+		}
+	}
+	// Coalesce concurrent misses on the same page: the first reader does
+	// the media read (and the pool insert); the rest wait for its result.
+	page, err, leader := d.inflight.do(id, func() ([]byte, error) {
+		return d.readPageMedia(id, class, sink, pool)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !leader {
+		d.charge(Stats{CoalescedReads: 1}, sink)
+	}
+	return page, nil
+}
+
+// readPageMedia performs the physical page read — quarantine check, cost
+// accounting, fault draw, data fetch — and inserts the page into pool
+// when one is supplied.
+func (d *Disk) readPageMedia(id PageID, class Class, sink *Client, pool *bufferPool) ([]byte, error) {
 	if d.IsQuarantined(id) {
 		return nil, &CorruptError{Page: id, Quarantined: true}
 	}
@@ -455,7 +485,7 @@ func (d *Disk) readPage(id PageID, class Class, sink *Client) ([]byte, error) {
 	} else {
 		page = make([]byte, d.pageSize)
 	}
-	if pooled {
+	if pool != nil {
 		pool.put(id, page)
 	}
 	return page, nil

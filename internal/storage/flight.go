@@ -1,0 +1,44 @@
+package storage
+
+import "sync"
+
+// flight is a minimal singleflight keyed by PageID: concurrent callers of
+// do with the same id share one execution of load. The buffer-pool miss
+// path uses it so N sessions flipping into the same cell perform one
+// physical read of each segment page instead of N identical ones.
+type flight struct {
+	// mu guards only the calls map; load runs outside the lock.
+	mu    sync.Mutex
+	calls map[PageID]*flightCall
+}
+
+// flightCall is one in-progress load; done is closed when data/err are
+// final.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// do returns load()'s result, running it once per id across concurrent
+// callers. leader reports whether this caller performed the load (false
+// means the result was coalesced from another caller's read).
+func (f *flight) do(id PageID, load func() ([]byte, error)) (data []byte, err error, leader bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[id]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.data, c.err, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[id] = c
+	f.mu.Unlock()
+
+	c.data, c.err = load()
+
+	f.mu.Lock()
+	delete(f.calls, id)
+	f.mu.Unlock()
+	close(c.done)
+	return c.data, c.err, true
+}

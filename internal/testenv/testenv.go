@@ -40,6 +40,9 @@ type Config struct {
 	Samples      int   // region-DoV sample density
 	NominalBytes int64 // raw dataset size target (Figure 9 axis)
 	Seed         int64
+	// Codec builds the three schemes with the compressed V-page layout
+	// (DESIGN.md §13). Query results are byte-identical either way.
+	Codec bool
 }
 
 // Small returns the fast configuration used by unit/integration tests.
@@ -89,15 +92,16 @@ func build(cfg Config) *Env {
 	if err != nil {
 		panic("testenv: " + err.Error())
 	}
-	h, err := vstore.BuildHorizontal(d, vis, 0)
+	opts := vstore.Options{Codec: cfg.Codec}
+	h, err := vstore.BuildHorizontalOpts(d, vis, opts)
 	if err != nil {
 		panic("testenv: " + err.Error())
 	}
-	v, err := vstore.BuildVertical(d, vis, 0)
+	v, err := vstore.BuildVerticalOpts(d, vis, opts)
 	if err != nil {
 		panic("testenv: " + err.Error())
 	}
-	iv, err := vstore.BuildIndexedVertical(d, vis, 0)
+	iv, err := vstore.BuildIndexedVerticalOpts(d, vis, opts)
 	if err != nil {
 		panic("testenv: " + err.Error())
 	}

@@ -43,6 +43,19 @@ func (h *Horizontal) CellPages(r storage.Reader, cell cells.CellID) ([]storage.P
 		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
 	}
 	var out []storage.PageID
+	if h.codec {
+		// The resident directory locates every unit with no I/O;
+		// invisible nodes occupy no pages at all.
+		psz := int64(h.disk.PageSize())
+		for id := 0; id < h.numNodes && len(out) < maxCellPages; id++ {
+			ref := h.dir[h.slotOf(core.NodeID(id), cell)]
+			if ref.n == 0 {
+				continue
+			}
+			out = heapUnitPages(out, h.heapBase, psz, ref)
+		}
+		return out, nil
+	}
 	for id := 0; id < h.numNodes && len(out) < maxCellPages; id++ {
 		out = dedupePages(out, h.slots.page(h.slotOf(core.NodeID(id), cell)))
 	}
@@ -56,6 +69,35 @@ func (h *Horizontal) CellPages(r storage.Reader, cell cells.CellID) ([]storage.P
 func (v *Vertical) CellPages(r storage.Reader, cell cells.CellID) ([]storage.PageID, error) {
 	if int(cell) < 0 || int(cell) >= v.grid.NumCells() {
 		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	if v.codec {
+		// The cell's block is one contiguous run: segment pages, then
+		// the unit pages in node order.
+		desc := v.cdir[cell]
+		if desc.off == nilSlot {
+			return nil, nil
+		}
+		psz := int64(v.disk.PageSize())
+		segRef := heapRef{off: desc.off, n: desc.segLen}
+		out := heapUnitPages(nil, v.heapBase, psz, segRef)
+		buf, err := readHeapUnit(r, v.heapBase, v.heapBytes, segRef)
+		if err != nil {
+			return nil, err
+		}
+		offs, lens, err := DecodePointerSegmentC(buf, v.numNodes, desc.unitsLen)
+		if err != nil {
+			return nil, err
+		}
+		base := desc.unitsBase()
+		for id, off := range offs {
+			if off == nilSlot {
+				continue
+			}
+			if out = heapUnitPages(out, v.heapBase, psz, heapRef{off: base + off, n: lens[id]}); len(out) >= maxCellPages {
+				break
+			}
+		}
+		return out, nil
 	}
 	out := make([]storage.PageID, 0, v.segPages)
 	for i := 0; i < v.segPages; i++ {
@@ -86,6 +128,36 @@ func (v *Vertical) CellPages(r storage.Reader, cell cells.CellID) ([]storage.Pag
 func (iv *IndexedVertical) CellPages(r storage.Reader, cell cells.CellID) ([]storage.PageID, error) {
 	if int(cell) < 0 || int(cell) >= iv.grid.NumCells() {
 		return nil, fmt.Errorf("vstore: cell %d out of range", cell)
+	}
+	if iv.codec {
+		cdesc := iv.cdir[cell]
+		if cdesc.off == nilSlot {
+			return nil, nil
+		}
+		psz := int64(iv.disk.PageSize())
+		segRef := heapRef{off: cdesc.off, n: cdesc.segLen}
+		out := heapUnitPages(nil, iv.heapBase, psz, segRef)
+		buf, err := readHeapUnit(r, iv.heapBase, iv.heapBytes, segRef)
+		if err != nil {
+			return nil, err
+		}
+		m, err := DecodeIndexSegmentC(buf, iv.numNodes, cdesc.unitsBase(), cdesc.unitsLen)
+		if err != nil {
+			return nil, err
+		}
+		// Walk node IDs in order rather than ranging over the map: units
+		// were laid down in node order, so this recovers ascending heap
+		// order deterministically.
+		for id := 0; id < iv.numNodes; id++ {
+			ref, ok := m[core.NodeID(id)]
+			if !ok {
+				continue
+			}
+			if out = heapUnitPages(out, iv.heapBase, psz, ref); len(out) >= maxCellPages {
+				break
+			}
+		}
+		return out, nil
 	}
 	desc := iv.dir[cell]
 	if desc.start == storage.NilPage || desc.count == 0 {

@@ -1,6 +1,7 @@
 package vstore
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/cells"
@@ -30,11 +31,34 @@ type Horizontal struct {
 	// never shared across sessions.
 	vdCacheCap int
 	vdCache    *vdCache
+
+	// Codec layout (DESIGN.md §13): variable-length units packed into a
+	// byte heap in node-major (ascending slot) order, located by a
+	// resident directory instead of fixed slots. The directory is
+	// persisted at dirBase as one little-endian int64 offset per slot
+	// (-1 for invisible); unit lengths are reconstructed from the offset
+	// deltas, exact because the heap has no padding.
+	codec     bool
+	heapBase  storage.PageID
+	heapBytes int64
+	dirBase   storage.PageID
+	dir       []heapRef // slot → unit; n == 0 marks invisible
+	units     int64
+	unitBytes int64
 }
 
-// BuildHorizontal lays out and writes the horizontal scheme for vis.
+// BuildHorizontal lays out and writes the horizontal scheme for vis in
+// the original fixed-slot layout.
 func BuildHorizontal(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Horizontal, error) {
-	vpb := resolveVPageBytes(d, vpageBytes)
+	return BuildHorizontalOpts(d, vis, Options{VPageBytes: vpageBytes})
+}
+
+// BuildHorizontalOpts lays out and writes the horizontal scheme for vis.
+func BuildHorizontalOpts(d *storage.Disk, vis *core.VisData, opts Options) (*Horizontal, error) {
+	if opts.Codec {
+		return buildHorizontalCodec(d, vis)
+	}
+	vpb := resolveVPageBytes(d, opts.VPageBytes)
 	c := vis.Grid.NumCells()
 	h := &Horizontal{
 		disk:       d,
@@ -63,7 +87,64 @@ func BuildHorizontal(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Horiz
 				return nil, err
 			}
 		}
+		h.units += int64(vis.VisibleNodes(cell))
 	}
+	h.unitBytes = h.units * int64(vpb)
+	return h, nil
+}
+
+// buildHorizontalCodec lays out the codec variant: units packed in
+// node-major order — the same scatter character as the slot layout (one
+// cell's units are still strided by c across the heap), just denser — and
+// a resident directory persisted after the heap. Invisible (node, cell)
+// pairs occupy no heap bytes at all, where the slot layout reserves a
+// full V-page for them.
+func buildHorizontalCodec(d *storage.Disk, vis *core.VisData) (*Horizontal, error) {
+	c := vis.Grid.NumCells()
+	h := &Horizontal{
+		disk:     d,
+		io:       d,
+		grid:     vis.Grid,
+		numNodes: vis.NumNodes,
+		codec:    true,
+		dir:      make([]heapRef, vis.NumNodes*c),
+	}
+	var hw heapWriter
+	for id := 0; id < vis.NumNodes; id++ {
+		for ci := 0; ci < c; ci++ {
+			perNode := vis.PerCell[cells.CellID(ci)]
+			if id >= len(perNode) || perNode[id] == nil {
+				continue
+			}
+			unit, err := EncodeVPageC(perNode[id])
+			if err != nil {
+				return nil, err
+			}
+			off := hw.append(unit)
+			h.dir[h.slotOf(core.NodeID(id), cells.CellID(ci))] = heapRef{off: off, n: int32(len(unit))}
+			h.units++
+			h.unitBytes += int64(len(unit))
+		}
+	}
+	base, heapBytes, err := hw.flush(d)
+	if err != nil {
+		return nil, err
+	}
+	h.heapBase, h.heapBytes = base, heapBytes
+	// Persist the directory: 8 bytes per slot, -1 for invisible.
+	dirBuf := make([]byte, 8*len(h.dir))
+	for i, ref := range h.dir {
+		off := ref.off
+		if ref.n == 0 {
+			off = nilSlot
+		}
+		binary.LittleEndian.PutUint64(dirBuf[i*8:], uint64(off))
+	}
+	h.dirBase = d.AllocPages(d.PagesFor(int64(len(dirBuf))))
+	if err := d.WriteBytes(h.dirBase, dirBuf); err != nil {
+		return nil, err
+	}
+	h.sizeBytes = heapBytes + int64(len(dirBuf))
 	return h, nil
 }
 
@@ -134,6 +215,34 @@ func (h *Horizontal) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
 	}
 	slot := h.slotOf(id, h.cur)
+	if h.codec {
+		// The resident directory answers invisible nodes with no I/O —
+		// the slot layout's zero-filled V-page read disappears entirely.
+		ref := h.dir[slot]
+		if ref.n == 0 {
+			return nil, false, nil
+		}
+		if h.vdCache != nil {
+			if vd, ok := h.vdCache.get(slot); ok {
+				if rec, ok := h.io.(interface{ RecordVDCacheHit() }); ok {
+					rec.RecordVDCacheHit()
+				}
+				return vd, vd != nil, nil
+			}
+		}
+		buf, err := readHeapUnit(h.io, h.heapBase, h.heapBytes, ref)
+		if err != nil {
+			return nil, false, err
+		}
+		vd, err := DecodeVPageC(buf)
+		if err != nil {
+			return nil, false, err
+		}
+		if h.vdCache != nil {
+			h.vdCache.put(slot, vd)
+		}
+		return vd, vd != nil, nil
+	}
 	if h.vdCache != nil {
 		if vd, ok := h.vdCache.get(slot); ok {
 			if rec, ok := h.io.(interface{ RecordVDCacheHit() }); ok {
@@ -157,4 +266,48 @@ func (h *Horizontal) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 		return nil, false, nil
 	}
 	return vd, true, nil
+}
+
+// Codec reports whether this scheme uses the compressed V-page layout.
+func (h *Horizontal) Codec() bool { return h.codec }
+
+// VPageFootprint reports the stored V-page count and their total on-disk
+// byte footprint — the numerator and denominator of the vpagecodec
+// experiment's bytes-per-V-page metric.
+func (h *Horizontal) VPageFootprint() (units, bytes int64) { return h.units, h.unitBytes }
+
+// DecodedResidentBytes reports the in-memory footprint of decoded V-data
+// this view keeps resident (the VD cache), as opposed to the encoded
+// bytes the buffer pool holds (PoolStats.ResidentBytes).
+func (h *Horizontal) DecodedResidentBytes() int64 {
+	if h.vdCache == nil {
+		return 0
+	}
+	return h.vdCache.bytes
+}
+
+// CodecCheck decodes every codec unit through the unmetered peek path,
+// returning the disk pages of units that fail validation and one problem
+// string per failure. Raw-layout schemes have nothing to check.
+func (h *Horizontal) CodecCheck() ([]storage.PageID, []string) {
+	if !h.codec {
+		return nil, nil
+	}
+	var bad []storage.PageID
+	var problems []string
+	psz := int64(h.disk.PageSize())
+	for slot, ref := range h.dir {
+		if ref.n == 0 {
+			continue
+		}
+		buf, err := peekHeapUnit(h.disk, h.heapBase, h.heapBytes, ref)
+		if err == nil {
+			_, err = DecodeVPageC(buf)
+		}
+		if err != nil && !skipQuarantined(err) {
+			problems = append(problems, fmt.Sprintf("horizontal slot %d: %v", slot, err))
+			bad = heapUnitPages(bad, h.heapBase, psz, ref)
+		}
+	}
+	return bad, problems
 }

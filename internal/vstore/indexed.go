@@ -37,6 +37,18 @@ type IndexedVertical struct {
 	curMap  map[core.NodeID]int64
 	flips   int64
 	size    int64
+
+	// Codec layout (DESIGN.md §13): like vertical's, one contiguous
+	// block per cell, but the flip segment lists only visible nodes as
+	// (id delta, unit length) varint pairs — the §4.3 index with both
+	// columns delta/varint packed.
+	codec     bool
+	heapBase  storage.PageID
+	heapBytes int64
+	cdir      []codecSeg // per cell; off == nilSlot when no visible nodes
+	units     int64
+	unitBytes int64
+	curRef    map[core.NodeID]heapRef
 }
 
 type segDesc struct {
@@ -48,9 +60,72 @@ type segDesc struct {
 // (size_integer + size_pointer).
 const segEntryBytes = 4 + 8
 
-// BuildIndexedVertical lays out and writes the indexed-vertical scheme.
+// BuildIndexedVertical lays out and writes the indexed-vertical scheme in
+// the original fixed-slot layout.
 func BuildIndexedVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*IndexedVertical, error) {
-	vpb := resolveVPageBytes(d, vpageBytes)
+	return BuildIndexedVerticalOpts(d, vis, Options{VPageBytes: vpageBytes})
+}
+
+// buildIndexedVerticalCodec lays out the codec variant: one block per
+// cell — index segment followed by the cell's V-page units in node order.
+func buildIndexedVerticalCodec(d *storage.Disk, vis *core.VisData) (*IndexedVertical, error) {
+	c := vis.Grid.NumCells()
+	iv := &IndexedVertical{
+		disk:     d,
+		io:       d,
+		grid:     vis.Grid,
+		numNodes: vis.NumNodes,
+		codec:    true,
+		cdir:     make([]codecSeg, c),
+	}
+	var hw heapWriter
+	for cell := 0; cell < c; cell++ {
+		perNode := vis.PerCell[cells.CellID(cell)]
+		visible := visibleIDs(perNode)
+		if len(visible) == 0 {
+			iv.cdir[cell] = codecSeg{off: nilSlot}
+			continue
+		}
+		units := make([][]byte, len(visible))
+		lens := make([]int64, len(visible))
+		var unitsLen int64
+		for i, id := range visible {
+			unit, err := EncodeVPageC(perNode[id])
+			if err != nil {
+				return nil, err
+			}
+			units[i] = unit
+			lens[i] = int64(len(unit))
+			unitsLen += int64(len(unit))
+			iv.units++
+			iv.unitBytes += int64(len(unit))
+		}
+		seg, err := EncodeIndexSegmentC(visible, lens)
+		if err != nil {
+			return nil, err
+		}
+		off := hw.append(seg)
+		for _, unit := range units {
+			hw.append(unit)
+		}
+		iv.cdir[cell] = codecSeg{off: off, segLen: int32(len(seg)), unitsLen: unitsLen}
+	}
+	base, heapBytes, err := hw.flush(d)
+	if err != nil {
+		return nil, err
+	}
+	iv.heapBase, iv.heapBytes = base, heapBytes
+	iv.size = heapBytes + codecSegBytes*int64(c)
+	return iv, nil
+}
+
+// BuildIndexedVerticalOpts lays out and writes the indexed-vertical
+// scheme.
+func BuildIndexedVerticalOpts(d *storage.Disk, vis *core.VisData, opts Options) (*IndexedVertical, error) {
+	if opts.Codec {
+		return buildIndexedVerticalCodec(d, vis)
+	}
+	vpb := resolveVPageBytes(d, opts.VPageBytes)
 	c := vis.Grid.NumCells()
 	totalVisible := 0
 	for cell := 0; cell < c; cell++ {
@@ -102,6 +177,8 @@ func BuildIndexedVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*
 	dirPages := d.PagesFor(int64(12 * c))
 	d.AllocPages(dirPages)
 	iv.size += int64(12 * c)
+	iv.units = int64(totalVisible)
+	iv.unitBytes = iv.units * int64(vpb)
 	return iv, nil
 }
 
@@ -116,6 +193,7 @@ func (iv *IndexedVertical) View(io *storage.Client) core.VStore {
 	cp.io = io
 	cp.hasCell = false
 	cp.curMap = nil
+	cp.curRef = nil
 	cp.flips = 0
 	return &cp
 }
@@ -135,6 +213,9 @@ func (iv *IndexedVertical) SetCell(cell cells.CellID) error {
 	if iv.hasCell && iv.cur == cell {
 		return nil
 	}
+	if iv.codec {
+		return iv.setCellCodec(cell)
+	}
 	desc := iv.dir[cell]
 	m := make(map[core.NodeID]int64, desc.count)
 	if desc.start != storage.NilPage && desc.count > 0 {
@@ -153,6 +234,28 @@ func (iv *IndexedVertical) SetCell(cell cells.CellID) error {
 	return nil
 }
 
+// setCellCodec flips to cell in the codec layout: read the cell's index
+// segment and decode it straight to absolute heap references. A cell with
+// no visible nodes flips with no I/O.
+func (iv *IndexedVertical) setCellCodec(cell cells.CellID) error {
+	desc := iv.cdir[cell]
+	m := map[core.NodeID]heapRef{}
+	if desc.off != nilSlot {
+		buf, err := readHeapUnit(iv.io, iv.heapBase, iv.heapBytes, heapRef{off: desc.off, n: desc.segLen})
+		if err != nil {
+			return err
+		}
+		if m, err = DecodeIndexSegmentC(buf, iv.numNodes, desc.unitsBase(), desc.unitsLen); err != nil {
+			return err
+		}
+	}
+	iv.curRef = m
+	iv.cur = cell
+	iv.hasCell = true
+	iv.flips++
+	return nil
+}
+
 // NodeVD implements core.VStore.
 func (iv *IndexedVertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	if !iv.hasCell {
@@ -160,6 +263,24 @@ func (iv *IndexedVertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	}
 	if int(id) < 0 || int(id) >= iv.numNodes {
 		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
+	}
+	if iv.codec {
+		ref, ok := iv.curRef[id]
+		if !ok {
+			return nil, false, nil
+		}
+		buf, err := readHeapUnit(iv.io, iv.heapBase, iv.heapBytes, ref)
+		if err != nil {
+			return nil, false, err
+		}
+		vd, err := DecodeVPageC(buf)
+		if err != nil {
+			return nil, false, err
+		}
+		if vd == nil {
+			return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
+		}
+		return vd, true, nil
 	}
 	slot, ok := iv.curMap[id]
 	if !ok {
@@ -177,4 +298,66 @@ func (iv *IndexedVertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 		return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
 	}
 	return vd, true, nil
+}
+
+// Codec reports whether this scheme uses the compressed V-page layout.
+func (iv *IndexedVertical) Codec() bool { return iv.codec }
+
+// VPageFootprint reports the stored V-page count and total on-disk bytes.
+func (iv *IndexedVertical) VPageFootprint() (units, bytes int64) { return iv.units, iv.unitBytes }
+
+// DecodedResidentBytes reports the in-memory footprint of this view's
+// flipped segment — the decoded-resident side of the size accounting.
+func (iv *IndexedVertical) DecodedResidentBytes() int64 {
+	if iv.codec {
+		return int64(len(iv.curRef)) * (8 + 12)
+	}
+	return int64(len(iv.curMap)) * (8 + 8)
+}
+
+// CodecCheck decodes every codec segment and unit through the unmetered
+// peek path, returning the pages of failing units and a problem string
+// per failure.
+func (iv *IndexedVertical) CodecCheck() ([]storage.PageID, []string) {
+	if !iv.codec {
+		return nil, nil
+	}
+	var bad []storage.PageID
+	var problems []string
+	psz := int64(iv.disk.PageSize())
+	for cell, desc := range iv.cdir {
+		if desc.off == nilSlot {
+			continue
+		}
+		segRef := heapRef{off: desc.off, n: desc.segLen}
+		buf, err := peekHeapUnit(iv.disk, iv.heapBase, iv.heapBytes, segRef)
+		var m map[core.NodeID]heapRef
+		if err == nil {
+			m, err = DecodeIndexSegmentC(buf, iv.numNodes, desc.unitsBase(), desc.unitsLen)
+		}
+		if err != nil {
+			if !skipQuarantined(err) {
+				problems = append(problems, fmt.Sprintf("indexed-vertical cell %d segment: %v", cell, err))
+				bad = heapUnitPages(bad, iv.heapBase, psz, segRef)
+			}
+			continue
+		}
+		// Walk node IDs in order rather than ranging over the map so the
+		// report order is deterministic.
+		for id := 0; id < iv.numNodes; id++ {
+			ref, ok := m[core.NodeID(id)]
+			if !ok {
+				continue
+			}
+			ubuf, err := peekHeapUnit(iv.disk, iv.heapBase, iv.heapBytes, ref)
+			if err == nil {
+				_, err = DecodeVPageC(ubuf)
+			}
+			if err != nil && !skipQuarantined(err) {
+				problems = append(problems, fmt.Sprintf("indexed-vertical cell %d node %d: %v", cell, id, err))
+				bad = heapUnitPages(bad, iv.heapBase, psz, ref)
+			}
+		}
+	}
+	return bad, problems
 }

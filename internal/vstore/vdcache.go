@@ -20,7 +20,15 @@ type vdCache struct {
 	entries map[int64][]core.VD
 	fifo    []int64 // insertion order; fifo[0] is the next victim
 	hits    int64
+	// bytes is the decoded in-memory footprint of the cached entries —
+	// the "decoded-resident" side of the codec layer's size accounting,
+	// vs the encoded bytes the buffer pool holds.
+	bytes int64
 }
+
+// vdMemBytes is the in-memory size of one decoded core.VD (f64 + i32,
+// padded).
+const vdMemBytes = 16
 
 func newVDCache(capacity int) *vdCache {
 	if capacity <= 0 {
@@ -50,8 +58,10 @@ func (c *vdCache) put(slot int64, vd []core.VD) {
 	if len(c.entries) >= c.cap {
 		victim := c.fifo[0]
 		c.fifo = c.fifo[1:]
+		c.bytes -= int64(len(c.entries[victim])) * vdMemBytes
 		delete(c.entries, victim)
 	}
 	c.entries[slot] = vd
 	c.fifo = append(c.fifo, slot)
+	c.bytes += int64(len(vd)) * vdMemBytes
 }

@@ -35,13 +35,92 @@ type Vertical struct {
 	curSeg  []int64 // V-page slot per node, nilSlot if invisible
 	flips   int64
 	size    int64
+
+	// Codec layout (DESIGN.md §13): each cell is one contiguous heap
+	// block — [flip segment][V-page units…] — so a flip plus the query's
+	// V-page reads is a single forward scan: one seek where the slot
+	// layout pays one for the segment extent and one for the slot run.
+	codec     bool
+	heapBase  storage.PageID
+	heapBytes int64
+	cdir      []codecSeg // per cell; off == nilSlot when no visible nodes
+	units     int64
+	unitBytes int64
+	curOffs   []int64 // absolute heap offset per node, nilSlot if invisible
+	curLens   []int32
 }
 
 const pointerBytes = 8
 
-// BuildVertical lays out and writes the vertical scheme for vis.
+// BuildVertical lays out and writes the vertical scheme for vis in the
+// original fixed-slot layout.
 func BuildVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Vertical, error) {
-	vpb := resolveVPageBytes(d, vpageBytes)
+	return BuildVerticalOpts(d, vis, Options{VPageBytes: vpageBytes})
+}
+
+// buildVerticalCodec lays out the codec variant: one block per cell in
+// cell-ID order, each block a pointer segment (visibility bitmap + unit
+// lengths) followed immediately by the cell's V-page units in node order.
+func buildVerticalCodec(d *storage.Disk, vis *core.VisData) (*Vertical, error) {
+	c := vis.Grid.NumCells()
+	v := &Vertical{
+		disk:     d,
+		io:       d,
+		grid:     vis.Grid,
+		numNodes: vis.NumNodes,
+		codec:    true,
+		cdir:     make([]codecSeg, c),
+	}
+	var hw heapWriter
+	for cell := 0; cell < c; cell++ {
+		perNode := vis.PerCell[cells.CellID(cell)]
+		visible := visibleIDs(perNode)
+		if len(visible) == 0 {
+			v.cdir[cell] = codecSeg{off: nilSlot}
+			continue
+		}
+		units := make([][]byte, len(visible))
+		lens := make([]int64, vis.NumNodes)
+		for i := range lens {
+			lens[i] = -1
+		}
+		var unitsLen int64
+		for i, id := range visible {
+			unit, err := EncodeVPageC(perNode[id])
+			if err != nil {
+				return nil, err
+			}
+			units[i] = unit
+			lens[id] = int64(len(unit))
+			unitsLen += int64(len(unit))
+			v.units++
+			v.unitBytes += int64(len(unit))
+		}
+		seg, err := EncodePointerSegmentC(vis.NumNodes, lens)
+		if err != nil {
+			return nil, err
+		}
+		off := hw.append(seg)
+		for _, unit := range units {
+			hw.append(unit)
+		}
+		v.cdir[cell] = codecSeg{off: off, segLen: int32(len(seg)), unitsLen: unitsLen}
+	}
+	base, heapBytes, err := hw.flush(d)
+	if err != nil {
+		return nil, err
+	}
+	v.heapBase, v.heapBytes = base, heapBytes
+	v.size = heapBytes + codecSegBytes*int64(c)
+	return v, nil
+}
+
+// BuildVerticalOpts lays out and writes the vertical scheme for vis.
+func BuildVerticalOpts(d *storage.Disk, vis *core.VisData, opts Options) (*Vertical, error) {
+	if opts.Codec {
+		return buildVerticalCodec(d, vis)
+	}
+	vpb := resolveVPageBytes(d, opts.VPageBytes)
 	c := vis.Grid.NumCells()
 	totalVisible := 0
 	for cell := 0; cell < c; cell++ {
@@ -90,6 +169,8 @@ func BuildVertical(d *storage.Disk, vis *core.VisData, vpageBytes int) (*Vertica
 			return nil, err
 		}
 	}
+	v.units = int64(totalVisible)
+	v.unitBytes = v.units * int64(vpb)
 	return v, nil
 }
 
@@ -119,6 +200,8 @@ func (v *Vertical) View(io *storage.Client) core.VStore {
 	cp.io = io
 	cp.hasCell = false
 	cp.curSeg = nil
+	cp.curOffs = nil
+	cp.curLens = nil
 	cp.flips = 0
 	return &cp
 }
@@ -138,6 +221,9 @@ func (v *Vertical) SetCell(cell cells.CellID) error {
 	if v.hasCell && v.cur == cell {
 		return nil
 	}
+	if v.codec {
+		return v.setCellCodec(cell)
+	}
 	buf, err := v.io.ReadBytes(v.segPage(cell), pointerBytes*v.numNodes, storage.ClassLight)
 	if err != nil {
 		return err
@@ -153,6 +239,40 @@ func (v *Vertical) SetCell(cell cells.CellID) error {
 	return nil
 }
 
+// setCellCodec flips to cell in the codec layout: read the cell's flip
+// segment (a short light run at the head of its block) and turn the unit
+// lengths into absolute heap offsets. A cell with no visible nodes flips
+// with no I/O at all.
+func (v *Vertical) setCellCodec(cell cells.CellID) error {
+	desc := v.cdir[cell]
+	if desc.off == nilSlot {
+		v.curOffs, v.curLens = nil, nil
+		v.cur = cell
+		v.hasCell = true
+		v.flips++
+		return nil
+	}
+	buf, err := readHeapUnit(v.io, v.heapBase, v.heapBytes, heapRef{off: desc.off, n: desc.segLen})
+	if err != nil {
+		return err
+	}
+	offs, lens, err := DecodePointerSegmentC(buf, v.numNodes, desc.unitsLen)
+	if err != nil {
+		return err
+	}
+	base := desc.unitsBase()
+	for id, off := range offs {
+		if off != nilSlot {
+			offs[id] = base + off
+		}
+	}
+	v.curOffs, v.curLens = offs, lens
+	v.cur = cell
+	v.hasCell = true
+	v.flips++
+	return nil
+}
+
 // NodeVD implements core.VStore. Invisible nodes are answered from the
 // in-memory segment with no I/O; visible nodes cost one V-page read.
 func (v *Vertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
@@ -161,6 +281,23 @@ func (v *Vertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 	}
 	if int(id) < 0 || int(id) >= v.numNodes {
 		return nil, false, fmt.Errorf("vstore: node %d out of range", id)
+	}
+	if v.codec {
+		if v.curOffs == nil || v.curOffs[id] == nilSlot {
+			return nil, false, nil
+		}
+		buf, err := readHeapUnit(v.io, v.heapBase, v.heapBytes, heapRef{off: v.curOffs[id], n: v.curLens[id]})
+		if err != nil {
+			return nil, false, err
+		}
+		vd, err := DecodeVPageC(buf)
+		if err != nil {
+			return nil, false, err
+		}
+		if vd == nil {
+			return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
+		}
+		return vd, true, nil
 	}
 	slot := v.curSeg[id]
 	if slot == nilSlot {
@@ -178,4 +315,66 @@ func (v *Vertical) NodeVD(id core.NodeID) ([]core.VD, bool, error) {
 		return nil, false, fmt.Errorf("vstore: node %d pointer to empty V-page", id)
 	}
 	return vd, true, nil
+}
+
+// Codec reports whether this scheme uses the compressed V-page layout.
+func (v *Vertical) Codec() bool { return v.codec }
+
+// VPageFootprint reports the stored V-page count and total on-disk bytes.
+func (v *Vertical) VPageFootprint() (units, bytes int64) { return v.units, v.unitBytes }
+
+// DecodedResidentBytes reports the in-memory footprint of this view's
+// flipped segment — the decoded-resident side of the size accounting.
+func (v *Vertical) DecodedResidentBytes() int64 {
+	if v.codec {
+		return int64(len(v.curOffs))*8 + int64(len(v.curLens))*4
+	}
+	return int64(len(v.curSeg)) * 8
+}
+
+// CodecCheck decodes every codec segment and unit through the unmetered
+// peek path, returning the pages of failing units and a problem string
+// per failure.
+func (v *Vertical) CodecCheck() ([]storage.PageID, []string) {
+	if !v.codec {
+		return nil, nil
+	}
+	var bad []storage.PageID
+	var problems []string
+	psz := int64(v.disk.PageSize())
+	for cell, desc := range v.cdir {
+		if desc.off == nilSlot {
+			continue
+		}
+		segRef := heapRef{off: desc.off, n: desc.segLen}
+		buf, err := peekHeapUnit(v.disk, v.heapBase, v.heapBytes, segRef)
+		var offs []int64
+		var lens []int32
+		if err == nil {
+			offs, lens, err = DecodePointerSegmentC(buf, v.numNodes, desc.unitsLen)
+		}
+		if err != nil {
+			if !skipQuarantined(err) {
+				problems = append(problems, fmt.Sprintf("vertical cell %d segment: %v", cell, err))
+				bad = heapUnitPages(bad, v.heapBase, psz, segRef)
+			}
+			continue
+		}
+		base := desc.unitsBase()
+		for id, off := range offs {
+			if off == nilSlot {
+				continue
+			}
+			ref := heapRef{off: base + off, n: lens[id]}
+			ubuf, err := peekHeapUnit(v.disk, v.heapBase, v.heapBytes, ref)
+			if err == nil {
+				_, err = DecodeVPageC(ubuf)
+			}
+			if err != nil && !skipQuarantined(err) {
+				problems = append(problems, fmt.Sprintf("vertical cell %d node %d: %v", cell, id, err))
+				bad = heapUnitPages(bad, v.heapBase, psz, ref)
+			}
+		}
+	}
+	return bad, problems
 }

@@ -267,6 +267,10 @@ type DiskStats struct {
 	// VDCacheHits counts V-data decodes served from the horizontal
 	// scheme's per-view cell cache (zero unless EnableVDCache).
 	VDCacheHits int64
+	// CoalescedReads counts buffer-pool misses that piggybacked on
+	// another session's in-flight read of the same page instead of
+	// performing a second physical read (zero without a pool).
+	CoalescedReads int64
 }
 
 // DiskStats returns the cumulative disk accounting, summed over every

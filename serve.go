@@ -277,5 +277,6 @@ func diskStatsFrom(s storage.Stats) DiskStats {
 		PrefetchHits:   s.PrefetchHits,
 		PrefetchWasted: s.PrefetchWasted,
 		VDCacheHits:    s.VDCacheHits,
+		CoalescedReads: s.CoalescedReads,
 	}
 }
