@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writeWC  = fs.String("writewalkcoherence", "", "measure and write the walkcoherence reference file, then exit")
 		writeVC  = fs.String("writevpagecodec", "", "measure and write the vpagecodec reference file, then exit")
 		guardVC  = fs.String("guardvpagecodec", "", "compare fresh vpagecodec metrics against a committed reference file; exit 1 on >25% regression")
+		writeOV  = fs.String("writeoverload", "", "measure and write the overload reference file, then exit")
+		guardOV  = fs.String("guardoverload", "", "compare fresh overload metrics against a committed reference file; exit 1 on a broken resilience invariant or >50% latency regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,6 +127,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "vpagecodec reference written to %s (workload %s)\n", *writeVC, vc.Workload)
+		return 0
+	}
+
+	if *writeOV != "" {
+		ov, err := bench.CollectOverload(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteOverload(*writeOV, ov); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "overload reference written to %s (workload %s)\n", *writeOV, ov.Workload)
+		return 0
+	}
+
+	if *guardOV != "" {
+		ref, err := bench.LoadOverload(*guardOV)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectOverload(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareOverload(ref, cur, 0.5); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "overload guard passed (workload %s)\n", ref.Workload)
 		return 0
 	}
 

@@ -7,8 +7,10 @@
 // (Disk.mu before Disk.statsMu, no nested locks, no unknown calls under
 // mu), determinism (no wall clock, randomness, or map-order dependence in
 // the query/result path), errflow (no dropped serialization or storage
-// write errors), apisnapshot (the root package's exported API matches the
-// committed api.golden).
+// write errors), ctxflow (no severed or dropped context.Context on the
+// traversal path — deadlines set at the public API must reach the
+// storage layer), apisnapshot (the root package's exported API matches
+// the committed api.golden).
 //
 // Exit status is 0 when clean, 1 with findings, 2 on usage or load
 // errors. Findings print as file:line:col: [pass] message; -json emits a

@@ -354,6 +354,12 @@ type FaultPlan struct {
 	TransientFrac float64
 	// MaxRetries bounds the retry loop per logical read (0 = default 3).
 	MaxRetries int
+	// RetryJitter adds a seeded random backoff (up to half the base
+	// backoff) to each retry, decorrelating concurrent sessions that are
+	// retrying the same hot region. The fault draws themselves are
+	// unchanged: the same plan injects the same faults with or without
+	// jitter — only the simulated retry cost varies.
+	RetryJitter bool
 }
 
 // SetFaultTolerant switches degraded-mode traversal on or off. When on, a
@@ -375,6 +381,7 @@ func (db *DB) InjectFaults(p FaultPlan) {
 		PageProb:      p.PageProb,
 		TransientFrac: p.TransientFrac,
 		MaxRetries:    p.MaxRetries,
+		Jitter:        p.RetryJitter,
 	})
 }
 

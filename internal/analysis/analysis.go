@@ -73,6 +73,7 @@ func Passes(apiGoldenPath string) []Pass {
 		&LockOrderPass{},
 		&DeterminismPass{},
 		&ErrFlowPass{},
+		&CtxFlowPass{},
 	}
 	if apiGoldenPath != "" {
 		ps = append(ps, &APISnapshotPass{GoldenPath: apiGoldenPath})

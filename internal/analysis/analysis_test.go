@@ -59,6 +59,7 @@ func TestPassFixtures(t *testing.T) {
 		{&DeterminismPass{}, "fixture/prefetch/internal/storage"},
 		{&DeterminismPass{}, "fixture/prefetch/internal/walkthrough"},
 		{&ErrFlowPass{}, "fixture/errflow"},
+		{&CtxFlowPass{}, "fixture/ctxflow/internal/core"},
 	}
 	l := fixtureLoader(t)
 	for _, tc := range cases {

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowPass guards the cancellation contract of the serving stack
+// (DESIGN.md §14): every query, fetch, and playback entry point takes a
+// context.Context and threads it down to the storage layer, so a
+// deadline set at the public API is observed at every node expansion and
+// before every media read. Two ways that chain silently breaks, both of
+// which this pass forbids on the traversal path (internal/core,
+// internal/storage, internal/vstore, internal/walkthrough,
+// internal/overload):
+//
+//   - Minting a fresh unbounded context mid-path: calls to
+//     context.Background() or context.TODO() sever the caller's deadline
+//     from everything below. The compat wrappers that deliberately run
+//     unbounded carry a //lint:ignore ctxflow justification.
+//   - Dropping a received context: a function that declares a
+//     context.Context parameter and never reads it accepts a deadline it
+//     will not honor — the API lies to its caller.
+type CtxFlowPass struct {
+	// Packages restricts the pass (import-path suffix match). Empty means
+	// the traversal-path default.
+	Packages []string
+}
+
+// Name implements Pass.
+func (*CtxFlowPass) Name() string { return "ctxflow" }
+
+func (p *CtxFlowPass) scope(pkg *Package) bool {
+	pats := p.Packages
+	if len(pats) == 0 {
+		pats = []string{
+			"internal/core", "internal/storage", "internal/vstore",
+			"internal/walkthrough", "internal/overload",
+		}
+	}
+	for _, s := range pats {
+		if strings.HasSuffix(pkg.Path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Pass.
+func (p *CtxFlowPass) Run(pkg *Package) []Finding {
+	if !p.scope(pkg) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if name := freshContextCall(pkg, x); name != "" {
+					out = append(out, finding("ctxflow", pkg.Fset, x.Pos(),
+						"%s severs the caller's deadline on a traversal path; thread the incoming context instead", name))
+				}
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					out = append(out, droppedContexts(pkg, x.Type, x.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, droppedContexts(pkg, x.Type, x.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// freshContextCall matches context.Background() / context.TODO().
+func freshContextCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	return "context." + sel.Sel.Name + "()"
+}
+
+// droppedContexts reports named context.Context parameters of ft that
+// body never reads. Blank (_) parameters are not reported: they are an
+// explicit, reviewable statement that the context is unused (interface
+// conformance), unlike a named parameter that quietly stops flowing.
+func droppedContexts(pkg *Package, ft *ast.FuncType, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Defs[name]
+			if obj == nil || usesObject(pkg, body, obj) {
+				continue
+			}
+			out = append(out, finding("ctxflow", pkg.Fset, name.Pos(),
+				"context parameter %s is never used: the declared deadline is accepted but not honored", name.Name))
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesObject reports whether body contains a use of obj.
+func usesObject(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,53 @@
+// Package core is the ctxflow fixture: deadline chains that break on a
+// traversal path, plus the shapes the pass must leave alone.
+package core
+
+import "context"
+
+// Bad: minting a fresh unbounded context mid-path.
+func freshMint() context.Context {
+	return context.Background() // want ctxflow
+}
+
+// Bad: TODO is the same severed chain with a sheepish name.
+func todoMint() context.Context {
+	return context.TODO() // want ctxflow
+}
+
+// Bad: the declared deadline is accepted but never honored.
+func dropped(ctx context.Context, cell int) int { // want ctxflow
+	return cell * 2
+}
+
+// Bad: a function literal drops its context too.
+var droppedLit = func(ctx context.Context) int { // want ctxflow
+	return 1
+}
+
+// Good: the context is threaded through.
+func threaded(ctx context.Context, cell int) error {
+	return ctx.Err()
+}
+
+// Good: a blank parameter is an explicit, reviewable non-use.
+func blank(_ context.Context, cell int) int {
+	return cell
+}
+
+// Good: the outer context flowing into an inner literal counts as use.
+func closure(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}
+
+// Good: a justified suppression keeps working.
+//
+//lint:ignore ctxflow compat wrappers deliberately run unbounded
+var bg = context.Background()
+
+func use() (context.Context, context.Context, int, int) {
+	return freshMint(), todoMint(), dropped(bg, 1), droppedLit(bg)
+}
+
+var _ = threaded
+var _ = blank
+var _ = closure

@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/overload"
+	"repro/internal/storage"
+)
+
+// The overload experiment drives the serving stack past saturation and
+// checks that the resilience kit (DESIGN.md §14) keeps its promises:
+//
+//	unprotected — 4x more clients than the engine's concurrency budget,
+//	              seeded media faults, every query admitted and answered
+//	              at full fidelity no matter the queue behind it
+//	protected   — same clients, same faults, but gated by admission
+//	              control, shed by the fidelity shedder, retried with
+//	              jitter, and fenced by the per-region circuit breaker
+//
+// The claims: the protected leg finishes with zero hard errors, its p99
+// per-query simulated latency no worse than the unprotected leg's, and
+// its protections demonstrably engaged (rejections or shed transitions
+// observed). A third leg checks fail-fast cancellation: a query issued
+// on an already-canceled context returns the context's error without
+// touching the disk. The committed reference lives in BENCH_overload.json.
+
+// overloadFaults is the seeded fault plan both legs run under.
+var overloadFaults = storage.FaultConfig{
+	Seed:          7,
+	PageProb:      0.004,
+	TransientFrac: 0.7,
+	MaxRetries:    3,
+}
+
+// OverloadLeg is one saturation run's outcome.
+type OverloadLeg struct {
+	Clients int `json:"clients"`
+	// Queries counts queries answered (admitted and completed); Rejected
+	// admission rejections (protected leg only).
+	Queries  int   `json:"queries"`
+	Rejected int64 `json:"rejected"`
+	// ShedTransitions is the shedder's level-change count; Degradations
+	// sums per-query degradation records (media faults absorbed plus
+	// shed substitutions).
+	ShedTransitions int64 `json:"shed_transitions"`
+	Degradations    int64 `json:"degradations"`
+	// HardErrors counts queries that returned an error — the quantity
+	// the protected leg must hold at zero.
+	HardErrors int64 `json:"hard_errors"`
+	// MeanMicros and P99Micros summarize per-query simulated latency.
+	MeanMicros float64 `json:"mean_micros"`
+	P99Micros  float64 `json:"p99_micros"`
+	// BreakerTrips counts circuit-breaker region trips (protected only).
+	BreakerTrips int64 `json:"breaker_trips"`
+}
+
+// Overload is the committed reference format (BENCH_overload.json).
+type Overload struct {
+	Workload    string      `json:"workload"`
+	Unprotected OverloadLeg `json:"unprotected"`
+	Protected   OverloadLeg `json:"protected"`
+	// CancelFailFast records the cancellation leg: true when a query on
+	// an already-canceled context returned the context's error with zero
+	// disk reads charged.
+	CancelFailFast bool `json:"cancel_fail_fast"`
+}
+
+// overloadCfg sizes the saturation runs.
+type overloadCfg struct {
+	maxConcurrent int
+	clients       int
+	perClient     int
+	cells         int
+	eta           float64
+}
+
+func defaultOverloadCfg(p Params) overloadCfg {
+	per := p.ScalQueries / 8
+	if per < 25 {
+		per = 25
+	}
+	if per > 100 {
+		per = 100
+	}
+	return overloadCfg{
+		maxConcurrent: 2,
+		clients:       8, // 4x the concurrency budget
+		perClient:     per,
+		cells:         16,
+		eta:           0.001,
+	}
+}
+
+// overloadLeg runs one saturation workload. protected wires in the full
+// resilience kit; target is the shedder's latency budget (ignored when
+// not protected).
+func overloadLeg(e *Env, cfg overloadCfg, protected bool, target time.Duration) (OverloadLeg, error) {
+	out := OverloadLeg{Clients: cfg.clients}
+	ws := workingSet(e.Tree, cfg.cells)
+
+	faults := overloadFaults
+	faults.Jitter = protected
+	e.Disk.InjectFaults(faults)
+	e.Tree.FaultTolerant = true
+	defer func() {
+		e.Disk.ClearFaults()
+		e.Disk.ClearQuarantine()
+		e.Disk.SetBreaker(storage.BreakerConfig{})
+		e.Tree.FaultTolerant = false
+		e.Tree.SetShed(nil)
+	}()
+
+	var ctrl *overload.Controller
+	var shed *overload.Shedder
+	if protected {
+		ctrl = overload.New(overload.Config{
+			MaxConcurrent: cfg.maxConcurrent,
+			MaxQueue:      cfg.maxConcurrent,
+			MaxPerClient:  3,
+		})
+		shed = overload.NewShedder(overload.ShedConfig{Target: target})
+		e.Disk.SetBreaker(storage.BreakerConfig{RegionPages: 64, Threshold: 3, Cooldown: 32})
+	}
+	// Allocate the shared shed-policy slot before sessions are derived so
+	// every client observes mid-run policy flips.
+	e.Tree.SetShed(nil)
+
+	type clientOut struct {
+		lat          []time.Duration
+		degradations int64
+		hard         int64
+		rejected     int64
+		queries      int
+	}
+	outs := make([]clientOut, cfg.clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := e.Tree.Session()
+			client := fmt.Sprintf("client-%d", i)
+			for q := 0; q < cfg.perClient; q++ {
+				if ctrl != nil {
+					release, err := ctrl.Acquire(context.Background(), client)
+					if err != nil {
+						outs[i].rejected++
+						continue
+					}
+					before := s.IO.Stats()
+					res, qerr := s.Query(ws[(i+q)%len(ws)], cfg.eta)
+					release()
+					d := s.IO.Stats().Sub(before)
+					outs[i].lat = append(outs[i].lat, d.SimTime)
+					if qerr != nil {
+						outs[i].hard++
+						continue
+					}
+					outs[i].queries++
+					outs[i].degradations += int64(len(res.Degradations))
+					if shed != nil {
+						if policy, changed := shed.Observe(d.SimTime); changed {
+							e.Tree.SetShed(policy)
+						}
+					}
+					continue
+				}
+				before := s.IO.Stats()
+				res, qerr := s.Query(ws[(i+q)%len(ws)], cfg.eta)
+				d := s.IO.Stats().Sub(before)
+				outs[i].lat = append(outs[i].lat, d.SimTime)
+				if qerr != nil {
+					outs[i].hard++
+					continue
+				}
+				outs[i].queries++
+				outs[i].degradations += int64(len(res.Degradations))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var lats []time.Duration
+	for _, o := range outs {
+		lats = append(lats, o.lat...)
+		out.Queries += o.queries
+		out.Rejected += o.rejected
+		out.Degradations += o.degradations
+		out.HardErrors += o.hard
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		out.MeanMicros = float64(sum.Microseconds()) / float64(len(lats))
+		out.P99Micros = float64(lats[len(lats)*99/100].Microseconds())
+	}
+	if shed != nil {
+		out.ShedTransitions = shed.Transitions()
+	}
+	if protected {
+		out.BreakerTrips = e.Disk.BreakerStats().Trips
+	}
+	return out, nil
+}
+
+// cancelLeg checks fail-fast cancellation: a query on a pre-canceled
+// context must return the context's error having charged zero reads.
+func cancelLeg(e *Env, cfg overloadCfg) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := e.Tree.Session()
+	ws := workingSet(e.Tree, cfg.cells)
+	before := s.IO.Stats()
+	_, err := s.QueryContext(ctx, ws[0], cfg.eta)
+	d := s.IO.Stats().Sub(before)
+	return err != nil && errors.Is(err, context.Canceled) && d.Reads == 0
+}
+
+// CollectOverload measures all three legs against the default dataset.
+func CollectOverload(p Params) (*Overload, error) {
+	e := DefaultEnv(p)
+	cfg := defaultOverloadCfg(p)
+	out := &Overload{Workload: workloadTag(p)}
+
+	var err error
+	if out.Unprotected, err = overloadLeg(e, cfg, false, 0); err != nil {
+		return nil, fmt.Errorf("bench: overload unprotected: %w", err)
+	}
+	// The shedder defends half the unprotected mean: deep saturation for
+	// the same workload, so the protected leg must shed to hold it.
+	target := time.Duration(out.Unprotected.MeanMicros/2) * time.Microsecond
+	if target <= 0 {
+		target = time.Microsecond
+	}
+	if out.Protected, err = overloadLeg(e, cfg, true, target); err != nil {
+		return nil, fmt.Errorf("bench: overload protected: %w", err)
+	}
+	out.CancelFailFast = cancelLeg(e, cfg)
+	return out, nil
+}
+
+// RunOverload prints the leg table and verdicts the resilience claims:
+// zero hard errors under protection, a bounded p99 against the
+// unprotected leg, protections that actually engaged, and fail-fast
+// cancellation.
+func RunOverload(w io.Writer, p Params) error {
+	ov, err := CollectOverload(p)
+	if err != nil {
+		return err
+	}
+	cfg := defaultOverloadCfg(p)
+	fmt.Fprintf(w, "%d clients at %dx saturation, %d queries/client over %d uncached cells, eta=%g, seeded faults (p=%g)\n\n",
+		cfg.clients, cfg.clients/cfg.maxConcurrent, cfg.perClient, cfg.cells, cfg.eta, overloadFaults.PageProb)
+	fmt.Fprintf(w, "%-12s %-9s %-9s %-7s %-8s %-8s %-12s %-12s %s\n",
+		"leg", "queries", "rejected", "shed", "degraded", "hard", "mean µs", "p99 µs", "breaker trips")
+	for _, leg := range []struct {
+		label string
+		l     OverloadLeg
+	}{{"unprotected", ov.Unprotected}, {"protected", ov.Protected}} {
+		fmt.Fprintf(w, "%-12s %-9d %-9d %-7d %-8d %-8d %-12.0f %-12.0f %d\n",
+			leg.label, leg.l.Queries, leg.l.Rejected, leg.l.ShedTransitions,
+			leg.l.Degradations, leg.l.HardErrors, leg.l.MeanMicros, leg.l.P99Micros,
+			leg.l.BreakerTrips)
+	}
+	fmt.Fprintln(w)
+
+	pass := true
+	verdict := func(ok bool, format string, args ...any) {
+		v := "PASS"
+		if !ok {
+			v = "FAIL"
+			pass = false
+		}
+		fmt.Fprintf(w, "%s %s\n", fmt.Sprintf(format, args...), v)
+	}
+	verdict(ov.Protected.HardErrors == 0,
+		"protected leg hard errors: %d (claim: 0)", ov.Protected.HardErrors)
+	verdict(ov.Protected.P99Micros <= ov.Unprotected.P99Micros*1.05,
+		"protected p99 %.0fµs vs unprotected %.0fµs (claim: bounded)",
+		ov.Protected.P99Micros, ov.Unprotected.P99Micros)
+	verdict(ov.Protected.Rejected+ov.Protected.ShedTransitions > 0,
+		"protections engaged: %d rejections + %d shed transitions (claim: > 0)",
+		ov.Protected.Rejected, ov.Protected.ShedTransitions)
+	verdict(ov.CancelFailFast,
+		"pre-canceled query fails fast with zero reads: %v (claim: true)", ov.CancelFailFast)
+	if !pass {
+		return fmt.Errorf("bench: overload: a resilience claim failed")
+	}
+	return nil
+}
+
+// CompareOverload checks fresh overload metrics against the committed
+// reference. The hard invariants (zero hard errors, fail-fast
+// cancellation, protections engaging) are exact; the latency figures get
+// a wide tolerance because saturation interleaving is scheduler-shaped.
+func CompareOverload(ref, cur *Overload, tol float64) []string {
+	var bad []string
+	if ref.Workload != cur.Workload {
+		return []string{fmt.Sprintf("workload mismatch: reference %q vs current %q (regenerate the reference)",
+			ref.Workload, cur.Workload)}
+	}
+	if cur.Protected.HardErrors != 0 {
+		bad = append(bad, fmt.Sprintf("protected leg: %d hard errors, want 0", cur.Protected.HardErrors))
+	}
+	if !cur.CancelFailFast {
+		bad = append(bad, "cancellation leg: pre-canceled query no longer fails fast with zero reads")
+	}
+	if cur.Protected.Rejected+cur.Protected.ShedTransitions == 0 {
+		bad = append(bad, "protected leg: protections never engaged (0 rejections, 0 shed transitions)")
+	}
+	if ref.Unprotected.P99Micros > 0 && cur.Protected.P99Micros > ref.Unprotected.P99Micros*(1+tol) {
+		bad = append(bad, fmt.Sprintf(
+			"protected p99 %.0fµs exceeds reference unprotected p99 %.0fµs (tolerance %.0f%%)",
+			cur.Protected.P99Micros, ref.Unprotected.P99Micros, 100*tol))
+	}
+	return bad
+}
+
+// LoadOverload reads a committed overload reference.
+func LoadOverload(path string) (*Overload, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ov Overload
+	if err := json.Unmarshal(raw, &ov); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &ov, nil
+}
+
+// WriteOverload writes the reference in the committed format.
+func WriteOverload(path string, ov *Overload) error {
+	raw, err := json.MarshalIndent(ov, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

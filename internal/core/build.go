@@ -130,6 +130,11 @@ type Tree struct {
 	nodePageBase storage.PageID
 	nodeStride   int // pages per node record
 
+	// shed is the shared load-shedding policy slot (SetShed): sessions
+	// derived after the slot exists see policy flips immediately. Nil
+	// until the first SetShed — no shedding, byte-identical traversal.
+	shed *shedHolder
+
 	// cut is the session's retained traversal frontier (QueryCoherent);
 	// nil until the first coherent query. Sessions never inherit a cut.
 	cut *cutState

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cells"
@@ -62,20 +63,27 @@ type cutState struct {
 	stats CoherenceStats
 }
 
-// QueryCoherent is Query with incremental cut maintenance: identical
-// answer set (the differential suite asserts byte-identity, Degradations
-// included), but node records retained from this session's previous query
-// are served from memory, so a warm adjacent-cell query pays only the
-// V-data reads. Use on a Session driving a walkthrough; on a cold cut,
-// after an η change, or after any traversal fault it transparently runs
-// the full Query. Not safe for concurrent use — like every other method
-// of one session.
-func (t *Tree) QueryCoherent(cell cells.CellID, eta float64) (*QueryResult, error) {
+// QueryCoherentContext is QueryContext with incremental cut maintenance:
+// identical answer set (the differential suite asserts byte-identity,
+// Degradations included), but node records retained from this session's
+// previous query are served from memory, so a warm adjacent-cell query
+// pays only the V-data reads. Use on a Session driving a walkthrough; on
+// a cold cut, after an η change, or after any traversal fault it
+// transparently runs the full query. While a shed policy is active it
+// also delegates to the full query — the cut is valid for one η, and a
+// policy-relaxed η would thrash it — so shedding trades the warm path
+// for fidelity control. Not safe for concurrent use — like every other
+// method of one session.
+func (t *Tree) QueryCoherentContext(ctx context.Context, cell cells.CellID, eta float64) (*QueryResult, error) {
 	if t.vstore == nil {
 		return nil, ErrNoVStore
 	}
 	if eta < 0 {
 		eta = 0
+	}
+	if t.Shed().active() {
+		t.InvalidateCut()
+		return t.QueryContext(ctx, cell, eta)
 	}
 	if t.cut == nil {
 		t.cut = &cutState{}
@@ -86,22 +94,30 @@ func (t *Tree) QueryCoherent(cell cells.CellID, eta float64) (*QueryResult, erro
 		cs.eta = eta
 		cs.valid = true
 	}
+	tc, _, done := t.begin(ctx, eta)
+	defer done()
 	before := t.statsNow()
 	res := t.getResult(cell, eta)
 	err := t.vstore.SetCell(cell)
 	if err == nil {
-		err = t.searchCut(cs.root, eta, res)
+		err = t.searchCut(tc, cs.root, eta, res)
 	}
 	if err != nil {
 		// Fail fast: drop the cut and answer with a full traversal, which
 		// absorbs (or reports) the fault exactly as a cold query would.
 		// The wasted incremental reads stay on this session's account;
 		// the returned result's Stats cover only the full traversal.
+		// Cancellation is different: an abandoned query must not buy a
+		// second traversal, so context errors abort outright (the cut is
+		// still dropped — it may be half-rewritten).
 		cs.valid = false
 		cs.root = nil
-		cs.stats.Full++
 		t.Recycle(res)
-		return t.Query(cell, eta)
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		cs.stats.Full++
+		return t.QueryContext(ctx, cell, eta)
 	}
 	cs.stats.Incremental++
 	d := t.statsNow().Sub(before)
@@ -185,7 +201,10 @@ func (cn *cutNode) child(id NodeID) *cutNode {
 // shared mutable state a fan-out would have to lock, and the records it
 // saves are exactly the reads parallelism would have overlapped. No fault
 // absorption here — any error aborts to the caller's full-query fallback.
-func (t *Tree) searchCut(cn *cutNode, eta float64, res *QueryResult) error {
+func (t *Tree) searchCut(tc travCtx, cn *cutNode, eta float64, res *QueryResult) error {
+	if err := tc.err(); err != nil {
+		return err
+	}
 	node, err := t.cutRecord(cn, res)
 	if err != nil {
 		return err
@@ -258,7 +277,7 @@ func (t *Tree) searchCut(cn *cutNode, eta float64, res *QueryResult) error {
 			c = &cutNode{id: e.ChildID}
 			t.cut.stats.Expanded++
 		}
-		if err := t.searchCut(c, eta, res); err != nil {
+		if err := t.searchCut(tc, c, eta, res); err != nil {
 			return err
 		}
 		keep = append(keep, c)

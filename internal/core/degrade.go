@@ -36,6 +36,11 @@ const (
 	// CauseCellFlip: the storage scheme's cell-flip read failed, so no
 	// visibility data was available for the whole frame.
 	CauseCellFlip
+	// CauseShed: no media failed — the query was answered at reduced
+	// fidelity by an active ShedPolicy (η relaxation or depth
+	// truncation). Overload shedding reuses the degradation stream so
+	// reduced fidelity is always visible and counted (DESIGN.md §14).
+	CauseShed
 )
 
 func (c FaultCause) String() string {
@@ -48,6 +53,8 @@ func (c FaultCause) String() string {
 		return "payload"
 	case CauseCellFlip:
 		return "cell-flip"
+	case CauseShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("FaultCause(%d)", int(c))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,31 +69,41 @@ type QueryResult struct {
 // ErrNoVStore is returned by Query before SetVStore.
 var ErrNoVStore = errors.New("core: no storage scheme attached (call SetVStore)")
 
-// Query runs the threshold-based traversal of Figure 3 for the given cell
-// and DoV threshold η. It charges light I/O for node records and V-pages
-// (via the attached VStore); payload retrieval is separate (FetchPayloads)
-// so experiments can account light-weight and total I/O independently, as
-// Figures 8(a) and 8(b) do.
-func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
+// QueryContext runs the threshold-based traversal of Figure 3 for the
+// given cell and DoV threshold η. It charges light I/O for node records
+// and V-pages (via the attached VStore); payload retrieval is separate
+// (FetchPayloadsContext) so experiments can account light-weight and
+// total I/O independently, as Figures 8(a) and 8(b) do.
+//
+// The context bounds the traversal: cancellation and deadline expiry are
+// observed within one node expansion (and before any further disk read),
+// aborting with an error wrapping ctx.Err(). With an installed ShedPolicy
+// the query answers at relaxed fidelity, recording CauseShed
+// Degradations. With a background context and no policy the behavior —
+// and the answer — is byte-identical to Query's.
+func (t *Tree) QueryContext(ctx context.Context, cell cells.CellID, eta float64) (*QueryResult, error) {
 	if t.vstore == nil {
 		return nil, ErrNoVStore
 	}
 	if eta < 0 {
 		eta = 0
 	}
+	tc, eff, done := t.begin(ctx, eta)
+	defer done()
 	before := t.statsNow()
 	res := t.getResult(cell, eta)
 	if err := t.vstore.SetCell(cell); err != nil {
 		if !t.rootFallback(res, err, CauseCellFlip) {
 			return nil, fmt.Errorf("core: cell flip: %w", err)
 		}
-	} else if err := t.searchNode(0, eta, res, nil); err != nil {
+	} else if err := t.searchNode(tc, 0, eff, res, nil); err != nil {
 		// Only the root's own record/V-page failures reach here; deeper
 		// faults are absorbed at their recursion sites.
 		if !t.rootFallback(res, err, CauseNodeRecord) {
 			return nil, err
 		}
 	}
+	tc.shedMark(res)
 	d := t.statsNow().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
@@ -107,8 +118,12 @@ func (t *Tree) Query(cell cells.CellID, eta float64) (*QueryResult, error) {
 
 // searchNode is Algorithm Search(Node) of Figure 3. anc is the ancestor
 // ladder of internal-LoD sources used by fault-tolerant substitution (nil
-// at the root; see degrade.go).
-func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSource) error {
+// at the root; see degrade.go). tc carries the cancellation checkpoint
+// (polled here, once per node expansion) and the shed policy.
+func (t *Tree) searchNode(tc travCtx, id NodeID, eta float64, res *QueryResult, anc []lodSource) error {
+	if err := tc.err(); err != nil {
+		return err
+	}
 	node, err := t.ReadNodeRecord(id)
 	if err != nil {
 		return err
@@ -128,7 +143,7 @@ func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSou
 		return fmt.Errorf("core: node %d has %d entries but V-page has %d", id, len(node.Entries), len(vd))
 	}
 	if t.parSem != nil && !node.Leaf {
-		return t.searchEntriesParallel(node, vd, eta, res, anc)
+		return t.searchEntriesParallel(tc, node, vd, eta, res, anc)
 	}
 	for ei, e := range node.Entries {
 		v := vd[ei]
@@ -181,10 +196,29 @@ func (t *Tree) searchNode(id NodeID, eta float64, res *QueryResult, anc []lodSou
 			res.Stats.EarlyStops++
 			continue
 		}
+		// Shed truncation: at the policy's depth limit the branch answers
+		// with the child's internal LoD even though η says descend —
+		// recorded as a CauseShed Degradation, never silent.
+		if tc.truncate(len(anc)) && len(e.LoDRefs) > 0 {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			})
+			res.Stats.EarlyStops++
+			res.Degradations = append(res.Degradations, Degradation{
+				Cell: res.Cell, Node: e.ChildID, Object: -1,
+				Cause: CauseShed, Page: storage.NilPage,
+				SubstituteNode: e.ChildID, SubstituteLevel: lvl,
+			})
+			continue
+		}
 		// Line 10: recurse. The child's internal-LoD references (already
 		// in hand from this entry) extend the substitution ladder.
 		childAnc := append(anc, lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
-		if err := t.searchNode(e.ChildID, eta, res, childAnc); err != nil {
+		if err := t.searchNode(tc, e.ChildID, eta, res, childAnc); err != nil {
 			cause, page, ok := t.absorbFault(err, e.ChildID)
 			if !ok {
 				return err
@@ -214,7 +248,7 @@ type entryPlan struct {
 // then child descents run on up to Parallel workers, then sub-results
 // merge serially in entry index order — so the answer set, degradation
 // events, and traversal stats are identical to the serial traversal's.
-func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *QueryResult, anc []lodSource) error {
+func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float64, res *QueryResult, anc []lodSource) error {
 	plans := make([]entryPlan, len(node.Entries))
 	for ei, e := range node.Entries {
 		v := vd[ei]
@@ -242,6 +276,24 @@ func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *Quer
 			res.Stats.EarlyStops++
 			continue
 		}
+		// Shed truncation, mirroring the serial loop (the planning pass
+		// runs on one goroutine, so the Degradation order is stable).
+		if tc.truncate(len(anc)) && len(e.LoDRefs) > 0 {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			p.item = &ResultItem{
+				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			}
+			res.Stats.EarlyStops++
+			res.Degradations = append(res.Degradations, Degradation{
+				Cell: res.Cell, Node: e.ChildID, Object: -1,
+				Cause: CauseShed, Page: storage.NilPage,
+				SubstituteNode: e.ChildID, SubstituteLevel: lvl,
+			})
+			continue
+		}
 		p.recurse = true
 		p.dov, p.k = v.DoV, k
 		// The three-index slice caps capacity so concurrent appends cannot
@@ -266,10 +318,10 @@ func (t *Tree) searchEntriesParallel(node *Node, vd []VD, eta float64, res *Quer
 			go func(p *entryPlan, child NodeID) {
 				defer wg.Done()
 				defer func() { <-t.parSem }()
-				p.err = t.searchNode(child, eta, p.sub, p.childAnc)
+				p.err = t.searchNode(tc, child, eta, p.sub, p.childAnc)
 			}(p, child)
 		default:
-			p.err = t.searchNode(child, eta, p.sub, p.childAnc)
+			p.err = t.searchNode(tc, child, eta, p.sub, p.childAnc)
 		}
 	}
 	wg.Wait()
@@ -359,13 +411,20 @@ func interpolatePolys(polys []int, k float64) float64 {
 	return k*hi + (1-k)*lo
 }
 
-// FetchPayloads charges the heavy-weight I/O of retrieving every item's
-// payload extent, skipping items for which skip returns true (the delta
-// search of §5.4 passes a cache-hit predicate). It returns the number of
-// items actually fetched.
-func (t *Tree) FetchPayloads(res *QueryResult, skip func(ResultItem) bool) (int, error) {
+// FetchPayloadsContext charges the heavy-weight I/O of retrieving every
+// item's payload extent, skipping items for which skip returns true (the
+// delta search of §5.4 passes a cache-hit predicate). It returns the
+// number of items actually fetched. The context is checked before each
+// item's extent read; an expired deadline aborts with the items fetched
+// so far counted.
+func (t *Tree) FetchPayloadsContext(ctx context.Context, res *QueryResult, skip func(ResultItem) bool) (int, error) {
+	tc, _, done := t.begin(ctx, 0)
+	defer done()
 	fetched := 0
 	for i := range res.Items {
+		if err := tc.err(); err != nil {
+			return fetched, err
+		}
 		it := res.Items[i]
 		if skip != nil && skip(it) {
 			continue
@@ -450,29 +509,34 @@ func (t *Tree) LoadMesh(it ResultItem) (*mesh.Mesh, error) {
 	return mesh.Decode(buf)
 }
 
-// QueryPrioritized is the DESIGN.md D5 extension (the paper's §6 future
-// work): identical answer set to Query, but branches intersecting the view
-// frustum are traversed first so the renderer receives in-view geometry
-// earliest. The result carries, per item, the prefix position at which it
-// became available; tests measure time-to-first-in-view-item.
-func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) (*QueryResult, error) {
+// QueryPrioritizedContext is the DESIGN.md D5 extension (the paper's §6
+// future work): identical answer set to QueryContext, but branches
+// intersecting the view frustum are traversed first so the renderer
+// receives in-view geometry earliest. The result carries, per item, the
+// prefix position at which it became available; tests measure
+// time-to-first-in-view-item. Context and shed semantics match
+// QueryContext's.
+func (t *Tree) QueryPrioritizedContext(ctx context.Context, cell cells.CellID, eta float64, f geom.Frustum) (*QueryResult, error) {
 	if t.vstore == nil {
 		return nil, ErrNoVStore
 	}
 	if eta < 0 {
 		eta = 0
 	}
+	tc, eff, done := t.begin(ctx, eta)
+	defer done()
 	before := t.statsNow()
 	res := &QueryResult{Cell: cell, Eta: eta}
 	if err := t.vstore.SetCell(cell); err != nil {
 		if !t.rootFallback(res, err, CauseCellFlip) {
 			return nil, err
 		}
-	} else if err := t.searchNodePrioritized(0, eta, f, res, nil); err != nil {
+	} else if err := t.searchNodePrioritized(tc, 0, eff, f, res, nil); err != nil {
 		if !t.rootFallback(res, err, CauseNodeRecord) {
 			return nil, err
 		}
 	}
+	tc.shedMark(res)
 	d := t.statsNow().Sub(before)
 	res.Stats.LightIO = d.LightReads
 	res.Stats.HeavyIO = d.HeavyReads
@@ -485,7 +549,10 @@ func (t *Tree) QueryPrioritized(cell cells.CellID, eta float64, f geom.Frustum) 
 	return res, nil
 }
 
-func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res *QueryResult, anc []lodSource) error {
+func (t *Tree) searchNodePrioritized(tc travCtx, id NodeID, eta float64, f geom.Frustum, res *QueryResult, anc []lodSource) error {
+	if err := tc.err(); err != nil {
+		return err
+	}
 	node, err := t.ReadNodeRecord(id)
 	if err != nil {
 		return err
@@ -563,8 +630,24 @@ func (t *Tree) searchNodePrioritized(id NodeID, eta float64, f geom.Frustum, res
 			res.Stats.EarlyStops++
 			continue
 		}
+		if tc.truncate(len(anc)) && len(e.LoDRefs) > 0 {
+			lvl := chooseLevel(k, len(e.LoDRefs))
+			res.Items = append(res.Items, ResultItem{
+				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
+				Detail: k, Level: lvl,
+				Polygons: interpolatePolys(e.LoDPolys, k),
+				Extent:   e.LoDRefs[lvl],
+			})
+			res.Stats.EarlyStops++
+			res.Degradations = append(res.Degradations, Degradation{
+				Cell: res.Cell, Node: e.ChildID, Object: -1,
+				Cause: CauseShed, Page: storage.NilPage,
+				SubstituteNode: e.ChildID, SubstituteLevel: lvl,
+			})
+			continue
+		}
 		childAnc := append(anc, lodSource{node: e.ChildID, refs: e.LoDRefs, polys: e.LoDPolys})
-		if err := t.searchNodePrioritized(e.ChildID, eta, f, res, childAnc); err != nil {
+		if err := t.searchNodePrioritized(tc, e.ChildID, eta, f, res, childAnc); err != nil {
 			cause, page, ok := t.absorbFault(err, e.ChildID)
 			if !ok {
 				return err

@@ -1,0 +1,300 @@
+// Package overload implements admission control and fidelity-aware load
+// shedding for the serving stack (DESIGN.md §14). Two cooperating pieces:
+//
+//   - Controller: a concurrency limiter with a bounded FIFO wait queue
+//     and per-client fairness. A request either runs now, waits its turn,
+//     or is rejected explicitly with ErrOverloaded — overload always
+//     produces a countable outcome, never an unbounded queue.
+//   - Shedder: a latency tracker (EMA over observed per-query simulated
+//     time, with hysteresis) that maps sustained pressure to discrete
+//     shed levels — core.ShedPolicy values of increasing severity — so
+//     the serving loop trades fidelity for bounded tails exactly the way
+//     the HDoV-tree's internal LoDs were designed to.
+//
+// Both are deterministic given the observation sequence: the shedder
+// tracks simulated time (the cost model's clock), not wall-clock noise,
+// so a replayed serving run sheds in exactly the same places.
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrOverloaded is returned when admission is denied: the wait queue is
+// full, the per-client cap is hit, or the controller was closed. Callers
+// surface it to the client as an explicit rejection (retry later),
+// never as a silent stall.
+var ErrOverloaded = errors.New("overload: admission rejected")
+
+// Config bounds the admission controller.
+type Config struct {
+	// MaxConcurrent is how many requests may run at once (minimum 1).
+	MaxConcurrent int
+	// MaxQueue bounds the wait queue; a request arriving to a full queue
+	// is rejected immediately. 0 means no waiting: admit or reject.
+	MaxQueue int
+	// MaxPerClient caps one client's share of running + waiting requests
+	// (0 = no per-client cap). With it, one greedy client saturating the
+	// queue cannot starve the rest.
+	MaxPerClient int
+}
+
+// Stats is a consistent snapshot of admission accounting.
+type Stats struct {
+	// Admitted counts requests that acquired a slot (immediately or
+	// after waiting); Rejected counts ErrOverloaded outcomes; Canceled
+	// counts waiters whose context expired in the queue.
+	Admitted, Rejected, Canceled int64
+	// Waited counts admissions that had to queue first.
+	Waited int64
+	// Running and Queued are current occupancy gauges.
+	Running, Queued int
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	client string
+	ready  chan struct{} // closed by release when a slot is handed over
+}
+
+// Controller is the admission gate. Create with New; one per serving
+// run. Safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu        sync.Mutex
+	running   int
+	queue     []*waiter
+	perClient map[string]int
+	stats     Stats
+}
+
+// New returns a Controller with cfg (MaxConcurrent floored at 1).
+func New(cfg Config) *Controller {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &Controller{cfg: cfg, perClient: make(map[string]int)}
+}
+
+// Acquire admits one request for client (an opaque fairness key),
+// blocking in FIFO order while the concurrency limit is saturated and
+// the queue has room. It returns a release func to call when the request
+// finishes (exactly once), or ErrOverloaded on a full queue / exhausted
+// per-client share, or the context's error if it expires while queued.
+func (c *Controller) Acquire(ctx context.Context, client string) (func(), error) {
+	c.mu.Lock()
+	if c.cfg.MaxPerClient > 0 && c.perClient[client] >= c.cfg.MaxPerClient {
+		c.stats.Rejected++
+		c.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	if c.running < c.cfg.MaxConcurrent && len(c.queue) == 0 {
+		c.running++
+		c.perClient[client]++
+		c.stats.Admitted++
+		c.mu.Unlock()
+		return c.releaseFunc(client), nil
+	}
+	if len(c.queue) >= c.cfg.MaxQueue {
+		c.stats.Rejected++
+		c.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &waiter{client: client, ready: make(chan struct{})}
+	c.queue = append(c.queue, w)
+	c.perClient[client]++
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// The releasing request handed its slot to this waiter (running
+		// was never decremented — the slot transferred).
+		c.mu.Lock()
+		c.stats.Admitted++
+		c.stats.Waited++
+		c.mu.Unlock()
+		return c.releaseFunc(client), nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if c.dequeue(w) {
+			c.perClient[client]--
+			c.stats.Canceled++
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		// Lost the race: the slot was already handed over. Take it and
+		// release immediately so it is not leaked, then report the
+		// cancellation.
+		c.stats.Admitted++
+		c.stats.Waited++
+		c.stats.Canceled++
+		c.mu.Unlock()
+		c.releaseFunc(client)()
+		return nil, ctx.Err()
+	}
+}
+
+// dequeue removes w from the wait queue; false if it was already handed
+// a slot.
+func (c *Controller) dequeue(w *waiter) bool {
+	for i, q := range c.queue {
+		if q == w {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releaseFunc returns the once-only release closure for an admitted
+// request: it hands the slot to the first waiter, or frees it.
+func (c *Controller) releaseFunc(client string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.perClient[client]--
+			if c.perClient[client] <= 0 {
+				delete(c.perClient, client)
+			}
+			if len(c.queue) > 0 {
+				w := c.queue[0]
+				c.queue = c.queue[1:]
+				c.mu.Unlock()
+				close(w.ready)
+				return
+			}
+			c.running--
+			c.mu.Unlock()
+		})
+	}
+}
+
+// Stats returns a mutually consistent snapshot (one lock acquisition —
+// the same discipline as storage.Stats).
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.Running = c.running
+	out.Queued = len(c.queue)
+	return out
+}
+
+// QueueDepth returns the current wait-queue length — the shedder's
+// secondary pressure signal.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// ShedConfig tunes the fidelity shedder.
+type ShedConfig struct {
+	// Target is the per-query simulated-time budget the shedder defends.
+	Target time.Duration
+	// Upper and Lower are the hysteresis band as fractions of Target:
+	// the shed level steps up when the EMA exceeds Target·Upper and
+	// steps down when it falls below Target·Lower. Defaults 1.0 / 0.7.
+	Upper, Lower float64
+	// Alpha is the EMA smoothing factor in (0,1]; default 0.2.
+	Alpha float64
+	// MinObservations is how many samples must accumulate before the
+	// first level change; default 8.
+	MinObservations int
+}
+
+// shedLevels are the policies of increasing severity the shedder steps
+// through. Level 0 is no shedding (nil policy).
+var shedLevels = []*core.ShedPolicy{
+	nil,
+	{EtaFactor: 2},
+	{EtaFactor: 4},
+	{EtaFactor: 4, MaxDepth: 2},
+	{EtaFactor: 8, MaxDepth: 1},
+}
+
+// Shedder maps observed per-query latency to a shed level. Safe for
+// concurrent Observe calls.
+type Shedder struct {
+	cfg ShedConfig
+
+	mu    sync.Mutex
+	ema   time.Duration
+	seen  int
+	level int
+	// transitions counts level changes (both directions) for reporting.
+	transitions int64
+}
+
+// NewShedder returns a Shedder defending cfg.Target (which must be > 0
+// for the shedder to ever act).
+func NewShedder(cfg ShedConfig) *Shedder {
+	if cfg.Upper <= 0 {
+		cfg.Upper = 1.0
+	}
+	if cfg.Lower <= 0 || cfg.Lower >= cfg.Upper {
+		cfg.Lower = 0.7
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.2
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = 8
+	}
+	return &Shedder{cfg: cfg}
+}
+
+// Observe feeds one query's simulated time and returns the policy to
+// install now (nil = stop shedding) plus whether the level changed.
+// Hysteresis: the EMA must cross Target·Upper to escalate and fall under
+// Target·Lower to relax, so the level does not flap around the boundary.
+func (s *Shedder) Observe(simTime time.Duration) (*core.ShedPolicy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ema == 0 {
+		s.ema = simTime
+	} else {
+		s.ema = time.Duration(s.cfg.Alpha*float64(simTime) + (1-s.cfg.Alpha)*float64(s.ema))
+	}
+	s.seen++
+	if s.cfg.Target <= 0 || s.seen < s.cfg.MinObservations {
+		return shedLevels[s.level], false
+	}
+	changed := false
+	switch {
+	case s.ema > time.Duration(float64(s.cfg.Target)*s.cfg.Upper) && s.level < len(shedLevels)-1:
+		s.level++
+		changed = true
+	case s.ema < time.Duration(float64(s.cfg.Target)*s.cfg.Lower) && s.level > 0:
+		s.level--
+		changed = true
+	}
+	if changed {
+		s.transitions++
+	}
+	return shedLevels[s.level], changed
+}
+
+// Level returns the current shed level (0 = none).
+func (s *Shedder) Level() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.level
+}
+
+// Transitions returns how many level changes have occurred.
+func (s *Shedder) Transitions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transitions
+}

@@ -1,0 +1,348 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- Controller ---
+
+func TestAcquireImmediate(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: 4})
+	rel1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Admitted != 2 || s.Running != 2 || s.Waited != 0 {
+		t.Fatalf("stats = %+v, want 2 admitted / 2 running / 0 waited", s)
+	}
+	rel1()
+	rel2()
+	if s := c.Stats(); s.Running != 0 {
+		t.Fatalf("running = %d after release, want 0", s.Running)
+	}
+}
+
+func TestRejectOnFullQueue(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	rel, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxQueue 0: no waiting, the second request is rejected outright.
+	if _, err := c.Acquire(context.Background(), "b"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if s := c.Stats(); s.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected)
+	}
+	rel()
+	// Slot freed: admission resumes.
+	rel2, err := c.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestPerClientCap(t *testing.T) {
+	c := New(Config{MaxConcurrent: 4, MaxQueue: 4, MaxPerClient: 2})
+	r1, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy client's share is spent; a third request is rejected even
+	// though the controller has free slots.
+	if _, err := c.Acquire(context.Background(), "greedy"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded for capped client", err)
+	}
+	// Other clients are unaffected.
+	r3, err := c.Acquire(context.Background(), "polite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	r3()
+	// Releasing restores the share.
+	r4, err := c.Acquire(context.Background(), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4()
+}
+
+// TestFIFOSlotTransfer: a released slot goes to the longest-waiting
+// request, in order, and is transferred rather than freed (no thundering
+// herd through running).
+func TestFIFOSlotTransfer(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	rel, err := c.Acquire(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 3
+	type admitted struct {
+		i   int
+		rel func()
+	}
+	order := make(chan admitted, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Enqueue strictly in order: wait until waiter i is queued before
+		// starting waiter i+1.
+		wantDepth := i + 1
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background(), "w")
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- admitted{i, r}
+		}(i)
+		for c.QueueDepth() < wantDepth {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Drain: each release must wake exactly the next waiter in FIFO order.
+	rel()
+	for i := 0; i < waiters; i++ {
+		got := <-order
+		if got.i != i {
+			t.Fatalf("admission order: got waiter %d at position %d", got.i, i)
+		}
+		got.rel()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Admitted != 4 || s.Waited != 3 || s.Running != 0 || s.Queued != 0 {
+		t.Fatalf("stats = %+v, want 4 admitted / 3 waited / idle", s)
+	}
+}
+
+// TestCancelWhileQueued: a waiter whose context expires leaves the queue
+// counted as canceled, its per-client share is returned, and no slot
+// leaks.
+func TestCancelWhileQueued(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 2, MaxPerClient: 2})
+	rel, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, "a")
+		errc <- err
+	}()
+	for c.QueueDepth() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire err = %v, want context.Canceled", err)
+	}
+	s := c.Stats()
+	if s.Canceled != 1 || s.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 canceled / empty queue", s)
+	}
+	rel()
+	// The canceled waiter returned its per-client share and did not absorb
+	// the slot: client "a" can immediately run two requests again.
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	if s := c.Stats(); s.Running != 1 {
+		t.Fatalf("running = %d, want 1 (no leaked slot)", s.Running)
+	}
+	r1()
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	rel, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must be a no-op, not free a phantom slot
+	if s := c.Stats(); s.Running != 0 {
+		t.Fatalf("running = %d, want 0", s.Running)
+	}
+	r1, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background(), "b"); !errors.Is(err, ErrOverloaded) {
+		t.Fatal("double release minted an extra slot")
+	}
+	r1()
+}
+
+// --- Shedder ---
+
+// feed pushes n identical observations and returns the last policy.
+func feed(s *Shedder, d time.Duration, n int) (last interface{ String() string }, level int) {
+	for i := 0; i < n; i++ {
+		s.Observe(d)
+	}
+	return nil, s.Level()
+}
+
+func TestShedderEscalatesAndRelaxes(t *testing.T) {
+	s := NewShedder(ShedConfig{Target: 10 * time.Millisecond})
+
+	// Below MinObservations nothing moves, no matter how hot.
+	for i := 0; i < 7; i++ {
+		if p, changed := s.Observe(100 * time.Millisecond); p != nil || changed {
+			t.Fatalf("obs %d: level moved before MinObservations", i)
+		}
+	}
+	// The 8th hot sample escalates.
+	p, changed := s.Observe(100 * time.Millisecond)
+	if !changed || p == nil || p.EtaFactor != 2 {
+		t.Fatalf("8th obs: p=%+v changed=%v, want level 1 {EtaFactor:2}", p, changed)
+	}
+
+	// Sustained pressure climbs to the top level and stays there.
+	_, lvl := feed(s, 100*time.Millisecond, 50)
+	if lvl != 4 {
+		t.Fatalf("level = %d under sustained pressure, want 4 (max)", lvl)
+	}
+	p, _ = s.Observe(100 * time.Millisecond)
+	if p == nil || p.EtaFactor != 8 || p.MaxDepth != 1 {
+		t.Fatalf("max-level policy = %+v, want {EtaFactor:8 MaxDepth:1}", p)
+	}
+
+	// Cooling below Target·Lower relaxes one step at a time back to nil.
+	_, lvl = feed(s, time.Millisecond, 200)
+	if lvl != 0 {
+		t.Fatalf("level = %d after sustained cool, want 0", lvl)
+	}
+	if p, _ := s.Observe(time.Millisecond); p != nil {
+		t.Fatalf("level-0 policy = %+v, want nil", p)
+	}
+	if tr := s.Transitions(); tr < 8 {
+		t.Fatalf("transitions = %d, want >= 8 (4 up + 4 down)", tr)
+	}
+}
+
+// TestShedderHysteresis: an EMA parked between Lower·Target and
+// Upper·Target moves the level in neither direction — the band is what
+// stops flapping.
+func TestShedderHysteresis(t *testing.T) {
+	s := NewShedder(ShedConfig{Target: 10 * time.Millisecond, Upper: 1.0, Lower: 0.7})
+	// Escalate once with hot samples...
+	var level1 int
+	for i := 0; i < 20 && level1 == 0; i++ {
+		s.Observe(20 * time.Millisecond)
+		level1 = s.Level()
+	}
+	if level1 == 0 {
+		t.Fatal("never escalated")
+	}
+	// ...then feed a steady 9ms — under Upper (10ms) but over Lower (7ms).
+	// Let the EMA converge into the band first (it starts near the hot
+	// samples), after which the level must never change in either
+	// direction: that no-man's-land is exactly what stops flapping.
+	for i := 0; i < 100; i++ {
+		s.Observe(9 * time.Millisecond)
+	}
+	settled, before := s.Level(), s.Transitions()
+	if settled == 0 {
+		t.Fatal("in-band signal relaxed all the way to level 0")
+	}
+	for i := 0; i < 200; i++ {
+		if _, changed := s.Observe(9 * time.Millisecond); changed {
+			t.Fatalf("obs %d: level changed inside the hysteresis band", i)
+		}
+	}
+	if s.Level() != settled || s.Transitions() != before {
+		t.Fatalf("level %d -> %d inside band", settled, s.Level())
+	}
+}
+
+func TestShedderZeroTargetNeverActs(t *testing.T) {
+	s := NewShedder(ShedConfig{})
+	for i := 0; i < 100; i++ {
+		if p, changed := s.Observe(time.Hour); p != nil || changed {
+			t.Fatal("shedder acted with no target")
+		}
+	}
+	if s.Level() != 0 || s.Transitions() != 0 {
+		t.Fatalf("level=%d transitions=%d, want 0/0", s.Level(), s.Transitions())
+	}
+}
+
+// TestShedderLevelBounds: the level can neither climb past the last
+// policy nor relax below zero, however extreme the signal.
+func TestShedderLevelBounds(t *testing.T) {
+	s := NewShedder(ShedConfig{Target: time.Millisecond, MinObservations: 1})
+	feed(s, time.Hour, 1000)
+	if s.Level() != len(shedLevels)-1 {
+		t.Fatalf("level = %d, want max %d", s.Level(), len(shedLevels)-1)
+	}
+	feed(s, 0, 1000)
+	if s.Level() != 0 {
+		t.Fatalf("level = %d, want 0", s.Level())
+	}
+	tr := s.Transitions()
+	feed(s, 0, 100) // already at the floor: no further transitions
+	if s.Transitions() != tr {
+		t.Fatal("transitions counted at the floor")
+	}
+}
+
+// TestControllerConcurrentStress hammers Acquire/release from many
+// goroutines and checks the accounting identity afterwards. Run with
+// -race.
+func TestControllerConcurrentStress(t *testing.T) {
+	c := New(Config{MaxConcurrent: 4, MaxQueue: 8, MaxPerClient: 6})
+	var wg sync.WaitGroup
+	clients := []string{"a", "b", "c"}
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				rel, err := c.Acquire(ctx, clients[w%len(clients)])
+				if err == nil {
+					rel()
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Running != 0 || s.Queued != 0 {
+		t.Fatalf("leaked occupancy: %+v", s)
+	}
+	if s.Admitted+s.Rejected == 0 {
+		t.Fatal("stress loop did no work")
+	}
+	if total := s.Admitted + s.Rejected + s.Canceled; total < 12*50 {
+		// An admission that was canceled after the handoff counts both
+		// Admitted and Canceled, so the sum can exceed the request count —
+		// but never undershoot it.
+		t.Fatalf("outcomes %d < requests %d", total, 12*50)
+	}
+}

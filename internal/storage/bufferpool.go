@@ -81,19 +81,16 @@ type bufFrame struct {
 	prev, next *bufFrame
 }
 
-// poolShard is one independently locked LRU.
+// poolShard is one independently locked LRU. Shards hold no counters:
+// every hit/miss/eviction outcome is returned to the caller and charged
+// into Disk.stats under the one statsMu, so a Stats snapshot is mutually
+// consistent even mid-run (DESIGN.md §14).
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[PageID]*bufFrame
 	head     *bufFrame // most recently used
 	tail     *bufFrame // least recently used
-
-	lightHits, lightMisses int64
-	heavyHits, heavyMisses int64
-	evictions              int64
-
-	prefetchHits, prefetchWasted int64
 }
 
 // bufferPool is a sharded LRU of page copies.
@@ -140,48 +137,40 @@ func (b *bufferPool) caches(class Class) bool {
 
 func (b *bufferPool) shard(id PageID) *poolShard { return b.shards[id&b.mask] }
 
-// get returns the cached copy of id, promoting it to MRU, and counts a
-// hit or miss against the class.
-func (b *bufferPool) get(id PageID, class Class) ([]byte, bool) {
+// get returns the cached copy of id, promoting it to MRU. prefetched
+// reports whether this hit is the first demand use of a prefetcher-warmed
+// frame; the caller charges the hit/miss and prefetch-hit counters.
+func (b *bufferPool) get(id PageID, class Class) (data []byte, ok, prefetched bool) {
 	s := b.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, ok := s.frames[id]
 	if !ok {
-		if class == ClassHeavy {
-			s.heavyMisses++
-		} else {
-			s.lightMisses++
-		}
-		return nil, false
-	}
-	if class == ClassHeavy {
-		s.heavyHits++
-	} else {
-		s.lightHits++
+		return nil, false, false
 	}
 	if f.prefetched {
 		f.prefetched = false
-		s.prefetchHits++
+		prefetched = true
 	}
 	s.moveToFront(f)
-	return f.data, true
+	return f.data, true, prefetched
 }
 
 // put inserts (or refreshes) a page copy, evicting the LRU unpinned frame
 // if the shard is full. Pinned frames are never evicted; if every frame is
-// pinned the shard temporarily exceeds capacity rather than stall.
-func (b *bufferPool) put(id PageID, data []byte) {
+// pinned the shard temporarily exceeds capacity rather than stall. The
+// returned eviction/wasted-prefetch counts are charged by the caller.
+func (b *bufferPool) put(id PageID, data []byte) (evictions, wasted int64) {
 	s := b.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.capacity <= 0 {
-		return
+		return 0, 0
 	}
 	if f, ok := s.frames[id]; ok {
 		f.data = data
 		s.moveToFront(f)
-		return
+		return 0, 0
 	}
 	f := &bufFrame{id: id, data: data}
 	s.frames[id] = f
@@ -196,11 +185,12 @@ func (b *bufferPool) put(id PageID, data []byte) {
 		}
 		s.unlink(victim)
 		delete(s.frames, victim.id)
-		s.evictions++
+		evictions++
 		if victim.prefetched {
-			s.prefetchWasted++
+			wasted++
 		}
 	}
+	return evictions, wasted
 }
 
 // markPrefetched flags a resident frame as loaded by the background
@@ -243,8 +233,9 @@ func (b *bufferPool) release(id PageID) {
 // invalidate drops a page (called on writes, corruption marks and
 // quarantines so readers never see stale data). A pinned frame is dropped
 // from the map too: the pin holder keeps its immutable data slice, but no
-// future lookup may serve the superseded copy.
-func (b *bufferPool) invalidate(id PageID) {
+// future lookup may serve the superseded copy. The returned wasted count
+// (an invalidated prefetch-warmed frame) is charged by the caller.
+func (b *bufferPool) invalidate(id PageID) (wasted int64) {
 	s := b.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -252,24 +243,20 @@ func (b *bufferPool) invalidate(id PageID) {
 		s.unlink(f)
 		delete(s.frames, id)
 		if f.prefetched {
-			s.prefetchWasted++
+			wasted++
 		}
 	}
+	return wasted
 }
 
-// stats sums the shard counters.
-func (b *bufferPool) stats() PoolStats {
+// gauges walks the shards for the structural snapshot: resident and pinned
+// frame counts and byte footprint. The flow counters (hits, misses,
+// evictions, prefetch outcomes) live in Disk.stats, not here.
+func (b *bufferPool) gauges() PoolStats {
 	var out PoolStats
 	out.Capacity = b.cfg.Pages
 	for _, s := range b.shards {
 		s.mu.Lock()
-		out.LightHits += s.lightHits
-		out.LightMisses += s.lightMisses
-		out.HeavyHits += s.heavyHits
-		out.HeavyMisses += s.heavyMisses
-		out.Evictions += s.evictions
-		out.PrefetchHits += s.prefetchHits
-		out.PrefetchWasted += s.prefetchWasted
 		out.Pages += len(s.frames)
 		for f := s.head; f != nil; f = f.next {
 			if f.pins > 0 {
@@ -280,18 +267,6 @@ func (b *bufferPool) stats() PoolStats {
 		s.mu.Unlock()
 	}
 	return out
-}
-
-// resetStats zeroes the shard counters (frames stay resident).
-func (b *bufferPool) resetStats() {
-	for _, s := range b.shards {
-		s.mu.Lock()
-		s.lightHits, s.lightMisses = 0, 0
-		s.heavyHits, s.heavyMisses = 0, 0
-		s.evictions = 0
-		s.prefetchHits, s.prefetchWasted = 0, 0
-		s.mu.Unlock()
-	}
 }
 
 func (s *poolShard) pushFront(f *bufFrame) {
@@ -338,7 +313,8 @@ func (d *Disk) SetCacheSize(n int) {
 
 // ConfigurePool installs a buffer pool with explicit sharding and
 // admission policy, or removes it with cfg.Pages <= 0. Replacing a pool
-// drops its contents and counters.
+// drops its contents; the flow counters live in the disk's Stats and
+// persist across reconfiguration (ResetStats zeroes them).
 func (d *Disk) ConfigurePool(cfg PoolConfig) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -364,6 +340,10 @@ func (d *Disk) CacheStats() (hits, misses int64) {
 }
 
 // PoolStats returns the pool's per-class accounting (zero when disabled).
+// The flow counters (hits, misses, evictions, prefetch outcomes) come from
+// one snapshot of the disk's stats lock, so they are mutually consistent
+// with each other and with Stats(); the structural gauges (resident pages,
+// pins, bytes) are read from the shards afterwards.
 func (d *Disk) PoolStats() PoolStats {
 	d.mu.RLock()
 	pool := d.pool
@@ -371,7 +351,15 @@ func (d *Disk) PoolStats() PoolStats {
 	if pool == nil {
 		return PoolStats{}
 	}
-	return pool.stats()
+	out := pool.gauges()
+	d.statsMu.Lock()
+	s := d.stats
+	d.statsMu.Unlock()
+	out.LightHits, out.LightMisses = s.PoolLightHits, s.PoolLightMisses
+	out.HeavyHits, out.HeavyMisses = s.PoolHeavyHits, s.PoolHeavyMisses
+	out.Evictions = s.PoolEvictions
+	out.PrefetchHits, out.PrefetchWasted = s.PrefetchHits, s.PrefetchWasted
+	return out
 }
 
 // PinnedPage is a page held resident in the buffer pool. The Data slice

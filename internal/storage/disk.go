@@ -22,9 +22,11 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -179,6 +181,10 @@ type Disk struct {
 	// reader performs the media read, the rest wait for its result and
 	// count a CoalescedRead instead of a second physical I/O.
 	inflight flight
+	// breaker is the optional per-region circuit breaker (SetBreaker): a
+	// region with repeated permanent media faults fails fast instead of
+	// being re-probed on every query.
+	breaker *breaker
 
 	// statsMu guards the cost-model accounting below.
 	statsMu sync.Mutex
@@ -233,36 +239,23 @@ func (d *Disk) ResidentBytes() int64 {
 	return int64(len(d.data)) * int64(d.pageSize)
 }
 
-// Stats returns the accounting snapshot, with the buffer-pool counters
-// folded in.
+// Stats returns the accounting snapshot. Every counter — I/O, retries,
+// buffer-pool flow, prefetch outcomes — is read under the one stats lock,
+// so a snapshot taken mid-run is mutually consistent: a pool miss is never
+// visible without the miss counter that preceded it, and Reads never
+// exceeds the misses that caused them.
 func (d *Disk) Stats() Stats {
 	d.statsMu.Lock()
-	s := d.stats
-	d.statsMu.Unlock()
-	if ps := d.PoolStats(); ps != (PoolStats{}) {
-		s.PoolLightHits = ps.LightHits
-		s.PoolLightMisses = ps.LightMisses
-		s.PoolHeavyHits = ps.HeavyHits
-		s.PoolHeavyMisses = ps.HeavyMisses
-		s.PoolEvictions = ps.Evictions
-		s.PrefetchHits = ps.PrefetchHits
-		s.PrefetchWasted = ps.PrefetchWasted
-	}
-	return s
+	defer d.statsMu.Unlock()
+	return d.stats
 }
 
-// ResetStats zeroes the counters, including the pool's (the head position
-// and pool contents are kept).
+// ResetStats zeroes the counters, including the pool's flow counters (the
+// head positions and pool contents are kept).
 func (d *Disk) ResetStats() {
 	d.statsMu.Lock()
 	d.stats = Stats{}
 	d.statsMu.Unlock()
-	d.mu.RLock()
-	pool := d.pool
-	d.mu.RUnlock()
-	if pool != nil {
-		pool.resetStats()
-	}
 }
 
 // charge applies a stats delta to the global counters and, when a session
@@ -311,11 +304,17 @@ type CorruptError struct {
 	// Quarantined is true when the read failed fast on a quarantined page
 	// rather than on fresh media damage.
 	Quarantined bool
+	// Tripped is true when the read failed fast because the page's region
+	// circuit breaker is open (SetBreaker) rather than on fresh damage.
+	Tripped bool
 }
 
 func (e *CorruptError) Error() string {
-	if e.Quarantined {
+	switch {
+	case e.Quarantined:
 		return fmt.Sprintf("storage: corrupt page: page %d (quarantined)", e.Page)
+	case e.Tripped:
+		return fmt.Sprintf("storage: corrupt page: page %d (breaker open)", e.Page)
 	}
 	return fmt.Sprintf("storage: corrupt page: page %d", e.Page)
 }
@@ -329,13 +328,17 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 // damaged media. A successful WritePage lifts the quarantine (the sector
 // was remapped by the rewrite).
 func (d *Disk) Quarantine(id PageID) {
+	var wasted int64
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if id >= 0 && id < d.allocated {
 		d.quarantined[id] = true
 		if d.pool != nil {
-			d.pool.invalidate(id)
+			wasted = d.pool.invalidate(id)
 		}
+	}
+	d.mu.Unlock()
+	if wasted > 0 {
+		d.charge(Stats{PrefetchWasted: wasted}, nil)
 	}
 }
 
@@ -365,21 +368,35 @@ func (d *Disk) ClearQuarantine() {
 // installed it also draws injected faults and performs bounded
 // retry-with-backoff (transient faults are absorbed, with retries counted
 // in Stats); without one it only honors explicit CorruptPage marks,
-// exactly the pre-injection behavior.
+// exactly the pre-injection behavior. A session context that is already
+// expired fails fast before any fault draw or backoff is charged, and
+// permanent-fault outcomes feed the optional circuit breaker.
 func (d *Disk) mediaErr(id PageID, sink *Client) error {
 	d.mu.RLock()
 	fi := d.faults
+	br := d.breaker
 	corrupt := d.corrupt[id]
 	d.mu.RUnlock()
 	if fi == nil {
 		if corrupt {
+			if br != nil {
+				br.observe(id, false)
+			}
 			return &CorruptError{Page: id}
 		}
 		return nil
 	}
+	// Honor the caller's deadline before the retry loop: an expired
+	// context must not pay (or even draw) retries and backoff.
+	if err := sink.ctxErr(); err != nil {
+		return err
+	}
 	retries, cost, err := fi.check(corrupt, id)
 	if retries > 0 {
 		d.charge(Stats{Retries: retries, SimTime: cost}, sink)
+	}
+	if br != nil {
+		br.observe(id, err == nil)
 	}
 	return err
 }
@@ -407,11 +424,15 @@ func (d *Disk) WritePage(id PageID, data []byte) error {
 	if d.faults != nil {
 		d.faults.heal(id)
 	}
+	var wasted int64
 	if d.pool != nil {
-		d.pool.invalidate(id)
+		wasted = d.pool.invalidate(id)
+	}
+	if d.breaker != nil {
+		d.breaker.heal(id)
 	}
 	d.mu.Unlock()
-	d.charge(Stats{Writes: 1}, nil)
+	d.charge(Stats{Writes: 1, PrefetchWasted: wasted}, nil)
 	return nil
 }
 
@@ -424,6 +445,9 @@ func (d *Disk) ReadPage(id PageID, class Class) ([]byte, error) {
 }
 
 func (d *Disk) readPage(id PageID, class Class, sink *Client) ([]byte, error) {
+	if err := sink.ctxErr(); err != nil {
+		return nil, err
+	}
 	d.mu.RLock()
 	if id < 0 || id >= d.allocated {
 		d.mu.RUnlock()
@@ -434,22 +458,21 @@ func (d *Disk) readPage(id PageID, class Class, sink *Client) ([]byte, error) {
 	if pool == nil || !pool.caches(class) {
 		return d.readPageMedia(id, class, sink, nil)
 	}
-	if p, ok := pool.get(id, class); ok {
-		if sink != nil {
-			if class == ClassHeavy {
-				sink.add(Stats{PoolHeavyHits: 1})
-			} else {
-				sink.add(Stats{PoolLightHits: 1})
-			}
+	if p, ok, prefetched := pool.get(id, class); ok {
+		delta := Stats{PoolLightHits: 1}
+		if class == ClassHeavy {
+			delta = Stats{PoolHeavyHits: 1}
 		}
+		if prefetched {
+			delta.PrefetchHits = 1
+		}
+		d.charge(delta, sink)
 		return p, nil
 	}
-	if sink != nil {
-		if class == ClassHeavy {
-			sink.add(Stats{PoolHeavyMisses: 1})
-		} else {
-			sink.add(Stats{PoolLightMisses: 1})
-		}
+	if class == ClassHeavy {
+		d.charge(Stats{PoolHeavyMisses: 1}, sink)
+	} else {
+		d.charge(Stats{PoolLightMisses: 1}, sink)
 	}
 	// Coalesce concurrent misses on the same page: the first reader does
 	// the media read (and the pool insert); the rest wait for its result.
@@ -472,6 +495,9 @@ func (d *Disk) readPageMedia(id PageID, class Class, sink *Client, pool *bufferP
 	if d.IsQuarantined(id) {
 		return nil, &CorruptError{Page: id, Quarantined: true}
 	}
+	if err := d.breakerErr(id); err != nil {
+		return nil, err
+	}
 	d.account(id, 1, class, sink)
 	if err := d.mediaErr(id, sink); err != nil {
 		return nil, err
@@ -486,7 +512,10 @@ func (d *Disk) readPageMedia(id PageID, class Class, sink *Client, pool *bufferP
 		page = make([]byte, d.pageSize)
 	}
 	if pool != nil {
-		pool.put(id, page)
+		ev, wasted := pool.put(id, page)
+		if ev > 0 || wasted > 0 {
+			d.charge(Stats{PoolEvictions: ev, PrefetchWasted: wasted}, nil)
+		}
 	}
 	return page, nil
 }
@@ -582,6 +611,9 @@ func (d *Disk) readBytes(start PageID, length int, class Class, sink *Client) ([
 	if length < 0 {
 		return nil, errors.New("storage: negative read length")
 	}
+	if err := sink.ctxErr(); err != nil {
+		return nil, err
+	}
 	n := d.PagesFor(int64(length))
 	d.mu.RLock()
 	if start < 0 || start+PageID(n) > d.allocated {
@@ -611,6 +643,11 @@ func (d *Disk) readBytes(start PageID, length int, class Class, sink *Client) ([
 		}
 	}
 	d.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		if err := d.breakerErr(start + PageID(i)); err != nil {
+			return nil, err
+		}
+	}
 	d.account(start, int64(n), class, sink)
 	out := make([]byte, 0, n*d.pageSize)
 	for i := 0; i < n; i++ {
@@ -642,6 +679,9 @@ func (d *Disk) readExtent(start PageID, n int, class Class, sink *Client) error 
 	if n < 1 {
 		n = 1
 	}
+	if err := sink.ctxErr(); err != nil {
+		return err
+	}
 	d.mu.RLock()
 	if start < 0 || start+PageID(n) > d.allocated {
 		d.mu.RUnlock()
@@ -654,6 +694,11 @@ func (d *Disk) readExtent(start PageID, n int, class Class, sink *Client) error 
 		}
 	}
 	d.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		if err := d.breakerErr(start + PageID(i)); err != nil {
+			return err
+		}
+	}
 	d.account(start, int64(n), class, sink)
 	for i := 0; i < n; i++ {
 		if err := d.mediaErr(start+PageID(i), sink); err != nil {
@@ -666,11 +711,15 @@ func (d *Disk) readExtent(start PageID, n int, class Class, sink *Client) error 
 // CorruptPage marks a page as unreadable — the failure-injection hook used
 // by recovery tests.
 func (d *Disk) CorruptPage(id PageID) {
+	var wasted int64
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.corrupt[id] = true
 	if d.pool != nil {
-		d.pool.invalidate(id)
+		wasted = d.pool.invalidate(id)
+	}
+	d.mu.Unlock()
+	if wasted > 0 {
+		d.charge(Stats{PrefetchWasted: wasted}, nil)
 	}
 }
 
@@ -694,7 +743,16 @@ type Client struct {
 	d  *Disk
 	mu sync.Mutex
 	s  Stats
+	// ctx holds the boundCtx installed by BindContext. Reads through
+	// this client fail fast once it is done; the zero value (no context)
+	// never cancels.
+	ctx atomic.Value
 }
+
+// boundCtx boxes the bound context so atomic.Value always stores one
+// concrete type regardless of the context implementation behind the
+// interface.
+type boundCtx struct{ ctx context.Context }
 
 // NewClient returns a fresh accounting handle on the disk.
 func (d *Disk) NewClient() *Client { return &Client{d: d} }
@@ -722,6 +780,40 @@ func (c *Client) ResetStats() {
 	c.mu.Lock()
 	c.s = Stats{}
 	c.mu.Unlock()
+}
+
+// BindContext attaches ctx to the client: every subsequent read through
+// the client checks it before touching media and fails fast once the
+// deadline expires or the context is canceled. A fail-fast read charges
+// no seek, transfer, retry, or backoff cost — cancellation is observed
+// at the next read, not mid-transfer. Passing nil (or a fresh client)
+// restores the unbounded behavior. The binding is per-client, so one
+// session's deadline never affects another's reads.
+func (c *Client) BindContext(ctx context.Context) {
+	if ctx == nil {
+		//lint:ignore ctxflow nil means unbind — the never-done context restores unbounded reads
+		ctx = context.Background()
+	}
+	c.ctx.Store(boundCtx{ctx})
+}
+
+// ctxErr reports the bound context's error, wrapped as a non-degradable
+// storage error (errors.Is still sees context.Canceled /
+// context.DeadlineExceeded). Nil receiver and unbound clients never
+// cancel: direct Disk reads pass a nil sink.
+func (c *Client) ctxErr() error {
+	if c == nil {
+		return nil
+	}
+	v := c.ctx.Load()
+	if v == nil {
+		return nil
+	}
+	ctx := v.(boundCtx).ctx
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("storage: read aborted: %w", err)
+	}
+	return nil
 }
 
 // PageSize returns the disk's page size in bytes.

@@ -59,6 +59,12 @@ type FaultConfig struct {
 	// page transfer (default: the cost model's seek — a retry repositions
 	// the head).
 	RetryBackoff time.Duration
+	// Jitter adds a seeded random fraction (up to +50% of RetryBackoff)
+	// to each retry's simulated backoff, decorrelating the retry storms
+	// of concurrent sessions that hit the same damaged region. The jitter
+	// stream has its own rng (derived from Seed) so enabling it never
+	// changes which reads draw faults.
+	Jitter bool
 }
 
 // targetedFault is a fault planted on a specific page with InjectPageFault.
@@ -79,6 +85,9 @@ type faultInjector struct {
 	// transfer caches the disk's per-page transfer cost for retry charging.
 	transfer time.Duration
 	rng      *rand.Rand
+	// jrng drives backoff jitter; a separate stream keeps fault draws
+	// identical whether or not Jitter is enabled.
+	jrng     *rand.Rand
 	targeted map[PageID]*targetedFault
 	// sticky records pages that drew a probabilistic permanent fault.
 	sticky map[PageID]bool
@@ -99,6 +108,7 @@ func (d *Disk) InjectFaults(cfg FaultConfig) {
 		cfg:      cfg,
 		transfer: d.cost.TransferPage,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		jrng:     rand.New(rand.NewSource(cfg.Seed ^ 0x6a69747465726a67)),
 		targeted: make(map[PageID]*targetedFault),
 		sticky:   make(map[PageID]bool),
 	}
@@ -202,7 +212,11 @@ func (f *faultInjector) check(corrupt bool, id PageID) (retries int64, cost time
 			return retries, cost, &CorruptError{Page: id}
 		}
 		retries++
-		cost += f.cfg.RetryBackoff + f.transfer
+		backoff := f.cfg.RetryBackoff
+		if f.cfg.Jitter {
+			backoff += time.Duration(f.jrng.Float64() * float64(f.cfg.RetryBackoff) / 2)
+		}
+		cost += backoff + f.transfer
 		if !permanent && transient <= 0 {
 			return retries, cost, nil
 		}

@@ -40,7 +40,7 @@ const DefaultPrefetchQueue = 16
 type Prefetcher struct {
 	d      *Disk
 	client *Client
-	jobs   chan PrefetchJob
+	jobs   chan prefetchEntry
 	wg     sync.WaitGroup
 
 	// pending counts accepted-but-unfinished jobs; idle is broadcast when
@@ -49,9 +49,21 @@ type Prefetcher struct {
 	idle    *sync.Cond
 	pending int
 
-	closed  atomic.Bool
-	dropped atomic.Int64
-	warmed  atomic.Int64
+	// gen is bumped by CancelPending; queued entries from an older
+	// generation are discarded by the worker without resolving.
+	gen atomic.Int64
+
+	closed   atomic.Bool
+	dropped  atomic.Int64
+	warmed   atomic.Int64
+	canceled atomic.Int64
+}
+
+// prefetchEntry stamps a queued job with the generation it was accepted
+// under, so CancelPending can invalidate it while it waits in the queue.
+type prefetchEntry struct {
+	job PrefetchJob
+	gen int64
 }
 
 // NewPrefetcher starts a prefetcher with the given queue bound (<= 0 uses
@@ -63,14 +75,20 @@ func NewPrefetcher(d *Disk, queue int) *Prefetcher {
 	p := &Prefetcher{
 		d:      d,
 		client: d.NewClient(),
-		jobs:   make(chan PrefetchJob, queue),
+		jobs:   make(chan prefetchEntry, queue),
 	}
 	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		for job := range p.jobs {
-			p.run(job)
+		for e := range p.jobs {
+			// A stale entry (canceled while queued) is skipped without
+			// resolving, but still completes for Quiesce's accounting.
+			if e.gen == p.gen.Load() {
+				p.run(e.job)
+			} else {
+				p.canceled.Add(1)
+			}
 			p.track(-1)
 		}
 	}()
@@ -111,7 +129,7 @@ func (p *Prefetcher) Enqueue(job PrefetchJob) bool {
 	}
 	p.track(1)
 	select {
-	case p.jobs <- job:
+	case p.jobs <- prefetchEntry{job: job, gen: p.gen.Load()}:
 		return true
 	default:
 		p.track(-1)
@@ -119,6 +137,18 @@ func (p *Prefetcher) Enqueue(job PrefetchJob) bool {
 		return false
 	}
 }
+
+// CancelPending invalidates every job still waiting in the queue: the
+// worker discards them (counted by Canceled) instead of resolving them.
+// The job the worker is currently running, if any, completes — page warms
+// are single-page reads, so there is nothing worth interrupting mid-read.
+// Callers abandoning a walkthrough (context canceled, client gone) call
+// this before Quiesce so the barrier returns without paying for
+// predictions that no longer matter.
+func (p *Prefetcher) CancelPending() { p.gen.Add(1) }
+
+// Canceled returns how many queued jobs CancelPending discarded.
+func (p *Prefetcher) Canceled() int64 { return p.canceled.Load() }
 
 // Quiesce blocks until every accepted job has finished. The walkthrough
 // player calls it at each cell entry: simulated render time between

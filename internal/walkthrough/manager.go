@@ -1,11 +1,13 @@
 package walkthrough
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/render"
 	"repro/internal/storage"
 )
@@ -26,6 +28,18 @@ type SessionManager struct {
 	// CacheBudget bounds each player's payload cache (0 = unlimited).
 	CacheBudget int64
 	Render      render.Config
+
+	// Admission, when set, gates every cell-entry query through the
+	// controller with a per-client fairness key; rejected queries are
+	// shed (counted in Result.Rejected), never errors.
+	Admission *overload.Controller
+	// Shedder, when set, observes every query's simulated time and
+	// installs/removes the base tree's ShedPolicy as pressure crosses its
+	// hysteresis band — all live sessions see the flip on their next
+	// query.
+	Shedder *overload.Shedder
+	// FrameBudget bounds each player frame's query + fetch (0 = none).
+	FrameBudget time.Duration
 }
 
 // PlayerTrace is one client's playback outcome: the trace, the session's
@@ -57,6 +71,12 @@ type ServeStats struct {
 	Elapsed time.Duration
 	// Errs counts players whose playback aborted.
 	Errs int
+	// Rejected sums admission rejections across players; BudgetMisses
+	// sums frames that blew their budget; Shed is the shedder's final
+	// level-transition count (0 when no shedder ran).
+	Rejected     int
+	BudgetMisses int
+	Shed         int64
 }
 
 // Throughput returns aggregate queries per wall-clock second.
@@ -77,9 +97,24 @@ func (s ServeStats) FirstErr() error {
 	return nil
 }
 
-// Play runs all sessions concurrently, one goroutine per client, and
-// returns when every playback has finished.
+// Play runs all sessions unbounded; see PlayContext.
 func (m *SessionManager) Play(sessions []Session) ServeStats {
+	return m.PlayContext(bgContext, sessions)
+}
+
+// PlayContext runs all sessions concurrently, one goroutine per client,
+// and returns when every playback has finished or the context is
+// canceled (canceled playbacks count as errors on their traces). With
+// Admission/Shedder set this is the overload-resilient serve path:
+// queries are gated, pressure is observed, and fidelity is shed before
+// latency is.
+func (m *SessionManager) PlayContext(ctx context.Context, sessions []Session) ServeStats {
+	if m.Shedder != nil {
+		// Allocate the shared policy slot before any session is derived,
+		// so every player sees subsequent policy flips; and clear any
+		// policy a previous run left installed.
+		m.Base.SetShed(nil)
+	}
 	out := ServeStats{Players: make([]PlayerTrace, len(sessions))}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -95,8 +130,22 @@ func (m *SessionManager) Play(sessions []Session) ServeStats {
 				Prefetch:    m.Prefetch,
 				CacheBudget: m.CacheBudget,
 				Render:      m.Render,
+				FrameBudget: m.FrameBudget,
 			}
-			res, err := p.Play(sessions[i])
+			if m.Admission != nil {
+				client := fmt.Sprintf("client-%d", i)
+				p.Gate = func(qctx context.Context) (func(), error) {
+					return m.Admission.Acquire(qctx, client)
+				}
+			}
+			if m.Shedder != nil {
+				p.Observe = func(simTime time.Duration) {
+					if policy, changed := m.Shedder.Observe(simTime); changed {
+						m.Base.SetShed(policy)
+					}
+				}
+			}
+			res, err := p.PlayContext(ctx, sessions[i])
 			out.Players[i] = PlayerTrace{Result: res, IO: tree.IO.Stats(), Err: err}
 		}(i)
 	}
@@ -108,6 +157,13 @@ func (m *SessionManager) Play(sessions []Session) ServeStats {
 			continue
 		}
 		out.Queries += p.Result.Queries
+		out.Rejected += p.Result.Rejected
+		out.BudgetMisses += p.Result.BudgetMisses
+	}
+	if m.Shedder != nil {
+		out.Shed = m.Shedder.Transitions()
+		// Leave the tree unshedded for whatever runs next.
+		m.Base.SetShed(nil)
 	}
 	return out
 }

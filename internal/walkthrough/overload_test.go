@@ -1,0 +1,177 @@
+package walkthrough_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/overload"
+	"repro/internal/render"
+	"repro/internal/testenv"
+	"repro/internal/walkthrough"
+)
+
+// TestPlayContextCanceled: a canceled context aborts playback with the
+// context's error — no partial trace pretending to be a finished run.
+func TestPlayContextCanceled(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	s := walkthrough.RecordNormal(env.Scene, 50, 3)
+	p := &walkthrough.VisualPlayer{
+		Tree:   env.Tree.Session(),
+		Eta:    0.001,
+		Render: render.DefaultConfig(),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.PlayContext(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("aborted playback returned a trace: %+v", res)
+	}
+}
+
+// TestFrameBudgetMisses: an absurdly tight per-frame budget cannot abort
+// the playback — over-budget frames are skipped, counted, and the
+// previous geometry stands in.
+func TestFrameBudgetMisses(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	s := walkthrough.RecordNormal(env.Scene, 100, 3)
+	p := &walkthrough.VisualPlayer{
+		Tree:        env.Tree.Session(),
+		Eta:         0.001,
+		Render:      render.DefaultConfig(),
+		FrameBudget: time.Nanosecond,
+	}
+	res, err := p.PlayContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("tight budget aborted playback: %v", err)
+	}
+	if len(res.Frames) != 100 {
+		t.Fatalf("%d frames traced, want all 100", len(res.Frames))
+	}
+	if res.BudgetMisses == 0 {
+		t.Fatal("nanosecond budget never missed")
+	}
+}
+
+// TestGateRejection: an admission gate refusing every query sheds the
+// whole session — every cell entry is counted rejected, none becomes an
+// error, and zero queries run.
+func TestGateRejection(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	s := walkthrough.RecordNormal(env.Scene, 100, 3)
+	p := &walkthrough.VisualPlayer{
+		Tree:   env.Tree.Session(),
+		Eta:    0.001,
+		Render: render.DefaultConfig(),
+		Gate: func(ctx context.Context) (func(), error) {
+			return nil, overload.ErrOverloaded
+		},
+	}
+	res, err := p.PlayContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("rejection became an error: %v", err)
+	}
+	if res.Queries != 0 {
+		t.Fatalf("%d queries ran through a closed gate", res.Queries)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("no rejections counted")
+	}
+}
+
+// TestGateHardErrorAborts: a gate error that is neither ErrOverloaded
+// nor a budget expiry is a real failure and must abort the playback.
+func TestGateHardErrorAborts(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	s := walkthrough.RecordNormal(env.Scene, 50, 3)
+	boom := errors.New("gate exploded")
+	calls := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &walkthrough.VisualPlayer{
+		Tree:   env.Tree.Session(),
+		Eta:    0.001,
+		Render: render.DefaultConfig(),
+		Gate: func(context.Context) (func(), error) {
+			calls++
+			cancel() // simulate the serve loop tearing down around us
+			return nil, boom
+		},
+	}
+	if _, err := p.PlayContext(ctx, s); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the gate's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("gate called %d times after a hard error", calls)
+	}
+}
+
+// TestManagerOverloadServe: the full overload-resilient serve path —
+// admission gating with per-client keys, pressure observation, and
+// policy flips on the shared tree — completes without a single hard
+// error, counts its rejections, sheds fidelity, and leaves the base tree
+// unshedded for whoever runs next.
+func TestManagerOverloadServe(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sessions := walkthrough.Sessions(env.Scene, 120, 3)
+	m := &walkthrough.SessionManager{
+		Base:      env.Tree,
+		Eta:       0.001,
+		Delta:     true,
+		Render:    render.DefaultConfig(),
+		Admission: overload.New(overload.Config{MaxConcurrent: 1, MaxQueue: 1}),
+		// A nanosecond target: every observation is over budget, so the
+		// shedder must escalate as soon as it has seen enough samples.
+		Shedder: overload.NewShedder(overload.ShedConfig{Target: time.Nanosecond}),
+	}
+	run := m.PlayContext(context.Background(), sessions)
+	if err := run.FirstErr(); err != nil {
+		t.Fatalf("overloaded serve produced a hard error: %v", err)
+	}
+	if run.Queries == 0 {
+		t.Fatal("no queries served")
+	}
+	if run.Shed == 0 {
+		t.Fatal("shedder never engaged despite an impossible target")
+	}
+	if env.Tree.Shed() != nil {
+		t.Fatal("run left a shed policy installed on the base tree")
+	}
+	// Shed fidelity is never silent: the policy flips must show up as
+	// degradation records on the players that ran under them.
+	degraded := 0
+	for _, p := range run.Players {
+		degraded += p.Degraded()
+	}
+	if degraded == 0 {
+		t.Fatal("shedding left no degradation records")
+	}
+}
+
+// TestManagerContextCancelsAllPlayers: canceling the serve context stops
+// every player, and each aborted playback is counted as an error rather
+// than silently dropped.
+func TestManagerContextCancelsAllPlayers(t *testing.T) {
+	env := testenv.Get(testenv.Small())
+	sessions := walkthrough.Sessions(env.Scene, 60, 3)
+	m := &walkthrough.SessionManager{
+		Base:   env.Tree,
+		Eta:    0.001,
+		Render: render.DefaultConfig(),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := m.PlayContext(ctx, sessions)
+	if run.Errs != len(sessions) {
+		t.Fatalf("%d of %d players errored, want all", run.Errs, len(sessions))
+	}
+	for i, p := range run.Players {
+		if !errors.Is(p.Err, context.Canceled) {
+			t.Fatalf("player %d err = %v, want context.Canceled", i, p.Err)
+		}
+	}
+}

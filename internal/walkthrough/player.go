@@ -1,6 +1,7 @@
 package walkthrough
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,10 +11,16 @@ import (
 	"repro/internal/cells"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/overload"
 	"repro/internal/render"
 	"repro/internal/review"
 	"repro/internal/storage"
 )
+
+// bgContext is the unbounded context behind the non-Context Play forms.
+//
+//lint:ignore ctxflow compat wrappers deliberately run unbounded
+var bgContext = context.Background()
 
 // FrameStat records one frame of a playback.
 type FrameStat struct {
@@ -51,6 +58,13 @@ type Result struct {
 	// is the number of frames with at least one.
 	Degradations   int
 	DegradedFrames int
+	// Rejected counts cell-entry queries the admission gate refused
+	// (ErrOverloaded): the frame kept its previous geometry and the query
+	// retried on a later frame. BudgetMisses counts frames whose query
+	// blew the per-frame budget (FrameBudget) and were skipped the same
+	// way. Both are explicit, countable overload outcomes — never errors.
+	Rejected     int
+	BudgetMisses int
 }
 
 // AvgFrameTime returns the mean frame time in milliseconds.
@@ -171,10 +185,34 @@ type VisualPlayer struct {
 	// CacheBudget bounds the payload cache (0 = unlimited).
 	CacheBudget int64
 	Render      render.Config
+
+	// FrameBudget bounds each frame's query + fetch with a per-frame
+	// context deadline (0 = unbounded). A frame that blows the budget is
+	// skipped — previous geometry is kept, BudgetMisses counts it, and
+	// the query retries next frame — while cancellation of the parent
+	// context still aborts the playback.
+	FrameBudget time.Duration
+	// Gate, when set, is the admission gate called before every
+	// cell-entry query (the serve path wires overload.Controller.Acquire
+	// here). A nil release with a nil error is treated as admitted. An
+	// overload.ErrOverloaded return sheds the query — counted in
+	// Result.Rejected, never an error; any other error aborts.
+	Gate func(ctx context.Context) (release func(), err error)
+	// Observe, when set, receives each demand query's simulated time —
+	// the shedder's pressure signal.
+	Observe func(simTime time.Duration)
 }
 
-// Play runs the session and returns the trace.
+// Play runs the session unbounded; see PlayContext.
 func (p *VisualPlayer) Play(s Session) (*Result, error) {
+	return p.PlayContext(bgContext, s)
+}
+
+// PlayContext runs the session and returns the trace. The context bounds
+// the whole playback: cancellation aborts between frames (and inside any
+// in-flight query at its next traversal checkpoint), with pending
+// prefetch work canceled rather than drained.
+func (p *VisualPlayer) PlayContext(ctx context.Context, s Session) (*Result, error) {
 	cache := NewCache(p.CacheBudget)
 	out := &Result{System: fmt.Sprintf("VISUAL(eta=%g)", p.Eta), Session: s.Name}
 	cur := cells.NoCell
@@ -195,10 +233,21 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 			pager = cp
 			pf = storage.NewPrefetcher(p.Tree.Disk, 0)
 			defer pf.Close()
+			// On an aborted playback the queued warms are for cells nobody
+			// will visit: cancel them so Close does not pay for them. (Runs
+			// before the deferred Close — defers are LIFO.)
+			defer func() {
+				if ctx.Err() != nil {
+					pf.CancelPending()
+				}
+			}()
 			enqueued = make(map[cells.CellID]bool)
 		}
 	}
 	for _, pose := range s.Frames {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("walkthrough: playback aborted: %w", err)
+		}
 		var fs FrameStat
 		pred.Observe(pose.Eye)
 		cell := p.Tree.Grid.Locate(pose.Eye)
@@ -210,35 +259,84 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 				// ago on a real clock.
 				pf.Quiesce()
 			}
-			before := treeStats(p.Tree)
-			res, err := p.queryCell(cell)
-			if err != nil {
-				return nil, err
+			fctx, fcancel := ctx, context.CancelFunc(func() {})
+			if p.FrameBudget > 0 {
+				fctx, fcancel = context.WithTimeout(ctx, p.FrameBudget)
 			}
-			var skip func(core.ResultItem) bool
-			if p.Delta {
-				skip = func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+			admit := true
+			release := func() {}
+			if p.Gate != nil {
+				rel, gerr := p.Gate(fctx)
+				switch {
+				case gerr == nil:
+					if rel != nil {
+						release = rel
+					}
+				case isOverloaded(gerr):
+					// Shed: keep the previous frame's geometry, retry the
+					// cell on a later frame. Counted, never an error.
+					admit = false
+					out.Rejected++
+				case ctx.Err() != nil:
+					fcancel()
+					return nil, fmt.Errorf("walkthrough: admission: %w", gerr)
+				default:
+					// The frame budget expired while queued for admission.
+					admit = false
+					out.BudgetMisses++
+				}
 			}
-			fetched, err := p.Tree.FetchPayloads(res, skip)
-			if err != nil {
-				return nil, err
+			if admit {
+				before := treeStats(p.Tree)
+				res, err := p.queryCell(fctx, cell)
+				var fetched int
+				if err == nil {
+					var skip func(core.ResultItem) bool
+					if p.Delta {
+						skip = func(it core.ResultItem) bool { return cache.Covers(KeyOf(it), it.Level) }
+					}
+					fetched, err = p.Tree.FetchPayloadsContext(fctx, res, skip)
+					if err != nil {
+						p.Tree.Recycle(res)
+					}
+				}
+				release()
+				if err == nil {
+					for _, it := range res.Items {
+						cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
+					}
+					d := treeStats(p.Tree).Sub(before)
+					fs.QueryTime = d.SimTime
+					fs.LightIO = d.LightReads
+					fs.HeavyIO = d.HeavyReads
+					fs.Retries = d.Retries
+					fs.Fetched = fetched
+					fs.Queried = true
+					fs.Degradations += len(res.Degradations)
+					out.Queries++
+					if p.Observe != nil {
+						p.Observe(d.SimTime)
+					}
+					p.Tree.Recycle(resident)
+					resident = res
+					cur = cell
+					delete(enqueued, cell) // demand-entered: re-warmable later
+				} else if fctx.Err() != nil && ctx.Err() == nil {
+					// The frame budget expired mid-query: skip the frame,
+					// keep the previous geometry, retry next frame. The
+					// partial traversal's I/O still happened — charge it.
+					out.BudgetMisses++
+					d := treeStats(p.Tree).Sub(before)
+					fs.QueryTime = d.SimTime
+					fs.LightIO = d.LightReads
+					fs.HeavyIO = d.HeavyReads
+					fs.Retries = d.Retries
+				} else {
+					fcancel()
+					return nil, err
+				}
 			}
-			for _, it := range res.Items {
-				cache.Add(KeyOf(it), it.Level, it.Extent.NominalBytes, itemCenter(p.Tree, it), pose.Eye)
-			}
-			d := treeStats(p.Tree).Sub(before)
-			fs.QueryTime = d.SimTime
-			fs.LightIO = d.LightReads
-			fs.HeavyIO = d.HeavyReads
-			fs.Retries = d.Retries
-			fs.Fetched = fetched
-			fs.Queried = true
-			fs.Degradations += len(res.Degradations)
-			out.Queries++
-			p.Tree.Recycle(resident)
-			resident = res
-			cur = cell
-			delete(enqueued, cell) // demand-entered: re-warmable later
+			fcancel()
 		}
 		// Background warm-up of the cells the motion predictor expects
 		// next. The enqueued closure captures only the pager and a cell ID
@@ -326,11 +424,17 @@ func (p *VisualPlayer) Play(s Session) (*Result, error) {
 
 // queryCell issues the frame's cell-entry query, via the incremental cut
 // when Coherent is set.
-func (p *VisualPlayer) queryCell(cell cells.CellID) (*core.QueryResult, error) {
+func (p *VisualPlayer) queryCell(ctx context.Context, cell cells.CellID) (*core.QueryResult, error) {
 	if p.Coherent {
-		return p.Tree.QueryCoherent(cell, p.Eta)
+		return p.Tree.QueryCoherentContext(ctx, cell, p.Eta)
 	}
-	return p.Tree.Query(cell, p.Eta)
+	return p.Tree.QueryContext(ctx, cell, p.Eta)
+}
+
+// isOverloaded reports whether err is an explicit admission rejection —
+// the one gate outcome the player sheds instead of aborting on.
+func isOverloaded(err error) bool {
+	return errors.Is(err, overload.ErrOverloaded)
 }
 
 // treeStats snapshots the accounting a player's frame deltas are measured
@@ -381,8 +485,15 @@ type ReviewPlayer struct {
 	Render       render.Config
 }
 
-// Play runs the session and returns the trace.
+// Play runs the session unbounded; see PlayContext.
 func (p *ReviewPlayer) Play(s Session) (*Result, error) {
+	return p.PlayContext(bgContext, s)
+}
+
+// PlayContext runs the session and returns the trace. The REVIEW
+// baseline honors cancellation between frames only — its window queries
+// predate the deadline machinery, matching the 2003 system it models.
+func (p *ReviewPlayer) PlayContext(ctx context.Context, s Session) (*Result, error) {
 	if p.RequeryDist <= 0 {
 		p.RequeryDist = 10
 	}
@@ -399,6 +510,9 @@ func (p *ReviewPlayer) Play(s Session) (*Result, error) {
 	var resident *core.QueryResult
 	first := true
 	for _, pose := range s.Frames {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("walkthrough: playback aborted: %w", err)
+		}
 		var fs FrameStat
 		moved := first ||
 			pose.Eye.Dist(lastEye) > p.RequeryDist ||

@@ -1,11 +1,13 @@
 package hdov
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cells"
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/render"
 	"repro/internal/storage"
 	"repro/internal/walkthrough"
@@ -169,6 +171,13 @@ type ServeStats struct {
 	Throughput float64
 	// Degradations totals absorbed media faults across clients.
 	Degradations int
+	// Rejected totals admission rejections and BudgetMisses frames that
+	// blew their FrameBudget, summed across clients; both are deliberate
+	// shedding outcomes, not errors. Shed counts the load shedder's level
+	// transitions over the run (0 when no shedder was configured).
+	Rejected     int
+	BudgetMisses int
+	Shed         int64
 	// PerClient is each client's playback summary (nil entries for aborted
 	// clients) and own retry count.
 	PerClient []ClientStats
@@ -180,6 +189,10 @@ type ClientStats struct {
 	Frames       int
 	AvgFrameMS   float64
 	Degradations int
+	// Rejected and BudgetMisses are this client's shed frames (admission
+	// rejections and frame-budget expiries respectively).
+	Rejected     int
+	BudgetMisses int
 	// Reads and Retries are this client's own disk traffic.
 	Reads, Retries int64
 	SimTime        time.Duration
@@ -191,6 +204,16 @@ type ClientStats struct {
 // index), and returns the aggregate and per-client accounting. It is the
 // multi-client form of Walkthrough; opts.UseREVIEW is not supported here.
 func (db *DB) Serve(opts WalkOptions, n int) (*ServeStats, error) {
+	return db.ServeContext(context.Background(), opts, n)
+}
+
+// ServeContext is Serve bounded by ctx and is the overload-resilient
+// serve path: opts.Admission gates cell-entry queries through a bounded
+// admission controller, opts.Shed installs fidelity-aware load shedding,
+// and opts.FrameBudget bounds each client frame. Cancellation aborts all
+// clients; shed and rejected work is counted in the returned stats, not
+// reported as errors.
+func (db *DB) ServeContext(ctx context.Context, opts WalkOptions, n int) (*ServeStats, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -219,14 +242,32 @@ func (db *DB) Serve(opts WalkOptions, n int) (*ServeStats, error) {
 		Prefetch:    opts.Prefetch,
 		CacheBudget: opts.CacheBudget,
 		Render:      render.DefaultConfig(),
+		FrameBudget: opts.FrameBudget,
 	}
-	run := m.Play(sessions)
+	if opts.Admission != nil {
+		m.Admission = overload.New(overload.Config{
+			MaxConcurrent: opts.Admission.MaxConcurrent,
+			MaxQueue:      opts.Admission.MaxQueue,
+			MaxPerClient:  opts.Admission.MaxPerClient,
+		})
+	}
+	if opts.Shed != nil {
+		m.Shedder = overload.NewShedder(overload.ShedConfig{
+			Target: opts.Shed.Target,
+			Upper:  opts.Shed.Upper,
+			Lower:  opts.Shed.Lower,
+		})
+	}
+	run := m.PlayContext(ctx, sessions)
 	out := &ServeStats{
-		Clients:   n,
-		Errors:    run.Errs,
-		Queries:   run.Queries,
-		Elapsed:   run.Elapsed,
-		PerClient: make([]ClientStats, n),
+		Clients:      n,
+		Errors:       run.Errs,
+		Queries:      run.Queries,
+		Elapsed:      run.Elapsed,
+		Rejected:     run.Rejected,
+		BudgetMisses: run.BudgetMisses,
+		Shed:         run.Shed,
+		PerClient:    make([]ClientStats, n),
 	}
 	out.Throughput = run.Throughput()
 	for i, p := range run.Players {
@@ -238,6 +279,8 @@ func (db *DB) Serve(opts WalkOptions, n int) (*ServeStats, error) {
 			cs.Frames = len(p.Result.Frames)
 			cs.AvgFrameMS = p.Result.AvgFrameTime()
 			cs.Degradations = p.Result.Degradations
+			cs.Rejected = p.Result.Rejected
+			cs.BudgetMisses = p.Result.BudgetMisses
 			out.Degradations += p.Result.Degradations
 		}
 		out.PerClient[i] = cs
@@ -247,14 +290,26 @@ func (db *DB) Serve(opts WalkOptions, n int) (*ServeStats, error) {
 
 // fetchOn is Fetch against an explicit tree session.
 func fetchOn(t *core.Tree, r *Result) error {
+	return fetchOnContext(context.Background(), t, r)
+}
+
+// fetchOnContext is fetchOn bounded by ctx: items fetched before the
+// deadline expired keep their accounting; the rest are abandoned.
+func fetchOnContext(ctx context.Context, t *core.Tree, r *Result) error {
 	before := t.IO.Stats()
-	if _, err := t.FetchPayloads(r.inner, nil); err != nil {
-		return err
+	_, ferr := t.FetchPayloadsContext(ctx, r.inner, nil)
+	if ferr != nil && ctx.Err() == nil {
+		// Media fault: same contract as the unbounded path — the caller
+		// gets the error and the Result stays untouched.
+		return ferr
 	}
 	d := t.IO.Stats().Sub(before)
 	r.HeavyIO += d.HeavyReads
 	r.SimTime += d.SimTime
 	r.Retries += d.Retries
+	if ferr != nil {
+		return ferr
+	}
 	// Payload faults absorbed during the fetch may have degraded items to
 	// coarser levels and appended degradation records: re-mirror both.
 	if len(r.inner.Degradations) > len(r.Degradations) {

@@ -1,6 +1,7 @@
 package hdov
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,19 @@ type WalkOptions struct {
 	CacheBudget int64
 	// Seed controls the recorded path.
 	Seed int64
+	// FrameBudget bounds each frame's query + fetch by a per-frame
+	// deadline (VISUAL only; 0 = unbounded). A frame that blows its
+	// budget is skipped — the previous resident set carries it — and
+	// counted, never silently stretched.
+	FrameBudget time.Duration
+	// Admission, when set, gates every cell-entry query in Serve through
+	// an admission controller; rejected queries are counted, not errors.
+	// Ignored by Walkthrough (a single client cannot overload itself).
+	Admission *AdmissionConfig
+	// Shed, when set, enables fidelity-aware load shedding in Serve:
+	// under sustained pressure queries run at a relaxed DoV threshold or
+	// truncate at internal LoDs. Ignored by Walkthrough.
+	Shed *ShedConfig
 }
 
 // WalkStats summarizes a playback — the Figure 10/12 and Table 3 metrics.
@@ -95,11 +109,21 @@ type WalkStats struct {
 	TotalLightIO, TotalPrefetchIO int64
 	// Coherence reports the warm-path accounting when Coherent was set.
 	Coherence CoherenceStats
+	// BudgetMisses counts frames skipped because they blew FrameBudget.
+	BudgetMisses int
 }
 
 // Walkthrough records a session with the requested motion pattern and
 // plays it back, returning the performance trace.
 func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
+	return db.WalkthroughContext(context.Background(), opts)
+}
+
+// WalkthroughContext is Walkthrough bounded by ctx: cancellation or
+// deadline expiry aborts the playback between (or within) frames with an
+// error wrapping the context's error. WalkOptions.FrameBudget bounds
+// individual frames independently of the whole-playback deadline.
+func (db *DB) WalkthroughContext(ctx context.Context, opts WalkOptions) (*WalkStats, error) {
 	if opts.Frames <= 0 {
 		opts.Frames = 600
 	}
@@ -128,7 +152,7 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 			CacheBudget: opts.CacheBudget,
 			Render:      render.DefaultConfig(),
 		}
-		res, err = p.Play(s)
+		res, err = p.PlayContext(ctx, s)
 	} else {
 		tree := db.tree
 		if opts.Coherent || opts.AsyncPrefetch {
@@ -145,8 +169,9 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 			AsyncPrefetch: opts.AsyncPrefetch,
 			CacheBudget:   opts.CacheBudget,
 			Render:        render.DefaultConfig(),
+			FrameBudget:   opts.FrameBudget,
 		}
-		res, err = p.Play(s)
+		res, err = p.PlayContext(ctx, s)
 		if err == nil && opts.Coherent {
 			cs := tree.CoherenceStats()
 			coherence = CoherenceStats{
@@ -171,6 +196,7 @@ func (db *DB) Walkthrough(opts WalkOptions) (*WalkStats, error) {
 		Degradations:    res.Degradations,
 		DegradedFrames:  res.DegradedFrames,
 		Coherence:       coherence,
+		BudgetMisses:    res.BudgetMisses,
 	}
 	out.FrameTimesMS = make([]float64, len(res.Frames))
 	for i, f := range res.Frames {
