@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guardVC  = fs.String("guardvpagecodec", "", "compare fresh vpagecodec metrics against a committed reference file; exit 1 on >25% regression")
 		writeOV  = fs.String("writeoverload", "", "measure and write the overload reference file, then exit")
 		guardOV  = fs.String("guardoverload", "", "compare fresh overload metrics against a committed reference file; exit 1 on a broken resilience invariant or >50% latency regression")
+		writeDU  = fs.String("writedynupdate", "", "measure and write the dynupdate reference file, then exit")
+		guardDU  = fs.String("guarddynupdate", "", "compare fresh dynupdate metrics against a committed reference file; exit 1 on a broken locality gate or >25% drift")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -141,6 +143,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "overload reference written to %s (workload %s)\n", *writeOV, ov.Workload)
+		return 0
+	}
+
+	if *writeDU != "" {
+		du, err := bench.CollectDynUpdate(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteDynUpdate(*writeDU, du); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "dynupdate reference written to %s (workload %s)\n", *writeDU, du.Workload)
+		return 0
+	}
+
+	if *guardDU != "" {
+		ref, err := bench.LoadDynUpdate(*guardDU)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectDynUpdate(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareDynUpdate(ref, cur, 0.25); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "dynupdate guard passed (workload %s)\n", ref.Workload)
 		return 0
 	}
 

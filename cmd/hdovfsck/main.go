@@ -6,7 +6,10 @@
 // quarantine/ subdirectory, and codec-invalid pages are parked in
 // quarantine.json so reopened databases fail their reads fast instead of
 // decoding garbage — the next save starts clean without destroying
-// evidence.
+// evidence. For every readable manifest a dynamicscene line reports the
+// committed epoch counter, op-log length and delta-chain depth, so an
+// interrupted CommitEpoch is visible at a glance (strays with epoch=0
+// deltas=0 mean the commit never landed).
 //
 // Usage:
 //
@@ -63,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%s: %s (manifest=%v image=%v layout=%v codec=%v)\n",
 			dir, status, rep.ManifestOK, rep.ImageOK, rep.LayoutOK, rep.CodecOK)
+		if rep.ManifestOK {
+			fmt.Fprintf(stdout, "  dynamicscene: epoch=%d ops=%d deltas=%d\n",
+				rep.Epoch, rep.OpsLogged, rep.DeltasApplied)
+		}
 		for _, p := range rep.Problems {
 			fmt.Fprintf(stdout, "  problem: %s\n", p)
 		}

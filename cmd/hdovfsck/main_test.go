@@ -139,12 +139,29 @@ func TestFsckGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A dynamic directory: two committed update epochs on top of the base
+	// image, so the dynamicscene line reports a live op log and delta
+	// chain.
+	dyn := copyDB(t, "dyn")
+	dynDB, err := hdov.Open(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pos := range [][2]float64{{30, 30}, {95, 60}} {
+		if _, err := dynDB.Insert(hdov.InsertSpec{Seed: int64(i + 1), X: pos[0], Y: pos[1], Radius: 1.5}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dynDB.CommitEpoch(dyn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	dirs := map[string]string{
-		good: "GOOD", missing: "BAD-MISSING", corrupt: "BAD-CRC", stray: "STRAY",
+		good: "GOOD", missing: "BAD-MISSING", corrupt: "BAD-CRC", stray: "STRAY", dyn: "DYN",
 	}
 
 	var out, errB bytes.Buffer
-	code := run([]string{"-deep", good, missing, corrupt, stray}, &out, &errB)
+	code := run([]string{"-deep", good, missing, corrupt, stray, dyn}, &out, &errB)
 	if code != 1 {
 		t.Fatalf("code = %d, want 1 (stderr=%q)", code, errB.String())
 	}

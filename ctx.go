@@ -136,8 +136,8 @@ func (s *Session) QueryContext(ctx context.Context, p Point, eta float64) (*Resu
 
 // QueryCellContext is Session.QueryCell bounded by ctx.
 func (s *Session) QueryCellContext(ctx context.Context, cell int, eta float64) (*Result, error) {
-	if cell < 0 || cell >= s.db.NumCells() {
-		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	if cell < 0 || cell >= s.tree.Grid.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.tree.Grid.NumCells())
 	}
 	r, err := s.tree.QueryContext(ctx, cells.CellID(cell), eta)
 	if err != nil {
@@ -159,8 +159,8 @@ func (s *Session) QueryCoherentContext(ctx context.Context, p Point, eta float64
 
 // QueryCellCoherentContext is Session.QueryCellCoherent bounded by ctx.
 func (s *Session) QueryCellCoherentContext(ctx context.Context, cell int, eta float64) (*Result, error) {
-	if cell < 0 || cell >= s.db.NumCells() {
-		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	if cell < 0 || cell >= s.tree.Grid.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.tree.Grid.NumCells())
 	}
 	r, err := s.tree.QueryCoherentContext(ctx, cells.CellID(cell), eta)
 	if err != nil {

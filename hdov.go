@@ -37,6 +37,7 @@ package hdov
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cells"
 	"repro/internal/core"
@@ -162,6 +163,12 @@ func DefaultConfig() Config {
 
 // DB is a built HDoV-tree database: scene, index, visibility data and all
 // three storage schemes over one simulated disk.
+//
+// A DB is not itself a concurrent query handle: concurrent clients each
+// take a Session (NewSession is safe to call at any time, including while
+// an Update is in flight) and query through it. Update installs a new
+// scene epoch atomically — existing Sessions keep answering from the
+// epoch they pinned, new Sessions see the new one.
 type DB struct {
 	cfg    Config
 	scene  *scene.Scene
@@ -173,6 +180,16 @@ type DB struct {
 	iv     *vstore.IndexedVertical
 	naive  *naive.Store
 	engine *visibility.Engine
+
+	// mu guards the epoch swap: Update replaces scene/tree/vis/stores
+	// under mu.Lock, NewSession pins the current tree under mu.RLock.
+	mu sync.RWMutex
+	// writeMu serializes writers (Update, CommitEpoch, Save).
+	writeMu sync.Mutex
+	// epoch counts committed+installed update batches; ops is the full op
+	// log since the original build, replayed by Open.
+	epoch int
+	ops   []scene.Op
 }
 
 // Build generates the city, constructs the HDoV-tree, precomputes per-cell
@@ -250,8 +267,20 @@ func Build(cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// snapshot returns the current epoch's tree and scene under the read
+// lock, so accessors stay consistent while an Update publishes. Callers
+// must not already hold db.mu (RWMutex read locks do not nest safely
+// under a waiting writer).
+func (db *DB) snapshot() (*core.Tree, *scene.Scene) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree, db.scene
+}
+
 // SetScheme switches the storage layout served to Query.
 func (db *DB) SetScheme(s Scheme) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	switch s {
 	case SchemeHorizontal:
 		db.tree.SetVStore(db.h)
@@ -264,36 +293,56 @@ func (db *DB) SetScheme(s Scheme) {
 }
 
 // Scheme returns the active storage layout.
-func (db *DB) Scheme() Scheme { return db.cfg.Scheme }
+func (db *DB) Scheme() Scheme {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cfg.Scheme
+}
 
-// NumObjects returns the object count of the dataset.
-func (db *DB) NumObjects() int { return len(db.scene.Objects) }
+// NumObjects returns the object count of the dataset (tombstones
+// included; see NumAliveObjects).
+func (db *DB) NumObjects() int {
+	_, sc := db.snapshot()
+	return len(sc.Objects)
+}
 
 // NumNodes returns N_node, the HDoV-tree's node count.
-func (db *DB) NumNodes() int { return db.tree.NumNodes() }
+func (db *DB) NumNodes() int {
+	t, _ := db.snapshot()
+	return t.NumNodes()
+}
 
 // NumCells returns the viewing-cell count.
-func (db *DB) NumCells() int { return db.tree.Grid.NumCells() }
+func (db *DB) NumCells() int {
+	t, _ := db.snapshot()
+	return t.Grid.NumCells()
+}
 
 // NominalBytes returns the dataset's raw payload size.
-func (db *DB) NominalBytes() int64 { return db.scene.NominalRawBytes() }
+func (db *DB) NominalBytes() int64 {
+	_, sc := db.snapshot()
+	return sc.NominalRawBytes()
+}
 
 // Bounds returns the corners of the environment.
 func (db *DB) Bounds() (min, max Point) {
-	return fromVec(db.scene.Bounds.Min), fromVec(db.scene.Bounds.Max)
+	_, sc := db.snapshot()
+	return fromVec(sc.Bounds.Min), fromVec(sc.Bounds.Max)
 }
 
 // ViewRegion returns the corners of the walkable viewpoint slab.
 func (db *DB) ViewRegion() (min, max Point) {
-	return fromVec(db.scene.ViewRegion.Min), fromVec(db.scene.ViewRegion.Max)
+	_, sc := db.snapshot()
+	return fromVec(sc.ViewRegion.Min), fromVec(sc.ViewRegion.Max)
 }
 
 // DefaultViewpoint returns a natural standing point: a street
 // intersection near the city center (open sightlines down four
 // corridors), or the center of a middle room in the museum.
 func (db *DB) DefaultViewpoint() Point {
-	p := db.scene.Params
-	z := db.scene.ViewRegion.Center().Z
+	_, sc := db.snapshot()
+	p := sc.Params
+	z := sc.ViewRegion.Center().Z
 	if m := p.Museum; m != nil {
 		pitch := m.RoomSize + m.WallThickness
 		cx := m.WallThickness + pitch*float64(m.RoomsX/2) + m.RoomSize/2
@@ -314,6 +363,8 @@ type StorageSizes struct {
 
 // StorageSizes returns the three schemes' footprints.
 func (db *DB) StorageSizes() StorageSizes {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return StorageSizes{
 		Horizontal:      db.h.SizeBytes(),
 		Vertical:        db.v.SizeBytes(),
@@ -324,7 +375,8 @@ func (db *DB) StorageSizes() StorageSizes {
 // CellOf returns the viewing cell containing p, or -1 if p is outside the
 // viewpoint region.
 func (db *DB) CellOf(p Point) int {
-	return int(db.tree.Grid.Locate(p.vec()))
+	t, _ := db.snapshot()
+	return int(t.Grid.Locate(p.vec()))
 }
 
 // CellViewpoint returns the cell's primary DoV sample point. Ground-truth
@@ -332,10 +384,11 @@ func (db *DB) CellOf(p Point) int {
 // (equation 2 takes the max over sample viewpoints), so an eta=0 query
 // from this point scores full coverage.
 func (db *DB) CellViewpoint(cell int) Point {
-	if cell < 0 || cell >= db.NumCells() {
+	t, _ := db.snapshot()
+	if cell < 0 || cell >= t.Grid.NumCells() {
 		return Point{}
 	}
-	return fromVec(db.tree.Grid.SamplePoints(cells.CellID(cell), 1)[0])
+	return fromVec(t.Grid.SamplePoints(cells.CellID(cell), 1)[0])
 }
 
 // ErrOutsideCells is returned by Query for viewpoints outside the grid.
@@ -368,10 +421,18 @@ type FaultPlan struct {
 // ancestor's internal LoD and the substitution is recorded on the result
 // as a Degradation. When off (the default), media faults abort the query
 // with an error.
-func (db *DB) SetFaultTolerant(on bool) { db.tree.FaultTolerant = on }
+func (db *DB) SetFaultTolerant(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tree.FaultTolerant = on
+}
 
 // FaultTolerant reports whether degraded-mode traversal is enabled.
-func (db *DB) FaultTolerant() bool { return db.tree.FaultTolerant }
+func (db *DB) FaultTolerant() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.FaultTolerant
+}
 
 // InjectFaults installs the fault plan on the database's disk. Passing a
 // zero-probability plan installs an injector that never fires.
@@ -394,5 +455,8 @@ func (db *DB) ClearFaults() {
 
 // fidelityTruth computes the ground-truth point DoV field at p.
 func (db *DB) fidelityTruth(p Point) []float64 {
-	return db.engine.PointDoV(p.vec())
+	db.mu.RLock()
+	eng := db.engine
+	db.mu.RUnlock()
+	return eng.PointDoV(p.vec())
 }

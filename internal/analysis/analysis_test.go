@@ -56,6 +56,7 @@ func TestPassFixtures(t *testing.T) {
 		{&PinReleasePass{}, "fixture/pinrelease"},
 		{&LockOrderPass{}, "fixture/internal/storage"},
 		{&DeterminismPass{}, "fixture/internal/core"},
+		{&DeterminismPass{}, "fixture/internal/dbfile"},
 		{&DeterminismPass{}, "fixture/prefetch/internal/storage"},
 		{&DeterminismPass{}, "fixture/prefetch/internal/walkthrough"},
 		{&ErrFlowPass{}, "fixture/errflow"},

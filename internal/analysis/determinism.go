@@ -26,6 +26,12 @@ import (
 // //lint:ignore determinism comment with the argument for why order
 // cannot leak, which is exactly the review trail the invariant wants.
 //
+// internal/dbfile is in scope too: the persistence layer serializes the
+// manifest, the op log and the delta chain, and a map-order- or
+// clock-dependent write there would make a committed epoch irreproducible
+// (the crash-point harness compares recovered directories byte-for-byte
+// against what the commit protocol promised).
+//
 // The pass additionally enforces prefetch isolation (DESIGN.md §12): the
 // background prefetcher must never see query state, or its timing could
 // leak into answers. In internal/storage, goroutine bodies may not
@@ -44,7 +50,7 @@ func (*DeterminismPass) Name() string { return "determinism" }
 func (p *DeterminismPass) scope(pkg *Package) bool {
 	pats := p.Packages
 	if len(pats) == 0 {
-		pats = []string{"internal/core", "internal/vstore", "root"}
+		pats = []string{"internal/core", "internal/vstore", "internal/dbfile", "root"}
 	}
 	for _, s := range pats {
 		if s == "root" {

@@ -14,7 +14,11 @@ import (
 //   - segment/page decoders (functions named Decode*/decode*) whose
 //     error result is discarded;
 //   - storage writes (WritePage / WriteBytes / WriteTo) whose error is
-//     assigned to the blank identifier or ignored as a statement.
+//     assigned to the blank identifier or ignored as a statement;
+//   - the incremental-update write path (ApplyOp / ApplyOps / WriteDeltaTo
+//     / ApplyDelta / CommitEpoch): a dropped error there either publishes
+//     an epoch that never applied or commits a delta that never landed,
+//     exactly the torn states the crash-point harness exists to rule out.
 //
 // Unlike a general errcheck, the pass is deliberately narrow: these are
 // the calls whose failure modes the fault-injection and crash-safety
@@ -24,11 +28,19 @@ type ErrFlowPass struct{}
 // Name implements Pass.
 func (*ErrFlowPass) Name() string { return "errflow" }
 
-// watchedWriters are method names whose error results must be consumed.
+// watchedWriters are method and function names whose error results must
+// be consumed (matched as method selectors and as package-qualified
+// calls).
 var watchedWriters = map[string]bool{
 	"WritePage":  true,
 	"WriteBytes": true,
 	"WriteTo":    true,
+	// The incremental-update write path.
+	"ApplyOp":      true,
+	"ApplyOps":     true,
+	"WriteDeltaTo": true,
+	"ApplyDelta":   true,
+	"CommitEpoch":  true,
 }
 
 // Run implements Pass.
@@ -79,8 +91,9 @@ func (p *ErrFlowPass) watched(pkg *Package, call *ast.CallExpr) (string, bool) {
 					if pn.Imported().Path() == "encoding/binary" && (name == "Read" || name == "Write") {
 						return "binary." + name, true
 					}
-					// Package-level decoders: vstore.DecodeX etc.
-					if isDecoderName(name) {
+					// Package-level decoders (vstore.DecodeX) and write-path
+					// functions (core.ApplyOps, dbfile.CommitEpoch).
+					if isDecoderName(name) || watchedWriters[name] {
 						return pn.Imported().Name() + "." + name, true
 					}
 					return "", false
@@ -91,7 +104,7 @@ func (p *ErrFlowPass) watched(pkg *Package, call *ast.CallExpr) (string, bool) {
 			return exprString(fun.X) + "." + name, true
 		}
 	case *ast.Ident:
-		if isDecoderName(fun.Name) {
+		if isDecoderName(fun.Name) || watchedWriters[fun.Name] {
 			return fun.Name, true
 		}
 	}

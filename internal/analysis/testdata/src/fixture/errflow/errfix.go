@@ -98,3 +98,64 @@ func GoDecode(b []byte) {
 func CheckedDecodeSegment(b []byte) ([]int64, []int32, error) {
 	return DecodeSegmentC(b, 4)
 }
+
+// The incremental-update write path (dynamic scenes): op application,
+// delta serialization and the epoch commit. A dropped error on any of
+// these publishes state that never durably applied.
+
+// ApplyOps mirrors core.ApplyOps: evolved state plus error.
+func ApplyOps(ops []int) ([]int, error) {
+	return ops, nil
+}
+
+// WriteDeltaTo mirrors storage.Disk.WriteDeltaTo.
+func (d *Disk) WriteDeltaTo(w *bytes.Buffer, from int64) (int64, error) {
+	return 0, nil
+}
+
+// ApplyDelta mirrors storage.Disk.ApplyDelta.
+func (d *Disk) ApplyDelta(b []byte) error {
+	return nil
+}
+
+// CommitEpoch mirrors dbfile.CommitEpoch / DB.CommitEpoch.
+func (d *Disk) CommitEpoch(dir string) (int, error) {
+	return 0, nil
+}
+
+// BlankApplyOps blanks the op-application error: the caller would
+// publish a tree the batch never produced.
+func BlankApplyOps(ops []int) []int {
+	t, _ := ApplyOps(ops) // want errflow
+	return t
+}
+
+// IgnoredDelta drops the delta-write error as a bare statement.
+func IgnoredDelta(d *Disk, buf *bytes.Buffer) {
+	d.WriteDeltaTo(buf, 0) // want errflow
+}
+
+// BlankApplyDelta blanks the delta-application error.
+func BlankApplyDelta(d *Disk, b []byte) {
+	_ = d.ApplyDelta(b) // want errflow
+}
+
+// BlankCommit blanks the commit error while keeping the epoch number —
+// the caller would report an epoch that never committed.
+func BlankCommit(d *Disk) int {
+	epoch, _ := d.CommitEpoch("dir") // want errflow
+	return epoch
+}
+
+// DeferredCommit loses the commit error in a defer.
+func DeferredCommit(d *Disk) {
+	defer d.CommitEpoch("dir") // want errflow
+}
+
+// CheckedCommit propagates: clean.
+func CheckedCommit(d *Disk) (int, error) {
+	if err := d.ApplyDelta(nil); err != nil {
+		return 0, err
+	}
+	return d.CommitEpoch("dir")
+}

@@ -1,0 +1,49 @@
+// Package dbfix is the persistence-layer determinism fixture; its import
+// path ends in internal/dbfile, so the pass's default scope applies: the
+// manifest, op-log and delta-chain serialization must not depend on map
+// iteration order or the wall clock, or a committed epoch would not
+// reproduce byte-for-byte.
+package dbfix
+
+import (
+	"sort"
+	"time"
+)
+
+// StampManifest reads the wall clock into a "manifest" field.
+func StampManifest() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+// SerializeDeltas walks a map while emitting the delta list: the on-disk
+// order would change per run.
+func SerializeDeltas(deltas map[string]int64) []string {
+	var out []string
+	for name := range deltas { // want determinism
+		out = append(out, name)
+	}
+	return out
+}
+
+// SerializeDeltasSorted collects keys and sorts before anything order-
+// dependent happens; the directive records that argument.
+func SerializeDeltasSorted(deltas map[string]int64) []string {
+	names := make([]string, 0, len(deltas))
+	//lint:ignore determinism fixture: keys are sorted before any output is derived
+	for name := range deltas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CountDeltas documents why order cannot leak; the directive suppresses
+// the finding.
+func CountDeltas(deltas map[string]int64) int64 {
+	var total int64
+	//lint:ignore determinism fixture: a sum is iteration-order independent
+	for _, n := range deltas {
+		total += n
+	}
+	return total
+}

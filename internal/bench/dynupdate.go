@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/rtree"
+	"repro/internal/scene"
+	"repro/internal/storage"
+	"repro/internal/vstore"
+)
+
+// The dynupdate experiment measures the incremental scene-maintenance
+// machinery (DESIGN.md §15) on a seeded insert/delete/move workload:
+// ApplyOps evolves the tree batch by batch, the three V-page schemes are
+// re-laid over the new visibility data after each batch (what DB.Update
+// does), and three locality figures are recorded:
+//
+//	touched-cell fraction — viewing cells whose DoV field was re-cast,
+//	                        over the grid size; the rest answered from
+//	                        the retained raw field
+//	LoD reuse rate        — internal-LoD chains adopted from the previous
+//	                        epoch, over all internal nodes visited
+//	pages per batch       — simulated-disk pages appended per batch,
+//	                        V-page rebuilds included
+//
+// The headline is the write-cost comparison against the rebuild
+// reference of the differential gate: replaying the whole op log from
+// scratch (same deterministic R-tree evolution, everything downstream
+// rebuilt fresh) costs RebuildPages; the incremental path pays
+// PagesPerBatch per batch instead. Their ratio is WriteSavings — the
+// figure that justifies maintaining the tree online at all. The
+// committed reference lives in BENCH_dynupdate.json.
+
+// The workload shape and the gates the experiment must hold: updates
+// must localize (most cells untouched, most LoD chains reused) and a
+// batch must cost well under a from-scratch rebuild.
+const (
+	dynBatches     = 8
+	dynOpsPerBatch = 6
+	dynSeedOffset  = 300
+
+	dynTouchedGate = 0.90 // mean touched-cell fraction stays below
+	dynReuseGate   = 0.50 // mean LoD reuse rate stays above
+	dynSavingsGate = 2.0  // rebuild pages / pages per batch stays above
+)
+
+// DynBatch is one batch's locality record.
+type DynBatch struct {
+	Ops           int   `json:"ops"`
+	TouchedCells  int   `json:"touched_cells"`
+	TotalCells    int   `json:"total_cells"`
+	LoDReused     int   `json:"lod_reused"`
+	LoDRebuilt    int   `json:"lod_rebuilt"`
+	PagesAppended int64 `json:"pages_appended"`
+}
+
+// DynUpdate is the committed reference format (BENCH_dynupdate.json).
+type DynUpdate struct {
+	Workload string     `json:"workload"`
+	Batches  []DynBatch `json:"batches"`
+	// TouchedCellFrac / LoDReuseRate are means over the batches.
+	TouchedCellFrac float64 `json:"touched_cell_frac"`
+	LoDReuseRate    float64 `json:"lod_reuse_rate"`
+	// PagesPerBatch is the mean simulated-disk pages appended per batch,
+	// scheme rebuilds included; RebuildPages is what a from-scratch
+	// rebuild over the final op log costs on a fresh disk.
+	PagesPerBatch float64 `json:"pages_per_batch"`
+	RebuildPages  int64   `json:"rebuild_pages"`
+	// WriteSavings is RebuildPages / PagesPerBatch.
+	WriteSavings float64 `json:"write_savings"`
+}
+
+var (
+	dynMu    sync.Mutex
+	dynCache = map[string]*DynUpdate{}
+)
+
+// dynWorkloadTag extends the dataset tag with the update-workload shape.
+func dynWorkloadTag(p Params) string {
+	return fmt.Sprintf("%s-dynb%d-ops%d", workloadTag(p), dynBatches, dynOpsPerBatch)
+}
+
+// genDynOps generates the seeded update workload: ~35% inserts
+// (procedural blobs dropped inside the view region), ~25% deletes and
+// ~40% moves of live objects, with alive-set bookkeeping so every op is
+// valid when applied in order (the same mix the differential suite
+// replays).
+func genDynOps(seed int64, sc *scene.Scene, n int) []scene.Op {
+	rng := rand.New(rand.NewSource(seed))
+	alive := make([]int64, 0, len(sc.Objects))
+	for _, o := range sc.Objects {
+		if !o.Dead {
+			alive = append(alive, o.ID)
+		}
+	}
+	nextID := int64(len(sc.Objects))
+	lo, hi := sc.ViewRegion.Min, sc.ViewRegion.Max
+	ops := make([]scene.Op, 0, n)
+	for len(ops) < n {
+		r := rng.Float64()
+		switch {
+		case r < 0.35 || len(alive) <= 4:
+			ops = append(ops, scene.Op{Kind: scene.OpInsert, Insert: &scene.InsertSpec{
+				Seed:   rng.Int63(),
+				X:      lo.X + 2 + rng.Float64()*(hi.X-lo.X-4),
+				Y:      lo.Y + 2 + rng.Float64()*(hi.Y-lo.Y-4),
+				Radius: 1 + 2*rng.Float64(),
+			}})
+			alive = append(alive, nextID)
+			nextID++
+		case r < 0.60:
+			i := rng.Intn(len(alive))
+			ops = append(ops, scene.Op{Kind: scene.OpDelete, ID: alive[i]})
+			alive[i] = alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+		default:
+			dx := (rng.Float64()*2 - 1) * 8
+			dy := (rng.Float64()*2 - 1) * 8
+			if dx == 0 && dy == 0 {
+				dx = 1
+			}
+			ops = append(ops, scene.Op{Kind: scene.OpMove, ID: alive[rng.Intn(len(alive))], DX: dx, DY: dy})
+		}
+	}
+	return ops
+}
+
+// dynSchemes lays the three raw-layout schemes over vis on d — the
+// per-epoch republish work DB.Update performs — and returns the
+// indexed-vertical store for the tree to answer from.
+func dynSchemes(d *storage.Disk, vis *core.VisData) (*vstore.IndexedVertical, error) {
+	if _, err := vstore.BuildHorizontalOpts(d, vis, vstore.Options{}); err != nil {
+		return nil, err
+	}
+	if _, err := vstore.BuildVerticalOpts(d, vis, vstore.Options{}); err != nil {
+		return nil, err
+	}
+	return vstore.BuildIndexedVerticalOpts(d, vis, vstore.Options{})
+}
+
+// dynRebuildPages prices the alternative to incremental maintenance:
+// replay the op log from scratch — same deterministic R-tree evolution
+// as the incremental path, everything downstream rebuilt fresh on a
+// fresh disk — and return the pages written.
+func dynRebuildPages(baseSc *scene.Scene, bp core.BuildParams, ops []scene.Op) (int64, error) {
+	sc2 := baseSc.CloneShell()
+	rt := rtree.New(bp.FanoutMin, bp.FanoutMax)
+	for _, o := range baseSc.Objects {
+		if !o.Dead {
+			rt.Insert(o.MBR, o.ID)
+		}
+	}
+	for i, op := range ops {
+		eff, err := sc2.ApplyOp(op)
+		if err != nil {
+			return 0, fmt.Errorf("replay op %d: %w", i, err)
+		}
+		switch eff.Kind {
+		case scene.OpInsert:
+			rt.Insert(eff.NewMBR, eff.ObjectID)
+		case scene.OpDelete:
+			if !rt.Delete(eff.OldMBR, eff.ObjectID) {
+				return 0, fmt.Errorf("replay op %d: object %d not in R-tree", i, eff.ObjectID)
+			}
+		case scene.OpMove:
+			if !rt.Delete(eff.OldMBR, eff.ObjectID) {
+				return 0, fmt.Errorf("replay op %d: object %d not in R-tree", i, eff.ObjectID)
+			}
+			rt.Insert(eff.NewMBR, eff.ObjectID)
+		}
+	}
+	d2 := storage.NewDisk(0, storage.DefaultCostModel())
+	_, vis2, err := core.BuildFromRTree(sc2, d2, bp, rt)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := dynSchemes(d2, vis2); err != nil {
+		return 0, err
+	}
+	return d2.NumPages(), nil
+}
+
+// CollectDynUpdate builds a dedicated database (updates consume the
+// tree's backbone, so the shared Env cache is off limits), evolves it
+// through the seeded workload batch by batch, and prices the rebuild
+// alternative. Results are cached per workload tag: the run and guard
+// paths share one measurement.
+func CollectDynUpdate(p Params) (*DynUpdate, error) {
+	tag := dynWorkloadTag(p)
+	dynMu.Lock()
+	defer dynMu.Unlock()
+	if du, ok := dynCache[tag]; ok {
+		return du, nil
+	}
+
+	cp := scene.DefaultCityParams()
+	cp.Seed = p.Seed
+	cp.BlocksX, cp.BlocksY = p.CityBlocks, p.CityBlocks
+	cp.BlobDetail = 10
+	cp.NominalBytes = p.NominalBytes
+	sc := scene.Generate(cp)
+
+	d := storage.NewDisk(0, storage.DefaultCostModel())
+	bp := core.DefaultBuildParams()
+	bp.Grid = cells.NewGrid(sc.ViewRegion, p.GridCells, p.GridCells)
+	bp.DirsPerViewpoint = p.Dirs
+	bp.SamplesPerCell = p.Samples
+	tr, vis, err := core.Build(sc, d, bp)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dynupdate build: %w", err)
+	}
+
+	ops := genDynOps(p.Seed+dynSeedOffset, sc, dynBatches*dynOpsPerBatch)
+	du := &DynUpdate{Workload: tag}
+	var touched, reuse float64
+	var pages int64
+	for b := 0; b < dynBatches; b++ {
+		batch := ops[b*dynOpsPerBatch : (b+1)*dynOpsPerBatch]
+		before := d.NumPages()
+		var st *core.UpdateStats
+		tr, vis, _, st, err = core.ApplyOps(tr, vis, batch)
+		if err != nil {
+			return nil, fmt.Errorf("bench: dynupdate batch %d: %w", b, err)
+		}
+		iv, err := dynSchemes(d, vis)
+		if err != nil {
+			return nil, fmt.Errorf("bench: dynupdate batch %d schemes: %w", b, err)
+		}
+		tr.SetVStore(iv)
+		rec := DynBatch{
+			Ops:           st.Ops,
+			TouchedCells:  st.TouchedCells,
+			TotalCells:    st.TotalCells,
+			LoDReused:     st.LoDReused,
+			LoDRebuilt:    st.LoDRebuilt,
+			PagesAppended: d.NumPages() - before,
+		}
+		du.Batches = append(du.Batches, rec)
+		touched += float64(rec.TouchedCells) / float64(rec.TotalCells)
+		if n := rec.LoDReused + rec.LoDRebuilt; n > 0 {
+			reuse += float64(rec.LoDReused) / float64(n)
+		}
+		pages += rec.PagesAppended
+	}
+	du.TouchedCellFrac = touched / dynBatches
+	du.LoDReuseRate = reuse / dynBatches
+	du.PagesPerBatch = float64(pages) / dynBatches
+
+	if du.RebuildPages, err = dynRebuildPages(sc, bp, ops); err != nil {
+		return nil, fmt.Errorf("bench: dynupdate rebuild reference: %w", err)
+	}
+	if du.PagesPerBatch > 0 {
+		du.WriteSavings = float64(du.RebuildPages) / du.PagesPerBatch
+	}
+	dynCache[tag] = du
+	return du, nil
+}
+
+// RunDynUpdate prints the per-batch locality table and verdicts the
+// three gates: updates localize in the viewing grid, reuse dominates
+// LoD work, and a batch costs well under a from-scratch rebuild.
+func RunDynUpdate(w io.Writer, p Params) error {
+	du, err := CollectDynUpdate(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d batches x %d ops (insert/delete/move), schemes re-laid per batch\n\n",
+		dynBatches, dynOpsPerBatch)
+	fmt.Fprintf(w, "%-7s %-6s %-14s %-16s %-10s\n",
+		"batch", "ops", "cells touched", "LoD reuse/total", "pages")
+	for i, b := range du.Batches {
+		fmt.Fprintf(w, "%-7d %-6d %3d / %-8d %5d / %-8d %-10d\n",
+			i+1, b.Ops, b.TouchedCells, b.TotalCells,
+			b.LoDReused, b.LoDReused+b.LoDRebuilt, b.PagesAppended)
+	}
+	fmt.Fprintf(w, "\nmean touched-cell fraction: %.2f  mean LoD reuse rate: %.2f\n",
+		du.TouchedCellFrac, du.LoDReuseRate)
+	fmt.Fprintf(w, "pages per batch: %.0f  from-scratch rebuild: %d  write savings: %.1fx\n",
+		du.PagesPerBatch, du.RebuildPages, du.WriteSavings)
+
+	pass := true
+	verdict := func(ok bool, format string, args ...interface{}) {
+		v := "PASS"
+		if !ok {
+			v = "FAIL"
+			pass = false
+		}
+		fmt.Fprintf(w, format+" %s\n", append(args, v)...)
+	}
+	verdict(du.TouchedCellFrac < dynTouchedGate,
+		"touched-cell fraction %.2f (claim: < %.2f)", du.TouchedCellFrac, dynTouchedGate)
+	verdict(du.LoDReuseRate > dynReuseGate,
+		"LoD reuse rate %.2f (claim: > %.2f)", du.LoDReuseRate, dynReuseGate)
+	verdict(du.WriteSavings > dynSavingsGate,
+		"write savings %.1fx (claim: > %.1fx)", du.WriteSavings, dynSavingsGate)
+	if !pass {
+		return fmt.Errorf("bench: dynupdate: incremental maintenance missed a locality gate")
+	}
+	return nil
+}
+
+// CompareDynUpdate checks fresh metrics against the committed reference
+// and returns one line per violation. The three gates are re-checked as
+// hard invariants; the locality figures and the write-savings ratio may
+// drift only within tol (a growing touched fraction or shrinking reuse
+// rate means the localization machinery regressed — exactly the failure
+// the incremental path exists to avoid).
+func CompareDynUpdate(ref, cur *DynUpdate, tol float64) []string {
+	var bad []string
+	if ref.Workload != cur.Workload {
+		return []string{fmt.Sprintf("workload mismatch: reference %q vs current %q (regenerate the reference)",
+			ref.Workload, cur.Workload)}
+	}
+	if cur.TouchedCellFrac >= dynTouchedGate {
+		bad = append(bad, fmt.Sprintf("touched-cell fraction %.2f broke the < %.2f locality gate",
+			cur.TouchedCellFrac, dynTouchedGate))
+	}
+	if cur.LoDReuseRate <= dynReuseGate {
+		bad = append(bad, fmt.Sprintf("LoD reuse rate %.2f broke the > %.2f gate",
+			cur.LoDReuseRate, dynReuseGate))
+	}
+	if cur.WriteSavings <= dynSavingsGate {
+		bad = append(bad, fmt.Sprintf("write savings %.1fx broke the > %.1fx gate",
+			cur.WriteSavings, dynSavingsGate))
+	}
+	if cur.TouchedCellFrac > ref.TouchedCellFrac*(1+tol) {
+		bad = append(bad, fmt.Sprintf("touched-cell fraction %.2f, reference %.2f (tolerance %.0f%%)",
+			cur.TouchedCellFrac, ref.TouchedCellFrac, 100*tol))
+	}
+	if cur.LoDReuseRate < ref.LoDReuseRate*(1-tol) {
+		bad = append(bad, fmt.Sprintf("LoD reuse rate %.2f, reference %.2f (tolerance %.0f%%)",
+			cur.LoDReuseRate, ref.LoDReuseRate, 100*tol))
+	}
+	if cur.WriteSavings < ref.WriteSavings*(1-tol) {
+		bad = append(bad, fmt.Sprintf("write savings %.1fx, reference %.1fx (tolerance %.0f%%)",
+			cur.WriteSavings, ref.WriteSavings, 100*tol))
+	}
+	return bad
+}
+
+// LoadDynUpdate reads a committed dynupdate reference.
+func LoadDynUpdate(path string) (*DynUpdate, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var du DynUpdate
+	if err := json.Unmarshal(raw, &du); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &du, nil
+}
+
+// WriteDynUpdate writes the reference in the committed format.
+func WriteDynUpdate(path string, du *DynUpdate) error {
+	raw, err := json.MarshalIndent(du, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -200,6 +200,7 @@ func All() []Experiment {
 		{ID: "walkcoherence", Title: "Extension: frame-coherent traversal with predictive V-page prefetching", Run: RunWalkCoherence},
 		{ID: "vpagecodec", Title: "Extension: compressed V-page layout, bytes and light-I/O cost vs raw", Run: RunVPageCodec},
 		{ID: "overload", Title: "Extension: overload resilience — admission, shedding, breaker, cancellation", Run: RunOverload},
+		{ID: "dynupdate", Title: "Extension: incremental updates — locality, LoD reuse, write cost vs rebuild", Run: RunDynUpdate},
 		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
 	}
 }

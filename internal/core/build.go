@@ -130,6 +130,17 @@ type Tree struct {
 	nodePageBase storage.PageID
 	nodeStride   int // pages per node record
 
+	// bb holds the live R-tree backbone the node mirror was derived from,
+	// retained so incremental updates (update.go) can evolve it in place.
+	// It lives behind a pointer so transferring it to the next epoch never
+	// writes a Tree field that a concurrent Session() struct copy could be
+	// reading: the holder's contents are only ever touched by the (single)
+	// writer, while readers at most copy the pointer. bb.rt is nil on
+	// reopened trees until the first update reconstructs it from the
+	// mirror; bb.nodes maps each mirrored Node (by NodeID) back to its
+	// R-tree node, the identity the internal-LoD cache is keyed on.
+	bb *backbone
+
 	// shed is the shared load-shedding policy slot (SetShed): sessions
 	// derived after the slot exists see policy flips immediately. Nil
 	// until the first SetShed — no shedding, byte-identical traversal.
@@ -141,6 +152,13 @@ type Tree struct {
 	// resPool recycles QueryResults within one session (see Recycle);
 	// nil on the base tree, so recycling is per-session by construction.
 	resPool *resultPool
+}
+
+// backbone boxes the live R-tree so epoch transfer mutates holder
+// contents, not Tree fields (see the Tree.bb comment).
+type backbone struct {
+	rt    *rtree.Tree
+	nodes []*rtree.Node
 }
 
 // Root returns the root node.
@@ -163,9 +181,35 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	if sc == nil || len(sc.Objects) == 0 {
 		return nil, nil, fmt.Errorf("core: empty scene")
 	}
-	if d == nil {
-		return nil, nil, fmt.Errorf("core: nil disk")
+	p = normalizeBuildParams(sc, p)
+
+	// Step 1: R-tree over object MBRs — linear-split insertion as in
+	// §5.1, or STR packing when BulkLoad is set. Tombstoned objects are
+	// not indexed.
+	var rt *rtree.Tree
+	if p.BulkLoad {
+		items := make([]rtree.Item, 0, len(sc.Objects))
+		for _, o := range sc.Objects {
+			if o.Dead {
+				continue
+			}
+			items = append(items, rtree.Item{MBR: o.MBR, ID: o.ID})
+		}
+		rt = rtree.BulkLoad(items, p.FanoutMin, p.FanoutMax)
+	} else {
+		rt = rtree.New(p.FanoutMin, p.FanoutMax)
+		for _, o := range sc.Objects {
+			if o.Dead {
+				continue
+			}
+			rt.Insert(o.MBR, o.ID)
+		}
 	}
+	return BuildFromRTree(sc, d, p, rt)
+}
+
+// normalizeBuildParams fills defaults; Build and BuildFromRTree share it.
+func normalizeBuildParams(sc *scene.Scene, p BuildParams) BuildParams {
 	if p.FanoutMax < 2 {
 		p.FanoutMax = rtree.DefaultMaxEntries
 	}
@@ -190,45 +234,42 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	if p.QuantSafeEtas == nil {
 		p.QuantSafeEtas = DefaultQuantSafeEtas()
 	}
+	return p
+}
 
-	t := &Tree{Scene: sc, Grid: p.Grid, Disk: d, Params: p, IO: d.NewClient()}
-
-	// Step 1: R-tree over object MBRs — linear-split insertion as in
-	// §5.1, or STR packing when BulkLoad is set.
-	var rt *rtree.Tree
-	if p.BulkLoad {
-		items := make([]rtree.Item, len(sc.Objects))
-		for i, o := range sc.Objects {
-			items[i] = rtree.Item{MBR: o.MBR, ID: o.ID}
-		}
-		rt = rtree.BulkLoad(items, p.FanoutMin, p.FanoutMax)
-	} else {
-		rt = rtree.New(p.FanoutMin, p.FanoutMax)
-		for _, o := range sc.Objects {
-			rt.Insert(o.MBR, o.ID)
-		}
+// BuildFromRTree runs the HDoV build pipeline over an already-evolved
+// R-tree backbone: mirroring, internal LoDs, payload and node records,
+// and per-cell DoV precomputation — everything downstream of step 1. The
+// incremental-update differential harness uses it to define the
+// from-scratch reference: replay the same deterministic R-tree op
+// evolution the live tree went through, then rebuild every derived
+// artifact fresh. The tree takes ownership of rt.
+func BuildFromRTree(sc *scene.Scene, d *storage.Disk, p BuildParams, rt *rtree.Tree) (*Tree, *VisData, error) {
+	if sc == nil || len(sc.Objects) == 0 {
+		return nil, nil, fmt.Errorf("core: empty scene")
 	}
+	if d == nil {
+		return nil, nil, fmt.Errorf("core: nil disk")
+	}
+	if rt == nil || rt.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty R-tree")
+	}
+	p = normalizeBuildParams(sc, p)
+
+	t := &Tree{Scene: sc, Grid: p.Grid, Disk: d, Params: p, IO: d.NewClient(), bb: &backbone{rt: rt}}
 
 	// Step 2: mirror the R-tree into HDoV nodes in depth-first preorder.
 	t.mirror(rt)
 
 	// Step 3: internal LoDs, bottom-up; writes payload extents.
-	if err := t.buildInternalLoDs(); err != nil {
+	if err := t.buildInternalLoDs(nil); err != nil {
 		return nil, nil, err
 	}
 
 	// Measure rho: the mean coarsest/finest polygon ratio of the object
 	// chains, the LoD-selected-retrieval correction of the equation-3
 	// guard.
-	var rhoSum float64
-	for _, o := range sc.Objects {
-		hi := o.LoDs.Finest().NumTriangles()
-		lo := o.LoDs.Coarsest().NumTriangles()
-		if hi > 0 {
-			rhoSum += float64(lo) / float64(hi)
-		}
-	}
-	t.RhoMeasured = rhoSum / float64(len(sc.Objects))
+	t.RhoMeasured = measureRho(sc)
 
 	// Step 4: object LoD payload extents.
 	if err := t.writeObjectPayloads(); err != nil {
@@ -246,12 +287,14 @@ func Build(sc *scene.Scene, d *storage.Disk, p BuildParams) (*Tree, *VisData, er
 	return t, vis, nil
 }
 
-// mirror copies the R-tree structure into t.Nodes in DFS preorder.
+// mirror copies the R-tree structure into t.Nodes in DFS preorder,
+// recording the R-tree node behind each mirrored node in t.bb.nodes.
 func (t *Tree) mirror(rt *rtree.Tree) {
 	var walk func(rn *rtree.Node) NodeID
 	walk = func(rn *rtree.Node) NodeID {
 		n := &Node{ID: NodeID(len(t.Nodes)), Leaf: rn.Leaf}
 		t.Nodes = append(t.Nodes, n)
+		t.bb.nodes = append(t.bb.nodes, rn)
 		for _, e := range rn.Entries {
 			ne := NodeEntry{MBR: e.MBR, ChildID: NilNode, ObjectID: -1, DescCount: 1}
 			if rn.Leaf {
@@ -283,7 +326,15 @@ func (t *Tree) mirror(rt *rtree.Tree) {
 // aggregates its children's internal LoDs — "Internal LoDs of nodes at
 // higher levels are then generated in a bottom-up order" (§5.1). The
 // simplification target enforces npoly(node) ≈ S · Σ npoly(children).
-func (t *Tree) buildInternalLoDs() error {
+//
+// reuse, when non-nil, lets the incremental-update path substitute an
+// already-built chain for a node whose subtree is provably unchanged: it
+// returns the previous epoch's node (whose chain, extents and polygon
+// counts are adopted verbatim — the extents stay valid because committed
+// pages are never rewritten) or nil to build fresh. The s-ratio
+// accumulation runs identically either way, in the same bottom-up order,
+// so SMeasured is bit-identical to a from-scratch rebuild.
+func (t *Tree) buildInternalLoDs(reuse func(n *Node) *Node) error {
 	var sSum float64
 	var sCnt int
 	// DFS preorder guarantees children have higher IDs than parents, so
@@ -306,6 +357,18 @@ func (t *Tree) buildInternalLoDs() error {
 				cn := t.Nodes[e.ChildID]
 				parts = append(parts, cn.InternalLoD.Finest())
 				childPolys += cn.InternalLoD.Finest().NumTriangles()
+			}
+		}
+		if reuse != nil {
+			if old := reuse(n); old != nil {
+				n.InternalLoD = old.InternalLoD
+				n.InternalExtents = old.InternalExtents
+				n.InternalPolys = old.InternalPolys
+				if childPolys > 0 {
+					sSum += float64(n.InternalLoD.Finest().NumTriangles()) / float64(childPolys)
+					sCnt++
+				}
+				continue
 			}
 		}
 		agg := mesh.Merge(parts...)
@@ -357,22 +420,54 @@ func (t *Tree) buildInternalLoDs() error {
 	return nil
 }
 
+// measureRho returns the mean coarsest/finest polygon ratio over the live
+// objects, accumulated in object-ID order so the incremental-update path
+// reproduces the build value bit for bit.
+func measureRho(sc *scene.Scene) float64 {
+	var rhoSum float64
+	alive := 0
+	for _, o := range sc.Objects {
+		if o.Dead {
+			continue
+		}
+		alive++
+		hi := o.LoDs.Finest().NumTriangles()
+		lo := o.LoDs.Coarsest().NumTriangles()
+		if hi > 0 {
+			rhoSum += float64(lo) / float64(hi)
+		}
+	}
+	if alive == 0 {
+		return 0
+	}
+	return rhoSum / float64(alive)
+}
+
+// writeObjectPayload allocates and writes one object's LoD payload chain.
+func (t *Tree) writeObjectPayload(o *scene.Object) ([]Extent, error) {
+	exts := make([]Extent, o.LoDs.NumLevels())
+	for li, m := range o.LoDs.Levels {
+		nominal := o.LoDBytes[li]
+		enc := m.Encode()
+		if nominal < int64(len(enc)) {
+			nominal = int64(len(enc))
+		}
+		start := t.Disk.AllocPages(t.Disk.PagesFor(nominal))
+		if err := t.Disk.WriteBytes(start, enc); err != nil {
+			return nil, fmt.Errorf("core: object %d LoD %d: %w", o.ID, li, err)
+		}
+		exts[li] = Extent{Start: start, NominalBytes: nominal, RealBytes: int64(len(enc))}
+	}
+	return exts, nil
+}
+
 // writeObjectPayloads allocates and writes the object LoD payload extents.
 func (t *Tree) writeObjectPayloads() error {
 	t.ObjExtents = make([][]Extent, len(t.Scene.Objects))
 	for _, o := range t.Scene.Objects {
-		exts := make([]Extent, o.LoDs.NumLevels())
-		for li, m := range o.LoDs.Levels {
-			nominal := o.LoDBytes[li]
-			enc := m.Encode()
-			if nominal < int64(len(enc)) {
-				nominal = int64(len(enc))
-			}
-			start := t.Disk.AllocPages(t.Disk.PagesFor(nominal))
-			if err := t.Disk.WriteBytes(start, enc); err != nil {
-				return fmt.Errorf("core: object %d LoD %d: %w", o.ID, li, err)
-			}
-			exts[li] = Extent{Start: start, NominalBytes: nominal, RealBytes: int64(len(enc))}
+		exts, err := t.writeObjectPayload(o)
+		if err != nil {
+			return err
 		}
 		t.ObjExtents[o.ID] = exts
 	}
@@ -455,6 +550,7 @@ func (t *Tree) precomputeVisibility() *VisData {
 		Grid:      grid,
 		PerCell:   make(map[cells.CellID][][]VD, grid.NumCells()),
 		CellShift: make([]uint8, grid.NumCells()),
+		RawDoV:    make([][]float64, grid.NumCells()),
 	}
 
 	workers := t.Params.Workers
@@ -474,6 +570,7 @@ func (t *Tree) precomputeVisibility() *VisData {
 		cell  cells.CellID
 		vd    [][]VD
 		shift uint8
+		raw   []float64
 	}
 	jobs := make(chan cells.CellID)
 	results := make(chan cellResult)
@@ -492,7 +589,7 @@ func (t *Tree) precomputeVisibility() *VisData {
 				samples := grid.SamplePoints(cell, t.Params.SamplesPerCell)
 				objDoV := field.RegionDoV(samples)
 				vd, shift := t.quantizeCell(objDoV, t.Params.DoVQuantBits, t.Params.QuantSafeEtas)
-				results <- cellResult{cell: cell, vd: vd, shift: shift}
+				results <- cellResult{cell: cell, vd: vd, shift: shift, raw: objDoV}
 			}
 		}()
 	}
@@ -507,6 +604,7 @@ func (t *Tree) precomputeVisibility() *VisData {
 	for r := range results {
 		vis.PerCell[r.cell] = r.vd
 		vis.CellShift[r.cell] = r.shift
+		vis.RawDoV[r.cell] = r.raw
 	}
 	return vis
 }

@@ -125,6 +125,7 @@ func OpenTree(sc *scene.Scene, d *storage.Disk, m TreeManifest) (*Tree, error) {
 		ObjExtents:   m.ObjExtents,
 		nodePageBase: m.NodePageBase,
 		nodeStride:   m.NodeStride,
+		bb:           &backbone{},
 	}
 	t.Params.Grid = t.Grid
 

@@ -146,6 +146,13 @@ type VisData struct {
 	// the per-cell η-safety fallback fired — see quant.go). Nil on
 	// hand-built fields; consumers must treat absence as raw.
 	CellShift []uint8
+	// RawDoV[cell][objectID] is the unquantized per-object region DoV the
+	// cell's VD rows were derived from. The build pipeline retains it so
+	// the incremental-update path can re-quantize and re-aggregate after a
+	// topology change without re-casting rays for cells no changed object
+	// touches. Nil on reopened databases (and hand-built fields); the
+	// first update then recomputes every cell once.
+	RawDoV [][]float64
 }
 
 // QuantFallbackCells counts cells whose DoV values were left unquantized

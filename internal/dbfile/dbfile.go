@@ -4,16 +4,19 @@
 // layout) takes orders of magnitude longer than a query session, so a
 // production deployment builds once and ships the files.
 //
-// A database directory holds two files:
+// A database directory holds two files, plus one per committed epoch:
 //
 //	manifest.json — dataset parameters and every layout pointer needed to
 //	                reattach the tree, the three storage schemes and the
 //	                naive baseline (JSON, human-inspectable, checksummed)
 //	disk.img      — the simulated disk's pages (binary, checksummed)
+//	epoch-N.img   — the pages appended by incremental update epoch N
+//	                (binary, checksummed; absent on static databases)
 //
 // The scene's meshes are not stored twice: the city regenerates
-// deterministically from its CityParams, and payload meshes live in the
-// disk image.
+// deterministically from its CityParams (plus, for dynamic scenes, a
+// replay of the manifest's op log), and payload meshes live in the disk
+// image.
 //
 // # Crash safety
 //
@@ -24,6 +27,15 @@
 // boundary leaves either the old database intact or a directory with no
 // (or a stale) manifest; Open cross-checks manifest checksum, image size,
 // and image CRC, so every torn state is rejected with ErrBadDatabase.
+//
+// CommitEpoch extends the same protocol to incremental updates: the
+// epoch's appended pages are committed as an epoch-N.img delta (tmp +
+// fsync + rename), and only then is the manifest — which pins every
+// delta's size and CRC and carries the new op log — renamed into place.
+// A crash before the manifest rename leaves the previous epoch fully
+// intact (the unreferenced delta file is garbage fsck sweeps); a crash
+// after it leaves the new epoch committed. There is no reachable torn
+// state.
 package dbfile
 
 import (
@@ -49,10 +61,14 @@ const (
 	// manifest checksum and the image size/CRC cross-check (version-1
 	// directories predate crash-safe saves and are rejected). Version 3
 	// added the codec V-page layout manifests and the page-quarantine
-	// sidecar (quarantine.json).
-	FormatVersion = 3
+	// sidecar (quarantine.json). Version 4 added dynamic scenes: the op
+	// log, the epoch counter, and the epoch-N.img delta chain.
+	FormatVersion = 4
 	manifestName  = "manifest.json"
 	imageName     = "disk.img"
+	// deltaPrefix/deltaSuffix frame epoch delta file names (epoch-N.img).
+	deltaPrefix = "epoch-"
+	deltaSuffix = ".img"
 	// quarantineName is the optional page-quarantine sidecar: disk pages
 	// fsck found codec-invalid, parked so queries fail fast (and degrade)
 	// on them instead of re-decoding garbage.
@@ -68,6 +84,18 @@ type Manifest struct {
 	Vertical      vstore.VerticalManifest
 	Indexed       vstore.IndexedVerticalManifest
 	Naive         naive.Manifest
+
+	// Epoch counts committed incremental update epochs; 0 is a freshly
+	// built (or Save-compacted) database. Ops is the dynamic-scene op
+	// log: the scene is reconstructed as Generate(City) + Replay(Ops).
+	Epoch int        `json:",omitempty"`
+	Ops   []scene.Op `json:",omitempty"`
+	// Deltas lists the epoch delta images applied on top of disk.img, in
+	// commit order; AllocatedPages is the disk's total allocation after
+	// all of them — the watermark the next epoch's delta starts at. Save
+	// compacts: a full image, no deltas.
+	Deltas         []DeltaManifest `json:",omitempty"`
+	AllocatedPages int64
 
 	// ImageBytes and ImageCRC32 pin the disk.img this manifest commits:
 	// a manifest renamed into place next to a stale or torn image fails
@@ -101,6 +129,15 @@ func (m *Manifest) computeChecksum() (uint32, error) {
 	return crc32.ChecksumIEEE(raw), nil
 }
 
+// DeltaManifest pins one committed epoch delta file: name, byte size and
+// file-level CRC, the same cross-check ImageBytes/ImageCRC32 give the
+// base image.
+type DeltaManifest struct {
+	Name  string
+	Bytes int64
+	CRC32 uint32
+}
+
 // Database is a reopened (or about-to-be-saved) HDoV database.
 type Database struct {
 	Scene      *scene.Scene
@@ -110,6 +147,11 @@ type Database struct {
 	Vertical   *vstore.Vertical
 	Indexed    *vstore.IndexedVertical
 	Naive      *naive.Store
+	// Epoch and Ops mirror the manifest's dynamic-scene state: how many
+	// update epochs have been applied and the full op log that evolves
+	// the generated base city into Scene.
+	Epoch int
+	Ops   []scene.Op
 }
 
 // ErrBadDatabase is wrapped into open-time validation failures.
@@ -147,27 +189,127 @@ func Save(dir string, db *Database) error {
 	}
 
 	m := Manifest{
-		FormatVersion: FormatVersion,
-		City:          db.Scene.Params,
-		Tree:          db.Tree.Manifest(),
-		Horizontal:    db.Horizontal.Manifest(),
-		Vertical:      db.Vertical.Manifest(),
-		Indexed:       db.Indexed.Manifest(),
-		Naive:         db.Naive.Manifest(),
-		ImageBytes:    imgBytes,
-		ImageCRC32:    imgCRC,
+		FormatVersion:  FormatVersion,
+		City:           db.Scene.Params,
+		Tree:           db.Tree.Manifest(),
+		Horizontal:     db.Horizontal.Manifest(),
+		Vertical:       db.Vertical.Manifest(),
+		Indexed:        db.Indexed.Manifest(),
+		Naive:          db.Naive.Manifest(),
+		Epoch:          db.Epoch,
+		Ops:            db.Ops,
+		AllocatedPages: db.Disk.NumPages(),
+		ImageBytes:     imgBytes,
+		ImageCRC32:     imgCRC,
 	}
+	return commitManifest(dir, &m, "manifest-tmp")
+}
+
+// commitManifest seals, serializes and atomically installs a manifest.
+func commitManifest(dir string, m *Manifest, stage string) error {
 	if err := m.Seal(); err != nil {
 		return fmt.Errorf("dbfile: manifest: %w", err)
 	}
-	raw, err := json.MarshalIndent(&m, "", "  ")
+	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dbfile: manifest: %w", err)
 	}
-	if err := writeFileAtomic(dir, manifestName, raw, "manifest-tmp"); err != nil {
+	if err := writeFileAtomic(dir, manifestName, raw, stage); err != nil {
 		return err
 	}
 	return syncDir(dir)
+}
+
+// DeltaFileName returns the file name of epoch n's delta image.
+func DeltaFileName(n int) string {
+	return fmt.Sprintf("%s%d%s", deltaPrefix, n, deltaSuffix)
+}
+
+// CommitEpoch commits one incremental update epoch to an existing
+// database directory: the pages the update appended (everything past the
+// previously committed allocation watermark) are written as an epoch
+// delta image, then the manifest — carrying the new layout pointers, the
+// extended op log and the delta's size and CRC — is atomically renamed
+// into place. The manifest rename is the commit point: a crash anywhere
+// before it leaves the previous epoch intact, with at worst an
+// unreferenced delta or temp file for fsck to sweep.
+//
+// The db must hold the post-update state (new tree, schemes, op log);
+// CommitEpoch derives the epoch number from the directory and returns it.
+func CommitEpoch(dir string, db *Database) (int, error) {
+	if db == nil || db.Tree == nil || db.Disk == nil {
+		return 0, fmt.Errorf("dbfile: commit: incomplete database")
+	}
+	prev, err := readManifest(dir)
+	if err != nil {
+		return 0, fmt.Errorf("dbfile: commit: %w", err)
+	}
+	if len(db.Ops) < len(prev.Ops) {
+		return 0, fmt.Errorf("dbfile: commit: op log shrank (%d < %d committed)", len(db.Ops), len(prev.Ops))
+	}
+	watermark := storage.PageID(prev.AllocatedPages)
+	if db.Disk.NumPages() < prev.AllocatedPages {
+		return 0, fmt.Errorf("dbfile: commit: disk has %d pages, %d committed (wrong directory?)",
+			db.Disk.NumPages(), prev.AllocatedPages)
+	}
+	epoch := prev.Epoch + 1
+	name := DeltaFileName(epoch)
+
+	// Delta image first: tmp + fsync + rename, like the base image.
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("dbfile: delta: %w", err)
+	}
+	h := crc32.NewIEEE()
+	n, err := db.Disk.WriteDeltaTo(io.MultiWriter(f, h), watermark)
+	if err != nil {
+		f.Close()
+		return 0, fmt.Errorf("dbfile: delta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("dbfile: delta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("dbfile: delta: %w", err)
+	}
+	if err := crashAt("epoch-tmp"); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return 0, fmt.Errorf("dbfile: delta: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	if err := crashAt("epoch-rename"); err != nil {
+		return 0, err
+	}
+
+	// Manifest last — its rename commits the epoch.
+	m := Manifest{
+		FormatVersion:  FormatVersion,
+		City:           db.Scene.Params,
+		Tree:           db.Tree.Manifest(),
+		Horizontal:     db.Horizontal.Manifest(),
+		Vertical:       db.Vertical.Manifest(),
+		Indexed:        db.Indexed.Manifest(),
+		Naive:          db.Naive.Manifest(),
+		Epoch:          epoch,
+		Ops:            db.Ops,
+		Deltas:         append(append([]DeltaManifest(nil), prev.Deltas...), DeltaManifest{Name: name, Bytes: n, CRC32: h.Sum32()}),
+		AllocatedPages: db.Disk.NumPages(),
+		ImageBytes:     prev.ImageBytes,
+		ImageCRC32:     prev.ImageCRC32,
+	}
+	if err := commitManifest(dir, &m, "epoch-manifest-tmp"); err != nil {
+		return 0, err
+	}
+	if err := crashAt("epoch-manifest-rename"); err != nil {
+		return 0, err
+	}
+	return epoch, nil
 }
 
 // writeImage writes disk.img via a temporary file and atomic rename,
@@ -274,6 +416,15 @@ func Open(dir string) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
 	}
+	for _, dm := range m.Deltas {
+		if err := applyDeltaFile(dir, dm, disk); err != nil {
+			return nil, err
+		}
+	}
+	if disk.NumPages() != m.AllocatedPages {
+		return nil, fmt.Errorf("%w: %d pages after deltas, manifest committed %d",
+			ErrBadDatabase, disk.NumPages(), m.AllocatedPages)
+	}
 	if err := validateLayout(m, disk); err != nil {
 		return nil, err
 	}
@@ -282,9 +433,16 @@ func Open(dir string) (*Database, error) {
 		return nil, err
 	}
 
-	sc := scene.Generate(m.City)
-	if err := sc.Validate(); err != nil {
+	base := scene.Generate(m.City)
+	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: regenerated scene: %v", ErrBadDatabase, err)
+	}
+	sc, err := scene.Replay(base, m.Ops)
+	if err != nil {
+		return nil, fmt.Errorf("%w: op log: %v", ErrBadDatabase, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: replayed scene: %v", ErrBadDatabase, err)
 	}
 	tree, err := core.OpenTree(sc, disk, m.Tree)
 	if err != nil {
@@ -315,7 +473,31 @@ func Open(dir string) (*Database, error) {
 		Vertical:   v,
 		Indexed:    iv,
 		Naive:      nv,
+		Epoch:      m.Epoch,
+		Ops:        m.Ops,
 	}, nil
+}
+
+// applyDeltaFile verifies one committed epoch delta against its manifest
+// pin (size, file CRC) and applies it to the disk; the delta's own
+// checksum and chaining watermark are enforced by storage.ApplyDelta.
+func applyDeltaFile(dir string, dm DeltaManifest, disk *storage.Disk) error {
+	raw, err := os.ReadFile(filepath.Join(dir, dm.Name))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	if int64(len(raw)) != dm.Bytes {
+		return fmt.Errorf("%w: delta %s is %d bytes, manifest committed %d (torn commit?)",
+			ErrBadDatabase, dm.Name, len(raw), dm.Bytes)
+	}
+	if sum := crc32.ChecksumIEEE(raw); sum != dm.CRC32 {
+		return fmt.Errorf("%w: delta %s CRC %08x, manifest committed %08x",
+			ErrBadDatabase, dm.Name, sum, dm.CRC32)
+	}
+	if err := disk.ApplyDelta(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("%w: delta %s: %v", ErrBadDatabase, dm.Name, err)
+	}
+	return nil
 }
 
 // readManifest loads and structurally verifies manifest.json (parse,

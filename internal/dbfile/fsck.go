@@ -20,7 +20,8 @@ type FsckReport struct {
 	// version and a valid self-checksum.
 	ManifestOK bool
 	// ImageOK: disk.img exists, matches the manifest's committed size and
-	// CRC, and parses as a disk image (internal checksum included).
+	// CRC, and parses as a disk image (internal checksum included) —
+	// and every committed epoch delta verifies and chains onto it.
 	ImageOK bool
 	// LayoutOK: every layout pointer in the manifest stays inside the
 	// image.
@@ -34,10 +35,23 @@ type FsckReport struct {
 	// failed validation, deduplicated and sorted; Repair parks them in
 	// quarantine.json.
 	BadCodecPages []storage.PageID
+	// BadDeltas lists committed epoch delta files that failed
+	// verification (missing, size/CRC mismatch, or broken chaining);
+	// Repair quarantines them together with the manifest that pins them.
+	BadDeltas []string
 	// Problems describes each failed check, in check order.
 	Problems []string
-	// Stray lists leftover temporary files from interrupted saves.
+	// Stray lists leftover temporary files from interrupted saves and
+	// commits, plus epoch delta files no manifest references (the residue
+	// of a crash between an epoch's delta rename and its manifest
+	// rename, or of a Save compaction).
 	Stray []string
+	// Epoch, OpsLogged and DeltasApplied summarize the dynamic-scene
+	// state of an intact manifest: the committed epoch counter, the op
+	// log length, and how many delta images the image chain carries.
+	Epoch         int
+	OpsLogged     int
+	DeltasApplied int
 }
 
 // Intact reports whether the database passed every check (stray temp
@@ -62,18 +76,38 @@ func Fsck(dir string) (*FsckReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dbfile: fsck: %w", err)
 	}
+	var epochFiles []string
 	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".tmp") {
-			rep.Stray = append(rep.Stray, e.Name())
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			rep.Stray = append(rep.Stray, name)
+		}
+		if strings.HasPrefix(name, deltaPrefix) && strings.HasSuffix(name, deltaSuffix) {
+			epochFiles = append(epochFiles, name)
 		}
 	}
 
 	m, err := readManifest(dir)
 	if err != nil {
 		rep.problemf("manifest: %v", err)
+		// With no manifest to reference them, every epoch delta is
+		// garbage from an interrupted commit.
+		rep.Stray = append(rep.Stray, epochFiles...)
 		return rep, nil
 	}
 	rep.ManifestOK = true
+	rep.Epoch = m.Epoch
+	rep.OpsLogged = len(m.Ops)
+	rep.DeltasApplied = len(m.Deltas)
+	referenced := map[string]bool{}
+	for _, dm := range m.Deltas {
+		referenced[dm.Name] = true
+	}
+	for _, name := range epochFiles {
+		if !referenced[name] {
+			rep.Stray = append(rep.Stray, name)
+		}
+	}
 
 	raw, err := os.ReadFile(filepath.Join(dir, imageName))
 	if err != nil {
@@ -91,6 +125,17 @@ func Fsck(dir string) (*FsckReport, error) {
 	disk, err := storage.ReadImage(bytes.NewReader(raw), storage.DefaultCostModel())
 	if err != nil {
 		rep.problemf("image: %v", err)
+		return rep, nil
+	}
+	for _, dm := range m.Deltas {
+		if err := applyDeltaFile(dir, dm, disk); err != nil {
+			rep.problemf("delta %s: %v", dm.Name, err)
+			rep.BadDeltas = append(rep.BadDeltas, dm.Name)
+			return rep, nil
+		}
+	}
+	if disk.NumPages() != m.AllocatedPages {
+		rep.problemf("image: %d pages after deltas, manifest committed %d", disk.NumPages(), m.AllocatedPages)
 		return rep, nil
 	}
 	rep.ImageOK = true
@@ -172,6 +217,11 @@ func Repair(dir string, rep *FsckReport) ([]string, error) {
 	switch {
 	case !rep.ManifestOK:
 		doomed = append(doomed, manifestName)
+	case !rep.ImageOK && len(rep.BadDeltas) > 0:
+		// The base image checked out but a committed delta did not: the
+		// base is fine, the manifest that pins the bad delta is not.
+		doomed = append(doomed, manifestName)
+		doomed = append(doomed, rep.BadDeltas...)
 	case !rep.ImageOK:
 		doomed = append(doomed, imageName)
 	case !rep.LayoutOK:

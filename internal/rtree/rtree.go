@@ -497,6 +497,48 @@ func (t *Tree) WalkDepthFirst(visit func(n *Node, depth int)) {
 	walk(t.root, 0)
 }
 
+// Adopt wraps externally reconstructed nodes into a Tree, fixing parent
+// pointers and recomputing size and height. The incremental-update path
+// uses it to resurrect the R-tree backbone from a reopened HDoV-tree's
+// node mirror: the mirror preserves structure, entry order and MBRs
+// exactly, so the adopted tree is bit-identical (for all future
+// insert/delete evolutions) to the tree that was live when the database
+// was saved. Fan-out bounds fall back to defaults like New. Adopt returns
+// an error if the structure is not a valid R-tree under those bounds.
+func Adopt(root *Node, minEntries, maxEntries int) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("rtree: adopt: nil root")
+	}
+	t := New(minEntries, maxEntries)
+	t.root = root
+	root.parent = nil
+	size, height := 0, 0
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if depth+1 > height {
+			height = depth + 1
+		}
+		if n.Leaf {
+			size += len(n.Entries)
+			return
+		}
+		for i := range n.Entries {
+			if n.Entries[i].Child == nil {
+				continue
+			}
+			n.Entries[i].Child.parent = n
+			walk(n.Entries[i].Child, depth+1)
+		}
+	}
+	walk(root, 0)
+	t.size = size
+	t.height = height
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("rtree: adopt: %w", err)
+	}
+	return t, nil
+}
+
 // NumNodes returns the total number of nodes in the tree (N_node of §4).
 func (t *Tree) NumNodes() int {
 	n := 0

@@ -1,0 +1,209 @@
+package scene
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/simplify"
+)
+
+// Dynamic-scene operations. A static scene regenerates deterministically
+// from its CityParams; a dynamic scene is that base plus an ordered op
+// log. Replaying the same log on the same base always yields the same
+// scene, bit for bit, which is what lets the persistence layer store only
+// the ops (not the mutated meshes) and what the incremental-update
+// differential gate is built on.
+//
+// Object IDs stay dense forever: a delete tombstones the object (Dead)
+// instead of compacting the slice, so every historical ID keeps indexing
+// the same slot in Scene.Objects, per-object DoV arrays, and the payload
+// directory. Inserts append with the next ID.
+
+// Op kinds. String-valued so the op log is self-describing JSON.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+	OpMove   = "move"
+)
+
+// InsertSpec deterministically describes a new object: a procedural blob
+// (the paper's bunny stand-in) dropped at an explicit position. All
+// geometry derives from the spec, never from ambient randomness, so an
+// insert replays identically.
+type InsertSpec struct {
+	Seed   int64
+	X, Y   float64 // footprint center
+	Radius float64 // blob radius (clamped to a sane minimum)
+	Detail int     // tessellation parameter (<= 0: the scene default)
+}
+
+// Op is one dynamic-scene mutation, JSON-able for the manifest op log.
+type Op struct {
+	Kind string
+	// ID targets delete/move; ignored for insert (the next dense ID is
+	// assigned).
+	ID int64
+	// DX/DY/DZ is the move translation.
+	DX, DY, DZ float64
+	// Insert carries the insert payload.
+	Insert *InsertSpec `json:",omitempty"`
+}
+
+// OpEffect reports what an applied op changed, in the terms the spatial
+// layers above need: which object, and its bounding box before and after.
+// Empty boxes mean "absent" (OldMBR for inserts, NewMBR for deletes).
+type OpEffect struct {
+	Kind           string
+	ObjectID       int64
+	OldMBR, NewMBR geom.AABB
+}
+
+// buildInsertObject generates the object described by spec with the given
+// ID, using the scene's LoD parameters and payload scale.
+func buildInsertObject(s *Scene, id int64, spec InsertSpec) *Object {
+	r := spec.Radius
+	if r < 0.5 {
+		r = 0.5
+	}
+	detail := spec.Detail
+	if detail <= 0 {
+		detail = s.Params.BlobDetail
+		if detail <= 0 {
+			detail = 8
+		}
+	}
+	levels := s.Params.LoDLevels
+	if levels < 1 {
+		levels = 1
+	}
+	ratio := s.Params.LoDRatio
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.5
+	}
+	center := geom.V(spec.X, spec.Y, r)
+	m := mesh.NewBlob(center, r, detail, spec.Seed)
+	obj := &Object{
+		ID:       id,
+		Kind:     KindBlob,
+		MBR:      m.Bounds(),
+		LoDs:     simplify.BuildLoDChain(m, levels, ratio),
+		Occluder: Occluder{Spheres: []Sphere{{Center: center, Radius: r * 0.9}}},
+	}
+	scale := s.PayloadScale
+	if scale < 1 {
+		scale = 1
+	}
+	obj.LoDBytes = make([]int64, obj.LoDs.NumLevels())
+	for i, lvl := range obj.LoDs.Levels {
+		obj.LoDBytes[i] = int64(float64(lvl.EncodedSize()) * scale)
+	}
+	return obj
+}
+
+// translateObject returns a translated copy of o. The original is left
+// untouched so readers holding the pre-update scene never observe the
+// move (copy-on-write).
+func translateObject(o *Object, d geom.Vec3) *Object {
+	chain := &mesh.LoDChain{Levels: make([]*mesh.Mesh, len(o.LoDs.Levels))}
+	for i, lvl := range o.LoDs.Levels {
+		// Translate mutates in place; the original mesh is shared with the
+		// pre-move object (and with every reader pinned to it), so clone.
+		chain.Levels[i] = lvl.Clone().Translate(d)
+	}
+	moved := &Object{
+		ID:       o.ID,
+		Kind:     o.Kind,
+		MBR:      geom.AABB{Min: o.MBR.Min.Add(d), Max: o.MBR.Max.Add(d)},
+		LoDs:     chain,
+		LoDBytes: append([]int64(nil), o.LoDBytes...),
+	}
+	moved.Occluder.Boxes = make([]geom.AABB, len(o.Occluder.Boxes))
+	for i, b := range o.Occluder.Boxes {
+		moved.Occluder.Boxes[i] = geom.AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+	}
+	moved.Occluder.Spheres = make([]Sphere, len(o.Occluder.Spheres))
+	for i, sp := range o.Occluder.Spheres {
+		moved.Occluder.Spheres[i] = Sphere{Center: sp.Center.Add(d), Radius: sp.Radius}
+	}
+	return moved
+}
+
+// ApplyOp applies one op to s and returns what changed. Shared *Object
+// values are never mutated: a delete replaces the slot with a tombstoned
+// copy, a move with a translated copy, so a scene cloned with CloneShell
+// diverges without disturbing the original. Scene bounds only ever grow —
+// both the incremental path and a from-scratch replay apply the same
+// union sequence, so DoV engines built over either see the same maximum
+// ray range.
+func (s *Scene) ApplyOp(op Op) (OpEffect, error) {
+	switch op.Kind {
+	case OpInsert:
+		if op.Insert == nil {
+			return OpEffect{}, fmt.Errorf("scene: insert op without spec")
+		}
+		id := int64(len(s.Objects))
+		obj := buildInsertObject(s, id, *op.Insert)
+		s.Objects = append(s.Objects, obj)
+		s.Bounds = s.Bounds.Union(obj.MBR)
+		return OpEffect{Kind: OpInsert, ObjectID: id, NewMBR: obj.MBR}, nil
+	case OpDelete:
+		o := s.Object(op.ID)
+		if o == nil || o.Dead {
+			return OpEffect{}, fmt.Errorf("scene: delete: no live object %d", op.ID)
+		}
+		dead := *o
+		dead.Dead = true
+		s.Objects[op.ID] = &dead
+		return OpEffect{Kind: OpDelete, ObjectID: op.ID, OldMBR: o.MBR}, nil
+	case OpMove:
+		o := s.Object(op.ID)
+		if o == nil || o.Dead {
+			return OpEffect{}, fmt.Errorf("scene: move: no live object %d", op.ID)
+		}
+		moved := translateObject(o, geom.V(op.DX, op.DY, op.DZ))
+		s.Objects[op.ID] = moved
+		s.Bounds = s.Bounds.Union(moved.MBR)
+		return OpEffect{Kind: OpMove, ObjectID: op.ID, OldMBR: o.MBR, NewMBR: moved.MBR}, nil
+	default:
+		return OpEffect{}, fmt.Errorf("scene: unknown op kind %q", op.Kind)
+	}
+}
+
+// CloneShell returns a copy of the scene sharing every *Object. Applying
+// ops to the clone never disturbs the original (ApplyOp is copy-on-write
+// at object granularity), which is how a writer prepares the next epoch
+// while readers keep querying the current one.
+func (s *Scene) CloneShell() *Scene {
+	return &Scene{
+		Objects:      append([]*Object(nil), s.Objects...),
+		Bounds:       s.Bounds,
+		ViewRegion:   s.ViewRegion,
+		PayloadScale: s.PayloadScale,
+		Params:       s.Params,
+	}
+}
+
+// Replay applies ops to a clone of base and returns it. This is the
+// deterministic reconstruction path: Generate(params) + Replay(ops) is
+// bit-identical to the live scene that evolved through the same ops.
+func Replay(base *Scene, ops []Op) (*Scene, error) {
+	s := base.CloneShell()
+	for i, op := range ops {
+		if _, err := s.ApplyOp(op); err != nil {
+			return nil, fmt.Errorf("scene: replay op %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// NumAlive returns the number of non-tombstoned objects.
+func (s *Scene) NumAlive() int {
+	n := 0
+	for _, o := range s.Objects {
+		if !o.Dead {
+			n++
+		}
+	}
+	return n
+}

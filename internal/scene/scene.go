@@ -121,6 +121,10 @@ type Object struct {
 	// size × Scene.PayloadScale). The storage layer allocates this many
 	// bytes for the level's model record.
 	LoDBytes []int64
+	// Dead marks a tombstoned object (see ops.go): the slot keeps its ID
+	// so dense indexing survives deletes, but the object is skipped by
+	// the spatial index, the DoV engine and the HDoV-tree.
+	Dead bool
 }
 
 // Scene is the generated city.
@@ -336,10 +340,14 @@ func (s *Scene) NominalRawBytes() int64 {
 	return total
 }
 
-// TotalTriangles returns the polygon count of the finest LoDs.
+// TotalTriangles returns the polygon count of the finest LoDs of live
+// objects.
 func (s *Scene) TotalTriangles() int {
 	n := 0
 	for _, o := range s.Objects {
+		if o.Dead {
+			continue
+		}
 		n += o.LoDs.Finest().NumTriangles()
 	}
 	return n
@@ -351,6 +359,11 @@ func (s *Scene) Validate() error {
 	for i, o := range s.Objects {
 		if o.ID != int64(i) {
 			return fmt.Errorf("scene: object %d has ID %d", i, o.ID)
+		}
+		if o.Dead {
+			// Tombstones keep their geometry but are exempt from the
+			// spatial invariants; nothing dereferences them.
+			continue
 		}
 		if err := o.LoDs.Validate(); err != nil {
 			return fmt.Errorf("scene: object %d: %w", i, err)

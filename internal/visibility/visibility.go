@@ -62,6 +62,9 @@ func NewEngine(s *scene.Scene, numDirs int) *Engine {
 	}
 	idx := rtree.New(0, 0)
 	for _, o := range s.Objects {
+		if o.Dead {
+			continue
+		}
 		idx.Insert(o.MBR, o.ID)
 	}
 	diam := s.Bounds.Size().Len()
@@ -158,6 +161,29 @@ func (e *Engine) walkRay(n *rtree.Node, r geom.Ray, best *float64, bestID *int64
 		}
 		e.walkRay(k.entry.Child, r, best, bestID)
 	}
+}
+
+// AnyRayHitsBox reports whether any of the engine's sampling rays, cast
+// from any of the given viewpoints, intersects box. This is the
+// conservative touched-cell test of the incremental update path: a cell's
+// precomputed DoV field can only change when one of its rays reaches a
+// changed object's bounding box (old or new position). The test is exact
+// with respect to the ray caster — the same directions are probed against
+// the same geometry bound the caster prunes with — so "no ray touches the
+// box" implies the cell's field is bit-identical before and after the
+// change.
+func (e *Engine) AnyRayHitsBox(viewpoints []geom.Vec3, box geom.AABB) bool {
+	if box.IsEmpty() {
+		return false
+	}
+	for _, p := range viewpoints {
+		for _, d := range e.dirs {
+			if _, ok := geom.NewRay(p, d).IntersectAABB(box, e.maxDist); ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // VisibleCount returns the number of objects with DoV > 0 in a DoV field —

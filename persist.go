@@ -12,8 +12,41 @@ import (
 // atomic rename) before the checksummed manifest, whose rename is the
 // commit point — a Save killed at any boundary leaves either the previous
 // committed version or a directory Open cleanly rejects.
+//
+// Save compacts: the full disk (base pages plus every epoch's appends) is
+// rewritten as one image and the delta chain in the directory is
+// superseded. The op log still rides along in the manifest, because the
+// scene is always reconstructed as generate + replay.
 func (db *DB) Save(dir string) error {
-	return dbfile.Save(dir, &dbfile.Database{
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return dbfile.Save(dir, db.database())
+}
+
+// CommitEpoch durably commits the database's current epoch into a
+// directory previously written by Save (or by an earlier CommitEpoch):
+// only the pages appended since the directory's committed allocation
+// watermark are written, as an epoch delta image, and the manifest —
+// carrying the full op log and delta chain — is atomically replaced. The
+// manifest rename is the commit point: a crash at any step leaves the
+// directory opening as either the previous epoch or the new one, never a
+// torn mix (hdovfsck verifies this, and quarantines leftovers).
+//
+// It returns the committed epoch number. Committing a database whose op
+// log is not a superset of the directory's fails without touching
+// anything — CommitEpoch appends history, Save rewrites it.
+func (db *DB) CommitEpoch(dir string) (int, error) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return dbfile.CommitEpoch(dir, db.database())
+}
+
+// database assembles the dbfile view of the current epoch. Callers hold
+// writeMu, so the field reads are stable.
+func (db *DB) database() *dbfile.Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return &dbfile.Database{
 		Scene:      db.scene,
 		Disk:       db.disk,
 		Tree:       db.tree,
@@ -21,12 +54,15 @@ func (db *DB) Save(dir string) error {
 		Vertical:   db.v,
 		Indexed:    db.iv,
 		Naive:      db.naive,
-	})
+		Epoch:      db.epoch,
+		Ops:        db.ops,
+	}
 }
 
-// Open reopens a database saved with Save. The disk image is checksum-
-// verified and the tree structure revalidated; queries on the reopened
-// database return byte-identical answers.
+// Open reopens a database saved with Save (plus any epochs committed with
+// CommitEpoch — the base image, delta chain and op log are replayed). The
+// disk image is checksum-verified and the tree structure revalidated;
+// queries on the reopened database return byte-identical answers.
 func Open(dir string) (*DB, error) {
 	d, err := dbfile.Open(dir)
 	if err != nil {
@@ -44,6 +80,7 @@ func Open(dir string) (*DB, error) {
 		DoVRays:        d.Tree.Params.DirsPerViewpoint,
 		SamplesPerCell: d.Tree.Params.SamplesPerCell,
 		Scheme:         SchemeIndexedVertical,
+		Codec:          d.Indexed.Manifest().Codec,
 	}
 	db := &DB{
 		cfg:    cfg,
@@ -55,6 +92,8 @@ func Open(dir string) (*DB, error) {
 		iv:     d.Indexed,
 		naive:  d.Naive,
 		engine: visibility.NewEngine(d.Scene, d.Tree.Params.DirsPerViewpoint),
+		epoch:  d.Epoch,
+		ops:    d.Ops,
 	}
 	db.SetScheme(SchemeIndexedVertical)
 	return db, nil

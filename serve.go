@@ -23,8 +23,13 @@ import (
 // cheap to create and need no teardown. A single Session serves one
 // logical client: do not share one between goroutines (create more
 // instead — different Sessions are safe to use concurrently).
+//
+// A Session pins the database epoch current when it was created: queries
+// keep answering from that consistent snapshot even while Update installs
+// later epochs (the update path only ever appends to the disk, so the
+// pinned tree's pages stay valid forever). Create a fresh Session to see
+// the newest epoch.
 type Session struct {
-	db   *DB
 	tree *core.Tree
 }
 
@@ -40,8 +45,8 @@ func (s *Session) Query(p Point, eta float64) (*Result, error) {
 
 // QueryCell is Query for an explicit cell index.
 func (s *Session) QueryCell(cell int, eta float64) (*Result, error) {
-	if cell < 0 || cell >= s.db.NumCells() {
-		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	if cell < 0 || cell >= s.tree.Grid.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.tree.Grid.NumCells())
 	}
 	r, err := s.tree.Query(cells.CellID(cell), eta)
 	if err != nil {
@@ -68,8 +73,8 @@ func (s *Session) QueryCoherent(p Point, eta float64) (*Result, error) {
 
 // QueryCellCoherent is QueryCoherent for an explicit cell index.
 func (s *Session) QueryCellCoherent(cell int, eta float64) (*Result, error) {
-	if cell < 0 || cell >= s.db.NumCells() {
-		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.db.NumCells())
+	if cell < 0 || cell >= s.tree.Grid.NumCells() {
+		return nil, fmt.Errorf("hdov: cell %d out of range [0,%d)", cell, s.tree.Grid.NumCells())
 	}
 	r, err := s.tree.QueryCoherent(cells.CellID(cell), eta)
 	if err != nil {
@@ -117,10 +122,13 @@ func (s *Session) Stats() DiskStats {
 func (s *Session) ResetStats() { s.tree.IO.ResetStats() }
 
 // NewSession returns a fresh query session on the database. The session
-// sees the scheme and parallelism settings in effect now; SetScheme or
-// SetParallel calls after creation affect only future sessions.
+// sees the scheme, parallelism settings and scene epoch in effect now;
+// SetScheme, SetParallel or Update calls after creation affect only
+// future sessions.
 func (db *DB) NewSession() *Session {
-	return &Session{db: db, tree: db.tree.Session()}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return &Session{tree: db.tree.Session()}
 }
 
 // SetCacheSize installs a shared buffer pool of n disk pages in front of
