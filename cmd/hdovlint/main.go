@@ -9,15 +9,20 @@
 // the query/result path), errflow (no dropped serialization or storage
 // write errors), ctxflow (no severed or dropped context.Context on the
 // traversal path — deadlines set at the public API must reach the
-// storage layer), apisnapshot (the root package's exported API matches
-// the committed api.golden).
+// storage layer), snapfreeze (no store into hdov:frozen-after-publish
+// types outside a construction window), atomicpub (stores to
+// hdov:guarded-by fields happen under the named lock), hotalloc (no
+// per-iteration allocation in loops of hdov:hot-path functions),
+// apisnapshot (the root package's exported API matches the committed
+// api.golden).
 //
 // Exit status is 0 when clean, 1 with findings, 2 on usage or load
 // errors. Findings print as file:line:col: [pass] message; -json emits a
 // machine-readable array instead. A finding is suppressed by a
-// `//lint:ignore <pass> reason` comment on its line or the line above.
-// After a deliberate API change, regenerate the snapshot with
-// -update-api.
+// `//lint:ignore <pass> reason` comment on its line or the line above;
+// a directive that names an unknown pass, lacks a reason, or suppresses
+// nothing is itself reported. After a deliberate API change, regenerate
+// the snapshot with -update-api.
 package main
 
 import (

@@ -1,0 +1,150 @@
+package hdov
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFuzzSmokeCoversAllTargets pins the CI fuzz-smoke step to the fuzz
+// targets that actually exist: every Fuzz* function in the module must
+// be exercised by exactly one `go test -fuzz=<pattern> <pkg>` line in
+// ci.yml, and every such line must match exactly one target (go test
+// itself rejects a -fuzz pattern matching several). Adding a fuzz
+// target without wiring it into CI — or deleting one and leaving a
+// stale smoke line behind — fails here instead of rotting silently.
+func TestFuzzSmokeCoversAllTargets(t *testing.T) {
+	targets := discoverFuzzTargets(t, ".")
+	if len(targets) == 0 {
+		t.Fatal("no Fuzz* targets found in the module")
+	}
+	lines := parseFuzzSmokeLines(t, filepath.Join(".github", "workflows", "ci.yml"))
+	if len(lines) == 0 {
+		t.Fatal("no `go test -fuzz=...` lines found in ci.yml")
+	}
+
+	covered := make(map[string]string) // "pkg.Func" -> smoke line
+	for _, sm := range lines {
+		re, err := regexp.Compile(sm.pattern)
+		if err != nil {
+			t.Errorf("ci.yml fuzz pattern %q does not compile: %v", sm.pattern, err)
+			continue
+		}
+		var matched []string
+		for _, ft := range targets {
+			if ft.pkg == sm.pkg && re.MatchString(ft.name) {
+				matched = append(matched, ft.key())
+			}
+		}
+		switch len(matched) {
+		case 0:
+			t.Errorf("ci.yml fuzz line %q matches no target in %s (stale entry?)", sm.raw, sm.pkg)
+		case 1:
+			if prev, dup := covered[matched[0]]; dup {
+				t.Errorf("target %s fuzzed twice: %q and %q", matched[0], prev, sm.raw)
+			}
+			covered[matched[0]] = sm.raw
+		default:
+			t.Errorf("ci.yml fuzz line %q matches %d targets %v; go test -fuzz requires exactly one",
+				sm.raw, len(matched), matched)
+		}
+	}
+	for _, ft := range targets {
+		if _, ok := covered[ft.key()]; !ok {
+			t.Errorf("fuzz target %s.%s is not exercised by the ci.yml fuzz-smoke step; add\n"+
+				"  go test -run='^$' -fuzz='%s$' -fuzztime=10s %s", ft.pkg, ft.name, ft.name, ft.pkg)
+		}
+	}
+}
+
+type fuzzTarget struct {
+	pkg  string // package dir as it appears in ci.yml ("./internal/core" or ".")
+	name string
+}
+
+func (ft fuzzTarget) key() string { return ft.pkg + "." + ft.name }
+
+// discoverFuzzTargets walks the module for Fuzz* functions declared in
+// _test.go files, skipping testdata (fixture modules are not run by CI).
+func discoverFuzzTargets(t *testing.T, root string) []fuzzTarget {
+	t.Helper()
+	var out []fuzzTarget
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || (strings.HasPrefix(d.Name(), ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		pkg := "./" + filepath.ToSlash(filepath.Dir(path))
+		if pkg == "./." {
+			pkg = "."
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			// A fuzz target takes exactly (*testing.F).
+			if fd.Type.Params == nil || len(fd.Type.Params.List) != 1 {
+				continue
+			}
+			out = append(out, fuzzTarget{pkg: pkg, name: fd.Name.Name})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type smokeLine struct {
+	raw     string
+	pattern string
+	pkg     string
+}
+
+// fuzzLineRE captures `go test ... -fuzz=PATTERN ... PKG` with the
+// pattern optionally single-quoted, as ci.yml spells it.
+var fuzzLineRE = regexp.MustCompile(`go test\s.*-fuzz=('([^']+)'|(\S+))\s.*?(\S+)\s*$`)
+
+// parseFuzzSmokeLines extracts the (pattern, package) pairs of every
+// `go test -fuzz=...` invocation in the workflow file.
+func parseFuzzSmokeLines(t *testing.T, path string) []smokeLine {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	var out []smokeLine
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		m := fuzzLineRE.FindStringSubmatch(trimmed)
+		if m == nil {
+			continue
+		}
+		pattern := m[2]
+		if pattern == "" {
+			pattern = m[3]
+		}
+		out = append(out, smokeLine{raw: trimmed, pattern: pattern, pkg: m[4]})
+	}
+	return out
+}

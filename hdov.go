@@ -171,15 +171,15 @@ func DefaultConfig() Config {
 // epoch they pinned, new Sessions see the new one.
 type DB struct {
 	cfg    Config
-	scene  *scene.Scene
 	disk   *storage.Disk
-	tree   *core.Tree
-	vis    *core.VisData
-	h      *vstore.Horizontal
-	v      *vstore.Vertical
-	iv     *vstore.IndexedVertical
-	naive  *naive.Store
-	engine *visibility.Engine
+	scene  *scene.Scene            // hdov:guarded-by mu
+	tree   *core.Tree              // hdov:guarded-by mu
+	vis    *core.VisData           // hdov:guarded-by mu
+	h      *vstore.Horizontal      // hdov:guarded-by mu
+	v      *vstore.Vertical        // hdov:guarded-by mu
+	iv     *vstore.IndexedVertical // hdov:guarded-by mu
+	naive  *naive.Store            // hdov:guarded-by mu
+	engine *visibility.Engine      // hdov:guarded-by mu
 
 	// mu guards the epoch swap: Update replaces scene/tree/vis/stores
 	// under mu.Lock, NewSession pins the current tree under mu.RLock.
@@ -188,8 +188,8 @@ type DB struct {
 	writeMu sync.Mutex
 	// epoch counts committed+installed update batches; ops is the full op
 	// log since the original build, replayed by Open.
-	epoch int
-	ops   []scene.Op
+	epoch int        // hdov:guarded-by mu
+	ops   []scene.Op // hdov:guarded-by mu
 }
 
 // Build generates the city, constructs the HDoV-tree, precomputes per-cell

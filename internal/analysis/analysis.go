@@ -74,11 +74,28 @@ func Passes(apiGoldenPath string) []Pass {
 		&DeterminismPass{},
 		&ErrFlowPass{},
 		&CtxFlowPass{},
+		&SnapFreezePass{},
+		&AtomicPubPass{},
+		&HotAllocPass{},
 	}
 	if apiGoldenPath != "" {
 		ps = append(ps, &APISnapshotPass{GoldenPath: apiGoldenPath})
 	}
 	return ps
+}
+
+// KnownPassNames lists every pass identifier a suppression directive may
+// name (plus the wildcard "all" and the driver's own "suppress"
+// findings). A directive naming anything else is itself reported: it
+// silently suppresses nothing, which usually means a typo is hiding a
+// real finding.
+func KnownPassNames() []string {
+	names := []string{"suppress"}
+	for _, p := range Passes("unused") {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Loader parses and type-checks packages of the repro module from source,
@@ -253,7 +270,21 @@ func (l *Loader) ModulePackages() ([]string, error) {
 
 // Run executes every pass over every named package, applies suppression
 // comments, and returns the surviving findings sorted by position.
+// Besides the pass findings it reports malformed directives, directives
+// naming an unknown pass, and directives that suppressed nothing on this
+// run (unused suppressions go stale when the code they excused is fixed,
+// and a stale directive will one day hide a real finding). Unused
+// reporting is gated on the directive's pass being part of this run, so
+// a partial run does not cry wolf about directives for passes it never
+// executed.
 func Run(l *Loader, passes []Pass, paths []string) ([]Finding, error) {
+	ran := make(map[string]bool)
+	for _, p := range passes {
+		ran[p.Name()] = true
+		if la, ok := p.(LoaderAware); ok {
+			la.SetLoader(l)
+		}
+	}
 	var out []Finding
 	for _, path := range paths {
 		pkg, err := l.Load(path)
@@ -270,6 +301,7 @@ func Run(l *Loader, passes []Pass, paths []string) ([]Finding, error) {
 			}
 		}
 		out = append(out, sup.malformed...)
+		out = append(out, sup.unused(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -301,16 +333,29 @@ func finding(pass string, fset *token.FileSet, pos token.Pos, format string, arg
 	}
 }
 
+// supRecord is one //lint:ignore directive with its match bookkeeping.
+type supRecord struct {
+	pkg  *Package
+	pos  token.Pos
+	pass string
+	used bool
+}
+
 // suppressions indexes //lint:ignore comments by file and line.
 type suppressions struct {
-	// byLine maps file -> line -> set of suppressed pass names.
-	byLine    map[string]map[int]map[string]bool
+	// byLine maps file -> covered line -> the directives covering it.
+	byLine    map[string]map[int][]*supRecord
+	records   []*supRecord
 	malformed []Finding
 }
 
 // collectSuppressions scans the package's comments for lint directives.
 func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{byLine: make(map[string]map[int][]*supRecord)}
+	known := make(map[string]bool)
+	for _, n := range KnownPassNames() {
+		known[n] = true
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -326,21 +371,24 @@ func collectSuppressions(pkg *Package) *suppressions {
 					continue
 				}
 				pass := fields[0]
+				if pass != "all" && !known[pass] {
+					s.malformed = append(s.malformed, finding("suppress", pkg.Fset, c.Pos(),
+						"directive names unknown pass %q; it suppresses nothing (known: all, %s)",
+						pass, strings.Join(KnownPassNames(), ", ")))
+					continue
+				}
+				rec := &supRecord{pkg: pkg, pos: c.Pos(), pass: pass}
+				s.records = append(s.records, rec)
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*supRecord)
 					s.byLine[pos.Filename] = lines
 				}
 				// A directive covers its own line and the line below it, so
 				// both same-line trailing comments and above-line comments
 				// work.
 				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					set := lines[ln]
-					if set == nil {
-						set = make(map[string]bool)
-						lines[ln] = set
-					}
-					set[pass] = true
+					lines[ln] = append(lines[ln], rec)
 				}
 			}
 		}
@@ -348,15 +396,40 @@ func collectSuppressions(pkg *Package) *suppressions {
 	return s
 }
 
-// matches reports whether a finding is covered by a directive.
+// matches reports whether a finding is covered by a directive, and marks
+// every covering directive used.
 func (s *suppressions) matches(f Finding) bool {
 	lines, ok := s.byLine[f.File]
 	if !ok {
 		return false
 	}
-	set, ok := lines[f.Line]
-	if !ok {
-		return false
+	matched := false
+	for _, rec := range lines[f.Line] {
+		if rec.pass == f.Pass || rec.pass == "all" {
+			rec.used = true
+			matched = true
+		}
 	}
-	return set[f.Pass] || set["all"]
+	return matched
+}
+
+// unused reports directives that suppressed nothing. A directive naming
+// a pass outside this run's set is skipped — whether it is stale cannot
+// be known without running that pass. The wildcard "all" is checked on
+// every run: if the full pass set over its lines is quiet, the directive
+// is dead weight.
+func (s *suppressions) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, rec := range s.records {
+		if rec.used {
+			continue
+		}
+		if rec.pass != "all" && !ran[rec.pass] {
+			continue
+		}
+		out = append(out, finding("suppress", rec.pkg.Fset, rec.pos,
+			"unused suppression: no %s finding on this or the next line; remove the directive before it hides a real one",
+			rec.pass))
+	}
+	return out
 }

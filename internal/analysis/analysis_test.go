@@ -61,6 +61,9 @@ func TestPassFixtures(t *testing.T) {
 		{&DeterminismPass{}, "fixture/prefetch/internal/walkthrough"},
 		{&ErrFlowPass{}, "fixture/errflow"},
 		{&CtxFlowPass{}, "fixture/ctxflow/internal/core"},
+		{&SnapFreezePass{}, "fixture/snapfreeze"},
+		{&AtomicPubPass{}, "fixture/atomicpub"},
+		{&HotAllocPass{}, "fixture/hotalloc"},
 	}
 	l := fixtureLoader(t)
 	for _, tc := range cases {
@@ -105,8 +108,12 @@ func renderFindings(fs []Finding) string {
 
 // TestSuppression exercises the directive machinery end to end: a
 // justified directive and the "all" wildcard silence their findings, a
-// wrong-pass directive does not, and a reason-less directive is itself
-// reported without suppressing anything.
+// wrong-pass directive does not, a reason-less directive is itself
+// reported without suppressing anything, a stale directive with nothing
+// to suppress is reported, and a directive naming an unknown pass is
+// reported. The WrongPass directive (a real pass outside this run's
+// set) must NOT be reported unused: this run never executed lockorder,
+// so its staleness is unknowable here.
 func TestSuppression(t *testing.T) {
 	l := fixtureLoader(t)
 	findings, err := Run(l, []Pass{&PinReleasePass{}}, []string{"fixture/suppress"})
@@ -117,11 +124,25 @@ func TestSuppression(t *testing.T) {
 	for _, f := range findings {
 		byPass[f.Pass]++
 	}
-	// WrongPass and Malformed leak through (2 pinrelease), the malformed
-	// directive itself is reported (1 suppress); Good and Wildcard are
+	// WrongPass, Malformed, and UnknownPass leak through (3 pinrelease);
+	// the malformed directive, the unknown-pass directive, and the stale
+	// Unused directive are reported (3 suppress); Good and Wildcard are
 	// silent.
-	if byPass["pinrelease"] != 2 || byPass["suppress"] != 1 || len(findings) != 3 {
-		t.Fatalf("want 2 pinrelease + 1 suppress, got:\n%s", renderFindings(findings))
+	if byPass["pinrelease"] != 3 || byPass["suppress"] != 3 || len(findings) != 6 {
+		t.Fatalf("want 3 pinrelease + 3 suppress, got:\n%s", renderFindings(findings))
+	}
+	var sawUnused, sawUnknown bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "unused suppression") {
+			sawUnused = true
+		}
+		if strings.Contains(f.Message, "unknown pass") {
+			sawUnknown = true
+		}
+	}
+	if !sawUnused || !sawUnknown {
+		t.Fatalf("missing unused/unknown directive findings (unused=%v unknown=%v):\n%s",
+			sawUnused, sawUnknown, renderFindings(findings))
 	}
 }
 

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The snapshot-immutability and publication passes are driven by
+// machine-readable annotations inside ordinary doc comments, so the
+// contract lives next to the code it governs:
+//
+//	hdov:frozen-after-publish      (type doc)   instances are immutable
+//	                                            once reachable from a
+//	                                            published epoch
+//	hdov:construction-window       (func doc)   this function builds
+//	                                            not-yet-published state;
+//	                                            stores to frozen types are
+//	                                            legal here
+//	hdov:guarded-by <lock|atomic>  (field doc/  stores require the named
+//	                                line)       sibling mutex held, or the
+//	                                            value "atomic" to forbid
+//	                                            direct stores entirely
+//	hdov:caller-holds <lock>       (func doc)   callers acquire the named
+//	                                            lock before calling; the
+//	                                            analysis seeds it as held
+//	hdov:hot-path                  (func doc)   allocation-disciplined
+//	                                            traversal frontier; loops
+//	                                            here reject per-iteration
+//	                                            allocation
+//
+// Annotations on types and fields are resolved in the *declaring*
+// package, which may differ from the package under analysis (e.g. the
+// root package storing into core types), so lookups go through the
+// Loader's package cache via LoaderAware.
+
+// LoaderAware is implemented by passes that need to resolve symbols in
+// packages other than the one under analysis; the driver hands them the
+// loader before running.
+type LoaderAware interface {
+	SetLoader(*Loader)
+}
+
+// Cached returns an already-loaded (or module-loadable) package by
+// import path, or nil when the path is outside the module.
+func (l *Loader) Cached(path string) *Package {
+	if p, ok := l.cache[path]; ok {
+		return p
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		if p, err := l.Load(path); err == nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// annotations resolves hdov: markers for one package under analysis,
+// following objects to their declaring packages through the loader.
+type annotations struct {
+	pkg    *Package
+	loader *Loader
+}
+
+func newAnnotations(pkg *Package, loader *Loader) *annotations {
+	return &annotations{pkg: pkg, loader: loader}
+}
+
+// commentAnnotation reports whether any comment line carries the
+// annotation, and returns the first word following it (the annotation's
+// value). The annotation must open its comment line — `// hdov:...` —
+// so prose that merely *mentions* an annotation name (a pass's own doc
+// comment, say) does not accidentally annotate its declaration.
+func commentAnnotation(groups []*ast.CommentGroup, name string) (string, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(line, name)
+			if !ok {
+				continue
+			}
+			// Require a word boundary so hdov:hot-path does not match a
+			// longer annotation name.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '.' && rest[0] != ',' && rest[0] != ')' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				return strings.TrimRight(fields[0], ".,;:)"), true
+			}
+			return "", true
+		}
+	}
+	return "", false
+}
+
+// declaringPackage locates the package that declares obj: the package
+// under analysis, or a module sibling through the loader cache.
+func (a *annotations) declaringPackage(obj types.Object) *Package {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Pkg() == a.pkg.Types {
+		return a.pkg
+	}
+	if a.loader == nil {
+		return nil
+	}
+	return a.loader.Cached(obj.Pkg().Path())
+}
+
+// typeAnnotation looks up an annotation on the type declaration of a
+// named type.
+func (a *annotations) typeAnnotation(tn *types.TypeName, name string) (string, bool) {
+	pkg := a.declaringPackage(tn)
+	if pkg == nil {
+		return "", false
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Pos() != tn.Pos() {
+					continue
+				}
+				return commentAnnotation([]*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment}, name)
+			}
+		}
+	}
+	return "", false
+}
+
+// fieldAnnotation looks up an annotation on a struct field declaration
+// (doc comment above it or line comment beside it).
+func (a *annotations) fieldAnnotation(field *types.Var, name string) (string, bool) {
+	pkg := a.declaringPackage(field)
+	if pkg == nil {
+		return "", false
+	}
+	var val string
+	var found bool
+	for _, f := range pkg.Files {
+		if found {
+			break
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			fd, ok := n.(*ast.Field)
+			if !ok {
+				return true
+			}
+			for _, nm := range fd.Names {
+				if nm.Pos() == field.Pos() {
+					val, found = commentAnnotation([]*ast.CommentGroup{fd.Doc, fd.Comment}, name)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return val, found
+}
+
+// funcAnnotation looks up an annotation on a function declaration's doc
+// comment.
+func (a *annotations) funcAnnotation(fn *types.Func, name string) (string, bool) {
+	pkg := a.declaringPackage(fn)
+	if pkg == nil {
+		return "", false
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return commentAnnotation([]*ast.CommentGroup{fd.Doc}, name)
+			}
+		}
+	}
+	return "", false
+}
+
+// frozenType returns the named type's TypeName when t (after stripping
+// pointers) is annotated hdov:frozen-after-publish.
+func (a *annotations) frozenType(t types.Type) *types.TypeName {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if _, ok := a.typeAnnotation(tn, "hdov:frozen-after-publish"); ok {
+		return tn
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicPubPass checks the publication protocol of shared state: every
+// store to a field annotated `hdov:guarded-by <lock>` must happen with
+// that lock write-held on every path to the store, and a field
+// annotated `hdov:guarded-by atomic` may not be stored to directly at
+// all (its writers go through sync/atomic so readers can load it
+// without the lock).
+//
+// Held locks are tracked with the shared CFG/dataflow engine: Lock()
+// adds the receiver's spelling (the same selector-path identity the
+// lockorder pass uses), Unlock() removes it, `defer mu.Unlock()` keeps
+// the lock held to the end of the function, and the join is the
+// intersection — a store is only safe if the lock is held on *all*
+// paths reaching it. RLock does not satisfy a write guard. Functions
+// whose callers acquire the lock declare it with `hdov:caller-holds
+// <lock>`, which seeds the entry fact.
+//
+// The pass is annotation-driven, so it fires only where a guarded field
+// is declared — the epoch-publication fields in the root DB and the
+// backbone hand-off in internal/core are the intended customers: a
+// store there outside the lock tears the epoch swap that readers
+// snapshot lock-free.
+type AtomicPubPass struct {
+	loader *Loader
+}
+
+// Name implements Pass.
+func (*AtomicPubPass) Name() string { return "atomicpub" }
+
+// SetLoader implements LoaderAware.
+func (p *AtomicPubPass) SetLoader(l *Loader) { p.loader = l }
+
+// Run implements Pass.
+func (p *AtomicPubPass) Run(pkg *Package) []Finding {
+	ann := newAnnotations(pkg, p.loader)
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, p.checkFunc(pkg, ann, fd)...)
+		}
+	}
+	return out
+}
+
+func (p *AtomicPubPass) checkFunc(pkg *Package, ann *annotations, fd *ast.FuncDecl) []Finding {
+	entry := lockSet{}
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if name, held := ann.funcAnnotation(obj, "hdov:caller-holds"); held && name != "" {
+			entry = entry.with(name)
+		}
+	}
+	g := BuildCFG(fd.Body)
+	flow := &lockFlow{pkg: pkg, ann: ann, entry: entry}
+	// Deferred unlocks run at function exit, not at their syntactic
+	// position: a lock whose Unlock is deferred stays held for the rest
+	// of the body.
+	for _, df := range g.Defers {
+		if name, isUnlock := lockCallee(df.Call); isUnlock == unlockCall || isUnlock == rUnlockCall {
+			flow.deferredUnlocks = append(flow.deferredUnlocks, name)
+		}
+	}
+	res := Solve(g, flow)
+	flow.report = true
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] || blk == g.Exit {
+			continue
+		}
+		ReplayBlock(blk, res.In[blk.Index], flow)
+	}
+	return flow.findings
+}
+
+// lockSet is the immutable set of held-lock spellings; values are true
+// for a write lock and false for a read lock.
+type lockSet map[string]bool
+
+func (s lockSet) with(name string) lockSet {
+	out := make(lockSet, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	out[name] = true
+	return out
+}
+
+func (s lockSet) withRead(name string) lockSet {
+	out := make(lockSet, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	if !out[name] {
+		out[name] = false
+	}
+	return out
+}
+
+func (s lockSet) without(name string) lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		if k != name {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// holdsWrite reports whether the set write-holds a lock matching the
+// required spelling: exact match, or a caller-holds seed matching the
+// spelling's last component.
+func (s lockSet) holdsWrite(required string) bool {
+	if s[required] {
+		return true
+	}
+	if i := strings.LastIndex(required, "."); i >= 0 {
+		if s[required[i+1:]] {
+			return true
+		}
+	}
+	return false
+}
+
+type lockKind int
+
+const (
+	notLockCall lockKind = iota
+	lockCall
+	rLockCall
+	unlockCall
+	rUnlockCall
+)
+
+// lockCallee classifies a call as a mutex operation and returns the
+// receiver's spelling (e.g. "d.mu").
+func lockCallee(call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", notLockCall
+	}
+	var kind lockKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = lockCall
+	case "RLock":
+		kind = rLockCall
+	case "Unlock":
+		kind = unlockCall
+	case "RUnlock":
+		kind = rUnlockCall
+	default:
+		return "", notLockCall
+	}
+	return exprString(sel.X), kind
+}
+
+// lockFlow is the FlowClient tracking held locks and checking guarded
+// stores during the reporting replay.
+type lockFlow struct {
+	pkg             *Package
+	ann             *annotations
+	entry           lockSet
+	deferredUnlocks []string
+	report          bool
+	findings        []Finding
+}
+
+// Entry implements FlowClient.
+func (c *lockFlow) Entry() any { return c.entry }
+
+// Join implements FlowClient: intersection — a guard only counts when
+// held on every incoming path; a read-hold on either side demotes a
+// write-hold.
+func (c *lockFlow) Join(a, b any) any {
+	fa, fb := a.(lockSet), b.(lockSet)
+	out := make(lockSet)
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			out[k] = va && vb
+		}
+	}
+	return out
+}
+
+// Equal implements FlowClient.
+func (c *lockFlow) Equal(a, b any) bool {
+	fa, fb := a.(lockSet), b.(lockSet)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, va := range fa {
+		if vb, ok := fb[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// Refine implements FlowClient: lock state does not depend on branch
+// conditions.
+func (c *lockFlow) Refine(cond ast.Expr, negate bool, fact any) any { return fact }
+
+// Transfer implements FlowClient.
+func (c *lockFlow) Transfer(n ast.Node, fact any) any {
+	held := fact.(lockSet)
+
+	// Guarded stores are checked against the fact *before* this node's
+	// own lock transitions (a store in the same statement as the Lock
+	// call cannot exist in Go anyway).
+	if c.report {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				c.checkGuardedStore(lhs, held)
+			}
+		case *ast.IncDecStmt:
+			c.checkGuardedStore(st.X, held)
+		}
+	}
+
+	switch st := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			name, kind := lockCallee(call)
+			switch kind {
+			case lockCall:
+				held = held.with(name)
+			case rLockCall:
+				held = held.withRead(name)
+			case unlockCall, rUnlockCall:
+				if c.isDeferred(name) {
+					break
+				}
+				held = held.without(name)
+			}
+		}
+	case *ast.DeferStmt:
+		// Deferred Lock would be bizarre; deferred Unlock is handled by
+		// keeping the lock held (collected before the solve).
+	}
+	return held
+}
+
+// isDeferred reports whether an Unlock spelling appears as a deferred
+// call, meaning its syntactic position is not where it runs.
+func (c *lockFlow) isDeferred(name string) bool {
+	for _, d := range c.deferredUnlocks {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGuardedStore reports a store to a guarded field without its
+// guard.
+func (c *lockFlow) checkGuardedStore(lhs ast.Expr, held lockSet) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fieldObj, ok := c.pkg.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	fv, ok := fieldObj.Obj().(*types.Var)
+	if !ok || !fv.IsField() {
+		return
+	}
+	guard, ok := c.ann.fieldAnnotation(fv, "hdov:guarded-by")
+	if !ok || guard == "" {
+		return
+	}
+	if guard == "atomic" {
+		c.findings = append(c.findings, finding("atomicpub", c.pkg.Fset, lhs.Pos(),
+			"direct store to %s, which is hdov:guarded-by atomic; publish through sync/atomic so lock-free readers never see a torn value",
+			exprString(lhs)))
+		return
+	}
+	required := exprString(sel.X) + "." + guard
+	if held.holdsWrite(required) {
+		return
+	}
+	c.findings = append(c.findings, finding("atomicpub", c.pkg.Fset, lhs.Pos(),
+		"store to %s without write-holding %s (hdov:guarded-by %s): %s",
+		exprString(lhs), required, guard, c.heldDescription(held)))
+}
+
+// heldDescription renders the held set for the diagnostic.
+func (c *lockFlow) heldDescription(held lockSet) string {
+	if len(held) == 0 {
+		return "no lock is held on some path to this store"
+	}
+	names := make([]string, 0, len(held))
+	for k, w := range held {
+		if w {
+			names = append(names, k)
+		} else {
+			names = append(names, k+" (read)")
+		}
+	}
+	sort.Strings(names)
+	return "held here: " + strings.Join(names, ", ")
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call-graph layer computes per-function summaries inside one
+// package, so path-sensitive passes can reason one call deep without
+// whole-program analysis: does a callee mutate memory reachable from a
+// parameter (snapfreeze's aliasing check), may a result alias a
+// parameter, and does the callee accept an error it never reads
+// (errflow's dropped-in-callee check). Mutation is propagated
+// transitively through intra-package calls to a fixpoint; cross-package
+// and interface calls are conservatively treated as opaque.
+
+// FuncSummary is the flow-relevant behaviour of one declared function.
+// Parameter indexes are over the combined list: for methods, index 0 is
+// the receiver and declared parameters follow.
+type FuncSummary struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Params is the combined receiver-first parameter object list.
+	Params []types.Object
+	// MutatesParam[i] reports a store through parameter i into memory
+	// the caller can observe (through a pointer, slice, or map), either
+	// directly or via an intra-package callee.
+	MutatesParam []bool
+	// ReturnsAlias[i] reports that some return statement's result is
+	// rooted at parameter i, so a caller's result may alias its argument.
+	ReturnsAlias []bool
+	// IgnoresErrorParam[i] reports that parameter i has type error and
+	// the body never reads it: an error handed to this function is
+	// dropped on the floor.
+	IgnoresErrorParam []bool
+}
+
+// CallGraph holds the summaries of every function declared in one
+// package, keyed by their types.Func objects.
+type CallGraph struct {
+	pkg   *Package
+	Funcs map[*types.Func]*FuncSummary
+}
+
+// BuildCallGraph computes summaries for every function declaration in
+// pkg, including the transitive-mutation fixpoint.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	cg := &CallGraph{pkg: pkg, Funcs: make(map[*types.Func]*FuncSummary)}
+	var decls []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fd)
+			cg.Funcs[obj] = cg.direct(fd, obj)
+		}
+	}
+	cg.propagateMutation(decls)
+	return cg
+}
+
+// Summary resolves a call expression to the summary of an
+// intra-package declared function, or nil for anything opaque
+// (cross-package, interface method, func value, builtin).
+func (cg *CallGraph) Summary(call *ast.CallExpr) *FuncSummary {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := cg.pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return cg.Funcs[fn]
+}
+
+// CallArgIndex maps argument position a of call to the callee's
+// combined parameter index (receiver-first for method calls through a
+// selector; variadic arguments collapse onto the last parameter).
+func (s *FuncSummary) CallArgIndex(call *ast.CallExpr, a int) int {
+	i := a
+	if s.Decl.Recv != nil {
+		// A method called as x.M(args): args start after the receiver.
+		if _, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			i = a + 1
+		}
+	}
+	if i >= len(s.Params) {
+		i = len(s.Params) - 1
+	}
+	return i
+}
+
+// direct computes the non-transitive parts of one summary.
+func (cg *CallGraph) direct(fd *ast.FuncDecl, obj *types.Func) *FuncSummary {
+	s := &FuncSummary{Decl: fd, Obj: obj}
+	paramIdx := make(map[types.Object]int)
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				// Unnamed (or receiver without a name): untouchable, so
+				// ignored by definition; keep the slot for indexing.
+				s.Params = append(s.Params, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				var o types.Object
+				if name.Name != "_" {
+					o = cg.pkg.Info.Defs[name]
+				}
+				if o != nil {
+					paramIdx[o] = len(s.Params)
+				}
+				s.Params = append(s.Params, o)
+			}
+		}
+	}
+	addParams(fd.Recv)
+	addParams(fd.Type.Params)
+	n := len(s.Params)
+	s.MutatesParam = make([]bool, n)
+	s.ReturnsAlias = make([]bool, n)
+	s.IgnoresErrorParam = make([]bool, n)
+
+	used := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.Ident:
+			if o := cg.pkg.Info.Uses[x]; o != nil {
+				used[o] = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if o := cg.mutationRoot(lhs, paramIdx); o != nil {
+					s.MutatesParam[paramIdx[o]] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if o := cg.mutationRoot(x.X, paramIdx); o != nil {
+				s.MutatesParam[paramIdx[o]] = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if o := aliasRoot(cg.pkg, res, paramIdx); o != nil {
+					s.ReturnsAlias[paramIdx[o]] = true
+				}
+			}
+		}
+		return true
+	})
+
+	isErrType := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	for i, o := range s.Params {
+		if o == nil {
+			// A blank or unnamed parameter can never be read; only error
+			// slots are interesting enough to flag, and we cannot see the
+			// type without the object, so leave unnamed slots alone.
+			continue
+		}
+		if isErrType(o.Type()) && !used[o] {
+			s.IgnoresErrorParam[i] = true
+		}
+	}
+	return s
+}
+
+// mutationRoot returns the parameter object whose caller-visible memory
+// the assignment target writes: the target's root must be a parameter
+// and the access chain must cross a pointer, slice, or map boundary
+// (writing a value parameter's own copy mutates nothing the caller
+// sees).
+func (cg *CallGraph) mutationRoot(e ast.Expr, params map[types.Object]int) types.Object {
+	crossed := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			crossed = true
+			e = x.X
+		case *ast.SelectorExpr:
+			if tv, ok := cg.pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					crossed = true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tv, ok := cg.pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					crossed = true
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			o := cg.pkg.Info.Uses[x]
+			if o == nil {
+				o = cg.pkg.Info.Defs[x]
+			}
+			if o != nil && crossed {
+				if _, ok := params[o]; ok {
+					return o
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// aliasRoot returns the parameter a result expression is rooted at
+// (ident, field chain, index, deref, or address-of), or nil.
+func aliasRoot(pkg *Package, e ast.Expr, params map[types.Object]int) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := pkg.Info.Uses[x]; o != nil {
+				if _, ok := params[o]; ok {
+					return o
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// propagateMutation closes MutatesParam over intra-package calls: a
+// parameter handed as-is to a callee that mutates the matching position
+// is itself mutated. Iterates to a fixpoint (summaries only ever gain
+// bits, so this terminates).
+func (cg *CallGraph) propagateMutation(decls []*ast.FuncDecl) {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj, _ := cg.pkg.Info.Defs[fd.Name].(*types.Func)
+			s := cg.Funcs[obj]
+			if s == nil {
+				continue
+			}
+			paramIdx := make(map[types.Object]int)
+			for i, o := range s.Params {
+				if o != nil {
+					paramIdx[o] = i
+				}
+			}
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := cg.Summary(call)
+				if callee == nil {
+					return true
+				}
+				// Receiver position of a method call.
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && callee.Decl.Recv != nil {
+					if len(callee.MutatesParam) > 0 && callee.MutatesParam[0] {
+						if o := passedParam(cg.pkg, sel.X, paramIdx); o != nil && !s.MutatesParam[paramIdx[o]] {
+							s.MutatesParam[paramIdx[o]] = true
+							changed = true
+						}
+					}
+				}
+				for a, arg := range call.Args {
+					i := callee.CallArgIndex(call, a)
+					if i < 0 || i >= len(callee.MutatesParam) || !callee.MutatesParam[i] {
+						continue
+					}
+					if o := passedParam(cg.pkg, arg, paramIdx); o != nil && !s.MutatesParam[paramIdx[o]] {
+						s.MutatesParam[paramIdx[o]] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// passedParam reports the pointer/slice/map-typed parameter an argument
+// passes along unchanged (the only shape whose mutation by the callee
+// is visible to our caller).
+func passedParam(pkg *Package, arg ast.Expr, params map[types.Object]int) types.Object {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	o := pkg.Info.Uses[id]
+	if o == nil {
+		return nil
+	}
+	if _, isParam := params[o]; !isParam {
+		return nil
+	}
+	switch o.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return o
+	}
+	return nil
+}

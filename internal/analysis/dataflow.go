@@ -1,0 +1,92 @@
+package analysis
+
+import "go/ast"
+
+// FlowClient defines one forward dataflow problem over a CFG. Facts are
+// opaque to the solver; a client must treat them as immutable values —
+// Transfer, Refine, and Join return fresh facts and never mutate their
+// inputs, or the worklist's sharing of facts across edges corrupts the
+// analysis. Termination requires the usual conditions: Join is an upper
+// bound and the fact lattice has finite height over the function's
+// objects (every pass here tracks finite sets of locals, so both hold).
+type FlowClient interface {
+	// Entry is the fact at function entry.
+	Entry() any
+	// Transfer applies one CFG node (a simple statement or a leaf
+	// condition expression) to the incoming fact.
+	Transfer(n ast.Node, fact any) any
+	// Refine narrows a fact along a conditional edge: cond is the leaf
+	// condition, which is known true when !negate and false otherwise.
+	Refine(cond ast.Expr, negate bool, fact any) any
+	// Join merges the facts of two incoming edges.
+	Join(a, b any) any
+	// Equal reports whether two facts carry the same information; the
+	// solver stops re-queuing a block when its input stops changing.
+	Equal(a, b any) bool
+}
+
+// FlowResult carries the solved per-block input facts. Blocks never
+// reached from the entry (dead code, unresolved jumps) have Reached
+// false and a nil fact; reporting replays must skip them.
+type FlowResult struct {
+	In      []any
+	Reached []bool
+}
+
+// Solve runs the forward worklist to a fixpoint and returns each
+// block's input fact. The worklist is FIFO over the deterministic block
+// order produced by BuildCFG, so results (and any fact tie-breaking
+// inside Join) are reproducible run to run.
+func Solve(g *CFG, c FlowClient) *FlowResult {
+	n := len(g.Blocks)
+	r := &FlowResult{In: make([]any, n), Reached: make([]bool, n)}
+	r.In[g.Entry.Index] = c.Entry()
+	r.Reached[g.Entry.Index] = true
+	work := []*CFGBlock{g.Entry}
+	queued := make([]bool, n)
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := r.In[blk.Index]
+		for _, nd := range blk.Nodes {
+			out = c.Transfer(nd, out)
+		}
+		for _, e := range blk.Succs {
+			f := out
+			if e.Cond != nil {
+				f = c.Refine(e.Cond, e.Negate, f)
+			}
+			ti := e.To.Index
+			if !r.Reached[ti] {
+				r.Reached[ti] = true
+				r.In[ti] = f
+			} else {
+				j := c.Join(r.In[ti], f)
+				if c.Equal(j, r.In[ti]) {
+					continue
+				}
+				r.In[ti] = j
+			}
+			if !queued[ti] {
+				queued[ti] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return r
+}
+
+// ReplayBlock re-applies Transfer over one block from its solved input
+// fact. After Solve has reached the fixpoint, passes run one reporting
+// replay per block — with their client switched into reporting mode — so
+// every diagnostic is emitted exactly once, no matter how many times the
+// solver visited the block on its way to the fixpoint.
+func ReplayBlock(blk *CFGBlock, in any, c FlowClient) any {
+	out := in
+	for _, nd := range blk.Nodes {
+		out = c.Transfer(nd, out)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDesignDocumentsEveryPass pins DESIGN.md §11 to the registry:
+// every pass hdovlint can run (including the suppress directive pass)
+// must be documented with a `**name**` bullet in the static-invariants
+// section. A pass added without prose — or renamed away from its
+// documentation — fails here.
+func TestDesignDocumentsEveryPass(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(data)
+	start := strings.Index(doc, "## 11.")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no `## 11.` section")
+	}
+	section := doc[start:]
+	if end := strings.Index(section[1:], "\n## "); end >= 0 {
+		section = section[:end+1]
+	}
+	for _, name := range KnownPassNames() {
+		if !strings.Contains(section, fmt.Sprintf("**%s**", name)) {
+			t.Errorf("pass %q is registered but has no **%s** bullet in DESIGN.md §11", name, name)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The engine tests work on syntax alone: BuildCFG needs no type
+// information, so each case parses a single function and asserts
+// structural properties of the graph — which marks are reachable, which
+// leaf conditions guard which edges, where a labeled break lands.
+
+// parseBody parses src (a complete function declaration) and returns
+// its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function in %q", src)
+	return nil
+}
+
+// markCalls returns the mark("...") literals appearing in a node.
+func markCalls(n ast.Node) []string {
+	var out []string
+	ast.Inspect(n, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				out = append(out, strings.Trim(lit.Value, `"`))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockWithMark finds the block whose nodes contain mark(name).
+func blockWithMark(t *testing.T, g *CFG, name string) *CFGBlock {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, nd := range blk.Nodes {
+			for _, m := range markCalls(nd) {
+				if m == name {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatalf("no block contains mark(%q)", name)
+	return nil
+}
+
+// reachable returns the set of block indexes reachable from blk,
+// excluding blocks in avoid.
+func reachable(g *CFG, from *CFGBlock, avoid ...*CFGBlock) map[int]bool {
+	skip := make(map[int]bool)
+	for _, a := range avoid {
+		skip[a.Index] = true
+	}
+	seen := map[int]bool{from.Index: true}
+	work := []*CFGBlock{from}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		for _, e := range blk.Succs {
+			if seen[e.To.Index] || skip[e.To.Index] {
+				continue
+			}
+			seen[e.To.Index] = true
+			work = append(work, e.To)
+		}
+	}
+	return seen
+}
+
+// reachedMarks collects every mark reachable from the entry.
+func reachedMarks(g *CFG) []string {
+	seen := reachable(g, g.Entry)
+	var out []string
+	for _, blk := range g.Blocks {
+		if !seen[blk.Index] {
+			continue
+		}
+		for _, nd := range blk.Nodes {
+			out = append(out, markCalls(nd)...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCFGShortCircuitAnd(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(a, b bool) {
+	if a && b {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("after")
+}`))
+	// Locate the leaf-condition blocks for a and b.
+	var blkA, blkB *CFGBlock
+	for _, blk := range g.Blocks {
+		for _, nd := range blk.Nodes {
+			if id, ok := nd.(*ast.Ident); ok {
+				switch id.Name {
+				case "a":
+					blkA = blk
+				case "b":
+					blkB = blk
+				}
+			}
+		}
+	}
+	if blkA == nil || blkB == nil {
+		t.Fatalf("short-circuit leaves not decomposed into separate blocks")
+	}
+	thenB := blockWithMark(t, g, "then")
+	elseB := blockWithMark(t, g, "else")
+
+	// a's true edge must lead to b's evaluation; a's false edge must
+	// skip b entirely and land on the else branch.
+	var aTrue, aFalse *CFGBlock
+	for _, e := range blkA.Succs {
+		if id, ok := e.Cond.(*ast.Ident); !ok || id.Name != "a" {
+			t.Fatalf("edge out of a's block carries cond %v", e.Cond)
+		}
+		if e.Negate {
+			aFalse = e.To
+		} else {
+			aTrue = e.To
+		}
+	}
+	if aTrue == nil || aFalse == nil {
+		t.Fatalf("a's block lacks a true/false edge pair")
+	}
+	if !reachable(g, aTrue)[blkB.Index] {
+		t.Errorf("a=true edge does not reach evaluation of b")
+	}
+	if !reachable(g, aFalse, blkB)[elseB.Index] {
+		t.Errorf("a=false edge does not reach else without evaluating b")
+	}
+	if reachable(g, aFalse, blkB)[thenB.Index] {
+		t.Errorf("a=false edge reaches then branch without b")
+	}
+
+	// b's true edge reaches then; b's false edge reaches else.
+	var bTrue, bFalse *CFGBlock
+	for _, e := range blkB.Succs {
+		if e.Negate {
+			bFalse = e.To
+		} else {
+			bTrue = e.To
+		}
+	}
+	if !reachable(g, bTrue)[thenB.Index] || reachable(g, bFalse, thenB)[thenB.Index] {
+		t.Errorf("b's edges do not select the then branch correctly")
+	}
+	if !reachable(g, bFalse)[elseB.Index] {
+		t.Errorf("b=false edge does not reach else")
+	}
+}
+
+func TestCFGShortCircuitOr(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(a, b bool) {
+	if a || b {
+		mark("then")
+	}
+	mark("after")
+}`))
+	var blkA, blkB *CFGBlock
+	for _, blk := range g.Blocks {
+		for _, nd := range blk.Nodes {
+			if id, ok := nd.(*ast.Ident); ok {
+				switch id.Name {
+				case "a":
+					blkA = blk
+				case "b":
+					blkB = blk
+				}
+			}
+		}
+	}
+	if blkA == nil || blkB == nil {
+		t.Fatalf("|| leaves not decomposed")
+	}
+	thenB := blockWithMark(t, g, "then")
+	var aTrue *CFGBlock
+	for _, e := range blkA.Succs {
+		if !e.Negate {
+			aTrue = e.To
+		}
+	}
+	// a=true short-circuits straight to then, never evaluating b.
+	if !reachable(g, aTrue, blkB)[thenB.Index] {
+		t.Errorf("a=true edge does not reach then without evaluating b")
+	}
+}
+
+func TestCFGLabeledBreakAndContinue(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(n int) {
+Outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if stop() {
+				break Outer
+			}
+			if skip() {
+				continue Outer
+			}
+			mark("inner")
+		}
+	}
+	mark("after")
+}`))
+	inner := blockWithMark(t, g, "inner")
+	after := blockWithMark(t, g, "after")
+
+	// Locate the post block of the outer loop (contains i++) and assert
+	// continue Outer lands there while break Outer reaches after
+	// without re-entering the inner body.
+	var breakTo, continueTo *CFGBlock
+	var outerPost *CFGBlock
+	for _, blk := range g.Blocks {
+		for _, nd := range blk.Nodes {
+			if inc, ok := nd.(*ast.IncDecStmt); ok {
+				if id, ok := inc.X.(*ast.Ident); ok && id.Name == "i" {
+					outerPost = blk
+				}
+			}
+		}
+	}
+	if outerPost == nil {
+		t.Fatalf("outer post block (i++) not found")
+	}
+	// Walk every empty block with one successor that was produced by a
+	// BranchStmt: one of them must edge directly to the outer post
+	// (continue Outer) and one must lead to after without touching the
+	// inner body (break Outer).
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.To == outerPost && blk != inner && len(blk.Nodes) == 0 {
+				continueTo = e.To
+			}
+		}
+		if len(blk.Nodes) == 0 && len(blk.Succs) == 1 {
+			to := blk.Succs[0].To
+			r := reachable(g, to, inner, outerPost)
+			if r[after.Index] && to != g.Exit && blk != g.Entry {
+				breakTo = to
+			}
+		}
+	}
+	if continueTo == nil {
+		t.Errorf("continue Outer does not edge to the outer loop's post block")
+	}
+	if breakTo == nil {
+		t.Errorf("break Outer does not reach the code after the outer loop without re-entering it")
+	}
+	// Sanity: everything is still reachable from the entry.
+	marks := reachedMarks(g)
+	if strings.Join(marks, ",") != "after,inner" {
+		t.Errorf("reachable marks = %v, want [after inner]", marks)
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(n int) {
+	defer mark("outerdefer")
+	for i := 0; i < n; i++ {
+		defer mark("loopdefer")
+		mark("body")
+	}
+	mark("after")
+}`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(g.Defers))
+	}
+	// The loop defer keeps its syntactic position: it sits in the same
+	// block as the body mark, and that block loops back to the head.
+	body := blockWithMark(t, g, "body")
+	foundDefer := false
+	for _, nd := range body.Nodes {
+		if _, ok := nd.(*ast.DeferStmt); ok {
+			foundDefer = true
+		}
+	}
+	if !foundDefer {
+		t.Errorf("loop-body defer is not a node of the loop body block")
+	}
+	// The body participates in the loop: it can reach itself again.
+	if !reachable(g, body)[body.Index] {
+		t.Errorf("loop body has no back edge to itself")
+	}
+	// And the function still terminates: after is reachable.
+	if !reachable(g, g.Entry)[blockWithMark(t, g, "after").Index] {
+		t.Errorf("code after the loop unreachable")
+	}
+}
+
+func TestCFGReturnMakesDeadCode(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f() {
+	mark("live")
+	return
+	mark("dead")
+}`))
+	marks := reachedMarks(g)
+	if strings.Join(marks, ",") != "live" {
+		t.Errorf("reachable marks = %v, want [live]", marks)
+	}
+	if !reachable(g, g.Entry)[g.Exit.Index] {
+		t.Errorf("exit unreachable")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	mark("after")
+}`))
+	// The panic block must have no successors: the panicking path never
+	// merges back.
+	var panicBlk *CFGBlock
+	for _, blk := range g.Blocks {
+		for _, nd := range blk.Nodes {
+			if es, ok := nd.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+				panicBlk = blk
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("panic statement not placed in any block")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Errorf("panic block has %d successors, want 0", len(panicBlk.Succs))
+	}
+	if !reachable(g, g.Entry)[blockWithMark(t, g, "after").Index] {
+		t.Errorf("non-panicking path lost")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		mark("one")
+		fallthrough
+	case 2:
+		mark("two")
+	default:
+		mark("def")
+	}
+	mark("after")
+}`))
+	one := blockWithMark(t, g, "one")
+	two := blockWithMark(t, g, "two")
+	def := blockWithMark(t, g, "def")
+	// fallthrough: case 1's body must reach case 2's body directly.
+	if !reachable(g, one, g.Entry)[two.Index] {
+		t.Errorf("fallthrough from case 1 does not reach case 2's body")
+	}
+	// but not the default body.
+	if reachable(g, one, g.Entry)[def.Index] {
+		t.Errorf("fallthrough leaks into the default body")
+	}
+	marks := reachedMarks(g)
+	if strings.Join(marks, ",") != "after,def,one,two" {
+		t.Errorf("reachable marks = %v", marks)
+	}
+}
+
+// markFlow is a tiny FlowClient used to test the solver: the fact is
+// the sorted comma-joined set of marks executed on some path.
+type markFlow struct{}
+
+func (markFlow) Entry() any { return "" }
+
+func (markFlow) Transfer(n ast.Node, fact any) any {
+	ms := markCalls(n)
+	if len(ms) == 0 {
+		return fact
+	}
+	set := make(map[string]bool)
+	for _, m := range strings.Split(fact.(string), ",") {
+		if m != "" {
+			set[m] = true
+		}
+	}
+	for _, m := range ms {
+		set[m] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func (markFlow) Refine(cond ast.Expr, negate bool, fact any) any { return fact }
+
+func (markFlow) Join(a, b any) any {
+	set := make(map[string]bool)
+	for _, f := range []any{a, b} {
+		for _, m := range strings.Split(f.(string), ",") {
+			if m != "" {
+				set[m] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func (markFlow) Equal(a, b any) bool { return a == b }
+
+func TestSolveFixpointThroughLoop(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if odd(i) {
+			mark("odd")
+			continue
+		}
+		mark("even")
+	}
+	mark("done")
+}`))
+	res := Solve(g, markFlow{})
+	if !res.Reached[g.Exit.Index] {
+		t.Fatalf("exit not reached")
+	}
+	// Both loop-path marks must have flowed around the back edge and
+	// out of the loop to the exit.
+	got := res.In[g.Exit.Index].(string)
+	want := "done,even,odd"
+	if got != want {
+		t.Errorf("facts at exit = %q, want %q", got, want)
+	}
+}
+
+func TestSolveSkipsDeadBlocks(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+func f() {
+	mark("live")
+	return
+	mark("dead")
+}`))
+	res := Solve(g, markFlow{})
+	dead := blockWithMark(t, g, "dead")
+	if res.Reached[dead.Index] {
+		t.Errorf("solver visited dead code")
+	}
+	if got := res.In[g.Exit.Index].(string); got != "live" {
+		t.Errorf("facts at exit = %q, want %q", got, "live")
+	}
+}

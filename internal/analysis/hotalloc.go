@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAllocPass keeps the traversal frontier and the codec decode path
+// allocation-free: the paper's speed argument rests on the per-node
+// visit cost, and a per-iteration heap allocation (or the GC pressure
+// it feeds) dwarfs the distance computations the cost model counts.
+// Functions opt in with hdov:hot-path in their doc comment; inside
+// every loop of such a function the pass flags:
+//
+//   - pointer composite literals (&T{...}) and slice/map literals —
+//     each iteration allocates; hoist the value or reuse a scratch
+//     buffer. Plain value struct literals (T{...}) stay legal: they
+//     live in the frame;
+//   - make(...) and new(...);
+//   - fmt.* calls (formatting allocates even when the result is
+//     discarded);
+//   - string <-> []byte conversions (each copies);
+//   - boxing a concrete value into an interface (argument or
+//     assignment) — the header escapes;
+//   - append to a slice declared in this function without capacity —
+//     growth reallocates every few iterations; preallocate with
+//     make(T, 0, n).
+//
+// Allocations inside a return statement are exempt: a return terminates
+// the loop, so whatever it allocates (typically a corrupt-input error)
+// happens at most once per call, not per iteration. Other cold paths
+// inside a hot function (stats under a debug flag, say) are justified
+// case by case with `//lint:ignore hotalloc <why>`.
+type HotAllocPass struct {
+	loader *Loader
+}
+
+// Name implements Pass.
+func (*HotAllocPass) Name() string { return "hotalloc" }
+
+// SetLoader implements LoaderAware.
+func (p *HotAllocPass) SetLoader(l *Loader) { p.loader = l }
+
+// Run implements Pass.
+func (p *HotAllocPass) Run(pkg *Package) []Finding {
+	ann := newAnnotations(pkg, p.loader)
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, hot := ann.funcAnnotation(obj, "hdov:hot-path"); !hot {
+				continue
+			}
+			out = append(out, p.checkFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+func (p *HotAllocPass) checkFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	prealloc := preallocatedSlices(pkg, fd.Body)
+	var out []Finding
+	// Find every loop, then check its body; nested loops are reached
+	// through the outer body walk, and a node inside two loops is only
+	// reported once (the outer walk skips descending into inner loops).
+	var checkLoop func(body *ast.BlockStmt)
+	inspectLoops := func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			checkLoop(loop.Body)
+			return false
+		case *ast.RangeStmt:
+			checkLoop(loop.Body)
+			return false
+		}
+		return true
+	}
+	checkLoop = func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.ReturnStmt:
+				// A return exits the loop: its allocations happen at
+				// most once per call, not per iteration.
+				return false
+			case *ast.FuncLit:
+				// A closure defined per iteration is itself an
+				// allocation; its body runs elsewhere.
+				out = append(out, finding("hotalloc", pkg.Fset, x.Pos(),
+					"function literal allocates a closure per iteration in a hot-path loop"))
+				return false
+			case *ast.UnaryExpr:
+				if x.Op.String() == "&" {
+					if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+						out = append(out, finding("hotalloc", pkg.Fset, x.Pos(),
+							"composite literal escapes to the heap per iteration in a hot-path loop; reuse a scratch value"))
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pkg.Info.Types[x]; ok && tv.Type != nil {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						out = append(out, finding("hotalloc", pkg.Fset, x.Pos(),
+							"slice or map literal allocates per iteration in a hot-path loop; hoist it or reuse a buffer"))
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if f := p.checkCall(pkg, prealloc, x); f != nil {
+					out = append(out, *f)
+				}
+			}
+			return true
+		})
+	}
+	for _, st := range fd.Body.List {
+		ast.Inspect(st, inspectLoops)
+	}
+	// Boxing in assignments: `var x interface{} = v` style inside loops
+	// is covered by the call walk below only for call args; assignment
+	// boxing is rare on these paths and the conversions dominate, so the
+	// pass keeps to calls and conversions.
+	return out
+}
+
+// checkCall classifies one call inside a hot loop.
+func (p *HotAllocPass) checkCall(pkg *Package, prealloc map[types.Object]bool, call *ast.CallExpr) *Finding {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				f := finding("hotalloc", pkg.Fset, call.Pos(),
+					"make allocates per iteration in a hot-path loop; hoist it outside the loop")
+				return &f
+			case "new":
+				f := finding("hotalloc", pkg.Fset, call.Pos(),
+					"new allocates per iteration in a hot-path loop; reuse a scratch value")
+				return &f
+			case "append":
+				return p.checkAppend(pkg, prealloc, call)
+			}
+			return nil
+		}
+		// Conversion to string or []byte: string(b) / []byte(s).
+		if f := p.checkConversion(pkg, call); f != nil {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" {
+					f := finding("hotalloc", pkg.Fset, call.Pos(),
+						"fmt.%s allocates per iteration in a hot-path loop; move formatting off the traversal path", fun.Sel.Name)
+					return &f
+				}
+			}
+		}
+	case *ast.ArrayType, *ast.InterfaceType:
+		// []byte(s) conversion spelled with a type literal.
+		if f := p.checkConversion(pkg, call); f != nil {
+			return f
+		}
+	}
+	// Interface boxing of concrete arguments.
+	return p.checkBoxing(pkg, call)
+}
+
+// checkConversion flags string <-> []byte conversions.
+func (p *HotAllocPass) checkConversion(pkg *Package, call *ast.CallExpr) *Finding {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil
+	}
+	to := tv.Type
+	argTV, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return nil
+	}
+	from := argTV.Type
+	if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+		f := finding("hotalloc", pkg.Fset, call.Pos(),
+			"string/[]byte conversion copies per iteration in a hot-path loop")
+		return &f
+	}
+	return nil
+}
+
+// checkBoxing flags a concrete value passed where an interface is
+// expected.
+func (p *HotAllocPass) checkBoxing(pkg *Package, call *ast.CallExpr) *Finding {
+	sigTV, ok := pkg.Info.Types[call.Fun]
+	if !ok || sigTV.Type == nil {
+		return nil
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argTV, ok := pkg.Info.Types[arg]
+		if !ok || argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		if _, argIface := argTV.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		f := finding("hotalloc", pkg.Fset, arg.Pos(),
+			"value of type %s is boxed into an interface per iteration in a hot-path loop",
+			argTV.Type.String())
+		return &f
+	}
+	return nil
+}
+
+// checkAppend flags growth on slices declared in this function without
+// an explicit capacity.
+func (p *HotAllocPass) checkAppend(pkg *Package, prealloc map[types.Object]bool, call *ast.CallExpr) *Finding {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	known, declaredHere := prealloc[obj]
+	if !declaredHere || known {
+		// Slices from parameters or other functions carry their own
+		// capacity story; preallocated locals are fine.
+		return nil
+	}
+	f := finding("hotalloc", pkg.Fset, call.Pos(),
+		"append to %s grows per iteration in a hot-path loop; preallocate with make(..., 0, n)", id.Name)
+	return &f
+}
+
+// preallocatedSlices maps every slice variable declared in the body to
+// whether its declaration reserves capacity: make with a capacity (or
+// length) argument counts, `var s []T` and `s := []T{}` do not.
+func preallocatedSlices(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		pre := false
+		if call, ok := rhsCall(rhs); ok {
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isB := pkg.Info.Uses[fid].(*types.Builtin); isB && b.Name() == "make" && len(call.Args) >= 2 {
+					// make([]T, n) or make([]T, 0, c): capacity reserved.
+					pre = true
+				}
+			}
+		}
+		out[obj] = pre
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+						note(id, st.Rhs[i])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, id := range vs.Names {
+							var rhs ast.Expr
+							if i < len(vs.Values) {
+								rhs = vs.Values[i]
+							}
+							note(id, rhs)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rhsCall unwraps a (possibly nil) initializer to a call expression.
+func rhsCall(rhs ast.Expr) (*ast.CallExpr, bool) {
+	if rhs == nil {
+		return nil, false
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	return call, ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

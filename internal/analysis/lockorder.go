@@ -374,6 +374,12 @@ func exprString(e ast.Expr) string {
 		return x.Name
 	case *ast.SelectorExpr:
 		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
 	default:
 		return "expr"
 	}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // PinReleasePass enforces the buffer-pool pin/release contract
@@ -13,10 +14,15 @@ import (
 // stored into a composite/field, or passed to another function as the
 // pin value itself — reading p.Data transfers nothing).
 //
-// The checker is defer-aware — `defer p.Release()` covers every later
-// path including panics — and path-sensitive over the statement
-// structure: an early return inside a branch taken before the release is
-// a leak even when the fall-through path releases correctly.
+// The pass runs on the shared CFG/dataflow engine: the live-pin set is a
+// forward dataflow fact (join = union — a pin unreleased on either
+// incoming path is still an obligation), and nil-ness refinement comes
+// from the CFG's decomposed condition edges, so `if err != nil` after
+// the acquisition carries no obligation on its true edge and `if p ==
+// nil` drops the pin on its true edge — including through short-circuit
+// chains the old structural walker could not see. `defer p.Release()`
+// covers every later path from its registration point, and loop back
+// edges propagate an unreleased in-loop acquisition to the loop exit.
 type PinReleasePass struct{}
 
 // Name implements Pass.
@@ -39,18 +45,35 @@ func (p *PinReleasePass) Run(pkg *Package) []Finding {
 			if body == nil {
 				return true
 			}
-			c := &pinChecker{pkg: pkg}
-			exit := c.checkBlock(body.List, nil)
-			for _, v := range exit {
-				c.report(v, "can fall off the end of the function")
-			}
-			out = append(out, c.findings...)
+			out = append(out, runPinRelease(pkg, body)...)
 			// Keep walking: nested function literals get their own
 			// independent analysis.
 			return true
 		})
 	}
 	return out
+}
+
+// runPinRelease solves the live-pin dataflow over one function body,
+// then replays each reached block once in reporting mode so every
+// diagnostic is emitted exactly once.
+func runPinRelease(pkg *Package, body *ast.BlockStmt) []Finding {
+	g := BuildCFG(body)
+	flow := &pinFlow{pkg: pkg}
+	res := Solve(g, flow)
+	flow.report = true
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] || blk == g.Exit {
+			continue
+		}
+		ReplayBlock(blk, res.In[blk.Index], flow)
+	}
+	if res.Reached[g.Exit.Index] {
+		for _, v := range res.In[g.Exit.Index].(pinFact) {
+			flow.reportPin(v, "can fall off the end of the function")
+		}
+	}
+	return flow.findings
 }
 
 // isPinAcquisition reports whether call returns a pinned page as its
@@ -79,29 +102,20 @@ func isPinAcquisition(pkg *Package, call *ast.CallExpr) bool {
 
 // pinVar is one tracked pinned-page variable within a function body.
 type pinVar struct {
-	obj types.Object // nil for a discarded result
+	obj types.Object // the pin variable
 	pos token.Pos    // acquisition site, for the diagnostic
 	// errObj is the error variable bound alongside the pin (`p, err :=
-	// PinPage(...)`); on paths where errObj is known non-nil the pin is
+	// PinPage(...)`); on edges where errObj is known non-nil the pin is
 	// nil, so the obligation does not exist there.
 	errObj types.Object
 }
 
-// pinState is the set of live (unreleased, unescaped) pins on the
-// current path.
-type pinState []*pinVar
+// pinFact is the set of live (unreleased, unescaped) pins, kept in
+// canonical order (by the pin object's declaration position) so Equal
+// is a plain deep comparison. Facts are immutable values.
+type pinFact []pinVar
 
-func (s pinState) without(obj types.Object) pinState {
-	out := make(pinState, 0, len(s))
-	for _, v := range s {
-		if v.obj != obj {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func (s pinState) has(obj types.Object) bool {
+func (s pinFact) has(obj types.Object) bool {
 	for _, v := range s {
 		if v.obj == obj {
 			return true
@@ -110,47 +124,149 @@ func (s pinState) has(obj types.Object) bool {
 	return false
 }
 
-// mergePins unions two path states (a pin unreleased on either path is
-// still an obligation).
-func mergePins(a, b pinState) pinState {
-	out := append(pinState{}, a...)
-	for _, v := range b {
-		if v.obj == nil || !out.has(v.obj) {
+func (s pinFact) without(obj types.Object) pinFact {
+	if !s.has(obj) {
+		return s
+	}
+	out := make(pinFact, 0, len(s))
+	for _, v := range s {
+		if v.obj != obj {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-type pinChecker struct {
+func (s pinFact) withoutAll(objs map[types.Object]bool) pinFact {
+	out := s
+	for obj := range objs {
+		out = out.without(obj)
+	}
+	return out
+}
+
+func (s pinFact) with(v pinVar) pinFact {
+	out := make(pinFact, len(s), len(s)+1)
+	copy(out, s)
+	out = append(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i].obj.Pos() < out[j].obj.Pos() })
+	return out
+}
+
+// pinFlow is the FlowClient: solving mode computes facts, reporting
+// mode replays them and emits findings.
+type pinFlow struct {
 	pkg      *Package
+	report   bool
 	findings []Finding
 }
 
-func (c *pinChecker) report(v *pinVar, why string) {
-	name := "pinned page"
-	if v.obj != nil {
-		name = "pinned page " + v.obj.Name()
+// Entry implements FlowClient.
+func (c *pinFlow) Entry() any { return pinFact(nil) }
+
+// Join implements FlowClient: union — an obligation on either path
+// survives. On a conflict the earlier acquisition position wins and a
+// disagreeing error binding degrades to none (no refinement).
+func (c *pinFlow) Join(a, b any) any {
+	fa, fb := a.(pinFact), b.(pinFact)
+	if len(fb) == 0 {
+		return fa
 	}
-	c.findings = append(c.findings, finding("pinrelease", c.pkg.Fset, v.pos,
-		"%s %s without Release (a leaked pin keeps its frame unevictable)", name, why))
+	if len(fa) == 0 {
+		return fb
+	}
+	out := append(pinFact{}, fa...)
+	for _, v := range fb {
+		merged := false
+		for i := range out {
+			if out[i].obj == v.obj {
+				if v.pos < out[i].pos {
+					out[i].pos = v.pos
+				}
+				if out[i].errObj != v.errObj {
+					out[i].errObj = nil
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj.Pos() < out[j].obj.Pos() })
+	return out
 }
 
-// checkBlock walks stmts with the set of live pins, returning the live
-// set at the fall-through exit. Terminating paths (return) are checked
-// inline.
-func (c *pinChecker) checkBlock(stmts []ast.Stmt, live pinState) pinState {
-	for _, s := range stmts {
-		live = c.checkStmt(s, live)
+// Equal implements FlowClient.
+func (c *pinFlow) Equal(a, b any) bool {
+	fa, fb := a.(pinFact), b.(pinFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refine implements FlowClient: on an edge where `x != nil` holds, pins
+// acquired alongside the error x are dropped (the pin is nil there); on
+// an edge where `x == nil` holds, the pin x itself is nil and carries
+// no obligation.
+func (c *pinFlow) Refine(cond ast.Expr, negate bool, fact any) any {
+	live := fact.(pinFact)
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return live
+	}
+	var id *ast.Ident
+	if i, isID := bin.X.(*ast.Ident); isID && isNilIdent(bin.Y) {
+		id = i
+	} else if i, isID := bin.Y.(*ast.Ident); isID && isNilIdent(bin.X) {
+		id = i
+	}
+	if id == nil {
+		return live
+	}
+	obj := c.pkg.Info.Uses[id]
+	if obj == nil {
+		return live
+	}
+	op := bin.Op
+	if negate {
+		switch op {
+		case token.NEQ:
+			op = token.EQL
+		case token.EQL:
+			op = token.NEQ
+		default:
+			return live
+		}
+	}
+	switch op {
+	case token.NEQ: // x != nil holds: err-bound pins failed to acquire
+		out := live
+		for _, v := range live {
+			if v.errObj == obj {
+				out = out.without(v.obj)
+			}
+		}
+		return out
+	case token.EQL: // x == nil holds: the pin itself is nil
+		return live.without(obj)
 	}
 	return live
 }
 
-// checkStmt processes one statement, returning the updated live set.
-func (c *pinChecker) checkStmt(s ast.Stmt, live pinState) pinState {
-	switch st := s.(type) {
+// Transfer implements FlowClient.
+func (c *pinFlow) Transfer(n ast.Node, fact any) any {
+	live := fact.(pinFact)
+	switch st := n.(type) {
 	case *ast.AssignStmt:
-		return c.checkAssign(st, live)
+		return c.assign(st, live)
 	case *ast.DeferStmt:
 		if obj := c.releaseTarget(st.Call); obj != nil {
 			return live.without(obj)
@@ -162,64 +278,12 @@ func (c *pinChecker) checkStmt(s ast.Stmt, live pinState) pinState {
 				return live.without(obj)
 			}
 			if isPinAcquisition(c.pkg, call) {
-				c.report(&pinVar{pos: call.Pos()}, "is discarded")
+				c.reportAt(call.Pos(), nil, "is discarded")
 				return live
 			}
 			return c.escapeThroughCall(call, live)
 		}
 		return live
-	case *ast.ReturnStmt:
-		escaped := make(map[types.Object]bool)
-		for _, r := range st.Results {
-			c.collectEscapes(r, escaped)
-		}
-		for _, v := range live {
-			if !escaped[v.obj] {
-				c.report(v, "can leave the function on this return path")
-			}
-		}
-		return nil
-	case *ast.BranchStmt:
-		// break/continue/goto: the pins stay live on the jumped-to path;
-		// approximating it with the current state keeps loops sound
-		// enough without a full CFG.
-		return live
-	case *ast.IfStmt:
-		if st.Init != nil {
-			live = c.checkStmt(st.Init, live)
-		}
-		thenLive, elseLive := c.splitOnErrCheck(st.Cond, live)
-		thenOut := c.checkBlock(st.Body.List, thenLive)
-		elseOut := elseLive
-		if st.Else != nil {
-			elseOut = c.checkStmt(st.Else, elseLive)
-		}
-		return mergePins(thenOut, elseOut)
-	case *ast.BlockStmt:
-		return c.checkBlock(st.List, live)
-	case *ast.ForStmt:
-		if st.Init != nil {
-			live = c.checkStmt(st.Init, live)
-		}
-		// The body may run zero times, so pins released only inside it
-		// are still live on the fall-through path.
-		c.checkBlock(st.Body.List, live)
-		return live
-	case *ast.RangeStmt:
-		c.checkBlock(st.Body.List, live)
-		return live
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			live = c.checkStmt(st.Init, live)
-		}
-		return c.checkCases(st.Body, live)
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			live = c.checkStmt(st.Init, live)
-		}
-		return c.checkCases(st.Body, live)
-	case *ast.SelectStmt:
-		return c.checkCases(st.Body, live)
 	case *ast.GoStmt:
 		return c.escapeThroughCall(st.Call, live)
 	case *ast.SendStmt:
@@ -239,96 +303,40 @@ func (c *pinChecker) checkStmt(s ast.Stmt, live pinState) pinState {
 			return live.withoutAll(escaped)
 		}
 		return live
+	case *ast.ReturnStmt:
+		escaped := make(map[types.Object]bool)
+		for _, r := range st.Results {
+			c.collectEscapes(r, escaped)
+		}
+		for _, v := range live {
+			if !escaped[v.obj] {
+				c.reportPin(v, "can leave the function on this return path")
+			}
+		}
+		return pinFact(nil)
+	case *ast.RangeStmt:
+		escaped := make(map[types.Object]bool)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			for _, a := range call.Args {
+				c.collectEscapes(a, escaped)
+			}
+		}
+		return live.withoutAll(escaped)
+	case ast.Expr:
+		// Leaf condition, switch tag, or case expression: a call there
+		// passes ownership through its arguments like any other call.
+		if call, ok := n.(*ast.CallExpr); ok {
+			return c.escapeThroughCall(call, live)
+		}
+		return live
 	default:
 		return live
 	}
 }
 
-// splitOnErrCheck refines the live set per branch of `if <cond>`: inside
-// `err != nil` the pins acquired alongside err are nil and carry no
-// obligation; inside `err == nil` (and after its else) they do.
-func (c *pinChecker) splitOnErrCheck(cond ast.Expr, live pinState) (thenLive, elseLive pinState) {
-	thenLive, elseLive = live, live
-	bin, ok := cond.(*ast.BinaryExpr)
-	if !ok {
-		return
-	}
-	var errIdent *ast.Ident
-	if id, isID := bin.X.(*ast.Ident); isID && isNilIdent(bin.Y) {
-		errIdent = id
-	} else if id, isID := bin.Y.(*ast.Ident); isID && isNilIdent(bin.X) {
-		errIdent = id
-	}
-	if errIdent == nil {
-		return
-	}
-	obj := c.pkg.Info.Uses[errIdent]
-	if obj == nil {
-		return
-	}
-	drop := func(s pinState) pinState {
-		out := s
-		for _, v := range s {
-			if v.errObj == obj {
-				out = out.without(v.obj)
-			}
-		}
-		return out
-	}
-	switch bin.Op {
-	case token.NEQ: // err != nil: pin is nil in the then-branch
-		thenLive = drop(live)
-	case token.EQL: // err == nil: pin is nil in the else-branch
-		elseLive = drop(live)
-	}
-	return
-}
-
-func isNilIdent(e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == "nil"
-}
-
-func (s pinState) withoutAll(objs map[types.Object]bool) pinState {
-	out := s
-	for obj := range objs {
-		out = out.without(obj)
-	}
-	return out
-}
-
-// checkCases walks each case clause of a switch/select body as an
-// independent branch and merges the exits.
-func (c *pinChecker) checkCases(body *ast.BlockStmt, live pinState) pinState {
-	var merged pinState
-	sawDefault := false
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch cl := clause.(type) {
-		case *ast.CaseClause:
-			stmts = cl.Body
-			if cl.List == nil {
-				sawDefault = true
-			}
-		case *ast.CommClause:
-			stmts = cl.Body
-			if cl.Comm == nil {
-				sawDefault = true
-			}
-		}
-		merged = mergePins(merged, c.checkBlock(stmts, live))
-	}
-	if !sawDefault {
-		// Without a default clause the no-case-taken path keeps the
-		// incoming obligations alive.
-		merged = mergePins(merged, live)
-	}
-	return merged
-}
-
-// checkAssign handles `p, err := d.PinPage(...)` acquisitions, and
-// escapes through the RHS of ordinary assignments.
-func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
+// assign handles `p, err := d.PinPage(...)` acquisitions, and escapes
+// through the RHS of ordinary assignments.
+func (c *pinFlow) assign(st *ast.AssignStmt, live pinFact) pinFact {
 	if len(st.Rhs) == 1 {
 		if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isPinAcquisition(c.pkg, call) {
 			live = c.escapeThroughCall(call, live)
@@ -336,7 +344,7 @@ func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
 				switch lhs := st.Lhs[0].(type) {
 				case *ast.Ident:
 					if lhs.Name == "_" {
-						c.report(&pinVar{pos: call.Pos()}, "is discarded")
+						c.reportAt(call.Pos(), nil, "is discarded")
 						return live
 					}
 					var obj types.Object
@@ -351,7 +359,7 @@ func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
 					if live.has(obj) {
 						for _, v := range live {
 							if v.obj == obj {
-								c.report(v, "is overwritten by a new acquisition")
+								c.reportPin(v, "is overwritten by a new acquisition")
 							}
 						}
 						live = live.without(obj)
@@ -366,7 +374,7 @@ func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
 							}
 						}
 					}
-					return append(live[:len(live):len(live)], &pinVar{obj: obj, pos: call.Pos(), errObj: errObj})
+					return live.with(pinVar{obj: obj, pos: call.Pos(), errObj: errObj})
 				default:
 					// Stored straight into a field, slice element, or map:
 					// ownership transfers to the container.
@@ -383,9 +391,25 @@ func (c *pinChecker) checkAssign(st *ast.AssignStmt, live pinState) pinState {
 	return live.withoutAll(escaped)
 }
 
+func (c *pinFlow) reportPin(v pinVar, why string) {
+	c.reportAt(v.pos, v.obj, why)
+}
+
+func (c *pinFlow) reportAt(pos token.Pos, obj types.Object, why string) {
+	if !c.report {
+		return
+	}
+	name := "pinned page"
+	if obj != nil {
+		name = "pinned page " + obj.Name()
+	}
+	c.findings = append(c.findings, finding("pinrelease", c.pkg.Fset, pos,
+		"%s %s without Release (a leaked pin keeps its frame unevictable)", name, why))
+}
+
 // releaseTarget returns the tracked object released by an `x.Release()`
 // call, or nil.
-func (c *pinChecker) releaseTarget(call *ast.CallExpr) types.Object {
+func (c *pinFlow) releaseTarget(call *ast.CallExpr) types.Object {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
 		return nil
@@ -399,7 +423,7 @@ func (c *pinChecker) releaseTarget(call *ast.CallExpr) types.Object {
 
 // escapeThroughCall drops pins passed as arguments: ownership moves to
 // the callee.
-func (c *pinChecker) escapeThroughCall(call *ast.CallExpr, live pinState) pinState {
+func (c *pinFlow) escapeThroughCall(call *ast.CallExpr, live pinFact) pinFact {
 	escaped := make(map[types.Object]bool)
 	for _, a := range call.Args {
 		c.collectEscapes(a, escaped)
@@ -413,7 +437,7 @@ func (c *pinChecker) escapeThroughCall(call *ast.CallExpr, live pinState) pinSta
 // comparisons like p != nil do not transfer the obligation — only the
 // *PinnedPage itself moving on counts, so the pass stays quiet on normal
 // read-the-data usage.
-func (c *pinChecker) collectEscapes(e ast.Expr, out map[types.Object]bool) {
+func (c *pinFlow) collectEscapes(e ast.Expr, out map[types.Object]bool) {
 	switch x := e.(type) {
 	case *ast.Ident:
 		if o := c.pkg.Info.Uses[x]; o != nil {
@@ -446,4 +470,9 @@ func (c *pinChecker) collectEscapes(e ast.Expr, out map[types.Object]bool) {
 			return true
 		})
 	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
 }

@@ -159,3 +159,61 @@ func CheckedCommit(d *Disk) (int, error) {
 	}
 	return d.CommitEpoch("dir")
 }
+
+// The path-sensitive checks added with the CFG engine: errors captured
+// into a variable but never read on any path to exit, and errors handed
+// to a callee that never reads its error parameter.
+
+// ReassignedUnchecked checks the first write but silently overwrites the
+// checked variable with a second, never-checked error before returning.
+func ReassignedUnchecked(d *Disk) {
+	err := d.WriteBytes(0, nil)
+	if err != nil {
+		return
+	}
+	err = d.WriteBytes(1, nil) // want errflow
+}
+
+// ReassignedChecked re-checks after the reassignment: clean.
+func ReassignedChecked(d *Disk) error {
+	err := d.WriteBytes(0, nil)
+	if err != nil {
+		return err
+	}
+	err = d.WriteBytes(1, nil)
+	return err
+}
+
+// CheckedOnOnePath only examines the second error on one branch, but a
+// merge where any incoming path checked it stays quiet (intersection
+// join): clean by design.
+func CheckedOnOnePath(d *Disk, verbose bool) {
+	err := d.WriteBytes(0, nil)
+	if verbose {
+		_ = err.Error()
+	}
+}
+
+// sinkErr accepts an error and never reads it.
+func sinkErr(severity int, err error) {
+	_ = severity
+}
+
+// logErr reads its error parameter: a legitimate handler.
+func logErr(err error) {
+	if err != nil {
+		_ = err.Error()
+	}
+}
+
+// PassedToSink hands the write error to a callee that drops it.
+func PassedToSink(d *Disk) {
+	err := d.WriteBytes(0, nil)
+	sinkErr(1, err) // want errflow
+}
+
+// PassedToHandler hands the error to a real handler: clean.
+func PassedToHandler(d *Disk) {
+	err := d.WriteBytes(0, nil)
+	logErr(err)
+}

@@ -1,0 +1,138 @@
+// Package hotfix exercises hotalloc: per-iteration allocation inside
+// loops of functions annotated hdov:hot-path.
+package hotfix
+
+import "fmt"
+
+// Item is a result candidate.
+type Item struct {
+	ID   int64
+	Dist float64
+}
+
+// visit mirrors the traversal frontier: per-node work must not allocate.
+// hdov:hot-path
+func visit(ids []int64, dists []float64) []*Item {
+	out := make([]*Item, 0, len(ids))
+	for i, id := range ids {
+		it := &Item{ID: id, Dist: dists[i]} // want hotalloc
+		out = append(out, it)
+	}
+	return out
+}
+
+// labels formats inside the loop: flagged.
+// hdov:hot-path
+func labels(ids []int64) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("n%d", id)) // want hotalloc
+	}
+	return out
+}
+
+// grow appends to a slice declared without capacity: every few
+// iterations the backing array reallocates.
+// hdov:hot-path
+func grow(ids []int64) []int64 {
+	var out []int64
+	for _, id := range ids {
+		if id > 0 {
+			out = append(out, id) // want hotalloc
+		}
+	}
+	return out
+}
+
+// scratch builds a map per iteration: flagged.
+// hdov:hot-path
+func scratch(ids []int64) int {
+	n := 0
+	for range ids {
+		seen := map[int64]bool{} // want hotalloc
+		_ = seen
+		n++
+	}
+	return n
+}
+
+// buffers makes a buffer per iteration: flagged.
+// hdov:hot-path
+func buffers(ids []int64) int {
+	total := 0
+	for range ids {
+		buf := make([]byte, 64) // want hotalloc
+		total += len(buf)
+	}
+	return total
+}
+
+// keys converts []byte to string per iteration: flagged.
+// hdov:hot-path
+func keys(names [][]byte) int {
+	n := 0
+	for _, b := range names {
+		if string(b) == "root" { // want hotalloc
+			n++
+		}
+	}
+	return n
+}
+
+// sink accepts anything.
+func sink(v any) {}
+
+// box passes a concrete value where an interface is expected: the
+// header escapes per iteration.
+// hdov:hot-path
+func box(ids []int64) {
+	for _, id := range ids {
+		sink(id) // want hotalloc
+	}
+}
+
+// spawn builds a closure per iteration: flagged.
+// hdov:hot-path
+func spawn(ids []int64, run func(func())) {
+	for _, id := range ids {
+		run(func() { _ = id }) // want hotalloc
+	}
+}
+
+// rare allocates only on the corrupt-input return: exempt by design,
+// since a return terminates the loop and so runs at most once per call.
+// hdov:hot-path
+func rare(ids []int64) error {
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("bad id %d", id)
+		}
+	}
+	return nil
+}
+
+// step is a no-op loop body.
+func step(int64) {}
+
+// trace formats per iteration under a debug flag — a genuine recurring
+// allocation, but one the justification declares acceptably cold.
+// hdov:hot-path
+func trace(ids []int64, debug bool) {
+	for _, id := range ids {
+		if debug {
+			//lint:ignore hotalloc debug tracing is off by default
+			_ = fmt.Sprint("visit ", id)
+		}
+		step(id)
+	}
+}
+
+// cold does the same work as visit without the annotation: quiet, the
+// pass only governs declared hot paths.
+func cold(ids []int64) []*Item {
+	var out []*Item
+	for _, id := range ids {
+		out = append(out, &Item{ID: id})
+	}
+	return out
+}

@@ -48,3 +48,21 @@ func Wildcard(d *Disk) {
 	p, _ := d.PinPage(4)
 	_ = p.Data
 }
+
+// Unused carries a directive with nothing left to suppress — the code
+// it once excused was fixed. The stale directive is itself reported.
+func Unused(d *Disk) {
+	//lint:ignore pinrelease fixture: stale, the leak below was fixed
+	p, err := d.PinPage(5)
+	if err == nil {
+		p.Release()
+	}
+}
+
+// UnknownPass names a pass that does not exist (a typo): the directive
+// is reported and the leak it meant to excuse is reported too.
+func UnknownPass(d *Disk) {
+	//lint:ignore pinfree fixture: typo for pinrelease
+	p, _ := d.PinPage(6)
+	_ = p.Data
+}

@@ -334,6 +334,9 @@ func (t *Tree) mirror(rt *rtree.Tree) {
 // pages are never rewritten) or nil to build fresh. The s-ratio
 // accumulation runs identically either way, in the same bottom-up order,
 // so SMeasured is bit-identical to a from-scratch rebuild.
+//
+// hdov:construction-window — runs before the tree is published; the
+// nodes it mutates are not yet reachable by readers.
 func (t *Tree) buildInternalLoDs(reuse func(n *Node) *Node) error {
 	var sSum float64
 	var sCnt int
@@ -476,6 +479,9 @@ func (t *Tree) writeObjectPayloads() error {
 
 // writeNodeRecords lays the node records out contiguously in ID order with
 // a uniform page stride, so node I/O is addressable as base + id*stride.
+//
+// hdov:construction-window — assigns page numbers during build, before
+// the tree is published.
 func (t *Tree) writeNodeRecords() error {
 	maxRec := 0
 	for _, n := range t.Nodes {

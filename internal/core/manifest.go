@@ -90,6 +90,9 @@ func (t *Tree) Manifest() TreeManifest {
 // the tree was built from; Open callers regenerate it from the saved
 // CityParams. No I/O is charged: opening a database is setup, not
 // workload.
+//
+// hdov:construction-window — rehydrates nodes from the manifest; the
+// tree is handed to callers only after this returns.
 func OpenTree(sc *scene.Scene, d *storage.Disk, m TreeManifest) (*Tree, error) {
 	if sc == nil || d == nil {
 		return nil, fmt.Errorf("core: open: nil scene or disk")

@@ -120,6 +120,8 @@ func (t *Tree) QueryContext(ctx context.Context, cell cells.CellID, eta float64)
 // ladder of internal-LoD sources used by fault-tolerant substitution (nil
 // at the root; see degrade.go). tc carries the cancellation checkpoint
 // (polled here, once per node expansion) and the shed policy.
+//
+// hdov:hot-path
 func (t *Tree) searchNode(tc travCtx, id NodeID, eta float64, res *QueryResult, anc []lodSource) error {
 	if err := tc.err(); err != nil {
 		return err
@@ -234,7 +236,8 @@ func (t *Tree) searchNode(tc travCtx, id NodeID, eta float64, res *QueryResult, 
 // into a child subtree whose sub-result merges back in entry order.
 type entryPlan struct {
 	cut      bool
-	item     *ResultItem // early-stop item (line 8 of Figure 3)
+	item     ResultItem // early-stop item (line 8 of Figure 3)
+	hasItem  bool
 	recurse  bool
 	childAnc []lodSource
 	dov, k   float64
@@ -248,6 +251,8 @@ type entryPlan struct {
 // then child descents run on up to Parallel workers, then sub-results
 // merge serially in entry index order — so the answer set, degradation
 // events, and traversal stats are identical to the serial traversal's.
+//
+// hdov:hot-path
 func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float64, res *QueryResult, anc []lodSource) error {
 	plans := make([]entryPlan, len(node.Entries))
 	for ei, e := range node.Entries {
@@ -267,12 +272,13 @@ func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float6
 		if len(e.LoDRefs) > 0 && v.DoV <= eta && (t.DisableTerminationHeuristic ||
 			TerminateHeuristic(internalPolys, avgObjPolys, t.RhoMeasured, v.NVO)) {
 			lvl := chooseLevel(k, len(e.LoDRefs))
-			p.item = &ResultItem{
+			p.item = ResultItem{
 				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
 				Detail: k, Level: lvl,
 				Polygons: interpolatePolys(e.LoDPolys, k),
 				Extent:   e.LoDRefs[lvl],
 			}
+			p.hasItem = true
 			res.Stats.EarlyStops++
 			continue
 		}
@@ -280,12 +286,13 @@ func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float6
 		// runs on one goroutine, so the Degradation order is stable).
 		if tc.truncate(len(anc)) && len(e.LoDRefs) > 0 {
 			lvl := chooseLevel(k, len(e.LoDRefs))
-			p.item = &ResultItem{
+			p.item = ResultItem{
 				ObjectID: -1, NodeID: e.ChildID, DoV: v.DoV,
 				Detail: k, Level: lvl,
 				Polygons: interpolatePolys(e.LoDPolys, k),
 				Extent:   e.LoDRefs[lvl],
 			}
+			p.hasItem = true
 			res.Stats.EarlyStops++
 			res.Degradations = append(res.Degradations, Degradation{
 				Cell: res.Cell, Node: e.ChildID, Object: -1,
@@ -315,6 +322,7 @@ func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float6
 		select {
 		case t.parSem <- struct{}{}:
 			wg.Add(1)
+			//lint:ignore hotalloc one closure per claimed worker slot, amortized by the page reads the descent performs
 			go func(p *entryPlan, child NodeID) {
 				defer wg.Done()
 				defer func() { <-t.parSem }()
@@ -330,8 +338,8 @@ func (t *Tree) searchEntriesParallel(tc travCtx, node *Node, vd []VD, eta float6
 	// order a serial traversal would produce.
 	for i := range plans {
 		p := &plans[i]
-		if p.item != nil {
-			res.Items = append(res.Items, *p.item)
+		if p.hasItem {
+			res.Items = append(res.Items, p.item)
 			continue
 		}
 		if !p.recurse {
@@ -549,6 +557,11 @@ func (t *Tree) QueryPrioritizedContext(ctx context.Context, cell cells.CellID, e
 	return res, nil
 }
 
+// searchNodePrioritized is searchNode with a frustum-driven visit order
+// (see QueryPrioritizedContext); the answer set is identical, only the
+// emission order differs.
+//
+// hdov:hot-path
 func (t *Tree) searchNodePrioritized(tc travCtx, id NodeID, eta float64, f geom.Frustum, res *QueryResult, anc []lodSource) error {
 	if err := tc.err(); err != nil {
 		return err

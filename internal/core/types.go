@@ -56,6 +56,10 @@ func (e Extent) Pages(d *storage.Disk) int { return d.PagesFor(e.NominalBytes) }
 // internal-LoD references, so terminating a branch (line 8 of Figure 3,
 // "Add E.ptr→LOD_internal") resolves the coarse mesh without fetching the
 // child node record.
+//
+// hdov:frozen-after-publish — entries live inside published node records
+// that query sessions traverse lock-free; updates clone the node and its
+// entry slice inside a construction window instead of editing in place.
 type NodeEntry struct {
 	MBR      geom.AABB
 	ChildID  NodeID // valid in internal nodes, else NilNode
@@ -73,6 +77,11 @@ type NodeEntry struct {
 }
 
 // Node is an HDoV-tree node: R-tree topology plus internal-LoD metadata.
+//
+// hdov:frozen-after-publish — once a node is reachable from a published
+// epoch, concurrent query sessions traverse it with no locks, so every
+// field is immutable; the update path clones (copy-on-write) inside a
+// construction window and republishes.
 type Node struct {
 	ID   NodeID
 	Leaf bool

@@ -164,6 +164,8 @@ func EncodeVPageC(vd []core.VD) ([]byte, error) {
 // payload bounds, and the CRC trailer. Malformed input of any shape — bad
 // magic, unknown version, shift overflow, truncated varints, torn CRC —
 // returns an error (wrapping errCodec), never panics.
+//
+// hdov:hot-path
 func DecodeVPageC(buf []byte) ([]core.VD, error) {
 	if len(buf) < codecMinUnitBytes {
 		return nil, codecErrf("V-page unit is %d bytes, minimum %d", len(buf), codecMinUnitBytes)
@@ -254,6 +256,8 @@ func EncodePointerSegmentC(numNodes int, lens []int64) ([]byte, error) {
 // validated against codecMinUnitBytes and the running prefix sum against
 // blockBytes, so a corrupt segment fails at flip time rather than as a
 // misdirected heap read mid-query.
+//
+// hdov:hot-path
 func DecodePointerSegmentC(buf []byte, numNodes int, blockBytes int64) ([]int64, []int32, error) {
 	if numNodes < 0 {
 		return nil, nil, codecErrf("negative node count %d", numNodes)
@@ -337,6 +341,8 @@ func EncodeIndexSegmentC(ids []int, lens []int64) ([]byte, error) {
 // prefix sums. Ids must be strictly ascending and in range, lengths
 // plausible — a corrupt segment cannot silently alias two nodes onto one
 // unit or point outside the heap.
+//
+// hdov:hot-path
 func DecodeIndexSegmentC(buf []byte, numNodes int, base, blockBytes int64) (map[core.NodeID]heapRef, error) {
 	if len(buf) < codecMinUnitBytes {
 		return nil, codecErrf("index segment is %d bytes, minimum %d", len(buf), codecMinUnitBytes)
