@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guardOV  = fs.String("guardoverload", "", "compare fresh overload metrics against a committed reference file; exit 1 on a broken resilience invariant or >50% latency regression")
 		writeDU  = fs.String("writedynupdate", "", "measure and write the dynupdate reference file, then exit")
 		guardDU  = fs.String("guarddynupdate", "", "compare fresh dynupdate metrics against a committed reference file; exit 1 on a broken locality gate or >25% drift")
+		writeSS  = fs.String("writeshardscale", "", "measure and write the shardscale reference file, then exit")
+		guardSS  = fs.String("guardshardscale", "", "compare fresh shardscale metrics against a committed reference file; exit 1 on divergent answers, a sub-3x 8-shard speedup, or >25% drift")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -157,6 +159,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "dynupdate reference written to %s (workload %s)\n", *writeDU, du.Workload)
+		return 0
+	}
+
+	if *writeSS != "" {
+		ss, err := bench.CollectShardScale(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteShardScale(*writeSS, ss); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "shardscale reference written to %s (workload %s)\n", *writeSS, ss.Workload)
+		return 0
+	}
+
+	if *guardSS != "" {
+		ref, err := bench.LoadShardScale(*guardSS)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectShardScale(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareShardScale(ref, cur, 0.25); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "shardscale guard passed (workload %s, 8-shard speedup %.2fx)\n",
+			ref.Workload, cur.SpeedupAt8)
 		return 0
 	}
 
@@ -275,7 +313,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		id = strings.TrimSpace(id)
 		e, ok := bench.Lookup(id)
 		if !ok {
-			fmt.Fprintf(stderr, "hdovbench: unknown experiment %q (try -list)\n", id)
+			known := make([]string, 0, len(bench.All()))
+			for _, k := range bench.All() {
+				known = append(known, k.ID)
+			}
+			fmt.Fprintf(stderr, "hdovbench: unknown experiment %q; registered: %s\n",
+				id, strings.Join(known, ", "))
 			return 2
 		}
 		fmt.Fprintf(stdout, "==== %s — %s ====\n", e.ID, e.Title)

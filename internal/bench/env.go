@@ -201,6 +201,7 @@ func All() []Experiment {
 		{ID: "vpagecodec", Title: "Extension: compressed V-page layout, bytes and light-I/O cost vs raw", Run: RunVPageCodec},
 		{ID: "overload", Title: "Extension: overload resilience — admission, shedding, breaker, cancellation", Run: RunOverload},
 		{ID: "dynupdate", Title: "Extension: incremental updates — locality, LoD reuse, write cost vs rebuild", Run: RunDynUpdate},
+		{ID: "shardscale", Title: "Extension: sharded stores — scatter-gather routing, near-linear scaling, hot-range replicas", Run: RunShardScale},
 		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
 	}
 }

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// The shardscale experiment measures what the shard router buys: N
+// contiguous cell-range shards give the workload N independent simulated
+// disk arms, so the aggregate throughput of a multi-client workload is
+// bounded by the *busiest* spindle rather than the only one. The metric
+// is deterministic — simulated disk time for a seeded dataset and a
+// fixed workload — so the guard catches routing regressions (work
+// collapsing back onto one store, broken trimming, a merge that
+// re-serializes shards) without depending on host speed. Every routed
+// answer is also checked byte-identical to the unsharded baseline.
+
+// ShardScaleLeg is one shard-count measurement.
+type ShardScaleLeg struct {
+	Shards  int `json:"shards"`
+	Queries int `json:"queries"`
+	// MaxShardSimMicros is the busiest store's simulated disk time — the
+	// spindle that bounds wall clock on real hardware.
+	MaxShardSimMicros float64 `json:"max_shard_sim_micros"`
+	// TotalSimMicros sums simulated time across stores (constant across
+	// shard counts up to boundary effects: sharding splits work, it does
+	// not shrink it).
+	TotalSimMicros float64 `json:"total_sim_micros"`
+	// ThroughputQPS is Queries / MaxShardSimMicros in queries per
+	// simulated second.
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Identical reports that every routed answer matched the unsharded
+	// baseline byte for byte.
+	Identical bool `json:"identical"`
+}
+
+// ShardScale is the committed shardscale reference (BENCH_shardscale.json).
+type ShardScale struct {
+	Workload string          `json:"workload"`
+	Clients  int             `json:"clients"`
+	Legs     []ShardScaleLeg `json:"legs"`
+	// SpeedupAt8 is the 8-shard leg's throughput over the 1-shard leg's.
+	SpeedupAt8 float64 `json:"speedup_at_8"`
+	// ReplicaSpeedup is the skewed-workload gain from mirroring the hot
+	// shard onto a replica store (sessions split across the two arms).
+	ReplicaSpeedup float64 `json:"replica_speedup"`
+}
+
+// shardManifests adapts a built Env to the shard layer's reopen set.
+func shardManifests(e *Env) shard.Manifests {
+	return shard.Manifests{
+		Tree:  e.Tree.Manifest(),
+		H:     e.H.Manifest(),
+		V:     e.V.Manifest(),
+		IV:    e.IV.Manifest(),
+		Naive: e.Naive.Manifest(),
+	}
+}
+
+// shardFingerprint renders the bytes that define an answer.
+func shardFingerprint(r *core.QueryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cell=%d eta=%g\n", r.Cell, r.Eta)
+	for _, it := range r.Items {
+		fmt.Fprintf(&b, "%d %d %x %x %d %x %d+%d/%d\n",
+			it.ObjectID, it.NodeID, it.DoV, it.Detail, it.Level, it.Polygons,
+			it.Extent.Start, it.Extent.NominalBytes, it.Extent.RealBytes)
+	}
+	for _, dg := range r.Degradations {
+		fmt.Fprintf(&b, "deg %d %d %d %d\n", dg.Cell, dg.Node, dg.Object, dg.Cause)
+	}
+	return b.String()
+}
+
+const shardScaleEta = 0.001
+
+// shardScaleClients is the fixed harness width (the -clients default).
+const shardScaleClients = 8
+
+// runShardLeg drives the clients×perClient workload through a fresh
+// router at the given shard count and returns the leg plus the router
+// (heat populated, for the replica follow-on). Clients run one after
+// another — the cost is simulated, so concurrency would only add
+// scheduling noise; each client still has its own routed session and its
+// own ring offset, exactly like RunServeClients.
+func runShardLeg(e *Env, shards int, ws []cells.CellID, perClient int, baseline map[cells.CellID]string) (ShardScaleLeg, *shard.Router, error) {
+	r, err := shard.NewRouter(e.Scene, e.Disk, shardManifests(e), shard.Config{
+		Shards: shards,
+		Scheme: shard.SchemeIndexedVertical,
+	})
+	if err != nil {
+		return ShardScaleLeg{}, nil, err
+	}
+	leg, err := driveRouter(r, ws, perClient, baseline)
+	return leg, r, err
+}
+
+// driveRouter runs the standard workload against an existing topology
+// and measures the busiest-spindle throughput of that pass alone.
+func driveRouter(r *shard.Router, ws []cells.CellID, perClient int, baseline map[cells.CellID]string) (ShardScaleLeg, error) {
+	r.ResetStats()
+	leg := ShardScaleLeg{
+		Shards:    r.Shards(),
+		Queries:   shardScaleClients * perClient,
+		Identical: true,
+	}
+	for i := 0; i < shardScaleClients; i++ {
+		s := r.Session()
+		for q := 0; q < perClient; q++ {
+			c := ws[(i+q)%len(ws)]
+			res, err := s.QueryCell(c, shardScaleEta)
+			if err != nil {
+				return leg, fmt.Errorf("client %d cell %d: %w", i, c, err)
+			}
+			if shardFingerprint(res) != baseline[c] {
+				leg.Identical = false
+			}
+		}
+	}
+	// The spindle that bounds the run is the busiest single store:
+	// a shard's primary and each of its replicas are independent arms.
+	var maxSim, totalSim time.Duration
+	for _, st := range r.ShardStats() {
+		totalSim += st.SimTime
+		if st.SimTime > maxSim {
+			maxSim = st.SimTime
+		}
+	}
+	for _, st := range r.ReplicaStats() {
+		// ReplicaStats sums a shard's mirrors; with the single replica
+		// this experiment promotes, the sum is that store's own time.
+		totalSim += st.SimTime
+		if st.SimTime > maxSim {
+			maxSim = st.SimTime
+		}
+	}
+	leg.MaxShardSimMicros = float64(maxSim.Microseconds())
+	leg.TotalSimMicros = float64(totalSim.Microseconds())
+	if maxSim > 0 {
+		leg.ThroughputQPS = float64(leg.Queries) / maxSim.Seconds()
+	}
+	return leg, nil
+}
+
+// CollectShardScale measures the shardscale reference for p: the shard
+// sweep at 1/2/4/8 shards under the 8-client harness, plus the
+// skewed-workload replica leg.
+func CollectShardScale(p Params) (*ShardScale, error) {
+	e := DefaultEnv(p)
+	ws := workingSet(e.Tree, 32)
+	perClient := p.ScalQueries
+	if perClient > 200 {
+		perClient = 200
+	}
+	if perClient < 1 {
+		perClient = 1
+	}
+
+	// Unsharded baseline answers, one per distinct working-set cell.
+	e.Tree.SetVStore(e.IV)
+	baseTree := e.Tree.Session()
+	baseline := make(map[cells.CellID]string, len(ws))
+	for _, c := range ws {
+		res, err := baseTree.Query(c, shardScaleEta)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale baseline: %w", err)
+		}
+		baseline[c] = shardFingerprint(res)
+	}
+
+	out := &ShardScale{Workload: workloadTag(p), Clients: shardScaleClients}
+	for _, shards := range []int{1, 2, 4, 8} {
+		leg, _, err := runShardLeg(e, shards, ws, perClient, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale %d shards: %w", shards, err)
+		}
+		out.Legs = append(out.Legs, leg)
+	}
+	if base := out.Legs[0].ThroughputQPS; base > 0 {
+		out.SpeedupAt8 = out.Legs[len(out.Legs)-1].ThroughputQPS / base
+	}
+
+	// Replica leg: every client hammers shard 0's range (a hot district).
+	// The first pass feeds the heat EMAs and sets the unreplicated
+	// reference; PromoteHot then mirrors the hot shard, and the rerun's
+	// sessions split round-robin across primary and replica.
+	hot := hotWorkload(e, 4)
+	for _, c := range hot {
+		if _, ok := baseline[c]; ok {
+			continue
+		}
+		res, err := baseTree.Query(c, shardScaleEta)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale baseline: %w", err)
+		}
+		baseline[c] = shardFingerprint(res)
+	}
+	if len(hot) > 0 {
+		_, r, err := runShardLeg(e, 4, hot, perClient, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale hot: %w", err)
+		}
+		before, err := driveRouter(r, hot, perClient, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale hot rerun: %w", err)
+		}
+		if _, err := r.PromoteHot(1); err != nil {
+			return nil, fmt.Errorf("bench: shardscale promote: %w", err)
+		}
+		after, err := driveRouter(r, hot, perClient, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shardscale replicated: %w", err)
+		}
+		if !before.Identical || !after.Identical {
+			return nil, fmt.Errorf("bench: shardscale replica leg diverged from baseline")
+		}
+		if before.ThroughputQPS > 0 {
+			out.ReplicaSpeedup = after.ThroughputQPS / before.ThroughputQPS
+		}
+	}
+	return out, nil
+}
+
+// hotWorkload returns the cells of shard 0's range under an n-shard
+// partition — the skewed workload that makes one shard hot.
+func hotWorkload(e *Env, shards int) []cells.CellID {
+	m, err := shard.NewMap(e.Tree.Grid.NumCells(), shards)
+	if err != nil {
+		return nil
+	}
+	lo, hi := m.Range(0)
+	out := make([]cells.CellID, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// CompareShardScale checks a fresh run against the committed reference.
+// Two gates are absolute — every leg byte-identical, and ≥3x aggregate
+// throughput at 8 shards — and the rest are relative drift bounds.
+func CompareShardScale(ref, cur *ShardScale, tol float64) []string {
+	var bad []string
+	if ref.Workload != cur.Workload {
+		return []string{fmt.Sprintf("workload mismatch: reference %q vs current %q (regenerate the reference)",
+			ref.Workload, cur.Workload)}
+	}
+	for _, leg := range cur.Legs {
+		if !leg.Identical {
+			bad = append(bad, fmt.Sprintf("%d shards: routed answers diverged from the unsharded baseline", leg.Shards))
+		}
+	}
+	if cur.SpeedupAt8 < 3.0 {
+		bad = append(bad, fmt.Sprintf("8-shard speedup %.2fx, gate 3.00x", cur.SpeedupAt8))
+	}
+	if ref.SpeedupAt8 > 0 && cur.SpeedupAt8 < ref.SpeedupAt8*(1-tol) {
+		bad = append(bad, fmt.Sprintf("8-shard speedup %.2fx, reference %.2fx (tolerance %.0f%%)",
+			cur.SpeedupAt8, ref.SpeedupAt8, 100*tol))
+	}
+	if ref.ReplicaSpeedup > 0 && cur.ReplicaSpeedup < ref.ReplicaSpeedup*(1-tol) {
+		bad = append(bad, fmt.Sprintf("replica speedup %.2fx, reference %.2fx (tolerance %.0f%%)",
+			cur.ReplicaSpeedup, ref.ReplicaSpeedup, 100*tol))
+	}
+	for i, want := range ref.Legs {
+		if i >= len(cur.Legs) {
+			bad = append(bad, fmt.Sprintf("%d shards: missing from current run", want.Shards))
+			continue
+		}
+		got := cur.Legs[i]
+		if got.ThroughputQPS < want.ThroughputQPS*(1-tol) {
+			bad = append(bad, fmt.Sprintf(
+				"%d shards: simulated throughput %.0f q/s, reference %.0f q/s (-%.0f%%, tolerance %.0f%%)",
+				got.Shards, got.ThroughputQPS, want.ThroughputQPS,
+				100*(1-got.ThroughputQPS/want.ThroughputQPS), 100*tol))
+		}
+	}
+	return bad
+}
+
+// LoadShardScale reads a committed reference file.
+func LoadShardScale(path string) (*ShardScale, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s ShardScale
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// WriteShardScale writes s to path in the committed format.
+func WriteShardScale(path string, s *ShardScale) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// RunShardScale is the "shardscale" experiment: the shard-count sweep
+// under the fixed 8-client harness, reporting busiest-spindle simulated
+// throughput, scaling, and answer fidelity, plus the hot-range replica
+// gain.
+func RunShardScale(w io.Writer, p Params) error {
+	s, err := CollectShardScale(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d clients round-robin over 32 cells, indexed-vertical, uncached; throughput = queries / busiest-spindle simulated time\n\n", s.Clients)
+	fmt.Fprintf(w, "%-8s %-9s %-16s %-16s %-10s %s\n",
+		"shards", "queries", "busiest (ms)", "throughput", "speedup", "identical")
+	base := 0.0
+	for _, leg := range s.Legs {
+		if base == 0 {
+			base = leg.ThroughputQPS
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = leg.ThroughputQPS / base
+		}
+		fmt.Fprintf(w, "%-8d %-9d %-16.1f %-16s %-10s %v\n",
+			leg.Shards, leg.Queries, leg.MaxShardSimMicros/1e3,
+			fmt.Sprintf("%.0f q/s", leg.ThroughputQPS),
+			fmt.Sprintf("%.2fx", speedup), leg.Identical)
+	}
+	fmt.Fprintf(w, "\nhot-range replica: skewed workload on one shard, %.2fx after PromoteHot (two arms serve the hot range)\n",
+		s.ReplicaSpeedup)
+	if s.SpeedupAt8 < 3.0 {
+		fmt.Fprintf(w, "WARNING: 8-shard speedup %.2fx below the 3x gate\n", s.SpeedupAt8)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Per-cell hit tracking for hot-cell replication. Every routed query
+// bumps its cell's counter; Decay folds the counters toward zero so the
+// ranking reflects an exponential moving average of recent traffic
+// rather than all-time totals. Counters are flat atomic slices — no maps
+// anywhere near the ranking, so the hottest-shard order is a pure
+// function of the recorded hits (the determinism pass covers this
+// package).
+
+// heatShift is the EMA fixed-point scale: one hit adds 1<<heatShift.
+const heatShift = 16
+
+// Heat tracks per-cell access frequency as a fixed-point EMA.
+type Heat struct {
+	cells []int64 // atomic; fixed-point EMA per cell
+}
+
+// NewHeat returns a tracker over n cells.
+func NewHeat(n int) *Heat {
+	return &Heat{cells: make([]int64, n)}
+}
+
+// Hit records one access to cell c. Safe for concurrent use.
+func (h *Heat) Hit(c int) {
+	if c < 0 || c >= len(h.cells) {
+		return
+	}
+	atomic.AddInt64(&h.cells[c], 1<<heatShift)
+}
+
+// Decay halves every cell's EMA — one tick of the moving average. Callers
+// choose the tick cadence (per frame batch, per promotion round).
+func (h *Heat) Decay() {
+	for i := range h.cells {
+		for {
+			old := atomic.LoadInt64(&h.cells[i])
+			if atomic.CompareAndSwapInt64(&h.cells[i], old, old/2) {
+				break
+			}
+		}
+	}
+}
+
+// Cell returns cell c's current EMA in hits (fixed point scaled away).
+func (h *Heat) Cell(c int) float64 {
+	if c < 0 || c >= len(h.cells) {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&h.cells[c])) / (1 << heatShift)
+}
+
+// ShardLoads sums the per-cell EMAs over each shard's owned range.
+func (h *Heat) ShardLoads(m Map) []float64 {
+	out := make([]float64, m.Shards())
+	for i := range out {
+		lo, hi := m.Range(i)
+		var sum int64
+		for c := lo; c < hi; c++ {
+			sum += atomic.LoadInt64(&h.cells[c])
+		}
+		out[i] = float64(sum) / (1 << heatShift)
+	}
+	return out
+}
+
+// TopShards ranks shards by load (descending, shard index breaking ties)
+// and returns the indices of the up-to-k hottest shards with nonzero
+// load. The tie-break makes the ranking deterministic for equal traffic.
+func (h *Heat) TopShards(m Map, k int) []int {
+	loads := h.ShardLoads(m)
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if loads[order[a]] != loads[order[b]] {
+			return loads[order[a]] > loads[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	out := make([]int, 0, k)
+	for _, i := range order[:k] {
+		if loads[i] > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

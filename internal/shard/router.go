@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/scene"
+	"repro/internal/storage"
+)
+
+// Config shapes a router's shard topology.
+type Config struct {
+	// Shards is the number of contiguous cell-range partitions.
+	Shards int
+	// Scheme, Parallel and FaultTolerant are applied to every store.
+	Scheme        Scheme
+	Parallel      int
+	FaultTolerant bool
+	// CachePagesPerShard is each store's private buffer-pool capacity.
+	CachePagesPerShard int
+	// Trim releases foreign V-pages from every store (see StoreConfig).
+	Trim bool
+}
+
+// Table is one immutable shard topology: the map plus the store set.
+// Published copy-on-write by the Router — never mutated after Publish,
+// so a Session can keep reading it forever without locks, exactly like a
+// pinned scene epoch.
+type Table struct {
+	Map       Map
+	Primaries []*Store
+	// Replicas[i] holds shard i's hot-range mirrors (usually empty).
+	Replicas [][]*Store
+}
+
+// stores returns shard i's serving candidates: primary plus replicas.
+func (t *Table) stores(i int) int { return 1 + len(t.Replicas[i]) }
+
+// storeAt returns shard i's pick-th candidate (0 = primary).
+func (t *Table) storeAt(i, pick int) *Store {
+	if pick == 0 {
+		return t.Primaries[i]
+	}
+	return t.Replicas[i][pick-1]
+}
+
+// Router owns the shard topology and routes sessions to stores. The
+// current Table is read via an atomic pointer; topology changes
+// (promotion, demotion, scheme flips) build the replacement off to the
+// side and swap it under mu — the mutex serializes writers only, and no
+// I/O ever happens while it is held.
+type Router struct {
+	sc   *scene.Scene
+	src  *storage.Disk
+	man  Manifests
+	heat *Heat
+	// rr spreads sessions over a shard's primary+replica candidates.
+	rr atomic.Uint64
+	// mu serializes topology writers; the published Table itself is read
+	// lock-free through cur.
+	mu  sync.Mutex
+	cfg Config // hdov:guarded-by mu
+	cur atomic.Pointer[Table]
+}
+
+// NewRouter partitions the grid into cfg.Shards contiguous ranges and
+// opens one primary store per shard over clones of src.
+func NewRouter(sc *scene.Scene, src *storage.Disk, man Manifests, cfg Config) (*Router, error) {
+	numCells, err := cellCount(man)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMap(numCells, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{sc: sc, src: src, man: man, cfg: cfg, heat: NewHeat(numCells)}
+	tab := &Table{Map: m, Primaries: make([]*Store, m.Shards()), Replicas: make([][]*Store, m.Shards())}
+	for i := 0; i < m.Shards(); i++ {
+		st, err := r.open(m, i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.Primaries[i] = st
+	}
+	r.cur.Store(tab)
+	return r, nil
+}
+
+// cellCount derives the grid size from the tree manifest.
+func cellCount(man Manifests) (int, error) {
+	g, err := man.Tree.Grid.Grid()
+	if err != nil {
+		return 0, fmt.Errorf("shard: %w", err)
+	}
+	return g.NumCells(), nil
+}
+
+// open builds one store under the current per-store settings.
+func (r *Router) open(m Map, idx int, cfg Config) (*Store, error) {
+	return OpenStore(r.sc, r.src, r.man, m, idx, StoreConfig{
+		Scheme:        cfg.Scheme,
+		Parallel:      cfg.Parallel,
+		FaultTolerant: cfg.FaultTolerant,
+		CachePages:    cfg.CachePagesPerShard,
+		Trim:          cfg.Trim,
+	})
+}
+
+// Table returns the current topology snapshot.
+func (r *Router) Table() *Table { return r.cur.Load() }
+
+// Heat returns the per-cell hit tracker.
+func (r *Router) Heat() *Heat { return r.heat }
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.Table().Map.Shards() }
+
+// PromoteHot mirrors the k hottest shard ranges (per the hit EMAs) onto
+// replica stores and publishes the new topology. The replicas are built
+// fully — cloned disk, reopened tree and schemes, warm-free pool —
+// before the table swap, so no session ever observes a half-built
+// store; sessions created before the swap keep their pinned table. It
+// returns the promoted shard indices (empty when no shard has traffic).
+// Shards already carrying a replica are not promoted twice.
+func (r *Router) PromoteHot(k int) ([]int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.cur.Load()
+	hot := r.heat.TopShards(old.Map, k)
+	promoted := make([]int, 0, len(hot))
+	next := &Table{
+		Map:       old.Map,
+		Primaries: old.Primaries,
+		Replicas:  make([][]*Store, len(old.Replicas)),
+	}
+	copy(next.Replicas, old.Replicas)
+	for _, i := range hot {
+		if len(next.Replicas[i]) > 0 {
+			continue
+		}
+		st, err := r.open(old.Map, i, r.cfg)
+		if err != nil {
+			return promoted, err
+		}
+		st.Replica = true
+		next.Replicas[i] = []*Store{st}
+		promoted = append(promoted, i)
+	}
+	if len(promoted) > 0 {
+		r.cur.Store(next)
+	}
+	return promoted, nil
+}
+
+// DropReplicas demotes every replica: the next published table serves
+// primaries only. Sessions pinned to the old table keep their replicas.
+func (r *Router) DropReplicas() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.cur.Load()
+	next := &Table{
+		Map:       old.Map,
+		Primaries: old.Primaries,
+		Replicas:  make([][]*Store, len(old.Replicas)),
+	}
+	r.cur.Store(next)
+}
+
+// Session routes through the current topology. Each session picks one
+// candidate (primary or replica) per shard, rotating over sessions so
+// concurrent clients spread across a hot shard's mirrors; the pick is
+// sticky for the session's lifetime, preserving per-store cursor and
+// cut coherence.
+func (r *Router) Session() *Session {
+	tab := r.cur.Load()
+	n := r.rr.Add(1) - 1
+	picks := make([]int, tab.Map.Shards())
+	for i := range picks {
+		picks[i] = int(n % uint64(tab.stores(i)))
+	}
+	return &Session{router: r, tab: tab, picks: picks, trees: make([]*core.Tree, tab.Map.Shards())}
+}
+
+// forEachStore visits every store in the current table, primaries first,
+// then replicas in shard order.
+func (r *Router) forEachStore(fn func(*Store)) {
+	tab := r.cur.Load()
+	for _, st := range tab.Primaries {
+		fn(st)
+	}
+	for _, reps := range tab.Replicas {
+		for _, st := range reps {
+			fn(st)
+		}
+	}
+}
+
+// SetScheme flips the active V-page layout on every store. Sessions
+// created afterwards see the new scheme.
+func (r *Router) SetScheme(s Scheme) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.Scheme = s
+	r.forEachStore(func(st *Store) { st.SetScheme(s) })
+}
+
+// SetParallel bounds per-query traversal fan-out on every store.
+func (r *Router) SetParallel(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.Parallel = n
+	r.forEachStore(func(st *Store) { st.Tree.SetParallel(n) })
+}
+
+// SetFaultTolerant toggles degraded-mode traversal on every store.
+func (r *Router) SetFaultTolerant(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.FaultTolerant = on
+	r.forEachStore(func(st *Store) { st.Tree.FaultTolerant = on })
+}
+
+// SetCacheSize installs a buffer pool of n pages on every store — the
+// per-shard slice of an aggregate budget is the caller's division.
+func (r *Router) SetCacheSize(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.CachePagesPerShard = n
+	r.forEachStore(func(st *Store) { st.Disk.SetCacheSize(n) })
+}
+
+// InjectFaults installs the same deterministic fault plan on every
+// store's disk; ClearFaults removes it and lifts quarantines.
+func (r *Router) InjectFaults(cfg storage.FaultConfig) {
+	r.forEachStore(func(st *Store) { st.Disk.InjectFaults(cfg) })
+}
+
+// ClearFaults removes fault injectors and quarantine marks everywhere.
+func (r *Router) ClearFaults() {
+	r.forEachStore(func(st *Store) {
+		st.Disk.ClearFaults()
+		st.Disk.ClearQuarantine()
+	})
+}
+
+// ShardStats returns each shard's primary-store accounting, indexed by
+// shard. Replica traffic is reported separately by ReplicaStats.
+func (r *Router) ShardStats() []storage.Stats {
+	tab := r.cur.Load()
+	out := make([]storage.Stats, len(tab.Primaries))
+	for i, st := range tab.Primaries {
+		out[i] = st.Disk.Stats()
+	}
+	return out
+}
+
+// ReplicaStats returns per-shard summed replica accounting (zero for
+// shards without replicas).
+func (r *Router) ReplicaStats() []storage.Stats {
+	tab := r.cur.Load()
+	out := make([]storage.Stats, len(tab.Replicas))
+	for i, reps := range tab.Replicas {
+		for _, st := range reps {
+			out[i] = out[i].Add(st.Disk.Stats())
+		}
+	}
+	return out
+}
+
+// Bases returns every store's base tree in the current topology
+// (primaries in shard order, then each shard's replicas) — the serve
+// path installs shared shed policies on all of them so routed sessions
+// degrade fidelity in lockstep.
+func (r *Router) Bases() []*core.Tree {
+	tab := r.cur.Load()
+	var out []*core.Tree
+	for _, st := range tab.Primaries {
+		out = append(out, st.Tree)
+	}
+	for _, reps := range tab.Replicas {
+		for _, st := range reps {
+			out = append(out, st.Tree)
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes every store's cumulative disk and traversal
+// accounting (primaries and replicas alike).
+func (r *Router) ResetStats() {
+	r.forEachStore(func(st *Store) {
+		st.Disk.ResetStats()
+		st.Tree.IO.ResetStats()
+	})
+}
+
+// ShardPoolStats returns each shard's primary buffer-pool counters.
+func (r *Router) ShardPoolStats() []storage.PoolStats {
+	tab := r.cur.Load()
+	out := make([]storage.PoolStats, len(tab.Primaries))
+	for i, st := range tab.Primaries {
+		out[i] = st.Disk.PoolStats()
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+)
+
+func TestMapPartition(t *testing.T) {
+	for _, tc := range []struct{ cells, shards int }{
+		{144, 1}, {144, 2}, {144, 8}, {10, 3}, {7, 7},
+	} {
+		m, err := NewMap(tc.cells, tc.shards)
+		if err != nil {
+			t.Fatalf("NewMap(%d,%d): %v", tc.cells, tc.shards, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("NewMap(%d,%d) invalid: %v", tc.cells, tc.shards, err)
+		}
+		if m.Shards() != tc.shards {
+			t.Fatalf("NewMap(%d,%d): %d shards", tc.cells, tc.shards, m.Shards())
+		}
+		counts := make([]int, tc.shards)
+		for c := 0; c < tc.cells; c++ {
+			i := m.Owner(cells.CellID(c))
+			if i < 0 || i >= tc.shards {
+				t.Fatalf("cell %d owned by shard %d", c, i)
+			}
+			lo, hi := m.Range(i)
+			if cells.CellID(c) < lo || cells.CellID(c) >= hi {
+				t.Fatalf("cell %d outside its owner's range [%d,%d)", c, lo, hi)
+			}
+			counts[i]++
+		}
+		total := 0
+		for i, n := range counts {
+			if n == 0 {
+				t.Fatalf("shard %d owns no cells", i)
+			}
+			if max, min := (tc.cells+tc.shards-1)/tc.shards, tc.cells/tc.shards; n > max || n < min {
+				t.Fatalf("shard %d owns %d cells, want within [%d,%d]", i, n, min, max)
+			}
+			total += n
+		}
+		if total != tc.cells {
+			t.Fatalf("partition covers %d of %d cells", total, tc.cells)
+		}
+	}
+	if m, _ := NewMap(16, 4); m.Owner(-1) != -1 || m.Owner(16) != -1 {
+		t.Fatal("out-of-grid cells must have no owner")
+	}
+	if _, err := NewMap(4, 5); err == nil {
+		t.Fatal("more shards than cells must fail")
+	}
+}
+
+func TestMapValidateRejectsBadMaps(t *testing.T) {
+	bad := []Map{
+		{NumCells: 10, Starts: nil},
+		{NumCells: 10, Starts: []cells.CellID{1}},
+		{NumCells: 10, Starts: []cells.CellID{0, 5, 5}},
+		{NumCells: 10, Starts: []cells.CellID{0, 12}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad map %d validated", i)
+		}
+	}
+}
+
+func TestHeatRanking(t *testing.T) {
+	m, _ := NewMap(12, 4) // shards own [0,3) [3,6) [6,9) [9,12)
+	h := NewHeat(12)
+	for i := 0; i < 10; i++ {
+		h.Hit(4) // shard 1
+	}
+	for i := 0; i < 6; i++ {
+		h.Hit(9) // shard 3
+	}
+	h.Hit(0) // shard 0
+	top := h.TopShards(m, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Fatalf("TopShards = %v, want [1 3]", top)
+	}
+	if got := h.TopShards(m, 8); len(got) != 3 {
+		t.Fatalf("TopShards(8) returned %v, want the 3 shards with traffic", got)
+	}
+	h.Decay()
+	if got := h.Cell(4); got != 5 {
+		t.Fatalf("decayed EMA = %v, want 5", got)
+	}
+	// Ties break by shard index, deterministically.
+	h2 := NewHeat(12)
+	h2.Hit(7)
+	h2.Hit(10)
+	if top := h2.TopShards(m, 2); top[0] != 2 || top[1] != 3 {
+		t.Fatalf("tied TopShards = %v, want [2 3]", top)
+	}
+}

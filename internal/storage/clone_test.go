@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCloneSharesContentIsolatesDynamics(t *testing.T) {
+	d := NewDisk(64, DefaultCostModel())
+	base := d.AllocPages(4)
+	if err := d.WritePage(base, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(base+1, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptPage(base + 2)
+	d.SetCacheSize(8)
+	if _, err := d.ReadPage(base, ClassLight); err != nil {
+		t.Fatal(err)
+	}
+
+	c := d.Clone()
+	if c.PageSize() != d.PageSize() || c.NumPages() != d.NumPages() {
+		t.Fatalf("layout mismatch: %d/%d pages, %d/%d bytes",
+			c.NumPages(), d.NumPages(), c.PageSize(), d.PageSize())
+	}
+	if s := c.Stats(); s.Reads != 0 || s.SimTime != 0 {
+		t.Fatalf("clone inherited stats: %+v", s)
+	}
+	if c.PoolEnabled() {
+		t.Fatal("clone inherited the buffer pool")
+	}
+	p, err := c.ReadPage(base, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p[:5], []byte("alpha")) {
+		t.Fatalf("clone content mismatch: %q", p[:5])
+	}
+	if _, err := c.ReadPage(base+2, ClassLight); err == nil {
+		t.Fatal("clone lost the corruption mark")
+	}
+	// Reads on the clone charge the clone only.
+	if s := d.Stats(); s.Reads != 1 {
+		t.Fatalf("clone reads leaked into source stats: %+v", s)
+	}
+
+	// Writes after the clone are invisible across the boundary, both ways.
+	if err := d.WritePage(base+1, []byte("GAMMA")); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.ReadPage(base+1, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p[:4], []byte("beta")) {
+		t.Fatalf("source write leaked into clone: %q", p[:5])
+	}
+	if err := c.WritePage(base, []byte("DELTA")); err != nil {
+		t.Fatal(err)
+	}
+	p, err = d.ReadPage(base, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p[:5], []byte("alpha")) {
+		t.Fatalf("clone write leaked into source: %q", p[:5])
+	}
+}
+
+func TestReleasePages(t *testing.T) {
+	d := NewDisk(32, DefaultCostModel())
+	base := d.AllocPages(3)
+	for i := 0; i < 3; i++ {
+		if err := d.WritePage(base+PageID(i), []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.ResidentBytes()
+	if n := d.ReleasePages([]PageID{base + 1, base + 2, base + 2}); n != 2 {
+		t.Fatalf("released %d pages, want 2", n)
+	}
+	if got := d.ResidentBytes(); got != before-64 {
+		t.Fatalf("resident bytes %d, want %d", got, before-64)
+	}
+	if d.NumPages() != 3 {
+		t.Fatalf("release changed the layout: %d pages", d.NumPages())
+	}
+	p, err := d.ReadPage(base+1, ClassLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 {
+		t.Fatalf("released page reads back %d, want zero fill", p[0])
+	}
+}

@@ -127,6 +127,9 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Add returns s + o, for aggregating accounting across shard stores.
+func (s Stats) Add(o Stats) Stats { return s.add(o) }
+
 // add returns s + o.
 func (s Stats) add(o Stats) Stats {
 	return Stats{

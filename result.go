@@ -274,10 +274,28 @@ type DiskStats struct {
 }
 
 // DiskStats returns the cumulative disk accounting, summed over every
-// session (Session.Stats reports one session's own share).
+// session (Session.Stats reports one session's own share). On a sharded
+// database the sum spans the single-store disk plus every shard primary
+// and replica, so no store's traffic is dropped from the aggregate;
+// ShardDiskStats gives the per-shard breakdown.
 func (db *DB) DiskStats() DiskStats {
-	return diskStatsFrom(db.disk.Stats())
+	sum := db.disk.Stats()
+	if r := db.currentRouter(); r != nil {
+		for _, s := range r.ShardStats() {
+			sum = sum.Add(s)
+		}
+		for _, s := range r.ReplicaStats() {
+			sum = sum.Add(s)
+		}
+	}
+	return diskStatsFrom(sum)
 }
 
-// ResetDiskStats zeroes the cumulative counters.
-func (db *DB) ResetDiskStats() { db.disk.ResetStats() }
+// ResetDiskStats zeroes the cumulative counters, including every shard
+// store's when sharding is enabled.
+func (db *DB) ResetDiskStats() {
+	db.disk.ResetStats()
+	if r := db.currentRouter(); r != nil {
+		r.ResetStats()
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/render"
 	"repro/internal/review"
+	"repro/internal/shard"
 	"repro/internal/walkthrough"
 )
 
@@ -171,8 +172,22 @@ func (db *DB) WalkthroughContext(ctx context.Context, opts WalkOptions) (*WalkSt
 			Render:        render.DefaultConfig(),
 			FrameBudget:   opts.FrameBudget,
 		}
+		var routed *shard.Session
+		if r := db.currentRouter(); r != nil {
+			// Sharded: each frame's cell-entry query runs on the owning
+			// shard's store; the walk hands off between stores at shard
+			// boundaries. Answers are byte-identical to the unrouted walk.
+			routed = r.Session()
+			p.Route = routed.RouteTree
+		}
 		res, err = p.PlayContext(ctx, s)
-		if err == nil && opts.Coherent {
+		if err == nil && opts.Coherent && routed != nil {
+			cs := routed.CoherenceStats()
+			coherence = CoherenceStats{
+				Incremental: cs.Incremental, Full: cs.Full,
+				NodesReused: cs.NodesReused, Expanded: cs.Expanded, Collapsed: cs.Collapsed,
+			}
+		} else if err == nil && opts.Coherent {
 			cs := tree.CoherenceStats()
 			coherence = CoherenceStats{
 				Incremental: cs.Incremental, Full: cs.Full,
