@@ -54,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guardDU  = fs.String("guarddynupdate", "", "compare fresh dynupdate metrics against a committed reference file; exit 1 on a broken locality gate or >25% drift")
 		writeSS  = fs.String("writeshardscale", "", "measure and write the shardscale reference file, then exit")
 		guardSS  = fs.String("guardshardscale", "", "compare fresh shardscale metrics against a committed reference file; exit 1 on divergent answers, a sub-3x 8-shard speedup, or >25% drift")
+		writeHW  = fs.String("writehwcalib", "", "calibrate the file backend, measure, and write the hwcalib reference file, then exit")
+		guardHW  = fs.String("guardhwcalib", "", "re-run the file-backend calibration and check the wall-clock gates against a committed reference file; exit 1 on a missed gate")
+		benchfmt = fs.Bool("benchfmt", false, "with a write*/guard* flag: also print the metrics as Go benchmark lines (benchstat-compatible)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "baseline written to %s (workload %s)\n", *writeBas, b.Workload)
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtBaseline(stdout, b, p.ScalQueries)
+		}
 		return 0
 	}
 
@@ -117,6 +124,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "walkcoherence reference written to %s (workload %s)\n", *writeWC, wc.Workload)
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtWalkCoherence(stdout, wc)
+		}
 		return 0
 	}
 
@@ -131,6 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "vpagecodec reference written to %s (workload %s)\n", *writeVC, vc.Workload)
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtVPageCodec(stdout, vc, p.ScalQueries)
+		}
 		return 0
 	}
 
@@ -173,6 +188,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "shardscale reference written to %s (workload %s)\n", *writeSS, ss.Workload)
+		return 0
+	}
+
+	if *writeHW != "" {
+		hc, err := bench.CollectHWCalib(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteHWCalib(*writeHW, hc); err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hwcalib reference written to %s (workload %s, fitted seek %.3fµs, transfer %.3fµs/page)\n",
+			*writeHW, hc.Workload, hc.FittedSeekMicros, hc.FittedTransferMicros)
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtHWCalib(stdout, hc, p.ScalQueries)
+		}
+		return 0
+	}
+
+	if *guardHW != "" {
+		ref, err := bench.LoadHWCalib(*guardHW)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 2
+		}
+		cur, err := bench.CollectHWCalib(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "hdovbench: %v\n", err)
+			return 1
+		}
+		if bad := bench.CompareHWCalib(ref, cur); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(stderr, "hdovbench: regression: %s\n", line)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "hwcalib guard passed (workload %s, codec %.2fx, warm %.2fx measured speedup)\n",
+			ref.Workload, cur.CodecSpeedup, cur.WarmSpeedup)
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtHWCalib(stdout, cur, p.ScalQueries)
+		}
 		return 0
 	}
 
@@ -259,6 +319,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "vpagecodec guard passed (workload %s, %d schemes)\n",
 			ref.Workload, len(ref.Schemes))
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtVPageCodec(stdout, cur, p.ScalQueries)
+		}
 		return 0
 	}
 
@@ -281,6 +345,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "baseline guard passed (workload %s, %d schemes)\n",
 			ref.Workload, len(ref.Schemes))
+		if *benchfmt {
+			bench.WriteBenchHeader(stdout)
+			bench.BenchFmtBaseline(stdout, cur, p.ScalQueries)
+		}
 		return 0
 	}
 

@@ -37,6 +37,7 @@ package hdov
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/cells"
@@ -141,6 +142,11 @@ type Config struct {
 	// DoVQuantBits overrides the build-time DoV quantization grid
 	// (0 = default 16 fraction bits, < 0 disables quantization).
 	DoVQuantBits int
+	// Storage selects the media the paged disk runs on: the simulated
+	// in-memory disk (the zero value) or a real OS file (BackendFile).
+	// Query answers are byte-identical either way; the file backend
+	// additionally charges measured wall-clock I/O into DiskStats.
+	Storage StorageConfig
 }
 
 // DefaultConfig returns a laptop-scale database comparable in structure to
@@ -197,6 +203,8 @@ type DB struct {
 	// log since the original build, replayed by Open.
 	epoch int        // hdov:guarded-by mu
 	ops   []scene.Op // hdov:guarded-by mu
+	// tmpDir owns an unnamed file backend's page file; Close removes it.
+	tmpDir string // hdov:guarded-by mu
 }
 
 // Build generates the city, constructs the HDoV-tree, precomputes per-cell
@@ -235,7 +243,19 @@ func Build(cfg Config) (*DB, error) {
 		sc = scene.Generate(cp)
 	}
 
-	d := storage.NewDisk(0, storage.DefaultCostModel())
+	d, tmpDir, err := newDisk(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	// The disk may own real resources (page file, mmap window, temp dir);
+	// every build failure past this point must release them.
+	fail := func(err error) (*DB, error) {
+		_ = d.Close()
+		if tmpDir != "" {
+			_ = os.RemoveAll(tmpDir)
+		}
+		return nil, err
+	}
 	bp := core.DefaultBuildParams()
 	bp.Grid = cells.NewGrid(sc.ViewRegion, cfg.GridCells, cfg.GridCells)
 	bp.DirsPerViewpoint = cfg.DoVRays
@@ -246,29 +266,30 @@ func Build(cfg Config) (*DB, error) {
 	bp.DoVQuantBits = cfg.DoVQuantBits
 	tr, vis, err := core.Build(sc, d, bp)
 	if err != nil {
-		return nil, fmt.Errorf("hdov: %w", err)
+		return fail(fmt.Errorf("hdov: %w", err))
 	}
 	opts := vstore.Options{Codec: cfg.Codec}
 	h, err := vstore.BuildHorizontalOpts(d, vis, opts)
 	if err != nil {
-		return nil, fmt.Errorf("hdov: %w", err)
+		return fail(fmt.Errorf("hdov: %w", err))
 	}
 	v, err := vstore.BuildVerticalOpts(d, vis, opts)
 	if err != nil {
-		return nil, fmt.Errorf("hdov: %w", err)
+		return fail(fmt.Errorf("hdov: %w", err))
 	}
 	iv, err := vstore.BuildIndexedVerticalOpts(d, vis, opts)
 	if err != nil {
-		return nil, fmt.Errorf("hdov: %w", err)
+		return fail(fmt.Errorf("hdov: %w", err))
 	}
 	nv, err := naive.Build(tr, vis, 0)
 	if err != nil {
-		return nil, fmt.Errorf("hdov: %w", err)
+		return fail(fmt.Errorf("hdov: %w", err))
 	}
 	db := &DB{
 		cfg: cfg, scene: sc, disk: d, tree: tr, vis: vis,
 		h: h, v: v, iv: iv, naive: nv,
 		engine: visibility.NewEngine(sc, cfg.DoVRays),
+		tmpDir: tmpDir,
 	}
 	db.SetScheme(cfg.Scheme)
 	return db, nil

@@ -15,7 +15,9 @@ import (
 //   - binary.Read / binary.Write with the error unchecked;
 //   - segment/page decoders (functions named Decode*/decode*) whose
 //     error result is discarded;
-//   - storage writes (WritePage / WriteBytes / WriteTo) whose error is
+//   - storage writes (WritePage / WriteBytes / WriteTo) and media
+//     flushes (Sync — on the file backend a dropped Sync error silently
+//     forfeits the fsync-at-commit durability guarantee) whose error is
 //     assigned to the blank identifier or ignored as a statement;
 //   - the incremental-update write path (ApplyOp / ApplyOps / WriteDeltaTo
 //     / ApplyDelta / CommitEpoch): a dropped error there either publishes
@@ -44,6 +46,9 @@ var watchedWriters = map[string]bool{
 	"WritePage":  true,
 	"WriteBytes": true,
 	"WriteTo":    true,
+	// Media flushes: the file backend's durability hinges on the fsync at
+	// the commit point actually being checked.
+	"Sync": true,
 	// The incremental-update write path.
 	"ApplyOp":      true,
 	"ApplyOps":     true,

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// Benchmark-format output: the collected reference metrics rendered as
+// standard Go benchmark lines ("BenchmarkX <iters> <value> <unit> ..."),
+// the format `go test -bench` emits and benchstat consumes. hdovbench
+// -benchfmt prints these alongside the JSON reference files, so two
+// runs (two commits, two hosts, sim vs file backend) can be diffed with
+// the stock tooling instead of ad-hoc JSON munging.
+
+// WriteBenchHeader writes the benchstat file preamble.
+func WriteBenchHeader(w io.Writer) {
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: repro/internal/bench\n")
+}
+
+// benchLine writes one benchmark result line. Values come in
+// (value, unit) pairs, the way testing.B prints custom metrics.
+func benchLine(w io.Writer, name string, iters int, pairs ...any) {
+	fmt.Fprintf(w, "Benchmark%s\t%d", name, iters)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		fmt.Fprintf(w, "\t%.4g %s", pairs[i], pairs[i+1])
+	}
+	fmt.Fprintln(w)
+}
+
+// sortedSchemes returns map keys in stable order.
+func sortedSchemes[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BenchFmtBaseline renders the baseline reference.
+func BenchFmtBaseline(w io.Writer, b *Baseline, queries int) {
+	for _, name := range sortedSchemes(b.Schemes) {
+		m := b.Schemes[name]
+		benchLine(w, "Baseline/"+name, queries,
+			m.SimMicrosPerQuery, "sim-us/query",
+			m.LightIOPerQuery, "light-io/query")
+	}
+	benchLine(w, "Baseline/serve", queries, b.CachedHitRate, "pool-hit-rate")
+}
+
+// BenchFmtVPageCodec renders the vpagecodec reference.
+func BenchFmtVPageCodec(w io.Writer, vc *VPageCodec, queries int) {
+	for _, name := range sortedSchemes(vc.Schemes) {
+		m := vc.Schemes[name]
+		for _, leg := range []struct {
+			label string
+			l     CodecLeg
+		}{{"raw", m.Raw}, {"codec", m.Codec}} {
+			benchLine(w, "VPageCodec/"+name+"/"+leg.label, queries,
+				leg.l.BytesPerVPage, "B/vpage",
+				leg.l.SimMicrosPerQuery, "sim-us/query",
+				leg.l.LightIOPerQuery, "light-io/query")
+		}
+	}
+}
+
+// BenchFmtWalkCoherence renders the walkcoherence reference.
+func BenchFmtWalkCoherence(w io.Writer, wc *WalkCoherence) {
+	for _, name := range sortedSchemes(wc.Schemes) {
+		m := wc.Schemes[name]
+		for _, leg := range []struct {
+			label string
+			l     CoherenceLeg
+		}{{"full", m.Full}, {"coherent", m.Coherent}, {"warm", m.Warm}} {
+			benchLine(w, "WalkCoherence/"+name+"/"+leg.label, wc.Frames,
+				leg.l.LightIOPerQuery, "light-io/query",
+				float64(leg.l.PeakFrameLightIO), "peak-light-io/frame")
+		}
+	}
+}
+
+// BenchFmtHWCalib renders the hardware-calibration reference.
+func BenchFmtHWCalib(w io.Writer, hc *HWCalib, queries int) {
+	benchLine(w, "HWCalib/fitted-cost", 1,
+		hc.FittedSeekMicros, "seek-us",
+		hc.FittedTransferMicros, "transfer-us/page")
+	for _, name := range sortedSchemes(hc.Schemes) {
+		m := hc.Schemes[name]
+		benchLine(w, "HWCalib/"+name, queries,
+			m.SimMicrosPerQuery, "sim-us/query",
+			m.MeasuredMicrosPerQuery, "measured-us/query",
+			m.LightIOPerQuery, "light-io/query")
+	}
+	benchLine(w, "HWCalib/codec", queries, hc.CodecSpeedup, "speedup-x")
+	benchLine(w, "HWCalib/warm", queries, hc.WarmSpeedup, "speedup-x")
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// benchLineRE is the shape `go test -bench` emits and benchstat parses:
+// name, iteration count, then (value, unit) pairs.
+var benchLineRE = regexp.MustCompile(`^Benchmark[^\s]+\t\d+(\t[0-9.e+-]+ [^\s]+)+$`)
+
+func checkBenchLines(t *testing.T, out string, wantLines int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != wantLines {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), wantLines, out)
+	}
+	for _, l := range lines {
+		if !benchLineRE.MatchString(l) {
+			t.Errorf("line does not parse as a benchmark result: %q", l)
+		}
+	}
+}
+
+func TestBenchFmtShapes(t *testing.T) {
+	var buf bytes.Buffer
+	WriteBenchHeader(&buf)
+	hdr := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(hdr) != 3 || !strings.HasPrefix(hdr[0], "goos: ") ||
+		!strings.HasPrefix(hdr[1], "goarch: ") || !strings.HasPrefix(hdr[2], "pkg: ") {
+		t.Fatalf("bad header:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	BenchFmtBaseline(&buf, &Baseline{
+		Schemes: map[string]BaselineMetric{
+			"horizontal":       {SimMicrosPerQuery: 1234.5, LightIOPerQuery: 3.2},
+			"indexed-vertical": {SimMicrosPerQuery: 987.6, LightIOPerQuery: 2.1},
+		},
+		CachedHitRate: 0.93,
+	}, 200)
+	checkBenchLines(t, buf.String(), 3)
+
+	buf.Reset()
+	BenchFmtVPageCodec(&buf, &VPageCodec{
+		Schemes: map[string]CodecSchemeMetric{
+			"vertical": {
+				Raw:   CodecLeg{BytesPerVPage: 8, SimMicrosPerQuery: 100, LightIOPerQuery: 4},
+				Codec: CodecLeg{BytesPerVPage: 2, SimMicrosPerQuery: 60, LightIOPerQuery: 2.5},
+			},
+		},
+	}, 200)
+	checkBenchLines(t, buf.String(), 2)
+
+	buf.Reset()
+	BenchFmtWalkCoherence(&buf, &WalkCoherence{
+		Frames: 300,
+		Schemes: map[string]CoherenceSchemeMetric{
+			"horizontal": {
+				Full:     CoherenceLeg{LightIOPerQuery: 10, PeakFrameLightIO: 40},
+				Coherent: CoherenceLeg{LightIOPerQuery: 5, PeakFrameLightIO: 20},
+				Warm:     CoherenceLeg{LightIOPerQuery: 1, PeakFrameLightIO: 4},
+			},
+		},
+	})
+	checkBenchLines(t, buf.String(), 3)
+
+	buf.Reset()
+	BenchFmtHWCalib(&buf, &HWCalib{
+		FittedSeekMicros:     0.4,
+		FittedTransferMicros: 0.2,
+		Schemes: map[string]HWSchemeMetric{
+			"horizontal": {LightIOPerQuery: 3, SimMicrosPerQuery: 1.5, MeasuredMicrosPerQuery: 1.8},
+		},
+		CodecSpeedup: 1.4,
+		WarmSpeedup:  25,
+	}, 200)
+	checkBenchLines(t, buf.String(), 4)
+}

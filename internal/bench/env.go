@@ -126,7 +126,17 @@ func BuildEnv(p Params, blocks int, gridCells int, nominal int64) *Env {
 	if e, ok := envCache[key]; ok {
 		return e
 	}
+	e := buildEnvOn(p, blocks, gridCells, nominal,
+		storage.NewDisk(0, storage.DefaultCostModel()))
+	envCache[key] = e
+	return e
+}
 
+// buildEnvOn builds the dataset of the given scale onto a caller-supplied
+// disk. The hardware-calibration experiment uses it to build on the real
+// file backend under a fitted cost model; results are never cached, so
+// the caller owns the disk's lifetime.
+func buildEnvOn(p Params, blocks int, gridCells int, nominal int64, d *storage.Disk) *Env {
 	cp := scene.DefaultCityParams()
 	cp.Seed = p.Seed
 	cp.BlocksX, cp.BlocksY = blocks, blocks
@@ -134,7 +144,6 @@ func BuildEnv(p Params, blocks int, gridCells int, nominal int64) *Env {
 	cp.NominalBytes = nominal
 	sc := scene.Generate(cp)
 
-	d := storage.NewDisk(0, storage.DefaultCostModel())
 	bp := core.DefaultBuildParams()
 	bp.Grid = cells.NewGrid(sc.ViewRegion, gridCells, gridCells)
 	bp.DirsPerViewpoint = p.Dirs
@@ -160,13 +169,11 @@ func BuildEnv(p Params, blocks int, gridCells int, nominal int64) *Env {
 		panic("bench: " + err.Error())
 	}
 	tr.SetVStore(iv)
-	e := &Env{
+	return &Env{
 		Scene: sc, Disk: d, Tree: tr, Vis: vis,
 		H: h, V: v, IV: iv, Naive: nv,
 		Engine: visibility.NewEngine(sc, p.Dirs),
 	}
-	envCache[key] = e
-	return e
 }
 
 // DefaultEnv builds the default dataset of p.
@@ -202,6 +209,7 @@ func All() []Experiment {
 		{ID: "overload", Title: "Extension: overload resilience — admission, shedding, breaker, cancellation", Run: RunOverload},
 		{ID: "dynupdate", Title: "Extension: incremental updates — locality, LoD reuse, write cost vs rebuild", Run: RunDynUpdate},
 		{ID: "shardscale", Title: "Extension: sharded stores — scatter-gather routing, near-linear scaling, hot-range replicas", Run: RunShardScale},
+		{ID: "hwcalib", Title: "Extension: hardware in the loop — file-backend calibration, fitted cost model, sim vs measured", Run: RunHWCalib},
 		{ID: "summary", Title: "Conformance digest: every headline shape claim, PASS/FAIL", Run: RunSummary},
 	}
 }

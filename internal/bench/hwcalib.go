@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/storage/filestore"
+	"repro/internal/vstore"
+)
+
+// The hwcalib experiment puts real hardware in the loop (DESIGN.md §17):
+// it measures the file backend's seek/transfer behavior on this host,
+// fits the simulator's CostModel to it, builds the standard dataset on
+// the file backend under the fitted model, and re-runs the headline
+// workloads with simulated and measured wall-clock time side by side:
+//
+//	baseline — the three schemes' uncached query cost, sim vs measured
+//	codec    — raw vs compressed V-pages, measured wall-clock speedup
+//	warm     — cold vs pool-warmed serving, measured wall-clock speedup
+//
+// Absolute wall-clock numbers are host properties, so the committed
+// reference (BENCH_hwcalib.json) pins only the workload and the two
+// ratio gates; the guard re-runs the experiment and re-checks the gates
+// rather than diffing times across machines.
+
+// The headline gates: on the real file backend, the codec layout and
+// the warmed pool must each show a measured wall-clock improvement over
+// their raw/cold leg. The gates are deliberately generous: on a
+// page-cache-resident file the seek savings the simulator prices at 9ms
+// apiece cost almost nothing, so the codec's measured win shrinks to
+// its read-op reduction (~8% on the quick workload, deterministic for a
+// seeded dataset) — the vpagecodec guard keeps enforcing the larger
+// structural claims on the simulated side. The warm pool eliminates
+// demand media reads outright, so its measured ratio is large on any
+// host.
+const (
+	hwCodecGate = 1.02
+	hwWarmGate  = 1.20
+)
+
+// hwCalibPages sizes the scratch file the calibration pass reads: large
+// enough that per-call overhead amortizes, small enough to stay cheap.
+const hwCalibPages = 2048
+
+// hwMeasureReps repeats each measured leg and keeps the fastest run —
+// the usual minimum-of-N defense against scheduler noise. Simulated
+// costs are deterministic, so one rep of those suffices.
+const hwMeasureReps = 3
+
+// HWSchemeMetric is one scheme's per-query cost on the file backend:
+// the fitted model's prediction next to the hardware's answer.
+type HWSchemeMetric struct {
+	LightIOPerQuery        float64 `json:"light_io_per_query"`
+	SimMicrosPerQuery      float64 `json:"sim_micros_per_query"`
+	MeasuredMicrosPerQuery float64 `json:"measured_micros_per_query"`
+}
+
+// HWCalib is the committed reference format (BENCH_hwcalib.json).
+type HWCalib struct {
+	Workload string `json:"workload"`
+	PageSize int    `json:"page_size"`
+	// FittedSeekMicros/FittedTransferMicros is the cost model fitted to
+	// this host's file backend (page-cache resident, so both are orders
+	// of magnitude below the paper's 2003 disk).
+	FittedSeekMicros     float64 `json:"fitted_seek_micros"`
+	FittedTransferMicros float64 `json:"fitted_transfer_micros"`
+	// Schemes is the baseline leg: uncached per-query cost per scheme.
+	Schemes map[string]HWSchemeMetric `json:"schemes"`
+	// CodecRawMicros/CodecEncMicros is the codec leg on the
+	// indexed-vertical scheme; CodecSpeedup their ratio.
+	CodecRawMicros float64 `json:"codec_raw_micros_per_query"`
+	CodecEncMicros float64 `json:"codec_enc_micros_per_query"`
+	CodecSpeedup   float64 `json:"codec_speedup"`
+	// ColdMicros/WarmMicros is the warm-pool leg; WarmSpeedup their
+	// ratio (warm demand reads are pool hits, so it is usually large).
+	ColdMicros  float64 `json:"cold_micros_per_query"`
+	WarmMicros  float64 `json:"warm_micros_per_query"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// calibrateFileBackend profiles a scratch file store: a sequential
+// vectored pass fits the per-page transfer cost, a strided single-page
+// pass fits the per-access (seek) cost, and the pair becomes the
+// simulator's CostModel for the file-backed runs.
+func calibrateFileBackend(dir string) (storage.CostModel, error) {
+	fs, err := filestore.Create(filepath.Join(dir, "calib.dat"), 0, filestore.Options{})
+	if err != nil {
+		return storage.CostModel{}, err
+	}
+	defer fs.Close()
+	ps := fs.PageSize()
+	for i := 0; i < hwCalibPages; i++ {
+		page := make([]byte, ps)
+		for j := range page {
+			page[j] = byte(i + j)
+		}
+		if err := fs.WritePage(storage.PageID(i), page); err != nil {
+			return storage.CostModel{}, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return storage.CostModel{}, err
+	}
+
+	// Sequential: vectored runs of 64 pages, minimum over reps.
+	const run = 64
+	dst := make([]byte, run*ps)
+	seq := time.Duration(1 << 62)
+	for rep := 0; rep < hwMeasureReps; rep++ {
+		t0 := time.Now()
+		for off := 0; off+run <= hwCalibPages; off += run {
+			if err := fs.ReadPages(storage.PageID(off), run, dst); err != nil {
+				return storage.CostModel{}, err
+			}
+		}
+		if d := time.Since(t0); d < seq {
+			seq = d
+		}
+	}
+	transfer := seq / time.Duration((hwCalibPages/run)*run)
+	if transfer <= 0 {
+		transfer = time.Nanosecond
+	}
+
+	// Strided: single-page reads on a 769-page stride (coprime with the
+	// file size, so every page is hit once, never sequentially).
+	one := make([]byte, ps)
+	rnd := time.Duration(1 << 62)
+	for rep := 0; rep < hwMeasureReps; rep++ {
+		idx := 1
+		t0 := time.Now()
+		for i := 0; i < hwCalibPages; i++ {
+			idx = (idx + 769) % hwCalibPages
+			if err := fs.ReadPage(storage.PageID(idx), one); err != nil {
+				return storage.CostModel{}, err
+			}
+		}
+		if d := time.Since(t0); d < rnd {
+			rnd = d
+		}
+	}
+	seek := rnd/hwCalibPages - transfer
+	if seek < 0 {
+		seek = 0
+	}
+	return storage.CostModel{Seek: seek, TransferPage: transfer}, nil
+}
+
+// hwLeg runs the standard uncached workload against one store on the
+// file-backed env and reports per-query light reads, fitted-simulated
+// time, and measured wall-clock (minimum over hwMeasureReps).
+func hwLeg(e *Env, store core.VStore, ws []cells.CellID, queries int) (HWSchemeMetric, error) {
+	var m HWSchemeMetric
+	e.Tree.SetVStore(store)
+	defer e.Tree.SetVStore(e.IV)
+	n := float64(queries)
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < hwMeasureReps; rep++ {
+		s := e.Tree.Session()
+		before := s.IO.Stats()
+		for q := 0; q < queries; q++ {
+			if _, err := s.Query(ws[q%len(ws)], 0.001); err != nil {
+				return m, err
+			}
+		}
+		d := s.IO.Stats().Sub(before)
+		if rep == 0 {
+			m.SimMicrosPerQuery = float64(d.SimTime.Nanoseconds()) / 1e3 / n
+			m.LightIOPerQuery = float64(d.LightReads) / n
+		}
+		if d.MeasuredTime < best {
+			best = d.MeasuredTime
+		}
+	}
+	m.MeasuredMicrosPerQuery = float64(best.Nanoseconds()) / 1e3 / n
+	return m, nil
+}
+
+// hwRatio is a/b with b floored at a nanosecond-scale epsilon, so a
+// fully pool-absorbed warm leg (measured ~0) stays JSON-encodable
+// instead of dividing to +Inf.
+func hwRatio(a, b float64) float64 {
+	const eps = 1e-3 // µs
+	if b < eps {
+		b = eps
+	}
+	return a / b
+}
+
+// CollectHWCalib calibrates the file backend, builds the dataset on it
+// under the fitted cost model, and measures every leg.
+func CollectHWCalib(p Params) (*HWCalib, error) {
+	dir, err := os.MkdirTemp("", "hdov-hwcalib-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	fitted, err := calibrateFileBackend(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hwcalib calibrate: %w", err)
+	}
+
+	fs, err := filestore.Create(filepath.Join(dir, "pages.dat"), 0, filestore.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: hwcalib store: %w", err)
+	}
+	d := storage.NewDiskOn(fs, fitted)
+	defer d.Close()
+	e := buildEnvOn(p, p.CityBlocks, p.GridCells, p.NominalBytes, d)
+
+	out := &HWCalib{
+		Workload:             workloadTag(p),
+		PageSize:             fs.PageSize(),
+		FittedSeekMicros:     float64(fitted.Seek.Nanoseconds()) / 1e3,
+		FittedTransferMicros: float64(fitted.TransferPage.Nanoseconds()) / 1e3,
+		Schemes:              map[string]HWSchemeMetric{},
+	}
+	ws := workingSet(e.Tree, 32)
+
+	// Baseline leg: every scheme, uncached, sim vs measured.
+	for _, sc := range []struct {
+		name  string
+		store core.VStore
+	}{
+		{"horizontal", e.H},
+		{"vertical", e.V},
+		{"indexed-vertical", e.IV},
+	} {
+		m, err := hwLeg(e, sc.store, ws, p.ScalQueries)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hwcalib %s: %w", sc.name, err)
+		}
+		out.Schemes[sc.name] = m
+	}
+
+	// Codec leg: the compressed V-page layout on the same disk, against
+	// the raw indexed-vertical numbers just measured.
+	ivCodec, err := vstore.BuildIndexedVerticalOpts(e.Disk, e.Vis, vstore.Options{Codec: true})
+	if err != nil {
+		return nil, fmt.Errorf("bench: hwcalib codec build: %w", err)
+	}
+	enc, err := hwLeg(e, ivCodec, ws, p.ScalQueries)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hwcalib codec: %w", err)
+	}
+	out.CodecRawMicros = out.Schemes["indexed-vertical"].MeasuredMicrosPerQuery
+	out.CodecEncMicros = enc.MeasuredMicrosPerQuery
+	out.CodecSpeedup = hwRatio(out.CodecRawMicros, out.CodecEncMicros)
+
+	// Warm leg: the same workload with the shared buffer pool holding
+	// the working set — demand reads become pool hits, so the measured
+	// wall-clock collapses against the cold (raw indexed-vertical) leg.
+	e.Disk.SetCacheSize(walkCoherencePool)
+	defer e.Disk.SetCacheSize(0)
+	warmup := e.Tree.Session()
+	for _, c := range ws {
+		if _, err := warmup.Query(c, 0.001); err != nil {
+			return nil, fmt.Errorf("bench: hwcalib warmup: %w", err)
+		}
+	}
+	warm, err := hwLeg(e, e.IV, ws, p.ScalQueries)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hwcalib warm: %w", err)
+	}
+	out.ColdMicros = out.CodecRawMicros
+	out.WarmMicros = warm.MeasuredMicrosPerQuery
+	out.WarmSpeedup = hwRatio(out.ColdMicros, out.WarmMicros)
+	return out, nil
+}
+
+// RunHWCalib prints the fitted cost model, the sim-vs-measured table,
+// and the two wall-clock gates.
+func RunHWCalib(w io.Writer, p Params) error {
+	hc, err := CollectHWCalib(p)
+	if err != nil {
+		return err
+	}
+	def := storage.DefaultCostModel()
+	fmt.Fprintf(w, "file backend calibration (%d x %d B scratch pages, min of %d reps)\n",
+		hwCalibPages, hc.PageSize, hwMeasureReps)
+	fmt.Fprintf(w, "%-14s %-16s %s\n", "cost model", "seek", "transfer/page")
+	fmt.Fprintf(w, "%-14s %-16v %v\n", "paper (2003)", def.Seek, def.TransferPage)
+	fmt.Fprintf(w, "%-14s %-16s %s\n\n", "fitted (host)",
+		fmt.Sprintf("%.3fµs", hc.FittedSeekMicros),
+		fmt.Sprintf("%.3fµs", hc.FittedTransferMicros))
+
+	fmt.Fprintf(w, "uncached workload on the file backend, %d queries over 32 cells, eta=0.001\n", p.ScalQueries)
+	fmt.Fprintf(w, "%-18s %-14s %-18s %s\n",
+		"scheme", "lightIO/query", "fitted-simµs/query", "measuredµs/query")
+	for _, name := range []string{"horizontal", "vertical", "indexed-vertical"} {
+		m := hc.Schemes[name]
+		fmt.Fprintf(w, "%-18s %-14.2f %-18.2f %.2f\n",
+			name, m.LightIOPerQuery, m.SimMicrosPerQuery, m.MeasuredMicrosPerQuery)
+	}
+	fmt.Fprintln(w)
+
+	pass := true
+	codecVerdict := "PASS"
+	if hc.CodecSpeedup < hwCodecGate {
+		codecVerdict = "FAIL"
+		pass = false
+	}
+	fmt.Fprintf(w, "codec leg (indexed-vertical): raw %.2fµs/query, codec %.2fµs/query — %.2fx measured speedup (claim: >= %.2fx) %s\n",
+		hc.CodecRawMicros, hc.CodecEncMicros, hc.CodecSpeedup, hwCodecGate, codecVerdict)
+	warmVerdict := "PASS"
+	if hc.WarmSpeedup < hwWarmGate {
+		warmVerdict = "FAIL"
+		pass = false
+	}
+	fmt.Fprintf(w, "warm leg (pool %d pages): cold %.2fµs/query, warm %.2fµs/query — %.2fx measured speedup (claim: >= %.2fx) %s\n",
+		walkCoherencePool, hc.ColdMicros, hc.WarmMicros, hc.WarmSpeedup, hwWarmGate, warmVerdict)
+	if !pass {
+		return fmt.Errorf("bench: hwcalib: a measured wall-clock gate failed on the file backend")
+	}
+	return nil
+}
+
+// CompareHWCalib checks a fresh run against the committed reference.
+// Wall-clock absolutes are host properties, so unlike the simulated
+// guards it never diffs times across runs: it pins the workload tag and
+// re-checks the ratio gates and calibration sanity on the fresh run.
+func CompareHWCalib(ref, cur *HWCalib) []string {
+	var bad []string
+	if ref.Workload != cur.Workload {
+		return []string{fmt.Sprintf("workload mismatch: reference %q vs current %q (regenerate the reference)",
+			ref.Workload, cur.Workload)}
+	}
+	for _, name := range []string{"horizontal", "vertical", "indexed-vertical"} {
+		if _, ok := cur.Schemes[name]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run", name))
+		}
+	}
+	if cur.FittedTransferMicros <= 0 {
+		bad = append(bad, "calibration fitted a non-positive transfer cost")
+	}
+	if cur.CodecSpeedup < hwCodecGate {
+		bad = append(bad, fmt.Sprintf(
+			"codec measured speedup %.2fx on the file backend, gate %.2fx",
+			cur.CodecSpeedup, hwCodecGate))
+	}
+	if cur.WarmSpeedup < hwWarmGate {
+		bad = append(bad, fmt.Sprintf(
+			"warm-pool measured speedup %.2fx on the file backend, gate %.2fx",
+			cur.WarmSpeedup, hwWarmGate))
+	}
+	return bad
+}
+
+// LoadHWCalib reads a committed hwcalib reference.
+func LoadHWCalib(path string) (*HWCalib, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var hc HWCalib
+	if err := json.Unmarshal(raw, &hc); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &hc, nil
+}
+
+// WriteHWCalib writes the reference in the committed format.
+func WriteHWCalib(path string, hc *HWCalib) error {
+	raw, err := json.MarshalIndent(hc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

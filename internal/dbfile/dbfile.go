@@ -53,6 +53,7 @@ import (
 	"repro/internal/naive"
 	"repro/internal/scene"
 	"repro/internal/storage"
+	"repro/internal/storage/filestore"
 	"repro/internal/vstore"
 )
 
@@ -74,6 +75,13 @@ const (
 	// on them instead of re-decoding garbage.
 	quarantineName = "quarantine.json"
 )
+
+// PagesFileName is the page file a file-backed open materializes inside
+// the database directory. It is derived state — rebuilt from disk.img and
+// the delta chain on every OpenWith — never part of the commit protocol,
+// so fsck classifies it (and its .cloneN shard siblings) as Derived, not
+// Stray.
+const PagesFileName = "pages.dat"
 
 // Manifest is the JSON document describing a saved database.
 type Manifest struct {
@@ -154,6 +162,16 @@ type Database struct {
 	Ops   []scene.Op
 }
 
+// Close releases the database's storage media — the page file handle and
+// mmap window of a file-backed open; a no-op on simulated media. The
+// database must not be used afterwards.
+func (db *Database) Close() error {
+	if db == nil || db.Disk == nil {
+		return nil
+	}
+	return db.Disk.Close()
+}
+
 // ErrBadDatabase is wrapped into open-time validation failures.
 var ErrBadDatabase = errors.New("dbfile: bad database")
 
@@ -186,6 +204,13 @@ func Save(dir string, db *Database) error {
 	imgBytes, imgCRC, err := writeImage(dir, db.Disk)
 	if err != nil {
 		return err
+	}
+	// Flush the live media before the manifest rename declares the save
+	// committed: on a file-backed disk this fsyncs pages.dat, so the state
+	// the image snapshotted is also durable in the page file (a no-op on
+	// simulated media).
+	if err := db.Disk.Sync(); err != nil {
+		return fmt.Errorf("dbfile: save: sync media: %w", err)
 	}
 
 	m := Manifest{
@@ -285,6 +310,13 @@ func CommitEpoch(dir string, db *Database) (int, error) {
 	}
 	if err := crashAt("epoch-rename"); err != nil {
 		return 0, err
+	}
+
+	// Flush the live media before the commit point, mirroring Save: the
+	// epoch's appended pages are durable in a file-backed page file before
+	// the manifest that references them lands.
+	if err := db.Disk.Sync(); err != nil {
+		return 0, fmt.Errorf("dbfile: commit: sync media: %w", err)
 	}
 
 	// Manifest last — its rename commits the epoch.
@@ -389,12 +421,43 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Open reopens a database directory saved by Save. The manifest's own
-// checksum, the image's size and CRC, and every layout pointer are
-// verified before anything is trusted; the city is regenerated from its
-// parameters and tree and scheme layouts are revalidated against the
-// image.
+// OpenOptions selects the storage media a database is reopened onto.
+// The zero value reproduces Open: the simulated in-memory disk.
+type OpenOptions struct {
+	// FileBacked materializes the committed image and delta chain into a
+	// page file (PagesFileName) inside the database directory and serves
+	// reads through the real-file backend — mmap window, vectored preads,
+	// wall-clock MeasuredTime — instead of the simulated in-memory media.
+	// The page file is derived state: it is truncated and rebuilt on every
+	// open, so a torn previous page file is harmless, and fsck never
+	// counts it against the database. Because every open truncates the
+	// same page file, at most one file-backed Database per directory may
+	// be live at a time (Close the previous one first).
+	FileBacked bool
+	// NoMmap disables the file backend's mmap read window (pure pread).
+	// Meaningful only with FileBacked.
+	NoMmap bool
+	// OSync opens the page file O_SYNC, making every page write durable
+	// when it returns. Meaningful only with FileBacked.
+	OSync bool
+	// Cost overrides the simulator cost model the disk is opened with
+	// (e.g. one fitted by hardware calibration). Nil keeps the default.
+	Cost *storage.CostModel
+}
+
+// Open reopens a database directory saved by Save onto the simulated
+// in-memory disk. The manifest's own checksum, the image's size and CRC,
+// and every layout pointer are verified before anything is trusted; the
+// city is regenerated from its parameters and tree and scheme layouts are
+// revalidated against the image.
 func Open(dir string) (*Database, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith is Open with explicit media selection: the same validation and
+// reattachment, onto either the simulated disk or a real page file inside
+// the database directory (see OpenOptions.FileBacked).
+func OpenWith(dir string, opts OpenOptions) (*Database, error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -412,13 +475,30 @@ func Open(dir string) (*Database, error) {
 		return nil, fmt.Errorf("%w: image CRC %08x, manifest committed %08x (stale or torn image)",
 			ErrBadDatabase, sum, m.ImageCRC32)
 	}
-	disk, err := storage.ReadImage(bytes.NewReader(raw), storage.DefaultCostModel())
+	cost := storage.DefaultCostModel()
+	if opts.Cost != nil {
+		cost = *opts.Cost
+	}
+	var newBackend func(pageSize int, pages int64) (storage.Backend, error)
+	if opts.FileBacked {
+		newBackend = func(pageSize int, pages int64) (storage.Backend, error) {
+			return filestore.Create(filepath.Join(dir, PagesFileName), pageSize,
+				filestore.Options{NoMmap: opts.NoMmap, OSync: opts.OSync})
+		}
+	}
+	disk, err := storage.ReadImageInto(bytes.NewReader(raw), cost, newBackend)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
 	}
+	// From here on the disk may own real resources (page file, mmap
+	// window); every validation failure must release them.
+	fail := func(err error) (*Database, error) {
+		_ = disk.Close()
+		return nil, err
+	}
 	for _, dm := range m.Deltas {
 		if err := applyDeltaFile(dir, dm, disk); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	if disk.NumPages() != m.AllocatedPages {
@@ -426,43 +506,43 @@ func Open(dir string) (*Database, error) {
 			ErrBadDatabase, disk.NumPages(), m.AllocatedPages)
 	}
 	if err := validateLayout(m, disk); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	if err := applyQuarantine(dir, disk); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	base := scene.Generate(m.City)
 	if err := base.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: regenerated scene: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: regenerated scene: %v", ErrBadDatabase, err))
 	}
 	sc, err := scene.Replay(base, m.Ops)
 	if err != nil {
-		return nil, fmt.Errorf("%w: op log: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: op log: %v", ErrBadDatabase, err))
 	}
 	if err := sc.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: replayed scene: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: replayed scene: %v", ErrBadDatabase, err))
 	}
 	tree, err := core.OpenTree(sc, disk, m.Tree)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadDatabase, err))
 	}
 	h, err := vstore.OpenHorizontal(disk, tree.Grid, m.Horizontal)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadDatabase, err))
 	}
 	v, err := vstore.OpenVertical(disk, tree.Grid, m.Vertical)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadDatabase, err))
 	}
 	iv, err := vstore.OpenIndexedVertical(disk, tree.Grid, m.Indexed)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadDatabase, err))
 	}
 	nv, err := naive.Open(tree, m.Naive)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadDatabase, err)
+		return fail(fmt.Errorf("%w: %v", ErrBadDatabase, err))
 	}
 	tree.SetVStore(iv)
 	return &Database{

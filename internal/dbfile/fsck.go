@@ -46,6 +46,12 @@ type FsckReport struct {
 	// of a crash between an epoch's delta rename and its manifest
 	// rename, or of a Save compaction).
 	Stray []string
+	// Derived lists regenerable artifacts of a file-backed open — the
+	// pages.dat page file and its .cloneN shard siblings. They are rebuilt
+	// from disk.img and the delta chain on every OpenWith, carry no
+	// committed state, and are deliberately neither damage nor Stray
+	// (Repair leaves them alone).
+	Derived []string
 	// Epoch, OpsLogged and DeltasApplied summarize the dynamic-scene
 	// state of an intact manifest: the committed epoch counter, the op
 	// log length, and how many delta images the image chain carries.
@@ -79,6 +85,10 @@ func Fsck(dir string) (*FsckReport, error) {
 	var epochFiles []string
 	for _, e := range entries {
 		name := e.Name()
+		if name == PagesFileName || strings.HasPrefix(name, PagesFileName+".clone") {
+			rep.Derived = append(rep.Derived, name)
+			continue
+		}
 		if strings.HasSuffix(name, ".tmp") {
 			rep.Stray = append(rep.Stray, name)
 		}

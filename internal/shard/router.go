@@ -246,6 +246,23 @@ func (r *Router) ClearFaults() {
 	})
 }
 
+// Close releases every store's storage media in the current table —
+// file-backed clones hold real file handles and ephemeral sibling files;
+// simulated clones are no-ops. Stores pinned by older tables (sessions
+// that predate a promotion or demotion) are not tracked here; callers
+// drain sessions before closing. The router must not route afterwards.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	r.forEachStore(func(st *Store) {
+		if err := st.Disk.Close(); err != nil && first == nil {
+			first = err
+		}
+	})
+	return first
+}
+
 // ShardStats returns each shard's primary-store accounting, indexed by
 // shard. Replica traffic is reported separately by ReplicaStats.
 func (r *Router) ShardStats() []storage.Stats {

@@ -64,11 +64,16 @@ type Store struct {
 
 // OpenStore builds shard idx's store: clone the source disk, reopen the
 // tree and schemes over the clone, select the active scheme, optionally
-// trim foreign V-pages, and install the private buffer pool. The clone
-// shares immutable page slices with the source, so opening a store is
-// cheap; no simulated I/O is charged (opening is setup, not workload).
+// trim foreign V-pages, and install the private buffer pool. A clone of
+// the simulated disk shares immutable page slices with the source, so
+// opening a store is cheap; a file-backed clone copies its written pages
+// into a sibling file (one real file per shard arm). No simulated I/O is
+// charged either way (opening is setup, not workload).
 func OpenStore(sc *scene.Scene, src *storage.Disk, man Manifests, m Map, idx int, cfg StoreConfig) (*Store, error) {
-	d := src.Clone()
+	d, err := src.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: clone: %w", idx, err)
+	}
 	t, err := core.OpenTree(sc, d, man.Tree)
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", idx, err)

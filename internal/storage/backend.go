@@ -1,0 +1,87 @@
+package storage
+
+// Backend is the page-media contract beneath a Disk (DESIGN.md §17). The
+// Disk owns policy — cost accounting, light/heavy classification, the
+// buffer pool, fault injection, quarantine, per-session attribution — and
+// delegates the physical bytes to a Backend: the in-memory simulated
+// media (NewMemBackend, the historical behavior) or a real OS file
+// (package filestore) with mmap/pread reads and fsync durability.
+//
+// Contract:
+//
+//   - Pages are pageSize bytes; page IDs are dense from 0. Pages inside
+//     the allocated range that were never written read back zero-filled
+//     (sparse extents).
+//   - ReadPages is vectored: it fills dst with n consecutive pages in one
+//     media operation — a single pread/memcpy on real hardware — which is
+//     what turns the read-coalescing and prefetch batches into single
+//     syscalls.
+//   - WritePage takes ownership of data (exactly one full page); callers
+//     never mutate the slice afterwards. This preserves the zero-copy
+//     slice-sharing that Clone and the image writers rely on.
+//   - Allocate is grow-only: a call with a smaller total than a previous
+//     one is a no-op, so concurrent growers may land out of order.
+//   - The Disk performs all range, quarantine, and fault checks before
+//     touching the media; a Backend only moves bytes.
+//
+// Lock discipline: the Disk's media field is immutable after
+// construction and every Backend call is made outside d.mu and
+// d.statsMu — an interface call under a held Disk lock is a lockorder
+// violation (DESIGN.md §11). Backends do their own internal locking.
+type Backend interface {
+	// PageSize returns the media's page size in bytes.
+	PageSize() int
+	// ReadPage fills dst (one page) with the content of page id.
+	ReadPage(id PageID, dst []byte) error
+	// ReadPages fills dst with n consecutive pages starting at start —
+	// the vectored read path. len(dst) must be at least n*PageSize().
+	ReadPages(start PageID, n int, dst []byte) error
+	// WritePage durably stores one full page, taking ownership of data.
+	WritePage(id PageID, data []byte) error
+	// Allocate grows the media to hold at least totalPages pages
+	// (grow-only; shrinking requests are ignored).
+	Allocate(totalPages int64) error
+	// Release drops the materialized content of the given pages (they
+	// read back zero-filled afterwards), returning how many held data.
+	Release(ids []PageID) int
+	// StoredPages returns the IDs of materialized pages >= from, in
+	// ascending order — the image/delta writers' enumeration.
+	StoredPages(from PageID) []PageID
+	// StoredCount returns how many pages hold materialized content.
+	StoredCount() int64
+	// Sync flushes buffered writes to durable media. The in-memory
+	// backend is a no-op; the file backend fsyncs, which is what makes
+	// the dbfile rename commit point durable.
+	Sync() error
+	// Clone returns an independent backend with the same page content;
+	// writes to either side after the clone are invisible to the other.
+	Clone() (Backend, error)
+	// Stats returns the media-level operation counters.
+	Stats() BackendStats
+	// Timed reports whether operations perform real I/O whose wall-clock
+	// latency is worth measuring. The Disk charges Stats.MeasuredTime
+	// only for timed backends, so simulated accounting stays
+	// deterministic.
+	Timed() bool
+	// Close releases OS resources. The Disk must not be used afterwards.
+	Close() error
+}
+
+// BackendStats counts media-level operations — the syscall's-eye view
+// that sits beneath the Disk's cost-model accounting. For the in-memory
+// backend Reads/Writes count map operations; for the file backend they
+// split into mmap copies and preads, making the vectored-read win
+// (fewer, larger preads) directly visible.
+type BackendStats struct {
+	// Reads counts media read operations (one vectored read is one
+	// operation); PagesRead and BytesRead total their size.
+	Reads     int64
+	PagesRead int64
+	BytesRead int64
+	// MmapReads is how many of Reads were served by the mmap window
+	// (file backend only; the rest were preads).
+	MmapReads int64
+	// Writes counts page writes; Syncs counts explicit fsyncs.
+	Writes int64
+	Syncs  int64
+}

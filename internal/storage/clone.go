@@ -11,53 +11,37 @@ package storage
 // d, and entirely fresh dynamics: zeroed stats, parked stream heads, no
 // buffer pool, no fault injector, no circuit breaker.
 //
-// Page data slices are shared, not copied: WritePage always installs a
-// freshly allocated slice (it never mutates one in place), and readers
-// never write through returned slices, so sharing is safe and a clone of
-// a multi-gigabyte simulated database costs only the page map. Writes to
-// either disk after the clone are invisible to the other — the writer
-// replaces its own map entry.
-func (d *Disk) Clone() *Disk {
-	c := &Disk{
-		cost:     d.cost,
-		inflight: flight{calls: make(map[PageID]*flightCall)},
+// The media is cloned through the backend: the in-memory backend shares
+// page slices zero-copy (WritePage always installs a freshly allocated
+// slice, never mutates one in place), so a clone of a multi-gigabyte
+// simulated database costs only the page map; the file backend copies
+// its written pages into a sibling file, giving the shard a genuinely
+// separate set of OS pages. Either way, writes to one side after the
+// clone are invisible to the other.
+func (d *Disk) Clone() (*Disk, error) {
+	m, err := d.media.Clone()
+	if err != nil {
+		return nil, err
 	}
-	for i := range c.streams {
-		c.streams[i] = -2
-	}
+	c := NewDiskOn(m, d.cost)
 	d.mu.RLock()
-	c.pageSize = d.pageSize
 	c.allocated = d.allocated
-	c.data = make(map[PageID][]byte, len(d.data))
-	for id, p := range d.data {
-		c.data[id] = p
-	}
-	c.corrupt = make(map[PageID]bool, len(d.corrupt))
 	for id := range d.corrupt {
 		c.corrupt[id] = true
 	}
-	c.quarantined = make(map[PageID]bool, len(d.quarantined))
 	for id := range d.quarantined {
 		c.quarantined[id] = true
 	}
 	d.mu.RUnlock()
-	return c
+	return c, nil
 }
 
 // ReleasePages drops the materialized content of the given pages,
 // returning how many held data. The pages stay allocated — they read back
 // zero-filled, like extents that were never written — so the disk's
-// layout and cost accounting are unchanged; only ResidentBytes shrinks.
+// layout and cost accounting are unchanged; only ResidentBytes shrinks
+// (on the file backend the pages' blocks are punched out of the file).
 // Shard stores use this to trim V-pages owned by other shards.
 func (d *Disk) ReleasePages(ids []PageID) int {
-	n := 0
-	d.mu.Lock()
-	for _, id := range ids {
-		if _, ok := d.data[id]; ok {
-			delete(d.data, id)
-			n++
-		}
-	}
-	d.mu.Unlock()
-	return n
+	return d.media.Release(ids)
 }

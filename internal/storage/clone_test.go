@@ -20,7 +20,10 @@ func TestCloneSharesContentIsolatesDynamics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c := d.Clone()
+	c, err := d.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.PageSize() != d.PageSize() || c.NumPages() != d.NumPages() {
 		t.Fatalf("layout mismatch: %d/%d pages, %d/%d bytes",
 			c.NumPages(), d.NumPages(), c.PageSize(), d.PageSize())

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
 )
 
 // Epoch delta image: the pages an incremental update appended, serialized
@@ -42,25 +41,21 @@ type DeltaInfo struct {
 
 // WriteDeltaTo serializes every stored page with ID >= from, plus the
 // current allocation size, in the deterministic ascending-ID layout of the
-// full image writer. Like WriteTo it snapshots the page table under the
-// structural lock and does all I/O outside it.
+// full image writer. Like WriteTo it snapshots only the geometry under
+// the structural lock; page enumeration and reads go to the media
+// backend, streamed through a page-aligned bufio.Writer.
 func (d *Disk) WriteDeltaTo(w io.Writer, from PageID) (int64, error) {
 	d.mu.RLock()
 	allocated := d.allocated
 	pageSize := d.pageSize
-	pages := make(map[PageID][]byte)
-	for id, p := range d.data {
-		if id >= from {
-			pages[id] = p
-		}
-	}
 	d.mu.RUnlock()
 	if from < 0 || from > allocated {
 		return 0, fmt.Errorf("%w: watermark %d outside [0, %d]", ErrBadDelta, from, allocated)
 	}
+	ids := d.media.StoredPages(from)
 
 	crc := crc32.NewIEEE()
-	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), imageBufSize(pageSize))
 	var written int64
 	put := func(buf []byte) error {
 		n, err := bw.Write(buf)
@@ -77,22 +72,21 @@ func (d *Disk) WriteDeltaTo(w io.Writer, from PageID) (int64, error) {
 		return written, err
 	}
 	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(pages)))
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(ids)))
 	if err := put(cnt[:]); err != nil {
 		return written, err
 	}
-	ids := make([]PageID, 0, len(pages))
-	for id := range pages {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var idbuf [8]byte
+	page := make([]byte, pageSize)
 	for _, id := range ids {
 		binary.LittleEndian.PutUint64(idbuf[:], uint64(id))
 		if err := put(idbuf[:]); err != nil {
 			return written, err
 		}
-		if err := put(pages[id]); err != nil {
+		if err := d.media.ReadPage(id, page); err != nil {
+			return written, fmt.Errorf("storage: delta write: page %d: %w", id, err)
+		}
+		if err := put(page); err != nil {
 			return written, err
 		}
 	}
@@ -169,13 +163,23 @@ func (d *Disk) ApplyDelta(r io.Reader) error {
 		return err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if info.PageSize != d.pageSize {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: page size %d, disk has %d", ErrBadDelta, info.PageSize, d.pageSize)
 	}
 	if info.From != d.allocated {
+		from := d.allocated
+		d.mu.Unlock()
 		return fmt.Errorf("%w: watermark %d does not chain onto %d allocated pages",
-			ErrBadDelta, info.From, d.allocated)
+			ErrBadDelta, info.From, from)
+	}
+	d.allocated = info.Allocated
+	d.mu.Unlock()
+	// Media writes outside the lock (interface calls). ApplyDelta runs on
+	// the open path before the database serves traffic, so the window
+	// between advancing the watermark and landing the pages is benign.
+	if err := d.media.Allocate(int64(info.Allocated)); err != nil {
+		return fmt.Errorf("%w: media allocate: %v", ErrBadDelta, err)
 	}
 	off := 0
 	for i := 0; i < info.StoredPages; i++ {
@@ -184,11 +188,10 @@ func (d *Disk) ApplyDelta(r io.Reader) error {
 		if id < info.From || id >= info.Allocated {
 			return fmt.Errorf("%w: page id %d outside window [%d, %d)", ErrBadDelta, id, info.From, info.Allocated)
 		}
-		page := make([]byte, info.PageSize)
-		copy(page, pages[off:off+info.PageSize])
+		if err := d.media.WritePage(id, pages[off:off+info.PageSize]); err != nil {
+			return fmt.Errorf("%w: media write page %d: %v", ErrBadDelta, id, err)
+		}
 		off += info.PageSize
-		d.data[id] = page
 	}
-	d.allocated = info.Allocated
 	return nil
 }

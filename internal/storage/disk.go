@@ -11,14 +11,23 @@
 // layout, so the gigabyte-scale nominal datasets of the paper's Figure 9
 // produce the same page counts they would on a real disk (DESIGN.md §3.4).
 //
+// The physical bytes live behind the Backend interface (backend.go): the
+// in-memory simulated media above is one implementation (MemBackend), a
+// real OS file with mmap/pread reads is another (package filestore). The
+// Disk is the policy layer either way — the same accounting, pool,
+// quarantine and fault machinery runs over both, and for timed backends
+// every media operation's wall-clock latency is charged to
+// Stats.MeasuredTime beside the simulated cost (DESIGN.md §17).
+//
 // Concurrency: a Disk is safe for concurrent readers and writers. The
-// page map, quarantine set and fault injector are guarded by d.mu; the
-// cost-model accounting (stats, stream heads) by d.statsMu; the optional
-// buffer pool by per-shard locks. No two of these locks are ever held at
-// once, so the locking order is trivial (DESIGN.md §10). Per-session I/O
-// attribution is exact via Client handles: every read charged to the
-// global Stats is also charged to the calling session's Client, so
-// concurrent sessions each see only their own traffic.
+// quarantine set and fault injector are guarded by d.mu; the cost-model
+// accounting (stats, stream heads) by d.statsMu; the optional buffer
+// pool by per-shard locks; the media backend does its own locking and is
+// only ever called with no Disk lock held. No two of these locks are
+// ever held at once, so the locking order is trivial (DESIGN.md §10).
+// Per-session I/O attribution is exact via Client handles: every read
+// charged to the global Stats is also charged to the calling session's
+// Client, so concurrent sessions each see only their own traffic.
 package storage
 
 import (
@@ -83,6 +92,13 @@ type Stats struct {
 	// time cost is charged to SimTime.
 	Retries int64
 	SimTime time.Duration
+	// MeasuredTime is the wall-clock time spent inside media operations,
+	// charged only when the backend performs real I/O (Backend.Timed).
+	// The simulated in-memory backend charges exactly zero, so
+	// deterministic accounting stays deterministic; on the file backend
+	// SimTime (the fitted model's prediction) and MeasuredTime (what the
+	// hardware actually took) sit side by side in every snapshot.
+	MeasuredTime time.Duration
 	// Buffer-pool counters, split by class (zero with no pool installed).
 	// Pool hits cost no seek, transfer or SimTime — the cost model charges
 	// only misses, which appear in Reads as real page I/O.
@@ -115,6 +131,7 @@ func (s Stats) Sub(o Stats) Stats {
 		HeavyReads:      s.HeavyReads - o.HeavyReads,
 		Retries:         s.Retries - o.Retries,
 		SimTime:         s.SimTime - o.SimTime,
+		MeasuredTime:    s.MeasuredTime - o.MeasuredTime,
 		PoolLightHits:   s.PoolLightHits - o.PoolLightHits,
 		PoolLightMisses: s.PoolLightMisses - o.PoolLightMisses,
 		PoolHeavyHits:   s.PoolHeavyHits - o.PoolHeavyHits,
@@ -140,6 +157,7 @@ func (s Stats) add(o Stats) Stats {
 		HeavyReads:      s.HeavyReads + o.HeavyReads,
 		Retries:         s.Retries + o.Retries,
 		SimTime:         s.SimTime + o.SimTime,
+		MeasuredTime:    s.MeasuredTime + o.MeasuredTime,
 		PoolLightHits:   s.PoolLightHits + o.PoolLightHits,
 		PoolLightMisses: s.PoolLightMisses + o.PoolLightMisses,
 		PoolHeavyHits:   s.PoolHeavyHits + o.PoolHeavyHits,
@@ -162,15 +180,28 @@ func (s Stats) add(o Stats) Stats {
 // drive would see.
 const numStreams = 8
 
-// Disk is a simulated paged disk, safe for concurrent use.
+// Disk is a paged disk — the policy layer (accounting, pool, faults,
+// quarantine, sessions) over a pluggable page media — safe for
+// concurrent use.
 type Disk struct {
-	// mu guards the structural state: page data, corruption and quarantine
-	// sets, the allocation watermark, and the pool/faults pointers.
+	// media holds the physical pages. Immutable after construction, so
+	// reading the field needs no lock; calls into it are interface calls
+	// and therefore must never happen while d.mu or d.statsMu is held
+	// (the lockorder invariant, DESIGN.md §11).
+	media Backend
+	// timed caches media.Timed(): charge wall-clock MeasuredTime per
+	// media operation iff the backend does real I/O.
+	timed bool
+
+	// mu guards the structural state: corruption and quarantine sets,
+	// the allocation watermark, and the pool/faults pointers.
 	mu        sync.RWMutex
 	pageSize  int
 	allocated PageID // next free page
-	data      map[PageID][]byte
-	corrupt   map[PageID]bool
+	// growErr records a failed media Allocate (disk full); subsequent
+	// writes surface it instead of writing past the media's end.
+	growErr error
+	corrupt map[PageID]bool
 	// quarantined pages fail immediately with no seek or retry cost —
 	// callers that detected damage park the page here so repeated frames
 	// stop re-seeking it (see Quarantine).
@@ -199,15 +230,22 @@ type Disk struct {
 	clock     int64
 }
 
-// NewDisk creates an empty disk with the given page size (DefaultPageSize
-// if non-positive) and cost model.
+// NewDisk creates an empty simulated disk with the given page size
+// (DefaultPageSize if non-positive) and cost model, backed by in-memory
+// media.
 func NewDisk(pageSize int, cost CostModel) *Disk {
-	if pageSize <= 0 {
-		pageSize = DefaultPageSize
-	}
+	return NewDiskOn(NewMemBackend(pageSize), cost)
+}
+
+// NewDiskOn creates an empty disk over the given media backend. The page
+// size comes from the backend; the cost model still drives the simulated
+// accounting (on a calibrated file backend, SimTime is the fitted model's
+// prediction and MeasuredTime the hardware's answer).
+func NewDiskOn(b Backend, cost CostModel) *Disk {
 	d := &Disk{
-		pageSize:    pageSize,
-		data:        make(map[PageID][]byte),
+		media:       b,
+		timed:       b.Timed(),
+		pageSize:    b.PageSize(),
 		corrupt:     make(map[PageID]bool),
 		quarantined: make(map[PageID]bool),
 		cost:        cost,
@@ -218,6 +256,55 @@ func NewDisk(pageSize int, cost CostModel) *Disk {
 		d.streams[i] = -2
 	}
 	return d
+}
+
+// Timed reports whether the media backend performs real I/O (and the
+// disk therefore charges Stats.MeasuredTime).
+func (d *Disk) Timed() bool { return d.timed }
+
+// Sync flushes the media to durable storage — a no-op for the simulated
+// backend, an fsync for the file backend. The dbfile commit protocol
+// calls it before the manifest rename so the commit point is durable.
+func (d *Disk) Sync() error {
+	if !d.timed {
+		return d.media.Sync()
+	}
+	t0 := time.Now()
+	err := d.media.Sync()
+	d.charge(Stats{MeasuredTime: time.Since(t0)}, nil)
+	return err
+}
+
+// Close releases the media backend's OS resources (no-op for the
+// simulated backend). The disk must not be used afterwards.
+func (d *Disk) Close() error { return d.media.Close() }
+
+// MediaStats returns the backend's operation counters — the
+// syscall's-eye view beneath the cost-model accounting.
+func (d *Disk) MediaStats() BackendStats { return d.media.Stats() }
+
+// mediaRead performs the physical backend read — outside every Disk
+// lock — charging wall-clock MeasuredTime when the backend is real
+// hardware.
+func (d *Disk) mediaRead(start PageID, n int, dst []byte, sink *Client) error {
+	if !d.timed {
+		return d.media.ReadPages(start, n, dst)
+	}
+	t0 := time.Now()
+	err := d.media.ReadPages(start, n, dst)
+	d.charge(Stats{MeasuredTime: time.Since(t0)}, sink)
+	return err
+}
+
+// mediaWrite mirrors mediaRead for page writes.
+func (d *Disk) mediaWrite(id PageID, page []byte) error {
+	if !d.timed {
+		return d.media.WritePage(id, page)
+	}
+	t0 := time.Now()
+	err := d.media.WritePage(id, page)
+	d.charge(Stats{MeasuredTime: time.Since(t0)}, nil)
+	return err
 }
 
 // PageSize returns the page size in bytes.
@@ -234,12 +321,10 @@ func (d *Disk) NumPages() int64 {
 // Table 2 reports per storage scheme.
 func (d *Disk) SizeBytes() int64 { return d.NumPages() * int64(d.pageSize) }
 
-// ResidentBytes returns the bytes actually materialized in memory
+// ResidentBytes returns the bytes actually materialized on the media
 // (written, non-sparse pages); always ≤ SizeBytes.
 func (d *Disk) ResidentBytes() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return int64(len(d.data)) * int64(d.pageSize)
+	return d.media.StoredCount() * int64(d.pageSize)
 }
 
 // Stats returns the accounting snapshot. Every counter — I/O, retries,
@@ -273,14 +358,24 @@ func (d *Disk) charge(delta Stats, sink *Client) {
 }
 
 // AllocPages reserves n contiguous pages and returns the first PageID.
+// The media is grown outside the lock (Backend.Allocate is grow-only, so
+// concurrent growers landing out of order are harmless); a media that
+// cannot grow — a full real disk — poisons subsequent writes instead of
+// failing the allocation, which keeps the build-path signature simple.
 func (d *Disk) AllocPages(n int) PageID {
 	if n < 1 {
 		n = 1
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	start := d.allocated
 	d.allocated += PageID(n)
+	total := int64(d.allocated)
+	d.mu.Unlock()
+	if err := d.media.Allocate(total); err != nil {
+		d.mu.Lock()
+		d.growErr = err
+		d.mu.Unlock()
+	}
 	return start
 }
 
@@ -410,18 +505,25 @@ func (d *Disk) mediaErr(id PageID, sink *Client) error {
 // quarantine mark on the page — rewriting a bad sector remaps it, which is
 // what repair paths rely on.
 func (d *Disk) WritePage(id PageID, data []byte) error {
-	d.mu.Lock()
-	if id < 0 || id >= d.allocated {
-		d.mu.Unlock()
+	d.mu.RLock()
+	allocated, gerr := d.allocated, d.growErr
+	d.mu.RUnlock()
+	if gerr != nil {
+		return fmt.Errorf("storage: write page %d: media allocation failed: %w", id, gerr)
+	}
+	if id < 0 || id >= allocated {
 		return fmt.Errorf("storage: write page %d: %w", id, errOutOfRange)
 	}
 	if len(data) > d.pageSize {
-		d.mu.Unlock()
 		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
 	}
 	page := make([]byte, d.pageSize)
 	copy(page, data)
-	d.data[id] = page
+	// Media write outside every lock (interface call); then clear marks.
+	if err := d.mediaWrite(id, page); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	d.mu.Lock()
 	delete(d.corrupt, id)
 	delete(d.quarantined, id)
 	if d.faults != nil {
@@ -505,14 +607,9 @@ func (d *Disk) readPageMedia(id PageID, class Class, sink *Client, pool *bufferP
 	if err := d.mediaErr(id, sink); err != nil {
 		return nil, err
 	}
-	d.mu.RLock()
-	p, ok := d.data[id]
-	d.mu.RUnlock()
-	var page []byte
-	if ok {
-		page = p
-	} else {
-		page = make([]byte, d.pageSize)
+	page := make([]byte, d.pageSize)
+	if err := d.mediaRead(id, 1, page, sink); err != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
 	}
 	if pool != nil {
 		ev, wasted := pool.put(id, page)
@@ -530,20 +627,27 @@ func (d *Disk) readPageMedia(id PageID, class Class, sink *Client, pool *bufferP
 // access, not the measured query workload.
 func (d *Disk) PeekPage(id PageID) ([]byte, error) {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	if id < 0 || id >= d.allocated {
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("storage: peek page %d: %w", id, errOutOfRange)
 	}
 	if d.quarantined[id] {
+		d.mu.RUnlock()
 		return nil, &CorruptError{Page: id, Quarantined: true}
 	}
 	if d.corrupt[id] {
+		d.mu.RUnlock()
 		return nil, &CorruptError{Page: id}
 	}
-	if p, ok := d.data[id]; ok {
-		return p, nil
+	d.mu.RUnlock()
+	page := make([]byte, d.pageSize)
+	// Unmetered on purpose (setup access, not measured workload): the
+	// media read happens outside the lock and charges nothing, not even
+	// MeasuredTime.
+	if err := d.media.ReadPage(id, page); err != nil {
+		return nil, fmt.Errorf("storage: peek page %d: %w", id, err)
 	}
-	return make([]byte, d.pageSize), nil
+	return page, nil
 }
 
 // account charges n sequential page reads starting at id. The access is
@@ -652,20 +756,16 @@ func (d *Disk) readBytes(start PageID, length int, class Class, sink *Client) ([
 		}
 	}
 	d.account(start, int64(n), class, sink)
-	out := make([]byte, 0, n*d.pageSize)
 	for i := 0; i < n; i++ {
-		id := start + PageID(i)
-		if err := d.mediaErr(id, sink); err != nil {
+		if err := d.mediaErr(start+PageID(i), sink); err != nil {
 			return nil, err
 		}
-		d.mu.RLock()
-		p, ok := d.data[id]
-		d.mu.RUnlock()
-		if ok {
-			out = append(out, p...)
-		} else {
-			out = append(out, make([]byte, d.pageSize)...)
-		}
+	}
+	// One vectored media read for the whole extent — a single pread on
+	// the file backend, where the page-at-a-time loop used to issue n.
+	out := make([]byte, n*d.pageSize)
+	if err := d.mediaRead(start, n, out, sink); err != nil {
+		return nil, fmt.Errorf("storage: read extent [%d,+%d): %w", start, n, err)
 	}
 	return out[:length], nil
 }
@@ -706,6 +806,20 @@ func (d *Disk) readExtent(start PageID, n int, class Class, sink *Client) error 
 	for i := 0; i < n; i++ {
 		if err := d.mediaErr(start+PageID(i), sink); err != nil {
 			return err
+		}
+	}
+	if d.timed {
+		// Real media: actually transfer the extent, in bounded chunks so
+		// nominal-size heavy payloads never materialize on the heap, so
+		// MeasuredTime reflects honest I/O. The simulated backend keeps
+		// the historical charge-without-reading behavior.
+		const chunk = 64
+		buf := make([]byte, min(chunk, n)*d.pageSize)
+		for off := 0; off < n; off += chunk {
+			m := min(chunk, n-off)
+			if err := d.mediaRead(start+PageID(off), m, buf[:m*d.pageSize], sink); err != nil {
+				return fmt.Errorf("storage: extent [%d,+%d): %w", start, n, err)
+			}
 		}
 	}
 	return nil

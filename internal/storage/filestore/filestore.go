@@ -1,0 +1,381 @@
+// Package filestore is the real-hardware page media behind
+// storage.Backend (DESIGN.md §17): a page-granular OS file, read through
+// a shared read-only mmap window when the platform supports it and plain
+// preads otherwise, written with pwrites (optionally O_SYNC) and made
+// durable by fsync. The Disk's vectored reads land here as single
+// syscalls — one pread (or one memcpy out of the mapping) per extent or
+// coalesced batch, however many pages it spans — which is what turns the
+// codec's byte reduction and the prefetcher's warm path into wall-clock
+// wins.
+//
+// The file is sparse: Allocate only truncates (with headroom, so builds
+// that grow page by page do not remap per allocation), never-written
+// pages read back as holes (zeros), and Release punches holes so trimmed
+// shard stores shrink their real footprint too. A written-page set is
+// kept in memory for StoredPages/StoredCount — the store always starts
+// empty (Create truncates) and is repopulated by replaying an image, so
+// the set is exact.
+package filestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// sortPageIDs orders page IDs ascending (the StoredPages contract).
+func sortPageIDs(ids []storage.PageID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Options shapes a Store.
+type Options struct {
+	// NoMmap forces the pread path even where mmap is available.
+	NoMmap bool
+	// OSync opens the file O_SYNC: every page write is synchronous, so
+	// no separate fsync is needed at commit points (at the price of
+	// slower writes). Without it, writes are buffered and Sync fsyncs.
+	OSync bool
+	// ephemeral removes the file on Close — clone siblings use it so
+	// shard arms clean up after themselves.
+	ephemeral bool
+}
+
+// minPages is the initial/minimum file capacity (in pages) a store is
+// truncated to, so tiny databases do not remap on every allocation.
+const minPages = 1024
+
+// Store is a page file implementing storage.Backend. Safe for concurrent
+// use: the OS serializes preads/pwrites on the shared fd, and the
+// written set, capacity, and mmap window are guarded by mu. The mmap
+// window is MAP_SHARED, so pwrites through the fd are coherently visible
+// to mapped reads.
+type Store struct {
+	path     string
+	pageSize int
+	f        *os.File
+	nommap   bool
+	osync    bool
+	ephem    bool
+
+	// mu guards written, capPages, and mm. Mapped-window copies happen
+	// under the read lock so remapping (which unmaps the old window) is
+	// safe under the write lock.
+	mu       sync.RWMutex
+	written  map[storage.PageID]struct{}
+	capPages int64 // file capacity in pages (>= the disk's watermark)
+	mm       []byte
+	closed   bool
+
+	clones atomic.Int64
+
+	reads, pagesRead, bytesRead, mmapReads, writes, syncs atomic.Int64
+}
+
+// Create creates (or truncates) the page file at path and returns a
+// store over it. The caller owns the path; Close closes the fd (and for
+// clone siblings removes the file).
+func Create(path string, pageSize int, opts Options) (*Store, error) {
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	flag := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+	if opts.OSync {
+		flag |= os.O_SYNC
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	s := &Store{
+		path:     path,
+		pageSize: pageSize,
+		f:        f,
+		nommap:   opts.NoMmap,
+		osync:    opts.OSync,
+		ephem:    opts.ephemeral,
+		written:  make(map[storage.PageID]struct{}),
+	}
+	if err := s.Allocate(minPages); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.path }
+
+// PageSize returns the page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Mapped reports whether reads are currently served from an mmap window
+// (false when mmap is unavailable, disabled, or the map failed).
+func (s *Store) Mapped() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mm != nil
+}
+
+// ReadPage fills dst (one page) with the content of page id.
+func (s *Store) ReadPage(id storage.PageID, dst []byte) error {
+	return s.ReadPages(id, 1, dst)
+}
+
+// ReadPages fills dst with n consecutive pages starting at start — one
+// memcpy out of the mmap window when it covers the range, one pread
+// otherwise. This is the vectored path: however many pages the Disk
+// coalesced, the media sees one operation.
+func (s *Store) ReadPages(start storage.PageID, n int, dst []byte) error {
+	if n <= 0 {
+		return nil
+	}
+	want := n * s.pageSize
+	if len(dst) < want {
+		return fmt.Errorf("filestore: read [%d,+%d): dst holds %d bytes, want %d", start, n, len(dst), want)
+	}
+	if start < 0 {
+		return fmt.Errorf("filestore: read [%d,+%d): negative page", start, n)
+	}
+	off := int64(start) * int64(s.pageSize)
+	end := off + int64(want)
+	s.mu.RLock()
+	if s.mm != nil && end <= int64(len(s.mm)) {
+		// Copy while holding the read lock: a concurrent Allocate remaps
+		// (and unmaps the old window) only under the write lock, so the
+		// window cannot vanish mid-copy.
+		copy(dst[:want], s.mm[off:end])
+		s.mu.RUnlock()
+		s.reads.Add(1)
+		s.mmapReads.Add(1)
+		s.pagesRead.Add(int64(n))
+		s.bytesRead.Add(int64(want))
+		return nil
+	}
+	s.mu.RUnlock()
+	return s.pread(off, dst[:want], n)
+}
+
+// pread issues one positioned read, zero-filling past EOF (pages beyond
+// the file's current size are unwritten holes by definition).
+func (s *Store) pread(off int64, dst []byte, pages int) error {
+	n, err := s.f.ReadAt(dst, off)
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		clear(dst[n:])
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("filestore: pread %d bytes at %d: %w", len(dst), off, err)
+	}
+	s.reads.Add(1)
+	s.pagesRead.Add(int64(pages))
+	s.bytesRead.Add(int64(len(dst)))
+	return nil
+}
+
+// WritePage stores one full page with a single pwrite.
+func (s *Store) WritePage(id storage.PageID, data []byte) error {
+	if len(data) != s.pageSize {
+		return fmt.Errorf("filestore: write page %d: %d bytes, want %d", id, len(data), s.pageSize)
+	}
+	if id < 0 {
+		return fmt.Errorf("filestore: write page %d: negative page", id)
+	}
+	if _, err := s.f.WriteAt(data, int64(id)*int64(s.pageSize)); err != nil {
+		return fmt.Errorf("filestore: write page %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.written[id] = struct{}{}
+	s.mu.Unlock()
+	s.writes.Add(1)
+	return nil
+}
+
+// Allocate grows the file to hold at least totalPages pages. Growth is
+// chunked (doubling, floor minPages) so page-by-page build allocations
+// truncate and remap a handful of times, not thousands; the extra tail
+// is sparse and invisible to readers (holes read zero either way).
+func (s *Store) Allocate(totalPages int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if totalPages <= s.capPages {
+		return nil
+	}
+	grow := s.capPages * 2
+	if grow < totalPages {
+		grow = totalPages
+	}
+	if grow < minPages {
+		grow = minPages
+	}
+	if err := s.f.Truncate(grow * int64(s.pageSize)); err != nil {
+		return fmt.Errorf("filestore: grow to %d pages: %w", grow, err)
+	}
+	s.capPages = grow
+	s.remapLocked()
+	return nil
+}
+
+// remapLocked rebuilds the mmap window over the file's current capacity.
+// Requires mu held for writing. A failed (or unavailable) map silently
+// degrades to the pread path — mmap is an optimization, never
+// load-bearing.
+func (s *Store) remapLocked() {
+	if s.nommap {
+		return
+	}
+	if s.mm != nil {
+		_ = munmapFile(s.mm)
+		s.mm = nil
+	}
+	size := s.capPages * int64(s.pageSize)
+	if size <= 0 {
+		return
+	}
+	mm, err := mmapFile(s.f, int(size))
+	if err != nil {
+		return
+	}
+	s.mm = mm
+}
+
+// Release punches the given pages out of the file (falling back to
+// writing zeros where hole-punching is unsupported), returning how many
+// held data.
+func (s *Store) Release(ids []storage.PageID) int {
+	n := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zeros []byte
+	for _, id := range ids {
+		if _, ok := s.written[id]; !ok {
+			continue
+		}
+		delete(s.written, id)
+		n++
+		off := int64(id) * int64(s.pageSize)
+		if err := punchHole(s.f, off, int64(s.pageSize)); err != nil {
+			if zeros == nil {
+				zeros = make([]byte, s.pageSize)
+			}
+			// Zero-write fallback keeps read-back semantics identical
+			// even where the blocks stay allocated.
+			_, _ = s.f.WriteAt(zeros, off)
+		}
+	}
+	return n
+}
+
+// StoredPages returns the written page IDs >= from, ascending.
+func (s *Store) StoredPages(from storage.PageID) []storage.PageID {
+	s.mu.RLock()
+	ids := make([]storage.PageID, 0, len(s.written))
+	for id := range s.written {
+		if id >= from {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.RUnlock()
+	// Insertion sort would be quadratic at database scale; keep it simple
+	// with the stdlib.
+	sortPageIDs(ids)
+	return ids
+}
+
+// StoredCount returns how many pages hold written content.
+func (s *Store) StoredCount() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.written))
+}
+
+// Sync fsyncs the file. With OSync writes are already synchronous and
+// this only flushes metadata.
+func (s *Store) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("filestore: sync %s: %w", s.path, err)
+	}
+	s.syncs.Add(1)
+	return nil
+}
+
+// Clone copies the written pages into a sibling file (path.cloneN) and
+// returns an independent store over it. The sibling is ephemeral: its
+// Close removes the file. Shard stores clone the database disk through
+// this, giving every shard a genuinely separate set of OS pages.
+func (s *Store) Clone() (storage.Backend, error) {
+	path := fmt.Sprintf("%s.clone%d", s.path, s.clones.Add(1))
+	c, err := Create(path, s.pageSize, Options{NoMmap: s.nommap, OSync: s.osync, ephemeral: true})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	capPages := s.capPages
+	s.mu.RUnlock()
+	if err := c.Allocate(capPages); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	buf := make([]byte, s.pageSize)
+	for _, id := range s.StoredPages(0) {
+		if err := s.ReadPage(id, buf); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		if _, err := c.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("filestore: clone page %d: %w", id, err)
+		}
+		c.mu.Lock()
+		c.written[id] = struct{}{}
+		c.mu.Unlock()
+	}
+	return c, nil
+}
+
+// Stats returns the media-level operation counters.
+func (s *Store) Stats() storage.BackendStats {
+	return storage.BackendStats{
+		Reads:     s.reads.Load(),
+		PagesRead: s.pagesRead.Load(),
+		BytesRead: s.bytesRead.Load(),
+		MmapReads: s.mmapReads.Load(),
+		Writes:    s.writes.Load(),
+		Syncs:     s.syncs.Load(),
+	}
+}
+
+// Timed reports true: this media does real I/O, so the Disk charges
+// wall-clock MeasuredTime beside the simulated cost.
+func (s *Store) Timed() bool { return true }
+
+// Close unmaps the window and closes the file (removing it for clone
+// siblings). Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.mm != nil {
+		_ = munmapFile(s.mm)
+		s.mm = nil
+	}
+	err := s.f.Close()
+	if s.ephem {
+		if rmErr := os.Remove(s.path); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("filestore: close %s: %w", s.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+//go:build linux
+
+package filestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f read-only and shared, so pwrites
+// through the fd are coherently visible to mapped reads.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a window returned by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// Linux fallocate mode bits (not exported by the stdlib syscall package).
+const (
+	fallocFlKeepSize  = 0x1
+	fallocFlPunchHole = 0x2
+)
+
+// punchHole deallocates [off, off+length) so the blocks are returned to
+// the filesystem and read back as zeros.
+func punchHole(f *os.File, off, length int64) error {
+	return syscall.Fallocate(int(f.Fd()), fallocFlPunchHole|fallocFlKeepSize, off, length)
+}

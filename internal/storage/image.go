@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
 )
 
 // Disk image format: the database's pages serialized to a real file, so a
@@ -28,24 +27,40 @@ const (
 // ErrBadImage is wrapped into all image-format errors.
 var ErrBadImage = errors.New("storage: bad disk image")
 
+// imageBufSize picks the bufio.Writer size for image/delta serialization:
+// a whole number of pages, at least 64 KiB and at most 1 MiB, so the
+// writer's flushes are page-aligned streaming writes rather than one
+// syscall per page — which is what matters once real files are the
+// destination.
+func imageBufSize(pageSize int) int {
+	n := 256 * pageSize
+	if n < 64<<10 {
+		n = 64 << 10
+	}
+	if n > 1<<20 {
+		n = (1 << 20) / pageSize * pageSize
+		if n < pageSize {
+			n = pageSize
+		}
+	}
+	return n
+}
+
 // WriteTo serializes the disk's pages. It implements io.WriterTo. The
-// structural lock is held only long enough to snapshot the page table —
-// page data slices are immutable once inserted (WritePage replaces, never
-// mutates), so the shallow copy is a consistent point-in-time image even
-// with concurrent writers, and no I/O happens under d.mu (the lockorder
-// invariant, DESIGN.md §11).
+// structural lock is held only long enough to snapshot the geometry —
+// page enumeration and reads go straight to the media backend (which
+// does its own locking), so no I/O happens under d.mu (the lockorder
+// invariant, DESIGN.md §11). Pages stream through a page-aligned
+// bufio.Writer; nothing is buffered whole.
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	d.mu.RLock()
 	allocated := d.allocated
 	pageSize := d.pageSize
-	pages := make(map[PageID][]byte, len(d.data))
-	for id, p := range d.data {
-		pages[id] = p
-	}
 	d.mu.RUnlock()
+	ids := d.media.StoredPages(0)
 
 	crc := crc32.NewIEEE()
-	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), imageBufSize(pageSize))
 	var written int64
 
 	put := func(buf []byte) error {
@@ -62,23 +77,22 @@ func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 		return written, err
 	}
 	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(pages)))
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(ids)))
 	if err := put(cnt[:]); err != nil {
 		return written, err
 	}
-	// Deterministic layout: ascending page ID.
-	ids := make([]PageID, 0, len(pages))
-	for id := range pages {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Deterministic layout: StoredPages returns ascending page IDs.
 	var idbuf [8]byte
+	page := make([]byte, pageSize)
 	for _, id := range ids {
 		binary.LittleEndian.PutUint64(idbuf[:], uint64(id))
 		if err := put(idbuf[:]); err != nil {
 			return written, err
 		}
-		if err := put(pages[id]); err != nil {
+		if err := d.media.ReadPage(id, page); err != nil {
+			return written, fmt.Errorf("storage: image write: page %d: %w", id, err)
+		}
+		if err := put(page); err != nil {
 			return written, err
 		}
 	}
@@ -93,11 +107,20 @@ func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	return written, err
 }
 
-// ReadImage deserializes a disk image produced by WriteTo, verifying its
-// checksum. The returned disk uses the given cost model and starts with
-// zeroed statistics. The whole image is buffered in memory — it contains
-// only the database's written pages, which are laptop-scale by design.
+// ReadImage deserializes a disk image produced by WriteTo into an
+// in-memory simulated disk, verifying its checksum.
 func ReadImage(r io.Reader, cost CostModel) (*Disk, error) {
+	return ReadImageInto(r, cost, nil)
+}
+
+// ReadImageInto deserializes a disk image produced by WriteTo, verifying
+// its checksum, and materializes the pages into a media backend built by
+// newBackend (nil means in-memory simulated media — ReadImage). The
+// returned disk uses the given cost model and starts with zeroed
+// statistics. The whole image is buffered in memory while parsing — it
+// contains only the database's written pages, which are laptop-scale by
+// design.
+func ReadImageInto(r io.Reader, cost CostModel, newBackend func(pageSize int, pages int64) (Backend, error)) (*Disk, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
@@ -129,19 +152,42 @@ func ReadImage(r io.Reader, cost CostModel) (*Disk, error) {
 		return nil, fmt.Errorf("%w: body is %d bytes, want %d", ErrBadImage, len(body), need)
 	}
 
-	d := NewDisk(pageSize, cost)
-	d.allocated = allocated
+	var b Backend
+	if newBackend == nil {
+		b = NewMemBackend(pageSize)
+	} else {
+		b, err = newBackend(pageSize, int64(allocated))
+		if err != nil {
+			return nil, fmt.Errorf("storage: image backend: %w", err)
+		}
+		if b.PageSize() != pageSize {
+			_ = b.Close()
+			return nil, fmt.Errorf("%w: backend page size %d, image has %d", ErrBadImage, b.PageSize(), pageSize)
+		}
+	}
+	fail := func(err error) (*Disk, error) {
+		_ = b.Close()
+		return nil, err
+	}
+	if err := b.Allocate(int64(allocated)); err != nil {
+		return fail(fmt.Errorf("storage: image backend: %w", err))
+	}
 	off := imageHeaderSize + 8
 	for i := uint64(0); i < stored; i++ {
 		id := PageID(binary.LittleEndian.Uint64(body[off:]))
 		off += 8
 		if id < 0 || id >= allocated {
-			return nil, fmt.Errorf("%w: page id %d out of range", ErrBadImage, id)
+			return fail(fmt.Errorf("%w: page id %d out of range", ErrBadImage, id))
 		}
-		page := make([]byte, pageSize)
-		copy(page, body[off:off+pageSize])
+		if err := b.WritePage(id, body[off:off+pageSize]); err != nil {
+			return fail(fmt.Errorf("storage: image backend: page %d: %w", id, err))
+		}
 		off += pageSize
-		d.data[id] = page
 	}
+	if err := b.Sync(); err != nil {
+		return fail(fmt.Errorf("storage: image backend: sync: %w", err))
+	}
+	d := NewDiskOn(b, cost)
+	d.allocated = allocated
 	return d, nil
 }

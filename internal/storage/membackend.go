@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MemBackend is the in-memory simulated media: a sparse page map with no
+// real I/O. It is the Backend every Disk uses unless a real one is
+// supplied (NewDiskOn), and preserves the historical simulated-disk
+// semantics exactly — written pages hold real bytes, allocated-but-never-
+// written extents read back zero-filled, and Clone shares page slices
+// zero-copy (WritePage installs fresh slices, never mutates in place).
+type MemBackend struct {
+	mu       sync.RWMutex
+	pageSize int
+	// pages is the grow-only allocation high-water mark.
+	pages int64
+	data  map[PageID][]byte
+
+	reads, pagesRead, writes atomic.Int64
+}
+
+// NewMemBackend returns an empty in-memory media with the given page size
+// (DefaultPageSize if non-positive).
+func NewMemBackend(pageSize int) *MemBackend {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemBackend{
+		pageSize: pageSize,
+		data:     make(map[PageID][]byte),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (b *MemBackend) PageSize() int { return b.pageSize }
+
+// ReadPage fills dst with the content of page id.
+func (b *MemBackend) ReadPage(id PageID, dst []byte) error {
+	return b.ReadPages(id, 1, dst)
+}
+
+// ReadPages fills dst with n consecutive pages starting at start.
+func (b *MemBackend) ReadPages(start PageID, n int, dst []byte) error {
+	if n <= 0 {
+		return nil
+	}
+	if want := n * b.pageSize; len(dst) < want {
+		return fmt.Errorf("storage: mem read [%d,+%d): dst holds %d bytes, want %d", start, n, len(dst), want)
+	}
+	b.mu.RLock()
+	for i := 0; i < n; i++ {
+		out := dst[i*b.pageSize : (i+1)*b.pageSize]
+		if p, ok := b.data[start+PageID(i)]; ok {
+			copy(out, p)
+		} else {
+			clear(out)
+		}
+	}
+	b.mu.RUnlock()
+	b.reads.Add(1)
+	b.pagesRead.Add(int64(n))
+	return nil
+}
+
+// WritePage stores one full page, taking ownership of data.
+func (b *MemBackend) WritePage(id PageID, data []byte) error {
+	if len(data) != b.pageSize {
+		return fmt.Errorf("storage: mem write page %d: %d bytes, want %d", id, len(data), b.pageSize)
+	}
+	b.mu.Lock()
+	b.data[id] = data
+	b.mu.Unlock()
+	b.writes.Add(1)
+	return nil
+}
+
+// Allocate records the grow-only allocation watermark (no real space is
+// reserved — the map is sparse by design).
+func (b *MemBackend) Allocate(totalPages int64) error {
+	b.mu.Lock()
+	if totalPages > b.pages {
+		b.pages = totalPages
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Release drops the materialized content of the given pages.
+func (b *MemBackend) Release(ids []PageID) int {
+	n := 0
+	b.mu.Lock()
+	for _, id := range ids {
+		if _, ok := b.data[id]; ok {
+			delete(b.data, id)
+			n++
+		}
+	}
+	b.mu.Unlock()
+	return n
+}
+
+// StoredPages returns the materialized page IDs >= from, ascending.
+func (b *MemBackend) StoredPages(from PageID) []PageID {
+	b.mu.RLock()
+	ids := make([]PageID, 0, len(b.data))
+	for id := range b.data {
+		if id >= from {
+			ids = append(ids, id)
+		}
+	}
+	b.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// StoredCount returns how many pages hold materialized content.
+func (b *MemBackend) StoredCount() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return int64(len(b.data))
+}
+
+// Sync is a no-op: memory is as durable as this media gets.
+func (b *MemBackend) Sync() error { return nil }
+
+// Clone returns an independent backend sharing page slices zero-copy:
+// WritePage always installs a freshly built slice and readers copy out,
+// so sharing is safe, and a clone of a multi-gigabyte simulated database
+// costs only the page map.
+func (b *MemBackend) Clone() (Backend, error) {
+	b.mu.RLock()
+	c := &MemBackend{pageSize: b.pageSize, pages: b.pages, data: make(map[PageID][]byte, len(b.data))}
+	for id, p := range b.data {
+		c.data[id] = p
+	}
+	b.mu.RUnlock()
+	return c, nil
+}
+
+// Stats returns the media-level operation counters.
+func (b *MemBackend) Stats() BackendStats {
+	pr := b.pagesRead.Load()
+	return BackendStats{
+		Reads:     b.reads.Load(),
+		PagesRead: pr,
+		BytesRead: pr * int64(b.pageSize),
+		Writes:    b.writes.Load(),
+	}
+}
+
+// Timed reports false: simulated media has no wall-clock latency worth
+// measuring, which keeps Stats deterministic.
+func (b *MemBackend) Timed() bool { return false }
+
+// Close is a no-op.
+func (b *MemBackend) Close() error { return nil }

@@ -33,6 +33,14 @@ type PrefetchJob func(r Reader) ([]PageID, error)
 // enough that stale predictions are dropped rather than hoarded.
 const DefaultPrefetchQueue = 16
 
+// PrefetchWarmWorkers is how many concurrent page-warm workers a
+// prefetcher runs on a timed (real-I/O) backend: enough to overlap a few
+// preads, few enough not to fight demand traffic for the disk. On the
+// simulated backend warms stay inline on the resolver, preserving the
+// historical deterministic warm order (and therefore deterministic pool
+// eviction and stats).
+const PrefetchWarmWorkers = 4
+
 // Prefetcher drains PrefetchJobs in the background, warming the disk's
 // buffer pool. Create one per walkthrough (or shared per disk); Close it
 // when playback ends. With no buffer pool installed warming is pointless,
@@ -41,10 +49,17 @@ type Prefetcher struct {
 	d      *Disk
 	client *Client
 	jobs   chan prefetchEntry
-	wg     sync.WaitGroup
+	// warm carries resolved page IDs to the warm workers on timed
+	// backends (nil on the simulated backend — warms run inline).
+	warm   chan warmEntry
+	wg     sync.WaitGroup // resolver
+	warmWg sync.WaitGroup // warm workers
 
-	// pending counts accepted-but-unfinished jobs; idle is broadcast when
-	// it drains to zero, which is what Quiesce waits on.
+	// pending counts accepted-but-unfinished work: every queued job and,
+	// on timed backends, every in-flight page warm the job fanned out.
+	// idle is broadcast when it drains to zero, which is what Quiesce
+	// waits on — so Quiesce fences real-I/O completions, not just the
+	// resolver's simulated-time credit.
 	mu      sync.Mutex
 	idle    *sync.Cond
 	pending int
@@ -66,8 +81,15 @@ type prefetchEntry struct {
 	gen int64
 }
 
+// warmEntry is one resolved page on its way to a warm worker.
+type warmEntry struct {
+	id  PageID
+	gen int64
+}
+
 // NewPrefetcher starts a prefetcher with the given queue bound (<= 0 uses
-// DefaultPrefetchQueue) and one worker goroutine.
+// DefaultPrefetchQueue), one resolver goroutine, and — on a timed
+// backend — PrefetchWarmWorkers page-warm workers so real reads overlap.
 func NewPrefetcher(d *Disk, queue int) *Prefetcher {
 	if queue <= 0 {
 		queue = DefaultPrefetchQueue
@@ -78,6 +100,23 @@ func NewPrefetcher(d *Disk, queue int) *Prefetcher {
 		jobs:   make(chan prefetchEntry, queue),
 	}
 	p.idle = sync.NewCond(&p.mu)
+	if d.Timed() {
+		p.warm = make(chan warmEntry, queue*PrefetchWarmWorkers)
+		p.warmWg.Add(PrefetchWarmWorkers)
+		for i := 0; i < PrefetchWarmWorkers; i++ {
+			go func() {
+				defer p.warmWg.Done()
+				for w := range p.warm {
+					// Stale warms (canceled while queued) are skipped but
+					// still complete for Quiesce's accounting.
+					if w.gen == p.gen.Load() {
+						p.warmPage(w.id)
+					}
+					p.track(-1)
+				}
+			}()
+		}
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -85,11 +124,14 @@ func NewPrefetcher(d *Disk, queue int) *Prefetcher {
 			// A stale entry (canceled while queued) is skipped without
 			// resolving, but still completes for Quiesce's accounting.
 			if e.gen == p.gen.Load() {
-				p.run(e.job)
+				p.run(e.job, e.gen)
 			} else {
 				p.canceled.Add(1)
 			}
 			p.track(-1)
+		}
+		if p.warm != nil {
+			close(p.warm)
 		}
 	}()
 	return p
@@ -106,17 +148,34 @@ func (p *Prefetcher) track(delta int) {
 	p.mu.Unlock()
 }
 
-// run resolves one job and warms its pages. Faulty or quarantined pages
-// are skipped silently — prefetching is advisory, never load-bearing.
-func (p *Prefetcher) run(job PrefetchJob) {
+// run resolves one job and warms its pages — inline on the simulated
+// backend (deterministic warm order), fanned out to the warm workers on
+// a timed backend (overlapped real reads). Each fanned-out warm is
+// tracked in pending before the job itself completes, so Quiesce never
+// observes a drained queue with warms still in flight. Faulty or
+// quarantined pages are skipped silently — prefetching is advisory,
+// never load-bearing.
+func (p *Prefetcher) run(job PrefetchJob, gen int64) {
 	pages, err := job(p.client)
 	if err != nil {
 		return
 	}
-	for _, id := range pages {
-		if p.d.PrefetchPage(id, p.client) == nil {
-			p.warmed.Add(1)
+	if p.warm == nil {
+		for _, id := range pages {
+			p.warmPage(id)
 		}
+		return
+	}
+	for _, id := range pages {
+		p.track(1)
+		p.warm <- warmEntry{id: id, gen: gen}
+	}
+}
+
+// warmPage pulls one page through the buffer pool, counting successes.
+func (p *Prefetcher) warmPage(id PageID) {
+	if p.d.PrefetchPage(id, p.client) == nil {
+		p.warmed.Add(1)
 	}
 }
 
@@ -150,12 +209,15 @@ func (p *Prefetcher) CancelPending() { p.gen.Add(1) }
 // Canceled returns how many queued jobs CancelPending discarded.
 func (p *Prefetcher) Canceled() int64 { return p.canceled.Load() }
 
-// Quiesce blocks until every accepted job has finished. The walkthrough
-// player calls it at each cell entry: simulated render time between
-// frames is orders of magnitude longer than a few page warms, so by the
-// time the viewer reaches a predicted cell its jobs would have long
-// completed — the barrier credits the worker with that time, which the
-// wall clock of a simulation run does not otherwise provide.
+// Quiesce blocks until every accepted job — and every page warm a job
+// fanned out to the warm workers — has finished. The walkthrough player
+// calls it at each cell entry: simulated render time between frames is
+// orders of magnitude longer than a few page warms, so by the time the
+// viewer reaches a predicted cell its jobs would have long completed —
+// the barrier credits the worker with that time, which the wall clock of
+// a simulation run does not otherwise provide. On a timed backend the
+// same barrier fences real I/O: when Quiesce returns, no warm read is
+// still in flight against the media.
 func (p *Prefetcher) Quiesce() {
 	p.mu.Lock()
 	for p.pending > 0 {
@@ -164,14 +226,15 @@ func (p *Prefetcher) Quiesce() {
 	p.mu.Unlock()
 }
 
-// Close stops accepting jobs, drains the queue, and waits for the worker.
-// Idempotent.
+// Close stops accepting jobs, drains the queue, and waits for the
+// resolver and (on timed backends) the warm workers. Idempotent.
 func (p *Prefetcher) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(p.jobs)
 	p.wg.Wait()
+	p.warmWg.Wait()
 }
 
 // Stats returns the prefetcher's own I/O accounting (pages it read to

@@ -68,6 +68,12 @@ func Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fromDatabase(d), nil
+}
+
+// fromDatabase wraps a reopened dbfile database into a DB handle,
+// reconstructing the build configuration from the manifest-backed state.
+func fromDatabase(d *dbfile.Database) *DB {
 	cfg := Config{
 		Scene: SceneConfig{
 			Blocks:            d.Scene.Params.BlocksX,
@@ -96,5 +102,5 @@ func Open(dir string) (*DB, error) {
 		ops:    d.Ops,
 	}
 	db.SetScheme(SchemeIndexedVertical)
-	return db, nil
+	return db
 }

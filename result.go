@@ -255,6 +255,11 @@ type DiskStats struct {
 	// retry loop (nonzero only under fault injection).
 	Retries int64
 	SimTime time.Duration
+	// MeasuredTime is wall-clock time spent in real media I/O. It is zero
+	// on the simulated backend and positive on BackendFile, where it sits
+	// alongside the simulated SimTime so the two models can be compared on
+	// the same workload.
+	MeasuredTime time.Duration
 	// PoolHits and PoolMisses count buffer-pool lookups (zero unless
 	// SetCacheSize installed a pool). Hits charge no seek or transfer.
 	PoolHits, PoolMisses int64

@@ -456,6 +456,7 @@ func diskStatsFrom(s storage.Stats) DiskStats {
 		LightReads: s.LightReads, HeavyReads: s.HeavyReads,
 		Retries:        s.Retries,
 		SimTime:        s.SimTime,
+		MeasuredTime:   s.MeasuredTime,
 		PoolHits:       s.PoolLightHits + s.PoolHeavyHits,
 		PoolMisses:     s.PoolLightMisses + s.PoolHeavyMisses,
 		PrefetchHits:   s.PrefetchHits,
